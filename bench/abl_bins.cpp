@@ -1,0 +1,35 @@
+// Ablation: discretization bin count.
+//
+// Few bins lose resolution (the decline trajectory collapses into one or
+// two symbols); many bins starve the 2-dependent Markov model of data
+// (bins^2 transition rows against a few hundred training samples). The
+// default (5) sits in the sweet spot for runs of this length.
+#include <cstdio>
+
+#include "accuracy_util.h"
+
+using namespace prepare;
+using namespace prepare::bench;
+
+int main() {
+  std::printf("ablation: discretization bins "
+              "(memory leak, System S; A_T/A_F at each look-ahead)\n\n");
+  CsvWriter csv(csv_path("abl_bins"), {"figure", "panel", "model",
+                                       "lookahead_s", "at_pct", "af_pct"});
+  const auto trace = record_trace(AppKind::kSystemS, FaultKind::kMemoryLeak);
+  const auto vms = trace.store.vm_names();
+  std::vector<Curve> curves;
+  for (std::size_t bins : {3u, 5u, 8u, 12u}) {
+    Curve curve{std::to_string(bins) + " bins", {}};
+    for (double lookahead : lookaheads()) {
+      AccuracyConfig config;
+      config.predictor.bins = bins;
+      curve.points.push_back(
+          evaluate_accuracy(trace.store, trace.slo, vms, lookahead, config));
+    }
+    curves.push_back(std::move(curve));
+  }
+  emit_curves("abl_bins", "Memory leak (System S)", curves, &csv);
+  std::printf("-> %s\n", csv_path("abl_bins").c_str());
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Ablation: the two wrong-metric defenses, 2 x 2.
+//
+// PREPARE's black-box diagnosis can pinpoint a symptom metric instead of
+// the root cause. Two mechanisms cover for that:
+//  * companion scaling — act on the top metric of *each* resource kind
+//    in one shot;
+//  * validation — compare the acted metric's usage before/after and fall
+//    back to the next ranked metric when the action had no effect
+//    (Section II-D).
+// With both off, a wrong first pick is never corrected and the violation
+// runs on; either mechanism alone recovers most of it.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace prepare;
+using namespace prepare::bench;
+
+int main() {
+  std::printf("ablation: wrong-metric defenses, 2x2 "
+              "(SLO violation time, s; mean of 5 runs)\n\n");
+  CsvWriter csv(csv_path("abl_validation"),
+                {"app", "fault", "companion", "validation", "mean_s",
+                 "std_s"});
+  std::printf("%-10s %-12s %16s %16s %16s %16s\n", "app", "fault",
+              "comp+valid", "companion only", "validation only", "neither");
+  const std::pair<bool, bool> arms[] = {
+      {true, true}, {true, false}, {false, true}, {false, false}};
+  for (AppKind app : {AppKind::kSystemS, AppKind::kRubis}) {
+    for (FaultKind fault :
+         {FaultKind::kMemoryLeak, FaultKind::kCpuHog,
+          FaultKind::kBottleneck}) {
+      std::printf("%-10s %-12s", app_kind_name(app), fault_kind_name(fault));
+      for (const auto& [companion, validation] : arms) {
+        ScenarioConfig config;
+        config.app = app;
+        config.fault = fault;
+        config.scheme = Scheme::kPrepare;
+        config.seed = 1;
+        config.prepare.prevention.mode = PreventionMode::kScalingOnly;
+        config.prepare.prevention.companion_scaling = companion;
+        config.prepare.prevention.validation_enabled = validation;
+        const auto result = run_repeated(config, 5);
+        std::printf("  %7.1f +/- %4.1f", result.mean, result.stddev);
+        csv.row(std::vector<std::string>{
+            app_kind_name(app), fault_kind_name(fault),
+            companion ? "on" : "off", validation ? "on" : "off",
+            format_number(result.mean), format_number(result.stddev)});
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("\n-> %s\n", csv_path("abl_validation").c_str());
+  return 0;
+}

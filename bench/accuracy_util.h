@@ -1,0 +1,60 @@
+// Shared helpers for the trace-driven accuracy benches (Figs. 10-13).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/accuracy.h"
+
+namespace prepare::bench {
+
+inline const std::vector<double>& lookaheads() {
+  static const std::vector<double> values = {5, 10, 15, 20, 25,
+                                             30, 35, 40, 45};
+  return values;
+}
+
+/// Records the no-intervention trace the paper's trace-driven accuracy
+/// experiments replay.
+inline ScenarioResult record_trace(AppKind app, FaultKind fault,
+                                   std::uint64_t seed = 3,
+                                   double sampling_interval_s = 5.0) {
+  ScenarioConfig config;
+  config.app = app;
+  config.fault = fault;
+  config.scheme = Scheme::kNoIntervention;
+  config.seed = seed;
+  config.sampling_interval_s = sampling_interval_s;
+  return run_scenario(config);
+}
+
+struct Curve {
+  std::string label;
+  std::vector<AccuracyResult> points;  // one per lookahead
+};
+
+/// Prints curves side by side and writes them as CSV rows.
+inline void emit_curves(const std::string& figure, const std::string& panel,
+                        const std::vector<Curve>& curves, CsvWriter* csv) {
+  std::printf("%s\n", panel.c_str());
+  std::printf("  %12s", "lookahead(s)");
+  for (const auto& curve : curves)
+    std::printf("  AT(%-12s AF(%-12s", (curve.label + ")").c_str(),
+                (curve.label + ")").c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < lookaheads().size(); ++i) {
+    std::printf("  %12.0f", lookaheads()[i]);
+    for (const auto& curve : curves) {
+      const auto& p = curve.points[i];
+      std::printf("  %15.1f%% %15.1f%%", p.a_t * 100.0, p.a_f * 100.0);
+      csv->row(std::vector<std::string>{
+          figure, panel, curve.label, format_number(lookaheads()[i]),
+          format_number(p.a_t * 100.0), format_number(p.a_f * 100.0)});
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace prepare::bench

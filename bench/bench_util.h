@@ -1,0 +1,142 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Each bench binary regenerates one table or figure of the paper: it
+// prints the same rows/series the paper reports and writes a CSV next to
+// it (./bench_results/<name>.csv) for plotting.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "core/experiment.h"
+
+namespace prepare::bench {
+
+inline std::string results_dir() {
+  const std::string dir = "bench_results";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+inline std::string csv_path(const std::string& name) {
+  return results_dir() + "/" + name + ".csv";
+}
+
+/// Violation-time comparison (Figs. 6 and 8): one row per app x fault,
+/// three scheme columns, mean +/- std over `repeats` seeded runs.
+inline void run_violation_comparison(const std::string& figure,
+                                     PreventionMode mode,
+                                     std::size_t repeats) {
+  const char* mode_name =
+      mode == PreventionMode::kScalingOnly ? "elastic scaling"
+                                           : "live VM migration";
+  std::printf("%s: SLO violation time (s) with %s as the prevention "
+              "action\n",
+              figure.c_str(), mode_name);
+  std::printf("%-10s %-12s %22s %22s %22s\n", "app", "fault",
+              "without-intervention", "reactive", "PREPARE");
+
+  CsvWriter csv(csv_path(figure),
+                {"app", "fault", "scheme", "mean_s", "std_s"});
+  for (AppKind app : {AppKind::kSystemS, AppKind::kRubis}) {
+    for (FaultKind fault : {FaultKind::kMemoryLeak, FaultKind::kCpuHog,
+                            FaultKind::kBottleneck}) {
+      std::printf("%-10s %-12s", app_kind_name(app), fault_kind_name(fault));
+      RepeatedResult per_scheme[3];
+      const Scheme schemes[3] = {Scheme::kNoIntervention, Scheme::kReactive,
+                                 Scheme::kPrepare};
+      for (int s = 0; s < 3; ++s) {
+        ScenarioConfig config;
+        config.app = app;
+        config.fault = fault;
+        config.scheme = schemes[s];
+        config.seed = 1;
+        config.prepare.prevention.mode = mode;
+        per_scheme[s] = run_repeated(config, repeats);
+        std::printf(" %12.1f +/- %5.1f", per_scheme[s].mean,
+                    per_scheme[s].stddev);
+        csv.row(std::vector<std::string>{
+            app_kind_name(app), fault_kind_name(fault),
+            scheme_name(schemes[s]), format_number(per_scheme[s].mean),
+            format_number(per_scheme[s].stddev)});
+      }
+      const double vs_none =
+          per_scheme[0].mean > 0.0
+              ? (1.0 - per_scheme[2].mean / per_scheme[0].mean) * 100.0
+              : 0.0;
+      std::printf("   (PREPARE cuts %.0f%% vs none)\n", vs_none);
+    }
+  }
+  std::printf("-> %s\n\n", csv_path(figure).c_str());
+}
+
+/// SLO-metric trace panels (Figs. 7 and 9): the sampled headline metric
+/// around the second injection for all three schemes.
+inline void run_trace_panels(const std::string& figure, PreventionMode mode) {
+  struct Panel {
+    const char* label;
+    AppKind app;
+    FaultKind fault;
+  };
+  const Panel panels[] = {
+      {"(a) Memory leak (System S)", AppKind::kSystemS,
+       FaultKind::kMemoryLeak},
+      {"(b) Memory leak (RUBiS)", AppKind::kRubis, FaultKind::kMemoryLeak},
+      {"(c) CPU hog (System S)", AppKind::kSystemS, FaultKind::kCpuHog},
+      {"(d) CPU hog (RUBiS)", AppKind::kRubis, FaultKind::kCpuHog},
+  };
+  std::printf("%s: sampled SLO metric traces (%s prevention)\n",
+              figure.c_str(),
+              mode == PreventionMode::kScalingOnly ? "scaling" : "migration");
+  CsvWriter csv(csv_path(figure),
+                {"panel", "scheme", "time_s", "slo_metric"});
+  for (const Panel& panel : panels) {
+    std::printf("%s — %s\n", panel.label,
+                panel.app == AppKind::kSystemS
+                    ? "throughput (Ktuples/s), higher is better"
+                    : "avg response time (ms), lower is better");
+    std::printf("  %8s", "t(s)");
+    // Trace window: 60 s before the second injection to 240 s after.
+    std::vector<std::vector<double>> series;
+    double fault2 = 0.0;
+    const Scheme schemes[3] = {Scheme::kNoIntervention, Scheme::kReactive,
+                               Scheme::kPrepare};
+    for (Scheme scheme : schemes) {
+      ScenarioConfig config;
+      config.app = panel.app;
+      config.fault = panel.fault;
+      config.scheme = scheme;
+      config.seed = 1;
+      config.prepare.prevention.mode = mode;
+      const auto result = run_scenario(config);
+      fault2 = config.fault2_start;
+      std::vector<double> values;
+      for (double t = fault2 - 60.0; t <= fault2 + 240.0; t += 10.0) {
+        const auto v = result.slo.metric_trace().value_at_or_before(t);
+        double metric = v.value_or(0.0);
+        metric = panel.app == AppKind::kSystemS ? metric / 1000.0
+                                                : metric * 1000.0;
+        values.push_back(metric);
+        csv.row(std::vector<std::string>{
+            panel.label, scheme_name(scheme),
+            format_number(t - (fault2 - 60.0)), format_number(metric)});
+      }
+      series.push_back(std::move(values));
+      std::printf(" %12s", scheme_name(scheme));
+    }
+    std::printf("\n");
+    std::size_t index = 0;
+    for (double t = fault2 - 60.0; t <= fault2 + 240.0; t += 10.0, ++index) {
+      std::printf("  %8.0f", t - (fault2 - 60.0));
+      for (const auto& values : series)
+        std::printf(" %12.1f", values[index]);
+      std::printf("\n");
+    }
+  }
+  std::printf("-> %s\n\n", csv_path(figure).c_str());
+}
+
+}  // namespace prepare::bench

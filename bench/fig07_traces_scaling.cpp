@@ -1,0 +1,15 @@
+// Fig. 7: sampled SLO metric traces using elastic VM resource scaling as
+// the prevention action.
+//
+// Paper result to reproduce (shape): PREPARE keeps the SLO metric near
+// its healthy level across the second injection; the reactive scheme
+// shows a visible dip/spike at fault manifestation before recovering;
+// without intervention the metric stays degraded for the whole fault.
+// For the CPU hog both managed schemes look similar (sudden onset).
+#include "bench_util.h"
+
+int main() {
+  prepare::bench::run_trace_panels("fig07",
+                                   prepare::PreventionMode::kScalingOnly);
+  return 0;
+}

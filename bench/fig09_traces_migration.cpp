@@ -1,0 +1,14 @@
+// Fig. 9: sampled SLO metric traces using live VM migration as the
+// prevention action.
+//
+// Paper result to reproduce (shape): PREPARE triggers migration early
+// enough that the metric barely dips; reactive migration starts after
+// the violation, so the dip lasts through the whole pre-copy (and the
+// migration itself is slower on an already-thrashing VM).
+#include "bench_util.h"
+
+int main() {
+  prepare::bench::run_trace_panels("fig09",
+                                   prepare::PreventionMode::kMigrationOnly);
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Fig. 12: prediction accuracy under different settings of the k-of-W
+// false-alarm filter (bottleneck fault, RUBiS; W = 4).
+//
+// Paper result to reproduce (shape): k = 3 filters out most false alarms
+// (A_F drops sharply vs k = 1) at the cost of a slightly lower / delayed
+// true positive rate; the paper picks k = 3, W = 4.
+#include "accuracy_util.h"
+
+using namespace prepare;
+using namespace prepare::bench;
+
+int main() {
+  std::printf("fig12: k-of-W false-alarm filtering (bottleneck, RUBiS)\n\n");
+  CsvWriter csv(csv_path("fig12"), {"figure", "panel", "model",
+                                    "lookahead_s", "at_pct", "af_pct"});
+  const auto trace = record_trace(AppKind::kRubis, FaultKind::kBottleneck);
+  const auto vms = trace.store.vm_names();
+  std::vector<Curve> curves;
+  for (std::size_t k : {1u, 2u, 3u}) {
+    Curve curve{"k=" + std::to_string(k) + ",W=4", {}};
+    for (double lookahead : lookaheads()) {
+      AccuracyConfig config;
+      config.filter_k = k;
+      config.filter_w = 4;
+      curve.points.push_back(
+          evaluate_accuracy(trace.store, trace.slo, vms, lookahead, config));
+    }
+    curves.push_back(std::move(curve));
+  }
+  emit_curves("fig12", "Bottleneck (RUBiS)", curves, &csv);
+  std::printf("-> %s\n", csv_path("fig12").c_str());
+  return 0;
+}

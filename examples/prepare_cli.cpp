@@ -1,0 +1,173 @@
+// Command-line experiment runner: the whole harness behind flags.
+//
+//   prepare_cli --app rubis --fault memory_leak --scheme prepare
+//               --mode scaling --seed 3 --repeats 5 --export /tmp/run
+//
+// Prints the SLO violation time (mean +/- std over --repeats seeded
+// runs) and, with --export, writes the last run's metric and SLO traces
+// as CSV for offline analysis / replay through the accuracy harness.
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "common/stats.h"
+#include "core/experiment.h"
+#include "core/replay.h"
+#include "monitor/trace_io.h"
+#include "report/report.h"
+
+using namespace prepare;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --app system_s|rubis          (default system_s)\n"
+      "  --fault memory_leak|cpu_hog|bottleneck\n"
+      "  --second-fault <kind>         (default: same as --fault)\n"
+      "  --scheme none|reactive|prepare (default prepare)\n"
+      "  --mode scaling|migration|auto (prevention action; default scaling)\n"
+      "  --seed N                      (default 1)\n"
+      "  --repeats N                   (default 1)\n"
+      "  --sampling S                  (seconds; default 5)\n"
+      "  --export PREFIX               (write PREFIX_metrics.csv, "
+      "PREFIX_slo.csv)\n"
+      "  --replay PREFIX               (offline: load PREFIX_metrics.csv/"
+      "PREFIX_slo.csv,\n                                 print the alert "
+      "timeline, run nothing)\n"
+      "  --report FILE.html            (write an HTML report of the last "
+      "run)\n",
+      argv0);
+  std::exit(2);
+}
+
+AppKind parse_app(const std::string& s, const char* argv0) {
+  if (s == "system_s") return AppKind::kSystemS;
+  if (s == "rubis") return AppKind::kRubis;
+  usage(argv0);
+}
+
+FaultKind parse_fault(const std::string& s, const char* argv0) {
+  if (s == "memory_leak") return FaultKind::kMemoryLeak;
+  if (s == "cpu_hog") return FaultKind::kCpuHog;
+  if (s == "bottleneck") return FaultKind::kBottleneck;
+  usage(argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ScenarioConfig config;
+  std::size_t repeats = 1;
+  std::optional<std::string> export_prefix;
+  std::optional<std::string> replay_prefix;
+  std::optional<std::string> report_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--app") {
+      config.app = parse_app(value(), argv[0]);
+    } else if (arg == "--fault") {
+      config.fault = parse_fault(value(), argv[0]);
+    } else if (arg == "--second-fault") {
+      config.second_fault = parse_fault(value(), argv[0]);
+    } else if (arg == "--scheme") {
+      const std::string s = value();
+      if (s == "none") config.scheme = Scheme::kNoIntervention;
+      else if (s == "reactive") config.scheme = Scheme::kReactive;
+      else if (s == "prepare") config.scheme = Scheme::kPrepare;
+      else usage(argv[0]);
+    } else if (arg == "--mode") {
+      const std::string s = value();
+      if (s == "scaling")
+        config.prepare.prevention.mode = PreventionMode::kScalingOnly;
+      else if (s == "migration")
+        config.prepare.prevention.mode = PreventionMode::kMigrationOnly;
+      else if (s == "auto")
+        config.prepare.prevention.mode =
+            PreventionMode::kScalingThenMigration;
+      else usage(argv[0]);
+    } else if (arg == "--seed") {
+      config.seed = std::stoull(value());
+    } else if (arg == "--repeats") {
+      repeats = std::stoull(value());
+    } else if (arg == "--sampling") {
+      config.sampling_interval_s = std::stod(value());
+    } else if (arg == "--export") {
+      export_prefix = value();
+    } else if (arg == "--replay") {
+      replay_prefix = value();
+    } else if (arg == "--report") {
+      report_path = value();
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  if (replay_prefix) {
+    const auto store =
+        load_metric_store_csv(*replay_prefix + "_metrics.csv");
+    const auto slo = load_slo_log_csv(*replay_prefix + "_slo.csv");
+    const auto report = replay_trace(store, slo, ReplayConfig{});
+    std::printf("replay of %s: %zu raw alerts, %zu confirmed\n",
+                replay_prefix->c_str(), report.raw_alerts,
+                report.confirmed_alerts);
+    for (const auto& alert : report.alerts) {
+      if (!alert.confirmed) continue;
+      std::printf("  %7.1f s  %-10s score %6.2f  metrics:", alert.time,
+                  alert.vm.c_str(), alert.score);
+      for (Attribute a : alert.top_metrics)
+        std::printf(" %s", attribute_name(a).c_str());
+      std::printf("\n");
+    }
+    return 0;
+  }
+
+  std::printf("app=%s fault=%s", app_kind_name(config.app),
+              fault_kind_name(config.fault));
+  if (config.second_fault)
+    std::printf(" second_fault=%s", fault_kind_name(*config.second_fault));
+  std::printf(" scheme=%s seed=%llu repeats=%zu\n",
+              scheme_name(config.scheme),
+              static_cast<unsigned long long>(config.seed), repeats);
+
+  std::vector<double> runs;
+  ScenarioResult last;
+  for (std::size_t r = 0; r < repeats; ++r) {
+    ScenarioConfig c = config;
+    c.seed = config.seed + r;
+    last = run_scenario(c);
+    runs.push_back(last.violation_time);
+    std::printf("  run %zu (seed %llu): SLO violation %.1f s (faulty %s)\n",
+                r + 1, static_cast<unsigned long long>(c.seed),
+                last.violation_time, last.faulty_vm.c_str());
+  }
+  std::printf("violation time: mean %.1f s, std %.1f s\n", mean_of(runs),
+              stddev_of(runs));
+
+  if (report_path) {
+    ReportInput report;
+    report.store = &last.store;
+    report.slo = &last.slo;
+    report.events = &last.events;
+    report.title = std::string(app_kind_name(config.app)) + " / " +
+                   fault_kind_name(config.fault) + " / " +
+                   scheme_name(config.scheme);
+    write_html_report(report, *report_path);
+    std::printf("report written to %s\n", report_path->c_str());
+  }
+  if (export_prefix) {
+    const std::string metrics = *export_prefix + "_metrics.csv";
+    const std::string slo = *export_prefix + "_slo.csv";
+    save_metric_store_csv(last.store, metrics);
+    save_slo_log_csv(last.slo, slo);
+    std::printf("exported %s and %s\n", metrics.c_str(), slo.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Quickstart: run the same memory-leak scenario under all three anomaly
+// management schemes and compare SLO violation times.
+//
+// This is the paper's headline experiment (Fig. 6) in one file: a
+// System S-like stream application on seven VMs, a memory-leak bug
+// injected twice into one PE's VM, and PREPARE learning from the first
+// injection to *prevent* the SLO violation of the second.
+#include <cstdio>
+
+#include "core/experiment.h"
+
+int main() {
+  using namespace prepare;
+
+  ScenarioConfig config;
+  config.app = AppKind::kSystemS;
+  config.fault = FaultKind::kMemoryLeak;
+  config.prepare.prevention.mode = PreventionMode::kScalingOnly;
+  config.seed = 7;
+
+  std::printf("PREPARE quickstart: System S + memory leak, elastic scaling\n");
+  std::printf("%-24s %20s %16s\n", "scheme", "SLO violation (s)",
+              "faulty VM");
+  for (Scheme scheme : {Scheme::kNoIntervention, Scheme::kReactive,
+                        Scheme::kPrepare}) {
+    config.scheme = scheme;
+    const ScenarioResult result = run_scenario(config);
+    std::printf("%-24s %20.1f %16s\n", scheme_name(scheme),
+                result.violation_time, result.faulty_vm.c_str());
+  }
+
+  std::printf("\n(The violation window around the second injection is what "
+              "the paper reports;\n PREPARE should be near zero, reactive "
+              "in between, no intervention the worst.)\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Building the full PREPARE loop by hand on the stream-processing
+// testbed — no ExperimentRunner, just the public API:
+//
+//   cluster + hypervisor  (the virtualized substrate)
+//   StreamApp             (System S-like dataflow on 7 VMs)
+//   FaultInjector         (a recurring memory leak in PE3's VM)
+//   VmMonitor/MetricStore/SloLog (black-box observation)
+//   PrepareController     (predict -> filter -> diagnose -> prevent)
+//
+// The example prints a live timeline of alerts, preventions and SLO
+// state, then a summary of what PREPARE did.
+#include <cstdio>
+#include <memory>
+
+#include "apps/stream/stream_app.h"
+#include "core/controller.h"
+#include "faults/injector.h"
+#include "monitor/vm_monitor.h"
+#include "sim/clock.h"
+#include "sim/cluster.h"
+#include "sim/hypervisor.h"
+#include "workload/patterns.h"
+
+using namespace prepare;
+
+int main() {
+  // --- substrate: 7 single-VM hosts plus a spare ------------------------
+  SimClock clock;
+  Cluster cluster;
+  EventLog events;
+  Hypervisor hypervisor(&clock, &cluster, &events);
+  std::vector<Vm*> vms;
+  for (int i = 0; i < 7; ++i) {
+    Host* host = cluster.add_host("host" + std::to_string(i + 1));
+    vms.push_back(
+        cluster.add_vm("pe" + std::to_string(i + 1), 1.0, 512.0, host));
+  }
+  cluster.add_host("spare");
+
+  // --- application and faults -------------------------------------------
+  ConstantWorkload workload(25000.0);  // tuples/s
+  StreamApp app(vms, &workload);
+  FaultInjector injector;
+  // Two identical leaks in PE3's VM: PREPARE learns from the first
+  // (labels come from the SLO log) and prevents the second.
+  injector.add(std::make_unique<MemoryLeakFault>(vms[2], 200.0, 250.0, 3.0));
+  injector.add(std::make_unique<MemoryLeakFault>(vms[2], 700.0, 250.0, 3.0));
+
+  // --- observation + controller -----------------------------------------
+  VmMonitor monitor;
+  MetricStore store;
+  SloLog slo;
+  ControllerContext ctx{&app, &cluster, &hypervisor, &store, &slo, &events};
+  PrepareConfig config;
+  config.prevention.mode = PreventionMode::kScalingThenMigration;
+  PrepareController controller(ctx, config);
+
+  // --- main loop ----------------------------------------------------------
+  const double kEnd = 1100.0, kDt = 1.0, kSample = 5.0;
+  bool trained = false;
+  std::printf("%8s %10s %12s  %s\n", "t(s)", "SLO", "thr(Kt/s)", "events");
+  std::size_t printed_events = 0;
+  for (std::size_t tick = 0; clock.now() < kEnd; ++tick) {
+    const double now = clock.now();
+    for (Vm* vm : vms) vm->begin_tick();
+    injector.apply(now, kDt);
+    app.step(now, kDt);
+    slo.record(now, kDt, app.slo_violated(), app.slo_metric());
+
+    if (tick % static_cast<std::size_t>(kSample / kDt) == 0) {
+      for (Vm* vm : vms) store.record(vm->name(), now, monitor.sample(*vm));
+      if (!trained && now >= 550.0) {
+        controller.train(0.0, now);  // labels cover the first injection
+        trained = true;
+      }
+      controller.on_sample(now);
+      if (static_cast<long>(now) % 50 == 0 || app.slo_violated()) {
+        std::printf("%8.0f %10s %12.1f ", now,
+                    app.slo_violated() ? "VIOLATED" : "ok",
+                    app.output_rate() / 1000.0);
+        while (printed_events < events.events().size()) {
+          const Event& e = events.events()[printed_events++];
+          if (e.kind != EventKind::kInfo)
+            std::printf(" [%s %s]", event_kind_name(e.kind),
+                        e.subject.c_str());
+        }
+        std::printf("\n");
+      } else {
+        printed_events = events.events().size();
+      }
+    }
+    clock.advance(kDt);
+  }
+
+  std::printf("\nsummary\n");
+  std::printf("  violation during 1st (learning) leak : %5.1f s\n",
+              slo.violation_time(200.0, 550.0));
+  std::printf("  violation during 2nd (managed)  leak : %5.1f s\n",
+              slo.violation_time(650.0, 1100.0));
+  std::printf("  raw alerts %zu, confirmed %zu, preventions %zu\n",
+              controller.raw_alerts(), controller.confirmed_alerts(),
+              events.count_of(EventKind::kPrevention));
+  std::printf("  pe3 allocation now: %.2f cores, %.0f MB\n",
+              vms[2]->cpu_alloc(), vms[2]->mem_alloc());
+  return 0;
+}

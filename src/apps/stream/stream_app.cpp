@@ -1,0 +1,149 @@
+#include "apps/stream/stream_app.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace prepare {
+
+namespace {
+constexpr std::size_t kPeCount = 7;
+constexpr double kMicro = 1e-6;
+}  // namespace
+
+std::vector<StreamApp::PeSpec> StreamApp::default_specs() {
+  // Costs chosen so that, at the default 1-core allocations and a nominal
+  // 25 Ktuples/s source rate, every PE runs at 20-40% utilization except
+  // PE6 (the network-intensive sink) at ~60%: PE6 saturates first under a
+  // workload ramp, matching the paper's bottleneck fault.
+  return {
+      {"PE1", 10.0, 1.0, 180.0, 120.0},   // source parser, fans out
+      {"PE2", 12.0, 1.0, 190.0, 120.0},
+      {"PE3", 12.0, 1.0, 190.0, 120.0},
+      {"PE4", 14.0, 1.0, 200.0, 130.0},
+      {"PE5", 14.0, 1.0, 200.0, 130.0},
+      {"PE6", 12.0, 0.9, 220.0, 420.0},   // sink: heavy network output
+      {"PE7", 8.0, 1.0, 170.0, 150.0},
+  };
+}
+
+StreamApp::StreamApp(std::vector<Vm*> vms, const Workload* workload,
+                     Config config)
+    : config_(config), vms_(std::move(vms)), workload_(workload) {
+  PREPARE_CHECK(workload_ != nullptr);
+  PREPARE_CHECK_MSG(vms_.size() == kPeCount,
+                    "StreamApp needs exactly 7 VMs (PE1..PE7)");
+  const auto specs = default_specs();
+  pes_.resize(kPeCount);
+  for (std::size_t i = 0; i < kPeCount; ++i) {
+    PREPARE_CHECK(vms_[i] != nullptr);
+    pes_[i].spec = specs[i];
+    pes_[i].vm = vms_[i];
+    // A System S PE is a single-threaded process: against a many-worker
+    // CPU hog its fair share of the VM is one thread's worth.
+    vms_[i]->set_app_parallelism(1.0);
+  }
+  // Fig. 4 wiring: PE1 -> {PE2, PE3}; PE2 -> PE4; PE3 -> PE5;
+  // {PE4, PE5} -> PE6; PE6 -> PE7.
+  pes_[0].downstream = {1, 2};
+  pes_[1].downstream = {3};
+  pes_[2].downstream = {4};
+  pes_[3].downstream = {5};
+  pes_[4].downstream = {5};
+  pes_[5].downstream = {6};
+}
+
+void StreamApp::step(double now, double dt) {
+  PREPARE_CHECK(dt > 0.0);
+  const double source_rate = workload_->rate(now);
+  // PE1 splits the source stream across its two children; each child path
+  // carries half the tuples.
+  pes_[0].arrivals += source_rate * dt;
+
+  // Process PEs in topological order (indices are already topological).
+  double path_latency_upper = 0.0;  // PE1 -> PE2 -> PE4 -> PE6 -> PE7
+  double path_latency_lower = 0.0;  // PE1 -> PE3 -> PE5 -> PE6 -> PE7
+  for (std::size_t i = 0; i < pes_.size(); ++i) {
+    Pe& pe = pes_[i];
+    Vm& vm = *pe.vm;
+    const double cpu_per_tuple = pe.spec.cpu_per_tuple_us * kMicro;
+
+    // CPU demand: enough to clear the backlog plus this tick's arrivals.
+    // Under degraded efficiency (paging, migration) the process burns
+    // proportionally more CPU for the same work, so demand compensates
+    // using the previous tick's efficiency.
+    const double work_rate = pe.backlog / dt + pe.arrivals / dt;
+    const double cpu_demand =
+        work_rate * cpu_per_tuple / std::max(0.7, pe.last_efficiency);
+    vm.set_app_cpu_demand(std::min(cpu_demand, 8.0));
+    vm.set_app_mem_demand(pe.spec.base_mem_mb +
+                          pe.backlog / 1000.0 * config_.mem_per_ktuple_mb);
+    vm.finalize_tick(dt);
+
+    pe.last_efficiency = vm.efficiency();
+    const double capacity =
+        vm.app_cpu_granted() * vm.efficiency() / cpu_per_tuple;  // tuples/s
+    const double available = pe.backlog + pe.arrivals;
+    const double served = std::min(available, capacity * dt);
+    // Finite buffers: whatever cannot be queued is dropped at ingress.
+    pe.backlog = std::min(available - served, config_.max_backlog_tuples);
+    const double emitted = served * pe.spec.selectivity;
+    pe.emitted_rate = emitted / dt;
+    // Residence time: queueing delay behind the backlog plus the tuple's
+    // own (efficiency-degraded) service time.
+    const double service_s = cpu_per_tuple / std::max(0.05, vm.efficiency());
+    pe.residence_s =
+        (capacity > 0.0 ? pe.backlog / capacity : 1.0) + service_s;
+
+    // Network accounting: tuples in and out at the PE's wire size.
+    vm.set_net_in(pe.arrivals / dt * pe.spec.bytes_per_tuple / 1024.0);
+    vm.set_net_out(emitted / dt * pe.spec.bytes_per_tuple / 1024.0);
+    vm.set_disk_read(2.0);
+    vm.set_disk_write(4.0);
+
+    // Forward to downstream PEs: PE1 splits, everyone else replicates to
+    // its single successor.
+    const double share =
+        pe.downstream.empty() ? 0.0 : emitted / pe.downstream.size();
+    for (std::size_t d : pe.downstream) pes_[d].arrivals += share;
+    pe.arrivals = 0.0;
+  }
+
+  path_latency_upper = pes_[0].residence_s + pes_[1].residence_s +
+                       pes_[3].residence_s + pes_[5].residence_s +
+                       pes_[6].residence_s;
+  path_latency_lower = pes_[0].residence_s + pes_[2].residence_s +
+                       pes_[4].residence_s + pes_[5].residence_s +
+                       pes_[6].residence_s;
+  tuple_latency_ = std::max(path_latency_upper, path_latency_lower);
+
+  const double alpha = config_.rate_smoothing;
+  input_rate_ = alpha * source_rate + (1.0 - alpha) * input_rate_;
+  output_rate_ =
+      alpha * pes_[6].emitted_rate + (1.0 - alpha) * output_rate_;
+
+  violated_ = false;
+  if (input_rate_ > config_.min_input_rate) {
+    // Normalize the ratio by the pipeline's intrinsic selectivity so that
+    // "healthy" equals ratio 1.0 regardless of PE6's 0.9 selectivity.
+    const double intrinsic = pes_[5].spec.selectivity;
+    const double ratio = output_rate_ / (input_rate_ * intrinsic);
+    if (ratio < config_.min_rate_ratio) violated_ = true;
+  }
+  if (tuple_latency_ > config_.max_tuple_latency_s) violated_ = true;
+}
+
+bool StreamApp::slo_violated() const { return violated_; }
+
+double StreamApp::backlog_of(std::size_t pe_index) const {
+  PREPARE_CHECK(pe_index < pes_.size());
+  return pes_[pe_index].backlog;
+}
+
+const StreamApp::PeSpec& StreamApp::spec_of(std::size_t pe_index) const {
+  PREPARE_CHECK(pe_index < pes_.size());
+  return pes_[pe_index].spec;
+}
+
+}  // namespace prepare

@@ -1,0 +1,110 @@
+// System S-like data stream processing application.
+//
+// Models the tax-calculation sample application of the paper (Fig. 4):
+// seven processing elements (PEs), each pinned to its own VM, wired as
+//
+//          +--> PE2 --> PE4 --+
+//   PE1 ---|                  +--> PE6 --> PE7 --> (results)
+//          +--> PE3 --> PE5 --+
+//
+// A UDP client feeds PE1 at the workload rate. Each PE is a fluid queue:
+// its service capacity is (granted CPU x efficiency) / cpu-per-tuple, a
+// backlog accumulates whenever arrivals outrun capacity, and emitted
+// tuples flow downstream with the PE's selectivity. PE6 is the sink that
+// "intensively sends processed data tuples to the network" — it carries
+// the highest per-tuple cost relative to its allocation, making it the
+// first PE to saturate under a workload ramp (the paper's bottleneck
+// fault).
+//
+// SLO (paper Section III-A): violated when OutputRate/InputRate < 0.95 or
+// the average per-tuple processing time exceeds 20 ms.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/application.h"
+#include "workload/workload.h"
+
+namespace prepare {
+
+struct StreamAppConfig {
+  /// SLO thresholds (paper values).
+  double min_rate_ratio = 0.95;
+  double max_tuple_latency_s = 0.020;
+  /// Input rate below which the ratio test is skipped (startup).
+  double min_input_rate = 1.0;
+  /// Memory used per queued tuple (backlog buffering), MB.
+  double mem_per_ktuple_mb = 0.35;
+  /// Smoothing factor for reported input/output rates.
+  double rate_smoothing = 0.35;
+  /// Bounded ingress buffer per PE: tuples beyond this are dropped (the
+  /// source feeds PE1 over UDP, and inter-PE buffers are finite), which
+  /// keeps an overloaded PE from consuming unbounded memory.
+  double max_backlog_tuples = 60000.0;
+};
+
+class StreamApp : public Application {
+ public:
+  struct PeSpec {
+    std::string name;
+    double cpu_per_tuple_us = 8.0;  ///< core-microseconds per tuple
+    double selectivity = 1.0;        ///< tuples emitted per tuple consumed
+    double base_mem_mb = 180.0;      ///< resident footprint
+    double bytes_per_tuple = 120.0;  ///< wire size for net metrics
+  };
+
+  using Config = StreamAppConfig;
+
+  /// Builds the Fig. 4 topology over exactly 7 VMs (PE1..PE7 in order).
+  /// `workload` provides the source tuple rate; not owned.
+  StreamApp(std::vector<Vm*> vms, const Workload* workload,
+            Config config = Config());
+
+  /// Default PE specs for the Fig. 4 topology (PE6 is the heavy sink).
+  static std::vector<PeSpec> default_specs();
+
+  void step(double now, double dt) override;
+  bool slo_violated() const override;
+  double slo_metric() const override { return output_rate_; }
+  std::string slo_metric_name() const override {
+    return "throughput_tuples_per_s";
+  }
+  std::vector<Vm*> vms() const override { return vms_; }
+  double offered_rate() const override { return input_rate_; }
+
+  // --- inspection for tests and traces ---
+  double input_rate() const { return input_rate_; }
+  double output_rate() const { return output_rate_; }
+  /// End-to-end latency estimate along the slowest path, seconds.
+  double tuple_latency() const { return tuple_latency_; }
+  double backlog_of(std::size_t pe_index) const;
+  std::size_t pe_count() const { return pes_.size(); }
+  const PeSpec& spec_of(std::size_t pe_index) const;
+
+ private:
+  struct Pe {
+    PeSpec spec;
+    Vm* vm = nullptr;
+    std::vector<std::size_t> downstream;  // indices into pes_
+    double backlog = 0.0;                 // queued tuples
+    double arrivals = 0.0;                // tuples arriving this tick
+    double emitted_rate = 0.0;            // tuples/s emitted this tick
+    double residence_s = 0.0;             // queueing + service time estimate
+    double last_efficiency = 1.0;         // previous tick's VM efficiency
+  };
+
+  Config config_;
+  std::vector<Vm*> vms_;
+  const Workload* workload_;
+  std::vector<Pe> pes_;
+
+  double input_rate_ = 0.0;     // smoothed source rate
+  double output_rate_ = 0.0;    // smoothed sink emission rate
+  double tuple_latency_ = 0.0;
+  bool violated_ = false;
+};
+
+}  // namespace prepare

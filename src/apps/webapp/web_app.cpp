@@ -1,0 +1,122 @@
+#include "apps/webapp/web_app.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace prepare {
+
+namespace {
+constexpr std::size_t kWeb = 0, kApp1 = 1, kApp2 = 2, kDb = 3;
+constexpr double kMicro = 1e-6;
+}  // namespace
+
+std::vector<WebApp::TierSpec> WebApp::default_specs() {
+  // At 1-core allocations and a nominal 60 req/s offered load the web
+  // tier runs near 12%, each app server near 24%, and the DB near 45%
+  // utilization (1.5 queries/request x 5 ms/query): the DB saturates
+  // first under the bottleneck ramp, as in the paper.
+  return {
+      {"web", 2000.0, 300.0, 0.01, 8192.0},
+      {"app1", 8000.0, 420.0, 0.03, 4096.0},
+      {"app2", 8000.0, 420.0, 0.03, 4096.0},
+      {"db", 5000.0, 640.0, 0.02, 2048.0},
+  };
+}
+
+WebApp::WebApp(std::vector<Vm*> vms, const Workload* workload, Config config)
+    : config_(config), vms_(std::move(vms)), workload_(workload) {
+  PREPARE_CHECK(workload_ != nullptr);
+  PREPARE_CHECK_MSG(vms_.size() == 4,
+                    "WebApp needs exactly 4 VMs (web, app1, app2, db)");
+  const auto specs = default_specs();
+  tiers_.resize(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    PREPARE_CHECK(vms_[i] != nullptr);
+    tiers_[i].spec = specs[i];
+    tiers_[i].vm = vms_[i];
+    // Servlet/query thread pools: each tier can keep ~6 workers
+    // runnable, so it defends a bigger fair share against a CPU hog
+    // than a single-threaded PE would.
+    vms_[i]->set_app_parallelism(6.0);
+  }
+}
+
+double WebApp::step_tier(Tier& tier, double arrival_rate, double dt) {
+  Vm& vm = *tier.vm;
+  const double cpu_per_req = tier.spec.cpu_per_request_us * kMicro;
+
+  // Demand compensates for degraded efficiency (paging, migration): the
+  // same work burns more CPU when the tier is thrashing.
+  const double work_rate = tier.backlog / dt + arrival_rate;
+  vm.set_app_cpu_demand(std::min(
+      work_rate * cpu_per_req / std::max(0.7, tier.last_efficiency), 8.0));
+  vm.set_app_mem_demand(tier.spec.base_mem_mb +
+                        tier.backlog * tier.spec.mem_per_request_mb);
+  vm.finalize_tick(dt);
+
+  tier.last_efficiency = vm.efficiency();
+  const double capacity =
+      vm.app_cpu_granted() * vm.efficiency() / cpu_per_req;  // req/s
+  const double available = tier.backlog + arrival_rate * dt;
+  const double served = std::min(available, capacity * dt);
+  // Finite accept queue: overflow requests are rejected at the listener.
+  tier.backlog = std::min(available - served, config_.max_backlog_requests);
+  // Queueing delay behind the backlog plus the request's own service time.
+  const double service_s = cpu_per_req / std::max(0.05, vm.efficiency());
+  tier.residence_s =
+      (capacity > 0.0 ? tier.backlog / capacity : 2.0) + service_s;
+
+  vm.set_net_in(arrival_rate * tier.spec.bytes_per_request / 1024.0);
+  vm.set_net_out(served / dt * tier.spec.bytes_per_request / 1024.0);
+  return served / dt;
+}
+
+void WebApp::step(double now, double dt) {
+  PREPARE_CHECK(dt > 0.0);
+  offered_rate_ = workload_->rate(now);
+
+  // Web tier sees the full request stream.
+  const double web_out = step_tier(tiers_[kWeb], offered_rate_, dt);
+  // Round-robin across the two application servers.
+  const double app1_out = step_tier(tiers_[kApp1], web_out / 2.0, dt);
+  const double app2_out = step_tier(tiers_[kApp2], web_out / 2.0, dt);
+  // Both app servers issue queries against the single database.
+  const double db_arrivals =
+      (app1_out + app2_out) * config_.db_queries_per_request;
+  step_tier(tiers_[kDb], db_arrivals, dt);
+
+  // Database disk traffic: rises as memory pressure shrinks the buffer
+  // cache (the leak's signature on disk metrics).
+  Vm& db = *tiers_[kDb].vm;
+  const double cache_health = db.efficiency();  // 1 warm .. ~0.2 thrashing
+  const double per_query_read =
+      config_.db_disk_read_warm_kbps +
+      (1.0 - cache_health) * (config_.db_disk_read_cold_kbps -
+                              config_.db_disk_read_warm_kbps);
+  db.set_disk_read(per_query_read * std::max(1.0, db_arrivals) / 60.0);
+  db.set_disk_write(12.0 + db_arrivals * 0.15);
+  tiers_[kWeb].vm->set_disk_read(1.0);
+  tiers_[kWeb].vm->set_disk_write(2.0);
+
+  // End-to-end response time: web + average app tier + DB (queries per
+  // request many, but they pipeline; count one DB residence per request).
+  const double app_residence =
+      0.5 * (tiers_[kApp1].residence_s + tiers_[kApp2].residence_s);
+  const double instant = tiers_[kWeb].residence_s + app_residence +
+                         tiers_[kDb].residence_s;
+  const double alpha = config_.response_smoothing;
+  response_time_ = alpha * instant + (1.0 - alpha) * response_time_;
+
+  violated_ = response_time_ > config_.max_response_time_s;
+}
+
+bool WebApp::slo_violated() const { return violated_; }
+
+double WebApp::backlog_of(std::size_t tier_index) const {
+  PREPARE_CHECK(tier_index < tiers_.size());
+  return tiers_[tier_index].backlog;
+}
+
+}  // namespace prepare

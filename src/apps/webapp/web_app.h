@@ -1,0 +1,95 @@
+// RUBiS-like three-tier online auction application (paper Fig. 5):
+//
+//   clients --> Web server (VM1) --> App server 1 (VM2) --+--> DB (VM4)
+//                                \-> App server 2 (VM3) --/
+//
+// Each tier is a fluid queue whose service rate is (granted CPU x
+// efficiency) / cpu-per-request. Requests traverse web -> one app server
+// (round-robin) -> database; the end-to-end response time is the sum of
+// the per-tier residence times. The database is provisioned as the
+// bottleneck tier (highest per-request cost relative to its allocation),
+// matching the paper's bottleneck fault, and its disk-read traffic rises
+// under memory pressure (shrinking buffer cache), which is the metric
+// signature of the memory-leak fault.
+//
+// SLO (paper Section III-A): violated when the average request response
+// time exceeds 200 ms.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "apps/application.h"
+#include "workload/workload.h"
+
+namespace prepare {
+
+struct WebAppConfig {
+  double max_response_time_s = 0.200;  ///< SLO threshold (paper value)
+  /// Requests issued to the DB per application-level request.
+  double db_queries_per_request = 1.5;
+  /// Rate-smoothing factor for the reported response time.
+  double response_smoothing = 0.30;
+  /// DB buffer-cache model: disk reads/s per query at full cache
+  /// pressure vs. warm cache.
+  double db_disk_read_warm_kbps = 40.0;
+  double db_disk_read_cold_kbps = 900.0;
+  /// Bounded per-tier request queue: requests beyond this are rejected
+  /// (connection limits), bounding queue memory and recovery time.
+  double max_backlog_requests = 600.0;
+};
+
+class WebApp : public Application {
+ public:
+  struct TierSpec {
+    std::string name;
+    double cpu_per_request_us = 500.0;  ///< core-microseconds per request
+    double base_mem_mb = 256.0;
+    double mem_per_request_mb = 0.02;   ///< session state per queued req
+    double bytes_per_request = 4096.0;  ///< for net metrics
+  };
+
+  using Config = WebAppConfig;
+
+  /// VMs in order: web, app1, app2, db.
+  WebApp(std::vector<Vm*> vms, const Workload* workload, Config config = Config());
+
+  static std::vector<TierSpec> default_specs();
+
+  void step(double now, double dt) override;
+  bool slo_violated() const override;
+  double slo_metric() const override { return response_time_; }
+  std::string slo_metric_name() const override { return "response_time_s"; }
+  std::vector<Vm*> vms() const override { return vms_; }
+  double offered_rate() const override { return offered_rate_; }
+
+  // --- inspection for tests and traces ---
+  double response_time() const { return response_time_; }
+  double backlog_of(std::size_t tier_index) const;
+  std::size_t tier_count() const { return tiers_.size(); }
+
+ private:
+  struct Tier {
+    TierSpec spec;
+    Vm* vm = nullptr;
+    double backlog = 0.0;         // queued requests
+    double residence_s = 0.0;     // current per-request residence time
+    double last_efficiency = 1.0; // previous tick's VM efficiency
+  };
+
+  /// Advances one tier's fluid queue; returns the request rate it passes
+  /// downstream this tick.
+  double step_tier(Tier& tier, double arrival_rate, double dt);
+
+  Config config_;
+  std::vector<Vm*> vms_;
+  const Workload* workload_;
+  std::vector<Tier> tiers_;  // web, app1, app2, db
+
+  double offered_rate_ = 0.0;
+  double response_time_ = 0.0;
+  bool violated_ = false;
+};
+
+}  // namespace prepare

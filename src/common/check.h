@@ -1,0 +1,49 @@
+// Lightweight precondition / invariant checking.
+//
+// PREPARE_CHECK is always on (cheap conditions only: argument validation on
+// public API boundaries). PREPARE_DCHECK compiles out in release builds and
+// is used for internal invariants on hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace prepare {
+
+/// Thrown when a PREPARE_CHECK condition fails. Carries the failing
+/// expression and location so callers (and tests) can assert on it.
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+}  // namespace detail
+
+}  // namespace prepare
+
+#define PREPARE_CHECK(cond)                                              \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::prepare::detail::check_failed(#cond, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define PREPARE_CHECK_MSG(cond, msg)                                     \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::prepare::detail::check_failed(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifdef NDEBUG
+#define PREPARE_DCHECK(cond) ((void)0)
+#else
+#define PREPARE_DCHECK(cond) PREPARE_CHECK(cond)
+#endif

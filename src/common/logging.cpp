@@ -1,0 +1,7 @@
+#include "common/logging.h"
+
+namespace prepare {
+
+LogLevel Logger::level_ = LogLevel::kWarn;
+
+}  // namespace prepare

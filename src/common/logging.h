@@ -1,0 +1,64 @@
+// Minimal leveled logger for the library and the experiment harnesses.
+//
+// The logger is deliberately tiny: benches run thousands of simulated
+// seconds, so anything chatty must be gated behind Level::kDebug.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace prepare {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide log configuration. Not thread-safe by design: the
+/// simulator is single-threaded and benches set the level once at startup.
+class Logger {
+ public:
+  static LogLevel level() { return level_; }
+  static void set_level(LogLevel level) { level_ = level; }
+
+  /// Sink for one formatted record; flushes on destruction.
+  class Record {
+   public:
+    Record(LogLevel level, const char* tag) : enabled_(level >= level_) {
+      if (enabled_) os_ << "[" << name(level) << "] " << tag << ": ";
+    }
+    ~Record() {
+      if (enabled_) std::cerr << os_.str() << "\n";
+    }
+    Record(const Record&) = delete;
+    Record& operator=(const Record&) = delete;
+
+    template <typename T>
+    Record& operator<<(const T& value) {
+      if (enabled_) os_ << value;
+      return *this;
+    }
+
+   private:
+    static const char* name(LogLevel level) {
+      switch (level) {
+        case LogLevel::kDebug: return "debug";
+        case LogLevel::kInfo: return "info";
+        case LogLevel::kWarn: return "warn";
+        case LogLevel::kError: return "error";
+        default: return "?";
+      }
+    }
+    bool enabled_;
+    std::ostringstream os_;
+  };
+
+ private:
+  static LogLevel level_;
+};
+
+}  // namespace prepare
+
+#define PREPARE_LOG(level, tag) ::prepare::Logger::Record(level, tag)
+#define PREPARE_DEBUG(tag) PREPARE_LOG(::prepare::LogLevel::kDebug, tag)
+#define PREPARE_INFO(tag) PREPARE_LOG(::prepare::LogLevel::kInfo, tag)
+#define PREPARE_WARN(tag) PREPARE_LOG(::prepare::LogLevel::kWarn, tag)
+#define PREPARE_ERROR(tag) PREPARE_LOG(::prepare::LogLevel::kError, tag)

@@ -1,0 +1,56 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in the simulator draws from an Rng seeded by
+// the experiment harness, so a run is exactly reproducible from its seed.
+// We wrap std::mt19937_64 rather than exposing it so call sites stay
+// distribution-agnostic and we can swap the engine without touching them.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace prepare {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Gaussian with the given mean and standard deviation.
+  double gaussian(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Exponential with the given rate (lambda).
+  double exponential(double rate) {
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  /// Bernoulli trial.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Poisson draw with the given mean.
+  std::int64_t poisson(double mean) {
+    return std::poisson_distribution<std::int64_t>(mean)(engine_);
+  }
+
+  /// Derive an independent child stream (e.g., one per VM) so adding a
+  /// consumer does not perturb the draws seen by existing consumers.
+  Rng fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace prepare

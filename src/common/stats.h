@@ -1,0 +1,65 @@
+// Small statistics helpers used across the monitor, models and benches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace prepare {
+
+/// Online mean / variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+  void reset();
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Mean of a vector; 0 for an empty vector.
+double mean_of(const std::vector<double>& xs);
+
+/// Sample standard deviation; 0 for fewer than two samples.
+double stddev_of(const std::vector<double>& xs);
+
+/// Linear-interpolated percentile, p in [0, 100]. Sorts a copy.
+double percentile_of(std::vector<double> xs, double p);
+
+/// Pearson correlation of two equal-length vectors; 0 if degenerate.
+double correlation_of(const std::vector<double>& xs,
+                      const std::vector<double>& ys);
+
+/// Exponentially-weighted moving average helper (used for load averages).
+class Ewma {
+ public:
+  /// alpha in (0, 1]: weight of the newest observation.
+  explicit Ewma(double alpha) : alpha_(alpha) {}
+
+  double update(double x) {
+    value_ = initialized_ ? alpha_ * x + (1.0 - alpha_) * value_ : x;
+    initialized_ = true;
+    return value_;
+  }
+  double value() const { return value_; }
+  bool initialized() const { return initialized_; }
+  void reset() { initialized_ = false; value_ = 0.0; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+}  // namespace prepare

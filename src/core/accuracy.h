@@ -1,0 +1,66 @@
+// Trace-driven prediction-accuracy evaluation (paper Figs. 10-13).
+//
+// Replays a recorded run (MetricStore + SloLog): models are trained on
+// the history up to `train_end` (covering the first fault injection) and
+// then evaluated over the test window — at every sample time t the
+// predictor forecasts the state at t + look-ahead and the predicted
+// label is compared with the true label at t + look-ahead, yielding the
+// true-positive rate A_T and false-alarm rate A_F of Eq. (3).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/anomaly_predictor.h"
+#include "monitor/metric_store.h"
+#include "monitor/slo_log.h"
+
+namespace prepare {
+
+struct AccuracyConfig {
+  PredictorConfig predictor;
+  /// Per-component (one model per VM, Fig. 10's "per-component") or
+  /// monolithic (all VMs' attributes in one model).
+  bool per_component = true;
+  /// k-of-W filtering applied to the application-level alert stream
+  /// (k = w = 1 disables filtering; Fig. 12 sweeps k).
+  std::size_t filter_k = 1;
+  std::size_t filter_w = 1;
+  double sampling_interval_s = 5.0;
+  double train_end = 700.0;
+  double test_start = 750.0;
+  /// Match the controller's alert conditions: per-model attribution gate
+  /// and the discriminativeness requirement (see PrepareConfig).
+  double alert_min_top_impact = 0.5;
+  bool require_discriminative = true;
+  /// Keep the per-sample prediction record in the result (off by
+  /// default: the counts are all the figures need).
+  bool keep_predictions = false;
+};
+
+struct AccuracyResult {
+  std::size_t tp = 0, fn = 0, fp = 0, tn = 0;
+  /// True-positive rate A_T = tp / (tp + fn); 0 when undefined.
+  double a_t = 0.0;
+  /// False-alarm rate A_F = fp / (fp + tn); 0 when undefined.
+  double a_f = 0.0;
+  /// With keep_predictions: (sample time, filtered predicted label,
+  /// true label at the horizon) per evaluated sample.
+  struct Sample {
+    double time = 0.0;
+    bool predicted = false;
+    bool truth = false;
+  };
+  std::vector<Sample> samples;
+};
+
+/// Evaluates prediction accuracy at the given look-ahead window over a
+/// recorded run. `vm_names` selects the components (normally every
+/// application VM).
+AccuracyResult evaluate_accuracy(const MetricStore& store, const SloLog& slo,
+                                 const std::vector<std::string>& vm_names,
+                                 double lookahead_s,
+                                 const AccuracyConfig& config);
+
+}  // namespace prepare

@@ -1,0 +1,25 @@
+#include "core/alarm_filter.h"
+
+#include "common/check.h"
+
+namespace prepare {
+
+AlarmFilter::AlarmFilter(std::size_t k, std::size_t w)
+    : k_(k), window_(w) {
+  PREPARE_CHECK(k >= 1);
+  PREPARE_CHECK_MSG(k <= w, "k must not exceed the window size W");
+}
+
+bool AlarmFilter::push(bool alert) {
+  window_.push(alert);
+  confirmed_ =
+      window_.count_if([](bool a) { return a; }) >= k_;
+  return confirmed_;
+}
+
+void AlarmFilter::reset() {
+  window_.clear();
+  confirmed_ = false;
+}
+
+}  // namespace prepare

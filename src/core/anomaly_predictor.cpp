@@ -1,0 +1,184 @@
+#include "core/anomaly_predictor.h"
+
+#include <algorithm>
+#include "common/check.h"
+#include "models/markov.h"
+#include "models/markov2.h"
+#include "models/markov_n.h"
+#include "models/naive_bayes.h"
+#include "models/outlier.h"
+#include "models/tan.h"
+
+namespace prepare {
+
+AnomalyPredictor::AnomalyPredictor(std::vector<std::string> feature_names,
+                                   PredictorConfig config)
+    : names_(std::move(feature_names)), config_(config) {
+  PREPARE_CHECK_MSG(!names_.empty(), "predictor needs at least one feature");
+  PREPARE_CHECK(config_.bins >= 2);
+}
+
+std::unique_ptr<ValuePredictor> AnomalyPredictor::make_value_predictor(
+    std::size_t alphabet) const {
+  if (config_.custom_markov_order > 0)
+    return std::make_unique<NDependentMarkov>(
+        config_.custom_markov_order, alphabet, config_.markov_alpha);
+  if (config_.order == MarkovOrder::kSimple)
+    return std::make_unique<MarkovChain>(alphabet, config_.markov_alpha);
+  return std::make_unique<TwoDependentMarkov>(alphabet,
+                                              config_.markov_alpha);
+}
+
+void AnomalyPredictor::train(const std::vector<std::vector<double>>& rows,
+                             const std::vector<bool>& abnormal) {
+  PREPARE_CHECK_MSG(!rows.empty(), "empty training set");
+  PREPARE_CHECK(rows.size() == abnormal.size());
+  const std::size_t n = names_.size();
+
+  // Fit one discretizer per feature. With fit_on_normal the bin range
+  // comes from normal-labeled samples only (anomaly extremes clamp to
+  // the edge bins); the full columns still train the value predictors.
+  discretizers_.assign(
+      n, Discretizer(config_.bins, config_.discretizer, 0.05,
+                     config_.guard_bins));
+  std::vector<std::vector<double>> columns(n);
+  std::vector<std::vector<double>> fit_columns(n);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    PREPARE_CHECK(row.size() == n);
+    for (std::size_t i = 0; i < n; ++i) {
+      columns[i].push_back(row[i]);
+      if (!config_.fit_on_normal || !abnormal[r])
+        fit_columns[i].push_back(row[i]);
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (fit_columns[i].empty()) fit_columns[i] = columns[i];
+    discretizers_[i].fit(fit_columns[i]);
+  }
+
+  // Train the per-feature value predictors on the discretized sequences.
+  // Alphabets are per-feature: quantile discretization merges ties.
+  predictors_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    auto predictor = make_value_predictor(discretizers_[i].bins());
+    predictor->train(discretizers_[i].discretize(columns[i]));
+    predictors_.push_back(std::move(predictor));
+  }
+
+  // Train the classifier on discretized rows + labels.
+  LabeledDataset data;
+  data.alphabet.resize(n);
+  for (std::size_t i = 0; i < n; ++i) data.alphabet[i] = discretizers_[i].bins();
+  data.rows.reserve(rows.size());
+  for (const auto& row : rows) {
+    std::vector<std::size_t> symbols(n);
+    for (std::size_t i = 0; i < n; ++i)
+      symbols[i] = discretizers_[i].discretize(row[i]);
+    data.rows.push_back(std::move(symbols));
+  }
+  data.abnormal.assign(abnormal.begin(), abnormal.end());
+  switch (config_.classifier) {
+    case ClassifierKind::kNaiveBayes:
+      classifier_ =
+          std::make_unique<NaiveBayesClassifier>(config_.classifier_alpha);
+      break;
+    case ClassifierKind::kOutlier:
+      classifier_ = std::make_unique<OutlierClassifier>(
+          config_.outlier_quantile, config_.classifier_alpha,
+          config_.outlier_threshold_margin);
+      break;
+    case ClassifierKind::kTan:
+      classifier_ =
+          std::make_unique<TanClassifier>(config_.classifier_alpha);
+      break;
+  }
+  classifier_->train(data);
+
+  // A supervised classifier that never saw an abnormal sample cannot
+  // claim one: with an empty abnormal class, Laplace smoothing turns the
+  // abnormal likelihood into a uniform distribution and the classifier
+  // silently degenerates into an outlier detector. Suppress its alarms —
+  // this IS the paper's "recurrent anomalies only" limitation; use
+  // ClassifierKind::kOutlier for deliberate unsupervised detection.
+  supervised_without_abnormal_ =
+      config_.classifier != ClassifierKind::kOutlier &&
+      std::find(abnormal.begin(), abnormal.end(), true) == abnormal.end();
+
+  // Discriminativeness: how much of its own abnormal training data does
+  // the classifier recover? A model that cannot separate the classes it
+  // was trained on has nothing to say about the future either.
+  std::size_t ab_total = 0, ab_hit = 0;
+  for (std::size_t r = 0; r < data.rows.size(); ++r) {
+    if (!data.abnormal[r]) continue;
+    ++ab_total;
+    if (classifier_->classify(data.rows[r]).abnormal) ++ab_hit;
+  }
+  train_tpr_ = ab_total == 0
+                   ? 1.0
+                   : static_cast<double>(ab_hit) /
+                         static_cast<double>(ab_total);
+  discriminative_ = train_tpr_ >= config_.min_train_tpr;
+
+  // Training ends with predictors contextualized at the end of the
+  // training sequence; runtime observe() calls take over from there.
+  last_row_ = data.rows.back();
+  has_observation_ = true;
+  trained_ = true;
+}
+
+void AnomalyPredictor::observe(const std::vector<double>& row) {
+  PREPARE_CHECK_MSG(trained_, "observe() before train()");
+  PREPARE_CHECK(row.size() == names_.size());
+  last_row_.resize(row.size());
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    last_row_[i] = discretizers_[i].discretize(row[i]);
+    predictors_[i]->observe(last_row_[i], config_.online_learning);
+  }
+  has_observation_ = true;
+}
+
+bool AnomalyPredictor::ready() const {
+  if (!trained_ || !has_observation_) return false;
+  for (const auto& p : predictors_)
+    if (!p->ready()) return false;
+  return true;
+}
+
+AnomalyPredictor::Result AnomalyPredictor::predict(std::size_t steps) const {
+  PREPARE_CHECK_MSG(ready(), "predict() before the model is ready");
+  PREPARE_CHECK(steps >= 1);
+  std::vector<Distribution> dists;
+  dists.reserve(predictors_.size());
+  for (const auto& p : predictors_) dists.push_back(p->predict(steps));
+
+  Result out;
+  if (config_.classify_mode) {
+    std::vector<std::size_t> row(dists.size());
+    for (std::size_t i = 0; i < dists.size(); ++i) row[i] = dists[i].mode();
+    out.classification = classifier_->classify(row);
+  } else {
+    out.classification = classifier_->classify_expected(dists);
+  }
+  if (supervised_without_abnormal_) out.classification.abnormal = false;
+  out.predicted_values.resize(dists.size());
+  for (std::size_t i = 0; i < dists.size(); ++i)
+    out.predicted_values[i] =
+        dists[i].expectation(discretizers_[i].bin_centers());
+  return out;
+}
+
+Classification AnomalyPredictor::classify_current() const {
+  PREPARE_CHECK_MSG(trained_ && has_observation_,
+                    "classify_current() needs a trained model and a sample");
+  Classification cls = classifier_->classify(last_row_);
+  if (supervised_without_abnormal_) cls.abnormal = false;
+  return cls;
+}
+
+const Classifier& AnomalyPredictor::classifier() const {
+  PREPARE_CHECK(trained_);
+  return *classifier_;
+}
+
+}  // namespace prepare

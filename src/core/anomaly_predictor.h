@@ -1,0 +1,140 @@
+// Online anomaly predictor: attribute-value prediction + multi-variant
+// anomaly classification (paper Section II-B).
+//
+// One instance models one *component* (normally one VM with its 13
+// attributes; the "monolithic" baseline of Fig. 10 feeds the concatenated
+// attributes of every VM into a single instance). For each feature the
+// predictor maintains a Markov value predictor over discretized values;
+// prediction at a look-ahead of k sampling intervals pushes each feature
+// k steps forward and classifies the resulting joint (independent)
+// distribution with the TAN (or naive Bayes) classifier.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/classifier.h"
+#include "models/discretizer.h"
+#include "models/value_predictor.h"
+
+namespace prepare {
+
+enum class MarkovOrder { kSimple, kTwoDependent };
+
+/// kOutlier is the Section V extension: an unsupervised tree-structured
+/// density model that flags never-seen states, enabling prediction of
+/// anomaly types absent from the training data (at reduced specificity).
+enum class ClassifierKind { kNaiveBayes, kTan, kOutlier };
+
+struct PredictorConfig {
+  /// Discretization grid per feature. Keep coarse: runs provide a few
+  /// hundred training samples and the 2-dependent model has bins^2
+  /// transition rows (the paper's Fig. 2 example uses 3 states).
+  /// Quantile bins merge ties, so the effective alphabet per feature can
+  /// be smaller.
+  std::size_t bins = 5;
+  DiscretizerKind discretizer = DiscretizerKind::kEqualWidth;
+  /// Add never-trained-on guard bins beyond the training range (pairs
+  /// with the kOutlier classifier: out-of-range values become maximally
+  /// surprising instead of blending into the edge bins).
+  bool guard_bins = false;
+  /// Fit discretizer ranges on normal-labeled samples only: anomaly-era
+  /// extremes (a saturated CPU, a zeroed free-memory) then clamp into
+  /// the edge bins instead of stretching the grid so far that the whole
+  /// healthy-to-degrading trajectory collapses into one bin.
+  bool fit_on_normal = true;
+  MarkovOrder order = MarkovOrder::kTwoDependent;
+  /// Overrides `order` with an arbitrary context length when > 0 (uses
+  /// the generalized NDependentMarkov; 1 and 2 then coincide with the
+  /// enum choices). Higher orders need alphabet^order rows of data.
+  std::size_t custom_markov_order = 0;
+  ClassifierKind classifier = ClassifierKind::kTan;
+  double classifier_alpha = 0.5;       ///< Laplace smoothing (CPTs)
+  double markov_alpha = 0.05;          ///< Laplace smoothing (transitions)
+  /// Decision quantile and calibration headroom for the unsupervised
+  /// outlier classifier.
+  double outlier_quantile = 0.995;
+  double outlier_threshold_margin = 1.25;
+  /// Keep updating Markov transition counts from runtime observations
+  /// (the paper's periodic model update).
+  bool online_learning = true;
+  /// Minimum true-positive rate on the model's own training data for the
+  /// model to count as discriminative. A component whose metrics look
+  /// the same in both classes (e.g. a PE upstream of the faulty one)
+  /// cannot be pinpointed — its score just hovers at the class prior and
+  /// only emits noise.
+  double min_train_tpr = 0.5;
+  /// How predicted value distributions are classified:
+  ///  * mode (default): classify the single most likely future
+  ///    assignment — sharp, keeps correlated attributes consistent, and
+  ///    yields the longest alert lead time;
+  ///  * expectation: average each attribute's impact over its predicted
+  ///    distribution (the TAN pins the parent at its mode); softer and
+  ///    kept for the ablation bench.
+  bool classify_mode = true;
+};
+
+class AnomalyPredictor {
+ public:
+  AnomalyPredictor(std::vector<std::string> feature_names,
+                   PredictorConfig config = PredictorConfig());
+
+  /// Trains discretizers, value predictors and the classifier from
+  /// labeled feature rows. Rows must align with `abnormal`.
+  void train(const std::vector<std::vector<double>>& rows,
+             const std::vector<bool>& abnormal);
+  bool trained() const { return trained_; }
+
+  /// Feeds one runtime sample (advances every feature's Markov context).
+  /// Only valid after train().
+  void observe(const std::vector<double>& row);
+
+  struct Result {
+    Classification classification;
+    /// Expected feature values at the prediction horizon (bin-center
+    /// expectations) — the "informative" part of the alert.
+    std::vector<double> predicted_values;
+  };
+
+  /// Classifies the state `steps` sampling intervals ahead.
+  Result predict(std::size_t steps) const;
+
+  /// Classifies the most recently observed sample (used by the reactive
+  /// path and for diagnosis once an anomaly has already manifested).
+  Classification classify_current() const;
+
+  /// Whether enough runtime samples have been observed to predict.
+  bool ready() const;
+
+  /// Whether the trained classifier separates the training classes (see
+  /// PredictorConfig::min_train_tpr). Always true when the training data
+  /// had no abnormal samples to separate.
+  bool discriminative() const { return discriminative_; }
+  /// True-positive rate of the classifier on its own training data.
+  double train_tpr() const { return train_tpr_; }
+
+  const std::vector<std::string>& feature_names() const { return names_; }
+  std::size_t feature_count() const { return names_.size(); }
+  const PredictorConfig& config() const { return config_; }
+  const Classifier& classifier() const;
+
+ private:
+  std::unique_ptr<ValuePredictor> make_value_predictor(
+      std::size_t alphabet) const;
+
+  std::vector<std::string> names_;
+  PredictorConfig config_;
+  bool trained_ = false;
+
+  std::vector<Discretizer> discretizers_;
+  std::vector<std::unique_ptr<ValuePredictor>> predictors_;
+  std::unique_ptr<Classifier> classifier_;
+  std::vector<std::size_t> last_row_;
+  bool has_observation_ = false;
+  bool discriminative_ = true;
+  bool supervised_without_abnormal_ = false;
+  double train_tpr_ = 0.0;
+};
+
+}  // namespace prepare

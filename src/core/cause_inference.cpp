@@ -1,0 +1,67 @@
+#include "core/cause_inference.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace prepare {
+
+CauseInference::CauseInference(std::vector<std::string> vm_names,
+                               Config config)
+    : config_(config), vm_names_(std::move(vm_names)) {
+  PREPARE_CHECK(!vm_names_.empty());
+  PREPARE_CHECK(config_.workload_change_fraction > 0.0 &&
+                config_.workload_change_fraction <= 1.0);
+  for (const auto& name : vm_names_) {
+    detectors_.emplace(name, CusumDetector(config_.cusum));
+    last_change_time_.emplace(name, -1.0);
+  }
+}
+
+void CauseInference::observe(const std::string& vm_name, double now,
+                             const AttributeVector& values) {
+  auto it = detectors_.find(vm_name);
+  PREPARE_CHECK_MSG(it != detectors_.end(), "unknown VM: " + vm_name);
+  if (it->second.update(get(values, Attribute::kNetIn))) {
+    last_change_time_[vm_name] = now;
+    it->second.rearm();
+  }
+}
+
+bool CauseInference::workload_change_suspected(double now) const {
+  std::size_t recent = 0;
+  for (const auto& name : vm_names_) {
+    const double t = last_change_time_.at(name);
+    if (t >= 0.0 && now - t <= config_.recent_window_s) ++recent;
+  }
+  return static_cast<double>(recent) >=
+         config_.workload_change_fraction *
+             static_cast<double>(vm_names_.size());
+}
+
+Diagnosis CauseInference::diagnose(
+    const std::map<std::string, Classification>& alerting) const {
+  Diagnosis out;
+  for (const auto& [vm, cls] : alerting) {
+    Diagnosis::FaultyVm faulty;
+    faulty.vm = vm;
+    faulty.score = cls.score;
+    const auto order = Classifier::ranked_attributes(cls);
+    const std::size_t take =
+        std::min(config_.top_attributes, order.size());
+    for (std::size_t i = 0; i < take; ++i) {
+      // Only keep attributes that actually push toward "abnormal".
+      if (cls.impacts[order[i]] <= 0.0) break;
+      faulty.ranked.push_back(static_cast<Attribute>(order[i]));
+    }
+    out.faulty.push_back(std::move(faulty));
+  }
+  std::stable_sort(out.faulty.begin(), out.faulty.end(),
+                   [](const Diagnosis::FaultyVm& a,
+                      const Diagnosis::FaultyVm& b) {
+                     return a.score > b.score;
+                   });
+  return out;
+}
+
+}  // namespace prepare

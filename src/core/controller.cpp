@@ -1,0 +1,267 @@
+#include "core/controller.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace prepare {
+
+namespace {
+
+std::vector<double> to_row(const AttributeVector& v) {
+  return std::vector<double>(v.begin(), v.end());
+}
+
+std::vector<std::string> attribute_feature_names() {
+  std::vector<std::string> names;
+  names.reserve(kAttributeCount);
+  for (std::size_t a = 0; a < kAttributeCount; ++a)
+    names.push_back(attribute_name(static_cast<Attribute>(a)));
+  return names;
+}
+
+double top_impact(const Classification& cls) {
+  double best = 0.0;
+  for (double impact : cls.impacts) best = std::max(best, impact);
+  return best;
+}
+
+}  // namespace
+
+AnomalyManager::AnomalyManager(ControllerContext ctx) : ctx_(ctx) {
+  PREPARE_CHECK(ctx.app != nullptr);
+  PREPARE_CHECK(ctx.cluster != nullptr);
+  PREPARE_CHECK(ctx.hypervisor != nullptr);
+  PREPARE_CHECK(ctx.store != nullptr);
+  PREPARE_CHECK(ctx.slo != nullptr);
+  PREPARE_CHECK(ctx.log != nullptr);
+}
+
+std::vector<std::string> AnomalyManager::vm_names() const {
+  std::vector<std::string> names;
+  for (const Vm* vm : ctx_.app->vms()) names.push_back(vm->name());
+  return names;
+}
+
+void AnomalyManager::labeled_rows(const std::string& vm_name, double t0,
+                                  double t1,
+                                  std::vector<std::vector<double>>* rows,
+                                  std::vector<bool>* abnormal) const {
+  const auto samples = Labeler::label(*ctx_.store, *ctx_.slo, vm_name, t0, t1);
+  rows->clear();
+  abnormal->clear();
+  rows->reserve(samples.size());
+  abnormal->reserve(samples.size());
+  for (const auto& s : samples) {
+    rows->push_back(to_row(s.values));
+    abnormal->push_back(s.abnormal);
+  }
+}
+
+std::vector<double> AnomalyManager::latest_row(
+    const std::string& vm_name) const {
+  const auto samples = ctx_.store->last_samples(vm_name, 1);
+  PREPARE_CHECK_MSG(!samples.empty(), "no samples for VM " + vm_name);
+  return to_row(samples.back());
+}
+
+// ---------------------------------------------------------------- PREPARE
+
+PrepareController::PrepareController(ControllerContext ctx,
+                                     PrepareConfig config)
+    : AnomalyManager(ctx),
+      config_(config),
+      lookahead_steps_(static_cast<std::size_t>(std::max(
+          1.0,
+          std::round(config.lookahead_s / config.sampling_interval_s)))),
+      inference_(vm_names(), config.inference),
+      actuator_(ctx.hypervisor, ctx.cluster, ctx.store, ctx.log,
+                config.prevention) {
+  const auto names = attribute_feature_names();
+  for (const auto& vm : vm_names()) {
+    predictors_.emplace(vm, AnomalyPredictor(names, config_.predictor));
+    filters_.emplace(vm, AlarmFilter(config_.filter_k, config_.filter_w));
+  }
+}
+
+void PrepareController::train(double t0, double t1) {
+  std::vector<std::vector<double>> rows;
+  std::vector<bool> abnormal;
+  for (auto& [vm, predictor] : predictors_) {
+    labeled_rows(vm, t0, t1, &rows, &abnormal);
+    if (rows.empty()) continue;
+    predictor.train(rows, abnormal);
+  }
+  trained_ = true;
+  ctx_.log->record(t1, EventKind::kInfo, "prepare",
+                   "per-VM prediction models trained");
+}
+
+void PrepareController::on_sample(double now) {
+  // 1. Feed the newest samples into the predictors' Markov contexts and
+  //    the workload-change detectors.
+  for (const auto& vm : vm_names()) {
+    const auto samples = ctx_.store->last_samples(vm, 1);
+    if (samples.empty()) continue;
+    inference_.observe(vm, now, samples.back());
+    if (trained_) {
+      auto it = predictors_.find(vm);
+      if (it != predictors_.end() && it->second.trained())
+        it->second.observe(to_row(samples.back()));
+    }
+  }
+  if (!trained_) return;
+
+  // 2. Per-VM prediction and false-alarm filtering.
+  std::map<std::string, Classification> confirmed;
+  std::set<std::string> unhealthy;
+  for (auto& [vm, predictor] : predictors_) {
+    if (!predictor.ready() || !predictor.discriminative()) continue;
+    const auto result = predictor.predict(lookahead_steps_);
+    const bool raw = result.classification.abnormal &&
+                     top_impact(result.classification) >=
+                         config_.alert_min_top_impact;
+    if (raw) {
+      ++raw_alerts_;
+      ctx_.log->record(now, EventKind::kAlert, vm, "predicted anomaly");
+    }
+    if (filters_.at(vm).push(raw)) {
+      ++confirmed_alerts_;
+      confirmed.emplace(vm, result.classification);
+      unhealthy.insert(vm);
+      ctx_.log->record(now, EventKind::kAlertConfirmed, vm,
+                       "k-of-W confirmed");
+    }
+  }
+
+  // 3. Reactive fallback: the SLO is already violated — diagnose from
+  //    the current samples too, in case prediction missed (or confirmed
+  //    only a bystander VM). The diagnosis covers every VM classifying
+  //    abnormal with real attribution evidence; if none qualifies, the
+  //    single most suspicious VM is acted on (the paper always
+  //    intervenes once a violation is detected).
+  std::map<std::string, Classification> reactive;
+  if (ctx_.slo->currently_violated()) {
+    ++reactive_fallbacks_;
+    Classification best;
+    std::string best_vm;
+    for (auto& [vm, predictor] : predictors_) {
+      if (!predictor.trained()) continue;
+      const auto cls = predictor.classify_current();
+      if (cls.abnormal && top_impact(cls) >= config_.alert_min_top_impact) {
+        reactive.emplace(vm, cls);
+        unhealthy.insert(vm);
+      }
+      if (actuator_.validation_open(vm)) continue;
+      if (best_vm.empty() || cls.score > best.score) {
+        best = cls;
+        best_vm = vm;
+      }
+    }
+    if (reactive.empty() && !best_vm.empty()) {
+      reactive.emplace(best_vm, best);
+      unhealthy.insert(best_vm);
+    }
+  }
+
+  // A violated SLO also keeps the acted VMs "unhealthy" for validation.
+  if (ctx_.slo->currently_violated())
+    for (auto& [vm, predictor] : predictors_)
+      if (predictor.trained() && predictor.classify_current().abnormal)
+        unhealthy.insert(vm);
+
+  // 4. Validation of earlier preventions.
+  actuator_.on_sample(now, unhealthy);
+
+  // 5. Cause inference + actuation over the union of confirmed
+  //    predictions and reactive diagnoses.
+  std::map<std::string, Classification> alerting = confirmed;
+  alerting.insert(reactive.begin(), reactive.end());
+  if (alerting.empty()) return;
+  Diagnosis diagnosis = inference_.diagnose(alerting);
+  diagnosis.workload_change = inference_.workload_change_suspected(now);
+  if (diagnosis.workload_change)
+    ctx_.log->record(now, EventKind::kInfo, "prepare",
+                     "change points on all components: workload change "
+                     "suspected");
+  for (const auto& faulty : diagnosis.faulty) actuator_.actuate(faulty, now);
+}
+
+// ---------------------------------------------------------------- reactive
+
+ReactiveController::ReactiveController(ControllerContext ctx,
+                                       PrepareConfig config)
+    : AnomalyManager(ctx),
+      config_(config),
+      inference_(vm_names(), config.inference),
+      actuator_(ctx.hypervisor, ctx.cluster, ctx.store, ctx.log,
+                config.prevention) {
+  const auto names = attribute_feature_names();
+  for (const auto& vm : vm_names())
+    predictors_.emplace(vm, AnomalyPredictor(names, config_.predictor));
+}
+
+void ReactiveController::train(double t0, double t1) {
+  std::vector<std::vector<double>> rows;
+  std::vector<bool> abnormal;
+  for (auto& [vm, predictor] : predictors_) {
+    labeled_rows(vm, t0, t1, &rows, &abnormal);
+    if (rows.empty()) continue;
+    predictor.train(rows, abnormal);
+  }
+  trained_ = true;
+}
+
+void ReactiveController::on_sample(double now) {
+  for (const auto& vm : vm_names()) {
+    const auto samples = ctx_.store->last_samples(vm, 1);
+    if (samples.empty()) continue;
+    inference_.observe(vm, now, samples.back());
+    if (trained_) {
+      auto it = predictors_.find(vm);
+      if (it != predictors_.end() && it->second.trained())
+        it->second.observe(
+            std::vector<double>(samples.back().begin(),
+                                samples.back().end()));
+    }
+  }
+  if (!trained_) return;
+
+  // Diagnose every abnormal-classifying VM with attribution evidence;
+  // fall back to the single most suspicious VM (see PrepareController's
+  // reactive path for the rationale).
+  std::map<std::string, Classification> alerting;
+  std::set<std::string> unhealthy;
+  if (ctx_.slo->currently_violated()) {
+    Classification best;
+    std::string best_vm;
+    for (auto& [vm, predictor] : predictors_) {
+      if (!predictor.trained()) continue;
+      const auto cls = predictor.classify_current();
+      // Any VM that still classifies abnormal keeps its open validation
+      // "unhealthy" — otherwise a drifting pick would bogusly mark
+      // earlier preventions as effective mid-violation.
+      if (cls.abnormal) unhealthy.insert(vm);
+      if (cls.abnormal && top_impact(cls) >= config_.alert_min_top_impact) {
+        alerting.emplace(vm, cls);
+      } else if (!actuator_.validation_open(vm) &&
+                 (best_vm.empty() || cls.score > best.score)) {
+        best = cls;
+        best_vm = vm;
+      }
+    }
+    if (alerting.empty() && !best_vm.empty()) alerting.emplace(best_vm, best);
+    for (const auto& [vm, cls] : alerting) unhealthy.insert(vm);
+  }
+
+  actuator_.on_sample(now, unhealthy);
+  if (alerting.empty()) return;
+  Diagnosis diagnosis = inference_.diagnose(alerting);
+  for (const auto& faulty : diagnosis.faulty) actuator_.actuate(faulty, now);
+}
+
+}  // namespace prepare

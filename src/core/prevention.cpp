@@ -1,0 +1,291 @@
+#include "core/prevention.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace prepare {
+
+PreventionActuator::PreventionActuator(Hypervisor* hypervisor,
+                                       Cluster* cluster,
+                                       const MetricStore* store,
+                                       EventLog* log,
+                                       PreventionConfig config)
+    : hypervisor_(hypervisor),
+      cluster_(cluster),
+      store_(store),
+      log_(log),
+      config_(config) {
+  PREPARE_CHECK(hypervisor != nullptr);
+  PREPARE_CHECK(cluster != nullptr);
+  PREPARE_CHECK(store != nullptr);
+  PREPARE_CHECK(log != nullptr);
+  for (const auto& vm : cluster_->vms())
+    baseline_.emplace(vm->name(),
+                      std::make_pair(vm->cpu_alloc(), vm->mem_alloc()));
+}
+
+bool PreventionActuator::has_baseline(const std::string& vm_name) const {
+  return baseline_.count(vm_name) != 0;
+}
+
+PreventionActuator::MetricKind PreventionActuator::kind_of(Attribute a) {
+  switch (a) {
+    case Attribute::kCpuUtil:
+    case Attribute::kCpuResidual:
+    case Attribute::kLoad1:
+    case Attribute::kLoad5:
+    case Attribute::kRunQueue:
+    case Attribute::kCtxSwitches:
+      return MetricKind::kCpu;
+    case Attribute::kFreeMem:
+    case Attribute::kMemUtil:
+    case Attribute::kPageFaults:
+      return MetricKind::kMemory;
+    default:
+      return MetricKind::kOther;
+  }
+}
+
+double PreventionActuator::lookback_mean(const std::string& vm, Attribute a,
+                                         double now) const {
+  const auto mean =
+      store_->series(vm, a).mean_between(now - config_.lookback_s, now);
+  return mean.value_or(0.0);
+}
+
+bool PreventionActuator::try_scale(Vm* vm, MetricKind kind, double /*now*/) {
+  Host* host = cluster_->host_of(*vm);
+  PREPARE_CHECK(host != nullptr);
+  if (kind == MetricKind::kCpu) {
+    const double desired = vm->cpu_alloc() * config_.cpu_scale_factor;
+    const double target =
+        std::min(desired, vm->cpu_alloc() + host->cpu_headroom());
+    if (target - vm->cpu_alloc() < config_.min_cpu_step) return false;
+    return hypervisor_->scale_cpu(vm, target);
+  }
+  if (kind == MetricKind::kMemory) {
+    const double desired = vm->mem_alloc() * config_.mem_scale_factor;
+    const double target =
+        std::min(desired, vm->mem_alloc() + host->mem_headroom());
+    if (target - vm->mem_alloc() < config_.min_mem_step_mb) return false;
+    return hypervisor_->scale_memory(vm, target);
+  }
+  return false;
+}
+
+bool PreventionActuator::try_migrate(Vm* vm, MetricKind kind, double now) {
+  (void)kind;
+  const auto last = last_migration_time_.find(vm->name());
+  if (last != last_migration_time_.end() &&
+      now - last->second < config_.migration_cooldown_s)
+    return false;
+  // Land with generous headroom on BOTH resources: the paper relocates
+  // the faulty VM "to a host with desired resources" (matching the VM's
+  // demand pattern, PAC [15]) — a second migration is far more expensive
+  // than landing big, and the diagnosis may have ranked a symptom metric
+  // (saturated CPU) above the root resource (leaking memory).
+  const double cpu_after = vm->cpu_alloc() * config_.migration_cpu_factor;
+  const double mem_after = vm->mem_alloc() * config_.migration_mem_factor;
+  Host* current = cluster_->host_of(*vm);
+  Host* target =
+      cluster_->find_best_target_host(cpu_after, mem_after, current);
+  if (target == nullptr) {
+    log_->record(now, EventKind::kInfo, vm->name(),
+                 "migration skipped: no host with desired resources");
+    return false;
+  }
+  if (!hypervisor_->migrate(vm, target, cpu_after, mem_after)) return false;
+  last_migration_time_[vm->name()] = now;
+  return true;
+}
+
+bool PreventionActuator::apply_action(Vm* vm, Attribute a, double now) {
+  const MetricKind kind = kind_of(a);
+  switch (config_.mode) {
+    case PreventionMode::kScalingOnly:
+      if (kind == MetricKind::kOther) return false;
+      return try_scale(vm, kind, now);
+    case PreventionMode::kMigrationOnly:
+      if (try_migrate(vm, kind, now)) return true;
+      // Migration unavailable (cooldown, no target host): scaling on the
+      // current host is the only remaining remedy.
+      if (kind != MetricKind::kOther) return try_scale(vm, kind, now);
+      return false;
+    case PreventionMode::kScalingThenMigration:
+      if (kind != MetricKind::kOther && try_scale(vm, kind, now))
+        return true;
+      return try_migrate(vm, kind, now);
+  }
+  return false;
+}
+
+bool PreventionActuator::actuate(const Diagnosis::FaultyVm& faulty,
+                                 double now) {
+  if (validation_open(faulty.vm)) return false;
+  Vm* vm = cluster_->find_vm(faulty.vm);
+  PREPARE_CHECK_MSG(vm != nullptr, "unknown VM: " + faulty.vm);
+  if (vm->migrating()) return false;
+
+  for (std::size_t i = 0; i < faulty.ranked.size(); ++i) {
+    const Attribute a = faulty.ranked[i];
+    if (!apply_action(vm, a, now)) continue;
+    ++actions_fired_;
+    std::ostringstream detail;
+    detail << "acted on " << attribute_name(a) << " (rank " << i << ")";
+    log_->record(now, EventKind::kPrevention, faulty.vm, detail.str());
+    PendingValidation pv;
+    pv.action_time = now;
+    pv.acted = a;
+    pv.ranked = faulty.ranked;
+    pv.next_index = i + 1;
+    pv.lookback_mean = lookback_mean(faulty.vm, a, now);
+    // Also act on the next ranked metric of the *other* resource kind:
+    // a saturating CPU is often the symptom of a memory root cause (or
+    // vice versa), and a second scaling is far cheaper than a
+    // failed-validation round trip. Applies in migration mode too — the
+    // companion is always a scaling, which is harmless alongside a
+    // migration (and essential when the migration had to fall back to
+    // local scaling).
+    if (config_.companion_scaling) {
+      const MetricKind primary = kind_of(a);
+      for (std::size_t j = i + 1; j < faulty.ranked.size(); ++j) {
+        const MetricKind other = kind_of(faulty.ranked[j]);
+        if (other == MetricKind::kOther || other == primary) continue;
+        if (try_scale(vm, other, now)) {
+          ++actions_fired_;
+          log_->record(now, EventKind::kPrevention, faulty.vm,
+                       "companion action on " +
+                           attribute_name(faulty.ranked[j]));
+          pv.next_index = j + 1;
+        }
+        break;
+      }
+    }
+    pending_[faulty.vm] = std::move(pv);
+    last_action_time_[faulty.vm] = now;
+    return true;
+  }
+  log_->record(now, EventKind::kInfo, faulty.vm,
+               "no applicable prevention action");
+  return false;
+}
+
+void PreventionActuator::on_sample(double now,
+                                   const std::set<std::string>& unhealthy) {
+  maybe_reclaim(now, unhealthy);
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    const std::string& vm_name = it->first;
+    PendingValidation& pv = it->second;
+    if (now < pv.action_time + config_.validation_delay_s) {
+      ++it;
+      continue;
+    }
+    if (!config_.validation_enabled) {
+      // Ablation mode: the record simply expires, successful or not.
+      it = pending_.erase(it);
+      continue;
+    }
+    if (unhealthy.count(vm_name) == 0) {
+      log_->record(now, EventKind::kValidation, vm_name,
+                   "prevention effective: alerts cleared");
+      it = pending_.erase(it);
+      continue;
+    }
+    // Still unhealthy: did the acted metric respond at all?
+    const auto ahead = store_->series(vm_name, pv.acted)
+                           .mean_between(pv.action_time, now);
+    const double before = pv.lookback_mean;
+    const double after = ahead.value_or(before);
+    const double denom = std::max(std::abs(before), 1e-6);
+    const bool responded =
+        std::abs(after - before) / denom >= config_.min_relative_change;
+    ++validations_failed_;
+    std::ostringstream detail;
+    detail << "still unhealthy after acting on "
+           << attribute_name(pv.acted)
+           << (responded ? " (metric responded)" : " (no metric response)");
+    log_->record(now, EventKind::kValidation, vm_name, detail.str());
+
+    // Try the next ranked metric, skipping non-actionable ones.
+    Vm* vm = cluster_->find_vm(vm_name);
+    bool reacted = false;
+    while (pv.next_index < pv.ranked.size()) {
+      const Attribute next = pv.ranked[pv.next_index++];
+      if (vm != nullptr && !vm->migrating() &&
+          apply_action(vm, next, now)) {
+        ++actions_fired_;
+        log_->record(now, EventKind::kPrevention, vm_name,
+                     "fallback action on " + attribute_name(next));
+        pv.action_time = now;
+        pv.acted = next;
+        pv.lookback_mean = lookback_mean(vm_name, next, now);
+        last_action_time_[vm_name] = now;
+        reacted = true;
+        break;
+      }
+    }
+    if (reacted) {
+      ++it;
+    } else {
+      // Ranking exhausted: close the record so a later confirmed alert
+      // can retry from the top (e.g. scale further as a leak keeps
+      // growing).
+      it = pending_.erase(it);
+    }
+  }
+}
+
+bool PreventionActuator::validation_open(const std::string& vm_name) const {
+  return pending_.count(vm_name) != 0;
+}
+
+void PreventionActuator::maybe_reclaim(double now,
+                                       const std::set<std::string>& unhealthy) {
+  if (!config_.reclaim_enabled) return;
+  for (const auto& [vm_name, base] : baseline_) {
+    if (unhealthy.count(vm_name) != 0) continue;
+    if (validation_open(vm_name)) continue;
+    const auto last = last_action_time_.find(vm_name);
+    if (last != last_action_time_.end() &&
+        now - last->second < config_.reclaim_idle_s)
+      continue;
+    Vm* vm = cluster_->find_vm(vm_name);
+    if (vm == nullptr || vm->migrating()) continue;
+    if (store_->sample_count(vm_name) == 0) continue;
+
+    const double window_start = now - config_.reclaim_idle_s;
+    // CPU: shrink toward baseline when sustained utilization is low.
+    if (vm->cpu_alloc() > base.first * 1.01) {
+      const auto util = store_->series(vm_name, Attribute::kCpuUtil)
+                            .mean_between(window_start, now);
+      if (util && *util < config_.reclaim_cpu_util_pct) {
+        const double target =
+            std::max(base.first, vm->cpu_alloc() * config_.reclaim_factor);
+        if (hypervisor_->scale_cpu(vm, target)) {
+          log_->record(now, EventKind::kInfo, vm_name,
+                       "elastic reclaim: cpu scaled down");
+          last_action_time_[vm_name] = now;
+        }
+      }
+    }
+    // Memory: shrink toward baseline when sustained usage is low.
+    if (vm->mem_alloc() > base.second * 1.01) {
+      const auto util = store_->series(vm_name, Attribute::kMemUtil)
+                            .mean_between(window_start, now);
+      if (util && *util < config_.reclaim_mem_util_pct) {
+        const double target =
+            std::max(base.second, vm->mem_alloc() * config_.reclaim_factor);
+        if (hypervisor_->scale_memory(vm, target)) {
+          log_->record(now, EventKind::kInfo, vm_name,
+                       "elastic reclaim: memory scaled down");
+          last_action_time_[vm_name] = now;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace prepare

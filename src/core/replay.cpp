@@ -1,0 +1,84 @@
+#include "core/replay.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/check.h"
+#include "core/alarm_filter.h"
+#include "monitor/labeler.h"
+
+namespace prepare {
+
+ReplayReport replay_trace(const MetricStore& store, const SloLog& slo,
+                          const ReplayConfig& config,
+                          std::vector<std::string> vm_names) {
+  if (vm_names.empty()) vm_names = store.vm_names();
+  PREPARE_CHECK_MSG(!vm_names.empty(), "trace has no VMs");
+  const auto steps = static_cast<std::size_t>(std::max(
+      1.0, std::round(config.lookahead_s / config.sampling_interval_s)));
+
+  std::vector<std::string> features;
+  for (std::size_t a = 0; a < kAttributeCount; ++a)
+    features.push_back(attribute_name(static_cast<Attribute>(a)));
+
+  // Train one model per VM on the labeled prefix.
+  std::map<std::string, AnomalyPredictor> predictors;
+  std::map<std::string, AlarmFilter> filters;
+  for (const auto& vm : vm_names) {
+    AnomalyPredictor predictor(features, config.predictor);
+    std::vector<std::vector<double>> rows;
+    std::vector<bool> abnormal;
+    for (const auto& s :
+         Labeler::label(store, slo, vm, 0.0, config.train_end)) {
+      rows.emplace_back(s.values.begin(), s.values.end());
+      abnormal.push_back(s.abnormal);
+    }
+    PREPARE_CHECK_MSG(!rows.empty(), "no training samples for " + vm);
+    predictor.train(rows, abnormal);
+    predictors.emplace(vm, std::move(predictor));
+    filters.emplace(vm, AlarmFilter(config.filter_k, config.filter_w));
+  }
+
+  // Replay.
+  ReplayReport report;
+  const std::size_t total = store.sample_count(vm_names[0]);
+  for (std::size_t i = 0; i < total; ++i) {
+    const double t = store.sample_time(vm_names[0], i);
+    if (t <= config.train_end) continue;
+    for (const auto& vm : vm_names) {
+      auto& predictor = predictors.at(vm);
+      const auto values = store.sample(vm, i);
+      predictor.observe(std::vector<double>(values.begin(), values.end()));
+      if (!predictor.ready() || !predictor.discriminative()) continue;
+      const auto result = predictor.predict(steps);
+      double top = 0.0;
+      for (double impact : result.classification.impacts)
+        top = std::max(top, impact);
+      const bool raw = result.classification.abnormal &&
+                       top >= config.alert_min_top_impact;
+      const bool confirmed = filters.at(vm).push(raw);
+      if (!raw && !confirmed) continue;
+      ReplayAlert alert;
+      alert.time = t;
+      alert.vm = vm;
+      alert.confirmed = confirmed;
+      alert.score = result.classification.score;
+      const auto order =
+          Classifier::ranked_attributes(result.classification);
+      for (std::size_t k = 0; k < 3 && k < order.size(); ++k) {
+        if (result.classification.impacts[order[k]] <= 0.0) break;
+        alert.top_metrics.push_back(static_cast<Attribute>(order[k]));
+      }
+      if (raw) ++report.raw_alerts;
+      if (confirmed) {
+        ++report.confirmed_alerts;
+        if (report.first_confirmed < 0.0) report.first_confirmed = t;
+      }
+      report.alerts.push_back(std::move(alert));
+    }
+  }
+  return report;
+}
+
+}  // namespace prepare

@@ -1,0 +1,55 @@
+// Offline trace replay: "what would PREPARE have said on this trace?"
+//
+// Runs the full per-VM prediction pipeline (train on the labeled prefix,
+// then predict + k-of-W filter sample by sample) over a *recorded*
+// run — e.g. one exported with monitor/trace_io.h — and returns the
+// alert/diagnosis timeline, without a live cluster to actuate on.
+// Useful for post-mortems and for tuning the predictor against archived
+// production traces.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/anomaly_predictor.h"
+#include "monitor/attributes.h"
+#include "monitor/metric_store.h"
+#include "monitor/slo_log.h"
+
+namespace prepare {
+
+struct ReplayConfig {
+  PredictorConfig predictor;
+  double sampling_interval_s = 5.0;
+  double lookahead_s = 120.0;
+  std::size_t filter_k = 3;
+  std::size_t filter_w = 4;
+  double alert_min_top_impact = 0.5;
+  /// Samples up to this time train the models (with SLO-log labels);
+  /// everything after is replayed.
+  double train_end = 700.0;
+};
+
+struct ReplayAlert {
+  double time = 0.0;
+  std::string vm;
+  bool confirmed = false;  ///< passed the k-of-W filter
+  double score = 0.0;      ///< classifier log-odds at the horizon
+  /// Up to three top-attributed metrics (positive impacts only).
+  std::vector<Attribute> top_metrics;
+};
+
+struct ReplayReport {
+  std::vector<ReplayAlert> alerts;  ///< raw alerts, chronological
+  std::size_t raw_alerts = 0;
+  std::size_t confirmed_alerts = 0;
+  /// Time of the first *confirmed* alert, or a negative value if none.
+  double first_confirmed = -1.0;
+};
+
+/// Replays the trace; `vm_names` defaults to every VM in the store.
+ReplayReport replay_trace(const MetricStore& store, const SloLog& slo,
+                          const ReplayConfig& config,
+                          std::vector<std::string> vm_names = {});
+
+}  // namespace prepare

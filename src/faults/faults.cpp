@@ -1,0 +1,55 @@
+#include "faults/faults.h"
+
+#include "common/check.h"
+
+namespace prepare {
+
+Fault::Fault(std::string name, double start, double duration)
+    : name_(std::move(name)), start_(start), duration_(duration) {
+  PREPARE_CHECK(duration > 0.0);
+}
+
+MemoryLeakFault::MemoryLeakFault(Vm* target, double start, double duration,
+                                 double leak_rate_mb_s)
+    : Fault("memory_leak", start, duration),
+      target_(target),
+      leak_rate_mb_s_(leak_rate_mb_s) {
+  PREPARE_CHECK(target != nullptr);
+  PREPARE_CHECK(leak_rate_mb_s > 0.0);
+}
+
+void MemoryLeakFault::apply(double now, double dt) {
+  if (!active(now)) return;
+  leaked_mb_ += leak_rate_mb_s_ * dt;
+  target_->add_fault_mem_demand(leaked_mb_);
+  // The leaking process also burns a little CPU doing the allocations.
+  target_->add_fault_cpu_demand(0.02);
+}
+
+CpuHogFault::CpuHogFault(Vm* target, double start, double duration,
+                         double hog_cores)
+    : Fault("cpu_hog", start, duration),
+      target_(target),
+      hog_cores_(hog_cores) {
+  PREPARE_CHECK(target != nullptr);
+  PREPARE_CHECK(hog_cores > 0.0);
+}
+
+void CpuHogFault::apply(double now, double /*dt*/) {
+  if (!active(now)) return;
+  target_->add_fault_cpu_demand(hog_cores_);
+}
+
+BottleneckFault::BottleneckFault(const Vm* expected_bottleneck, double start,
+                                 double duration)
+    : Fault("bottleneck", start, duration),
+      expected_bottleneck_(expected_bottleneck) {
+  PREPARE_CHECK(expected_bottleneck != nullptr);
+}
+
+void BottleneckFault::apply(double /*now*/, double /*dt*/) {
+  // Intentionally empty: the overload is injected through the workload
+  // generator (RampWorkload with the same window).
+}
+
+}  // namespace prepare

@@ -1,0 +1,106 @@
+// Fault injection (paper Section III-A).
+//
+// Three fault types, matching the paper's experiments for both case-study
+// systems:
+//
+//  * memory leak — a buggy process in the target VM continuously
+//    allocates and never frees: its resident set grows linearly while the
+//    fault is active (gradual manifestation);
+//  * CPU hog — an infinite-loop / CPU-bound competitor appears in the
+//    target VM and demands a fixed large CPU share (sudden manifestation);
+//  * bottleneck — the client workload ramps up until the capacity limit
+//    of the bottleneck component is hit. The ramp itself lives in the
+//    workload (RampWorkload); BottleneckFault is the schedule entry that
+//    carries the ground-truth target for evaluation.
+//
+// Faults register *fault* demands on VMs — the application's own demands
+// are untouched, so contention resolution in Vm::finalize_tick produces
+// the interference.
+#pragma once
+
+#include <string>
+
+#include "sim/vm.h"
+
+namespace prepare {
+
+class Fault {
+ public:
+  Fault(std::string name, double start, double duration);
+  virtual ~Fault() = default;
+
+  /// Registers this tick's fault demands on the target VM. Must be called
+  /// after Vm::begin_tick() and before the application finalizes demands.
+  /// No-op outside the active window.
+  virtual void apply(double now, double dt) = 0;
+
+  /// Resets internal state (e.g. leaked bytes) for a fresh run.
+  virtual void reset() {}
+
+  bool active(double now) const {
+    return now >= start_ && now < start_ + duration_;
+  }
+  const std::string& name() const { return name_; }
+  double start() const { return start_; }
+  double duration() const { return duration_; }
+  double end() const { return start_ + duration_; }
+
+  /// Ground-truth faulty VM (nullptr for workload-level faults).
+  virtual const Vm* target() const { return nullptr; }
+
+ private:
+  std::string name_;
+  double start_;
+  double duration_;
+};
+
+/// Continuous allocation without free: resident set grows at leak_rate
+/// while active; the "process" dies (memory returned) when the injection
+/// window ends, as in the paper's 300 s injections.
+class MemoryLeakFault : public Fault {
+ public:
+  MemoryLeakFault(Vm* target, double start, double duration,
+                  double leak_rate_mb_s = 2.5);
+
+  void apply(double now, double dt) override;
+  void reset() override { leaked_mb_ = 0.0; }
+  const Vm* target() const override { return target_; }
+  double leaked_mb() const { return leaked_mb_; }
+
+ private:
+  Vm* target_;
+  double leak_rate_mb_s_;
+  double leaked_mb_ = 0.0;
+};
+
+/// Infinite-loop competitor: demands a fixed CPU share while active.
+class CpuHogFault : public Fault {
+ public:
+  CpuHogFault(Vm* target, double start, double duration,
+              double hog_cores = 1.5);
+
+  void apply(double now, double dt) override;
+  const Vm* target() const override { return target_; }
+  double hog_cores() const { return hog_cores_; }
+
+ private:
+  Vm* target_;
+  double hog_cores_;
+};
+
+/// Workload-overload marker: the ramp is realized by a RampWorkload with
+/// the same window; this entry records which component is expected to
+/// saturate first (ground truth for diagnosis evaluation).
+class BottleneckFault : public Fault {
+ public:
+  BottleneckFault(const Vm* expected_bottleneck, double start,
+                  double duration);
+
+  void apply(double now, double dt) override;
+  const Vm* target() const override { return expected_bottleneck_; }
+
+ private:
+  const Vm* expected_bottleneck_;
+};
+
+}  // namespace prepare

@@ -1,0 +1,27 @@
+#include "faults/injector.h"
+
+#include "common/check.h"
+
+namespace prepare {
+
+Fault* FaultInjector::add(std::unique_ptr<Fault> fault) {
+  PREPARE_CHECK(fault != nullptr);
+  faults_.push_back(std::move(fault));
+  return faults_.back().get();
+}
+
+void FaultInjector::apply(double now, double dt) {
+  for (auto& fault : faults_) fault->apply(now, dt);
+}
+
+void FaultInjector::reset() {
+  for (auto& fault : faults_) fault->reset();
+}
+
+const Fault* FaultInjector::active_fault(double now) const {
+  for (const auto& fault : faults_)
+    if (fault->active(now)) return fault.get();
+  return nullptr;
+}
+
+}  // namespace prepare

@@ -1,0 +1,36 @@
+// Fault schedule: owns the faults of a run and applies the active ones
+// each tick. The paper injects two faults of the same type per run (the
+// model learns on the first, predicts the second); the injector supports
+// any schedule.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "faults/faults.h"
+
+namespace prepare {
+
+class FaultInjector {
+ public:
+  Fault* add(std::unique_ptr<Fault> fault);
+
+  /// Applies every active fault. Call after Vm::begin_tick() for all VMs
+  /// and before the application step.
+  void apply(double now, double dt);
+
+  /// Resets all fault state for a fresh run.
+  void reset();
+
+  /// Ground truth: the fault active at `now`, if any (first match).
+  const Fault* active_fault(double now) const;
+
+  const std::vector<std::unique_ptr<Fault>>& faults() const {
+    return faults_;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Fault>> faults_;
+};
+
+}  // namespace prepare

@@ -1,0 +1,19 @@
+#include "models/classifier.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace prepare {
+
+std::vector<std::size_t> Classifier::ranked_attributes(
+    const Classification& c) {
+  std::vector<std::size_t> order(c.impacts.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return c.impacts[a] > c.impacts[b];
+                   });
+  return order;
+}
+
+}  // namespace prepare

@@ -1,0 +1,48 @@
+// Anomaly classifier interface (normal vs. abnormal) with per-attribute
+// impact attribution.
+//
+// The score is the log-odds of Eq. (1) in the paper: a sum of one term
+// per attribute (L_i, Eq. (2)) plus the class-prior term; a positive sum
+// classifies the state as abnormal, and larger L_i means attribute i is
+// more relevant to the predicted anomaly (Fig. 3).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "models/dataset.h"
+#include "models/distribution.h"
+
+namespace prepare {
+
+struct Classification {
+  bool abnormal = false;
+  /// Log-odds score: prior term + sum of impacts. > 0 means abnormal.
+  double score = 0.0;
+  /// Per-attribute impact strengths L_i (Eq. 2).
+  std::vector<double> impacts;
+};
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  virtual void train(const LabeledDataset& data) = 0;
+  virtual bool trained() const = 0;
+
+  /// Classifies a concrete discretized sample.
+  virtual Classification classify(
+      const std::vector<std::size_t>& row) const = 0;
+
+  /// Classifies a *predicted* sample given per-attribute value
+  /// distributions (assumed independent): each L_i is replaced by its
+  /// expectation under the predicted distributions. This is how the
+  /// anomaly predictor performs "classification over future data".
+  virtual Classification classify_expected(
+      const std::vector<Distribution>& dists) const = 0;
+
+  /// Attribute indices sorted by impact, most anomaly-relevant first.
+  static std::vector<std::size_t> ranked_attributes(const Classification& c);
+};
+
+}  // namespace prepare

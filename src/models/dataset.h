@@ -1,0 +1,20 @@
+// Discretized, labeled training data for the classifiers.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace prepare {
+
+/// Rows of discretized attribute values with normal/abnormal labels.
+/// `alphabet[i]` is the number of bins of attribute i.
+struct LabeledDataset {
+  std::vector<std::vector<std::size_t>> rows;
+  std::vector<bool> abnormal;
+  std::vector<std::size_t> alphabet;
+
+  std::size_t size() const { return rows.size(); }
+  std::size_t attributes() const { return alphabet.size(); }
+};
+
+}  // namespace prepare

@@ -1,0 +1,116 @@
+#include "models/discretizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace prepare {
+
+Discretizer::Discretizer(std::size_t bins, DiscretizerKind kind,
+                         double margin, bool guard_bins)
+    : requested_bins_(bins),
+      kind_(kind),
+      margin_(margin),
+      guard_bins_(guard_bins) {
+  PREPARE_CHECK(bins >= 2);
+  PREPARE_CHECK(margin >= 0.0);
+}
+
+void Discretizer::fit(const std::vector<double>& values) {
+  PREPARE_CHECK_MSG(!values.empty(), "cannot fit discretizer on empty data");
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  const double lo = sorted.front();
+  const double hi = sorted.back();
+
+  cuts_.clear();
+  if (kind_ == DiscretizerKind::kEqualWidth) {
+    double span = hi - lo;
+    double xlo = lo, xhi = hi;
+    if (span <= 0.0) {
+      const double pad = std::max(1.0, std::abs(lo)) * 0.01;
+      xlo -= pad;
+      xhi += pad;
+      span = xhi - xlo;
+    }
+    xlo -= margin_ * span;
+    xhi += margin_ * span;
+    const double width = (xhi - xlo) / static_cast<double>(requested_bins_);
+    for (std::size_t b = 1; b < requested_bins_; ++b)
+      cuts_.push_back(xlo + width * static_cast<double>(b));
+  } else {
+    // Quantile cuts; duplicates (tied data) are merged.
+    for (std::size_t b = 1; b < requested_bins_; ++b) {
+      const double q = static_cast<double>(b) /
+                       static_cast<double>(requested_bins_);
+      const auto idx = static_cast<std::size_t>(
+          q * static_cast<double>(sorted.size() - 1));
+      const double cut = sorted[idx];
+      if (cuts_.empty() || cut > cuts_.back()) cuts_.push_back(cut);
+    }
+    // Degenerate (constant) data: one artificial cut above the constant
+    // so everything lands in bin 0 and outliers in bin 1.
+    if (cuts_.empty())
+      cuts_.push_back(lo + std::max(1.0, std::abs(lo)) * 0.01);
+    // Drop a cut equal to the maximum (it would leave an empty top bin
+    // reachable only by out-of-range values; keep it — outliers above
+    // the training range are informative).
+  }
+
+  // Guard bins: cuts a margin beyond the observed data range, so only
+  // values well outside anything seen in training land in dedicated,
+  // never-trained-on bins (the margin absorbs small-sample noise).
+  data_lo_ = lo;
+  data_hi_ = hi;
+  if (guard_bins_) {
+    const double pad =
+        std::max({1e-9, (hi - lo) * 2.0 * margin_, std::abs(hi) * 1e-9});
+    cuts_.insert(cuts_.begin(), lo - pad);
+    cuts_.push_back(hi + pad);
+  }
+
+  // Representative value per bin: midpoint of the bin's data span.
+  const std::size_t n_bins = cuts_.size() + 1;
+  centers_.assign(n_bins, 0.0);
+  for (std::size_t b = 0; b < n_bins; ++b) {
+    const double bin_lo = b == 0 ? lo : cuts_[b - 1];
+    const double bin_hi = b == n_bins - 1 ? hi : cuts_[b];
+    centers_[b] = 0.5 * (bin_lo + std::max(bin_lo, bin_hi));
+  }
+  fitted_ = true;
+}
+
+std::size_t Discretizer::bins() const {
+  PREPARE_CHECK_MSG(fitted_, "bins() before fit()");
+  return cuts_.size() + 1;
+}
+
+std::size_t Discretizer::discretize(double value) const {
+  PREPARE_CHECK_MSG(fitted_, "discretizer used before fit()");
+  // Bin i covers (cuts[i-1], cuts[i]]; values above the last cut land in
+  // the top bin.
+  const auto it = std::lower_bound(cuts_.begin(), cuts_.end(), value);
+  return static_cast<std::size_t>(it - cuts_.begin());
+}
+
+std::vector<std::size_t> Discretizer::discretize(
+    const std::vector<double>& xs) const {
+  std::vector<std::size_t> out;
+  out.reserve(xs.size());
+  for (double x : xs) out.push_back(discretize(x));
+  return out;
+}
+
+double Discretizer::bin_center(std::size_t bin) const {
+  PREPARE_CHECK(fitted_);
+  PREPARE_CHECK(bin < centers_.size());
+  return centers_[bin];
+}
+
+std::vector<double> Discretizer::bin_centers() const {
+  PREPARE_CHECK(fitted_);
+  return centers_;
+}
+
+}  // namespace prepare

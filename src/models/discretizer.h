@@ -1,0 +1,68 @@
+// Discretization of a continuous attribute.
+//
+// Both the Markov value predictors and the Bayesian classifiers operate
+// on discretized attribute values (paper Fig. 2 shows an attribute
+// "discretized into three single states").
+//
+// Two schemes:
+//  * equal-width — fixed-width bins over the observed range (+margin);
+//  * equal-frequency (default) — bin boundaries at quantiles of the
+//    training data. Anomaly-era extremes would stretch equal-width bins
+//    so far that the whole normal-to-degrading trajectory collapses into
+//    one bin; quantile cuts keep resolution where the data actually
+//    lives. Duplicate cut points (heavily tied data) are merged, so the
+//    effective bin count can be smaller than requested — bins() reports
+//    the effective count after fit().
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace prepare {
+
+enum class DiscretizerKind { kEqualWidth, kQuantile };
+
+class Discretizer {
+ public:
+  /// `bins` >= 2 requested bins; `margin` expands the learned range for
+  /// the equal-width scheme. With `guard_bins`, one extra bin is added
+  /// beyond each edge that only values OUTSIDE the training range map
+  /// to — training data never lands there, so a guard-bin symbol is
+  /// maximally surprising to a density model (used by the unsupervised
+  /// outlier detector).
+  explicit Discretizer(std::size_t bins = 7,
+                       DiscretizerKind kind = DiscretizerKind::kQuantile,
+                       double margin = 0.05, bool guard_bins = false);
+
+  /// Learns bin boundaries from values.
+  void fit(const std::vector<double>& values);
+
+  /// Maps a value to its bin, clamping outliers to the edge bins.
+  std::size_t discretize(double value) const;
+  std::vector<std::size_t> discretize(const std::vector<double>& xs) const;
+
+  /// Representative (center) value of a bin — used to turn predicted
+  /// symbol distributions back into metric values for reporting.
+  double bin_center(std::size_t bin) const;
+  std::vector<double> bin_centers() const;
+
+  /// Effective number of bins (== requested for equal-width; possibly
+  /// fewer for quantile when the data is heavily tied).
+  std::size_t bins() const;
+  bool fitted() const { return fitted_; }
+  DiscretizerKind kind() const { return kind_; }
+  /// Interior cut points (ascending); bin i is (cut[i-1], cut[i]].
+  const std::vector<double>& cuts() const { return cuts_; }
+
+ private:
+  std::size_t requested_bins_;
+  DiscretizerKind kind_;
+  double margin_;
+  bool guard_bins_;
+  double data_lo_ = 0.0, data_hi_ = 0.0;  // training range (guard bins)
+  bool fitted_ = false;
+  std::vector<double> cuts_;     ///< interior boundaries, ascending
+  std::vector<double> centers_;  ///< representative value per bin
+};
+
+}  // namespace prepare

@@ -1,0 +1,60 @@
+#include "models/distribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace prepare {
+
+Distribution Distribution::delta(std::size_t size, std::size_t symbol) {
+  PREPARE_CHECK(symbol < size);
+  Distribution d(size);
+  d.p_[symbol] = 1.0;
+  return d;
+}
+
+Distribution Distribution::uniform(std::size_t size) {
+  PREPARE_CHECK(size > 0);
+  Distribution d(size);
+  std::fill(d.p_.begin(), d.p_.end(), 1.0 / static_cast<double>(size));
+  return d;
+}
+
+void Distribution::normalize() {
+  const double s = sum();
+  if (s <= 0.0) {
+    if (!p_.empty())
+      std::fill(p_.begin(), p_.end(), 1.0 / static_cast<double>(p_.size()));
+    return;
+  }
+  for (double& x : p_) x /= s;
+}
+
+double Distribution::sum() const {
+  double s = 0.0;
+  for (double x : p_) s += x;
+  return s;
+}
+
+std::size_t Distribution::mode() const {
+  PREPARE_CHECK(!p_.empty());
+  return static_cast<std::size_t>(
+      std::max_element(p_.begin(), p_.end()) - p_.begin());
+}
+
+double Distribution::expectation(const std::vector<double>& f) const {
+  PREPARE_CHECK(f.size() == p_.size());
+  double e = 0.0;
+  for (std::size_t i = 0; i < p_.size(); ++i) e += p_[i] * f[i];
+  return e;
+}
+
+double Distribution::entropy() const {
+  double h = 0.0;
+  for (double x : p_)
+    if (x > 0.0) h -= x * std::log(x);
+  return h;
+}
+
+}  // namespace prepare

@@ -1,0 +1,43 @@
+// Discrete probability distribution over an attribute's value bins.
+//
+// The attribute-value predictors emit one of these per attribute per
+// look-ahead step; the classifiers consume them via expectation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace prepare {
+
+class Distribution {
+ public:
+  Distribution() = default;
+  explicit Distribution(std::size_t size) : p_(size, 0.0) {}
+  explicit Distribution(std::vector<double> p) : p_(std::move(p)) {}
+
+  /// Point mass on `symbol`.
+  static Distribution delta(std::size_t size, std::size_t symbol);
+  /// Uniform over `size` symbols.
+  static Distribution uniform(std::size_t size);
+
+  std::size_t size() const { return p_.size(); }
+  double operator[](std::size_t i) const { return p_[i]; }
+  double& operator[](std::size_t i) { return p_[i]; }
+  const std::vector<double>& probabilities() const { return p_; }
+
+  /// Rescales to sum 1 (uniform if the sum is zero).
+  void normalize();
+  double sum() const;
+
+  /// Most likely symbol (lowest index wins ties).
+  std::size_t mode() const;
+  /// Expected value of f(symbol); pass bin centers for the mean value.
+  double expectation(const std::vector<double>& f) const;
+  /// Entropy in nats.
+  double entropy() const;
+
+ private:
+  std::vector<double> p_;
+};
+
+}  // namespace prepare

@@ -1,0 +1,57 @@
+#include "models/markov.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace prepare {
+
+MarkovChain::MarkovChain(std::size_t alphabet, double alpha)
+    : alphabet_(alphabet), alpha_(alpha), counts_(alphabet * alphabet, 0.0) {
+  PREPARE_CHECK(alphabet >= 2);
+  PREPARE_CHECK(alpha > 0.0);
+}
+
+void MarkovChain::train(const std::vector<std::size_t>& sequence) {
+  std::fill(counts_.begin(), counts_.end(), 0.0);
+  has_context_ = false;
+  for (std::size_t s : sequence) observe(s, /*learn=*/true);
+}
+
+void MarkovChain::observe(std::size_t symbol, bool learn) {
+  PREPARE_CHECK(symbol < alphabet_);
+  if (has_context_ && learn) counts_[context_ * alphabet_ + symbol] += 1.0;
+  context_ = symbol;
+  has_context_ = true;
+}
+
+double MarkovChain::transition(std::size_t from, std::size_t to) const {
+  PREPARE_CHECK(from < alphabet_ && to < alphabet_);
+  double row_total = 0.0;
+  for (std::size_t j = 0; j < alphabet_; ++j)
+    row_total += counts_[from * alphabet_ + j];
+  return (counts_[from * alphabet_ + to] + alpha_) /
+         (row_total + alpha_ * static_cast<double>(alphabet_));
+}
+
+Distribution MarkovChain::predict(std::size_t steps) const {
+  PREPARE_CHECK_MSG(has_context_, "predict() before any observation");
+  PREPARE_CHECK(steps >= 1);
+  std::vector<double> v(alphabet_, 0.0);
+  v[context_] = 1.0;
+  std::vector<double> next(alphabet_, 0.0);
+  for (std::size_t s = 0; s < steps; ++s) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t i = 0; i < alphabet_; ++i) {
+      if (v[i] <= 0.0) continue;
+      for (std::size_t j = 0; j < alphabet_; ++j)
+        next[j] += v[i] * transition(i, j);
+    }
+    std::swap(v, next);
+  }
+  Distribution d(std::move(v));
+  d.normalize();
+  return d;
+}
+
+}  // namespace prepare

@@ -1,0 +1,39 @@
+// Simple (order-1) Markov chain value predictor — the baseline model from
+// the authors' earlier ALERT work [10], kept for the Fig. 11 comparison.
+//
+// Transitions P(next | current) are learned with Laplace smoothing; a
+// k-step prediction is the current one-hot vector pushed k times through
+// the transition matrix.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "models/value_predictor.h"
+
+namespace prepare {
+
+class MarkovChain : public ValuePredictor {
+ public:
+  /// `alphabet` is the number of discretized states; `alpha` the Laplace
+  /// smoothing pseudo-count.
+  explicit MarkovChain(std::size_t alphabet, double alpha = 0.5);
+
+  void train(const std::vector<std::size_t>& sequence) override;
+  void observe(std::size_t symbol, bool learn) override;
+  Distribution predict(std::size_t steps) const override;
+  bool ready() const override { return has_context_; }
+  std::size_t alphabet() const override { return alphabet_; }
+
+  /// Smoothed transition probability P(to | from).
+  double transition(std::size_t from, std::size_t to) const;
+
+ private:
+  std::size_t alphabet_;
+  double alpha_;
+  std::vector<double> counts_;  // alphabet_ x alphabet_, row-major
+  std::size_t context_ = 0;     // last symbol seen
+  bool has_context_ = false;
+};
+
+}  // namespace prepare

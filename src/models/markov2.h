@@ -1,0 +1,46 @@
+// 2-dependent Markov chain value predictor (paper Section II-B, Fig. 2).
+//
+// Transitions depend on the *pair* of the previous and current values:
+// combining every two single states into one combined state turns a
+// non-Markovian attribute (e.g. one moving along a ramp or a sinusoid,
+// where the slope matters) into a Markovian one. A k-step prediction
+// propagates a distribution over combined states (prev, cur) — each step
+// maps (a, b) -> (b, c) with probability P(c | a, b) — and marginalizes
+// the final pair distribution onto the current value.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "models/value_predictor.h"
+
+namespace prepare {
+
+class TwoDependentMarkov : public ValuePredictor {
+ public:
+  explicit TwoDependentMarkov(std::size_t alphabet, double alpha = 0.5);
+
+  void train(const std::vector<std::size_t>& sequence) override;
+  void observe(std::size_t symbol, bool learn) override;
+  Distribution predict(std::size_t steps) const override;
+  bool ready() const override { return seen_ >= 2; }
+  std::size_t alphabet() const override { return alphabet_; }
+
+  /// Smoothed P(next | prev, cur).
+  double transition(std::size_t prev, std::size_t cur,
+                    std::size_t next) const;
+
+ private:
+  std::size_t pair_index(std::size_t prev, std::size_t cur) const {
+    return prev * alphabet_ + cur;
+  }
+
+  std::size_t alphabet_;
+  double alpha_;
+  /// counts_[pair_index(prev, cur) * alphabet_ + next]
+  std::vector<double> counts_;
+  std::size_t prev_ = 0, cur_ = 0;
+  std::size_t seen_ = 0;  // number of symbols observed (saturates at 2)
+};
+
+}  // namespace prepare

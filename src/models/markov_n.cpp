@@ -1,0 +1,100 @@
+#include "models/markov_n.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace prepare {
+
+NDependentMarkov::NDependentMarkov(std::size_t order, std::size_t alphabet,
+                                   double alpha)
+    : order_(order), alphabet_(alphabet), alpha_(alpha) {
+  PREPARE_CHECK(order >= 1);
+  PREPARE_CHECK(alphabet >= 2);
+  PREPARE_CHECK(alpha > 0.0);
+  states_ = 1;
+  for (std::size_t i = 0; i < order_; ++i) {
+    PREPARE_CHECK_MSG(states_ <= 1'000'000 / alphabet_,
+                      "alphabet^order too large");
+    states_ *= alphabet_;
+  }
+  counts_.assign(states_ * alphabet_, 0.0);
+}
+
+std::size_t NDependentMarkov::context_index(
+    const std::deque<std::size_t>& ctx) const {
+  PREPARE_DCHECK(ctx.size() == order_);
+  std::size_t index = 0;
+  for (std::size_t s : ctx) index = index * alphabet_ + s;
+  return index;
+}
+
+std::size_t NDependentMarkov::shifted_index(std::size_t ctx_index,
+                                            std::size_t next) const {
+  // Drop the oldest symbol (most significant digit), append `next`.
+  return (ctx_index % (states_ / alphabet_)) * alphabet_ + next;
+}
+
+void NDependentMarkov::train(const std::vector<std::size_t>& sequence) {
+  std::fill(counts_.begin(), counts_.end(), 0.0);
+  context_.clear();
+  for (std::size_t s : sequence) observe(s, /*learn=*/true);
+}
+
+void NDependentMarkov::observe(std::size_t symbol, bool learn) {
+  PREPARE_CHECK(symbol < alphabet_);
+  if (context_.size() == order_) {
+    if (learn) counts_[context_index(context_) * alphabet_ + symbol] += 1.0;
+    context_.pop_front();
+  }
+  context_.push_back(symbol);
+}
+
+double NDependentMarkov::transition(
+    const std::vector<std::size_t>& context, std::size_t next) const {
+  PREPARE_CHECK(context.size() == order_);
+  PREPARE_CHECK(next < alphabet_);
+  std::size_t index = 0;
+  for (std::size_t s : context) {
+    PREPARE_CHECK(s < alphabet_);
+    index = index * alphabet_ + s;
+  }
+  const std::size_t base = index * alphabet_;
+  double row_total = 0.0;
+  for (std::size_t j = 0; j < alphabet_; ++j) row_total += counts_[base + j];
+  return (counts_[base + next] + alpha_) /
+         (row_total + alpha_ * static_cast<double>(alphabet_));
+}
+
+Distribution NDependentMarkov::predict(std::size_t steps) const {
+  PREPARE_CHECK_MSG(ready(), "predict() before enough observations");
+  PREPARE_CHECK(steps >= 1);
+  std::vector<double> v(states_, 0.0);
+  v[context_index(context_)] = 1.0;
+  std::vector<double> next(states_, 0.0);
+  for (std::size_t s = 0; s < steps; ++s) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t ctx = 0; ctx < states_; ++ctx) {
+      const double mass = v[ctx];
+      if (mass <= 0.0) continue;
+      const std::size_t base = ctx * alphabet_;
+      double row_total = 0.0;
+      for (std::size_t j = 0; j < alphabet_; ++j)
+        row_total += counts_[base + j];
+      const double denom =
+          row_total + alpha_ * static_cast<double>(alphabet_);
+      for (std::size_t j = 0; j < alphabet_; ++j)
+        next[shifted_index(ctx, j)] +=
+            mass * (counts_[base + j] + alpha_) / denom;
+    }
+    std::swap(v, next);
+  }
+  // Marginalize onto the most recent symbol (the low digit).
+  Distribution d(alphabet_);
+  for (std::size_t ctx = 0; ctx < states_; ++ctx)
+    d[ctx % alphabet_] += v[ctx];
+  d.normalize();
+  return d;
+}
+
+}  // namespace prepare

@@ -1,0 +1,50 @@
+// N-dependent Markov chain value predictor: the natural generalization
+// of the paper's 2-dependent model (Fig. 2) to arbitrary context length.
+//
+// The combined state is the tuple of the last `order` values; each step
+// maps (v1..vn) -> (v2..vn, next) with probability P(next | v1..vn).
+// Order 1 reproduces the simple chain, order 2 the paper's model; higher
+// orders capture longer patterns but need alphabet^order transition rows
+// of training data — the diminishing-returns trade the
+// `abl_markov_order` bench quantifies.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "models/value_predictor.h"
+
+namespace prepare {
+
+class NDependentMarkov : public ValuePredictor {
+ public:
+  /// `order` >= 1 context length; `alphabet` >= 2 symbol count.
+  NDependentMarkov(std::size_t order, std::size_t alphabet,
+                   double alpha = 0.5);
+
+  void train(const std::vector<std::size_t>& sequence) override;
+  void observe(std::size_t symbol, bool learn) override;
+  Distribution predict(std::size_t steps) const override;
+  bool ready() const override { return context_.size() == order_; }
+  std::size_t alphabet() const override { return alphabet_; }
+  std::size_t order() const { return order_; }
+
+  /// Smoothed P(next | context); `context` must have `order` symbols.
+  double transition(const std::vector<std::size_t>& context,
+                    std::size_t next) const;
+
+ private:
+  /// Row-major index of a context tuple.
+  std::size_t context_index(const std::deque<std::size_t>& ctx) const;
+  std::size_t shifted_index(std::size_t ctx_index, std::size_t next) const;
+
+  std::size_t order_;
+  std::size_t alphabet_;
+  double alpha_;
+  std::size_t states_;              ///< alphabet^order
+  std::vector<double> counts_;      ///< states_ x alphabet_
+  std::deque<std::size_t> context_;
+};
+
+}  // namespace prepare

@@ -1,0 +1,96 @@
+#include "models/naive_bayes.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace prepare {
+
+NaiveBayesClassifier::NaiveBayesClassifier(double alpha) : alpha_(alpha) {
+  PREPARE_CHECK(alpha > 0.0);
+}
+
+void NaiveBayesClassifier::train(const LabeledDataset& data) {
+  PREPARE_CHECK_MSG(!data.rows.empty(), "empty training set");
+  PREPARE_CHECK(data.rows.size() == data.abnormal.size());
+  alphabet_ = data.alphabet;
+  for (int c = 0; c < 2; ++c) {
+    counts_[c].assign(alphabet_.size(), {});
+    for (std::size_t i = 0; i < alphabet_.size(); ++i)
+      counts_[c][i].assign(alphabet_[i], 0.0);
+  }
+  class_counts_ = {0.0, 0.0};
+  for (std::size_t r = 0; r < data.rows.size(); ++r) {
+    const auto& row = data.rows[r];
+    PREPARE_CHECK(row.size() == alphabet_.size());
+    const int c = data.abnormal[r] ? 1 : 0;
+    class_counts_[c] += 1.0;
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      PREPARE_CHECK(row[i] < alphabet_[i]);
+      counts_[c][i][row[i]] += 1.0;
+    }
+  }
+  trained_ = true;
+}
+
+double NaiveBayesClassifier::likelihood(std::size_t attribute,
+                                        std::size_t value,
+                                        bool abnormal) const {
+  PREPARE_CHECK(trained_);
+  const int c = abnormal ? 1 : 0;
+  PREPARE_CHECK(attribute < alphabet_.size());
+  PREPARE_CHECK(value < alphabet_[attribute]);
+  return (counts_[c][attribute][value] + alpha_) /
+         (class_counts_[c] +
+          alpha_ * static_cast<double>(alphabet_[attribute]));
+}
+
+double NaiveBayesClassifier::prior(bool abnormal) const {
+  PREPARE_CHECK(trained_);
+  const int c = abnormal ? 1 : 0;
+  const double total = class_counts_[0] + class_counts_[1];
+  return (class_counts_[c] + alpha_) / (total + 2.0 * alpha_);
+}
+
+double NaiveBayesClassifier::log_impact(std::size_t attribute,
+                                        std::size_t value) const {
+  return std::log(likelihood(attribute, value, true) /
+                  likelihood(attribute, value, false));
+}
+
+Classification NaiveBayesClassifier::classify(
+    const std::vector<std::size_t>& row) const {
+  PREPARE_CHECK(trained_);
+  PREPARE_CHECK(row.size() == alphabet_.size());
+  Classification out;
+  out.impacts.resize(row.size());
+  out.score = std::log(prior(true) / prior(false));
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    out.impacts[i] = log_impact(i, row[i]);
+    out.score += out.impacts[i];
+  }
+  out.abnormal = out.score > 0.0;
+  return out;
+}
+
+Classification NaiveBayesClassifier::classify_expected(
+    const std::vector<Distribution>& dists) const {
+  PREPARE_CHECK(trained_);
+  PREPARE_CHECK(dists.size() == alphabet_.size());
+  Classification out;
+  out.impacts.resize(dists.size());
+  out.score = std::log(prior(true) / prior(false));
+  for (std::size_t i = 0; i < dists.size(); ++i) {
+    PREPARE_CHECK(dists[i].size() == alphabet_[i]);
+    double e = 0.0;
+    for (std::size_t v = 0; v < alphabet_[i]; ++v)
+      if (dists[i][v] > 0.0) e += dists[i][v] * log_impact(i, v);
+    out.impacts[i] = e;
+    out.score += e;
+  }
+  out.abnormal = out.score > 0.0;
+  return out;
+}
+
+}  // namespace prepare

@@ -1,0 +1,41 @@
+// Naive Bayes anomaly classifier — the baseline from the authors' earlier
+// ALERT work [10]. Kept for the TAN-vs-NB ablation: the paper adopts TAN
+// because naive Bayes "cannot provide the metric attribution information
+// accurately" (Section II-B).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "models/classifier.h"
+
+namespace prepare {
+
+class NaiveBayesClassifier : public Classifier {
+ public:
+  explicit NaiveBayesClassifier(double alpha = 1.0);
+
+  void train(const LabeledDataset& data) override;
+  bool trained() const override { return trained_; }
+  Classification classify(const std::vector<std::size_t>& row) const override;
+  Classification classify_expected(
+      const std::vector<Distribution>& dists) const override;
+
+  /// Smoothed P(attribute i = v | class c).
+  double likelihood(std::size_t attribute, std::size_t value,
+                    bool abnormal) const;
+  /// Smoothed class prior P(abnormal = c).
+  double prior(bool abnormal) const;
+
+ private:
+  double log_impact(std::size_t attribute, std::size_t value) const;
+
+  double alpha_;
+  bool trained_ = false;
+  std::vector<std::size_t> alphabet_;
+  /// counts_[c][i][v]
+  std::array<std::vector<std::vector<double>>, 2> counts_;
+  std::array<double, 2> class_counts_ = {0.0, 0.0};
+};
+
+}  // namespace prepare

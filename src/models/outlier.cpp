@@ -1,0 +1,198 @@
+#include "models/outlier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace prepare {
+
+OutlierClassifier::OutlierClassifier(double threshold_quantile, double alpha,
+                                     double threshold_margin)
+    : threshold_quantile_(threshold_quantile),
+      alpha_(alpha),
+      threshold_margin_(threshold_margin) {
+  PREPARE_CHECK(threshold_quantile > 0.0 && threshold_quantile <= 1.0);
+  PREPARE_CHECK(alpha > 0.0);
+  PREPARE_CHECK(threshold_margin >= 1.0);
+}
+
+void OutlierClassifier::learn_structure(const LabeledDataset& data) {
+  const std::size_t n = data.attributes();
+  // Pairwise (unconditional) mutual information.
+  std::vector<std::vector<double>> mi(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const std::size_t ki = alphabet_[i], kj = alphabet_[j];
+      std::vector<double> joint(ki * kj, alpha_);
+      std::vector<double> margin_i(ki, alpha_ * static_cast<double>(kj));
+      std::vector<double> margin_j(kj, alpha_ * static_cast<double>(ki));
+      double total = alpha_ * static_cast<double>(ki * kj);
+      for (const auto& row : data.rows) {
+        joint[row[i] * kj + row[j]] += 1.0;
+        margin_i[row[i]] += 1.0;
+        margin_j[row[j]] += 1.0;
+        total += 1.0;
+      }
+      double info = 0.0;
+      for (std::size_t vi = 0; vi < ki; ++vi)
+        for (std::size_t vj = 0; vj < kj; ++vj) {
+          const double p = joint[vi * kj + vj] / total;
+          if (p > 0.0)
+            info += p * std::log(p / (margin_i[vi] / total *
+                                      (margin_j[vj] / total)));
+        }
+      mi[i][j] = mi[j][i] = std::max(0.0, info);
+    }
+  }
+  // Maximum spanning tree (Prim) rooted at attribute 0.
+  parents_.assign(n, kNoParent);
+  if (n == 1) return;
+  std::vector<bool> in_tree(n, false);
+  std::vector<double> best_weight(n, -1.0);
+  std::vector<std::size_t> best_from(n, kNoParent);
+  in_tree[0] = true;
+  for (std::size_t j = 1; j < n; ++j) {
+    best_weight[j] = mi[0][j];
+    best_from[j] = 0;
+  }
+  for (std::size_t added = 1; added < n; ++added) {
+    std::size_t pick = kNoParent;
+    double best = -std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < n; ++j) {
+      if (in_tree[j]) continue;
+      if (best_weight[j] > best) {
+        best = best_weight[j];
+        pick = j;
+      }
+    }
+    in_tree[pick] = true;
+    parents_[pick] = best_from[pick];
+    for (std::size_t j = 0; j < n; ++j) {
+      if (in_tree[j]) continue;
+      if (mi[pick][j] > best_weight[j]) {
+        best_weight[j] = mi[pick][j];
+        best_from[j] = pick;
+      }
+    }
+  }
+}
+
+void OutlierClassifier::learn_tables(const LabeledDataset& data) {
+  const std::size_t n = data.attributes();
+  table_.assign(n, {});
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t rows =
+        parents_[i] == kNoParent ? 1 : alphabet_[parents_[i]];
+    table_[i].assign(rows * alphabet_[i], 0.0);
+  }
+  for (const auto& row : data.rows) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t pv = parents_[i] == kNoParent ? 0 : row[parents_[i]];
+      table_[i][pv * alphabet_[i] + row[i]] += 1.0;
+    }
+  }
+}
+
+void OutlierClassifier::train(const LabeledDataset& data) {
+  PREPARE_CHECK_MSG(!data.rows.empty(), "empty training set");
+  PREPARE_CHECK(data.attributes() >= 1);
+  alphabet_ = data.alphabet;
+  learn_structure(data);
+  learn_tables(data);
+  trained_ = true;
+
+  // Baselines and decision threshold from the training data itself.
+  const std::size_t n = data.attributes();
+  baseline_.assign(n, 0.0);
+  std::vector<double> surprisals;
+  surprisals.reserve(data.rows.size());
+  for (const auto& row : data.rows) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t pv = parents_[i] == kNoParent ? 0 : row[parents_[i]];
+      const double s = local_surprisal(i, row[i], pv);
+      baseline_[i] += s;
+      total += s;
+    }
+    surprisals.push_back(total);
+  }
+  for (double& b : baseline_) b /= static_cast<double>(data.rows.size());
+  threshold_ = percentile_of(surprisals, threshold_quantile_ * 100.0) *
+               threshold_margin_;
+}
+
+double OutlierClassifier::local_surprisal(std::size_t attribute,
+                                          std::size_t value,
+                                          std::size_t parent_value) const {
+  PREPARE_CHECK(trained_);
+  PREPARE_CHECK(attribute < alphabet_.size());
+  PREPARE_CHECK(value < alphabet_[attribute]);
+  const std::size_t k = alphabet_[attribute];
+  const std::size_t pv =
+      parents_[attribute] == kNoParent ? 0 : parent_value;
+  const auto& table = table_[attribute];
+  const std::size_t base = pv * k;
+  double row_total = 0.0;
+  for (std::size_t v = 0; v < k; ++v) row_total += table[base + v];
+  const double p = (table[base + value] + alpha_) /
+                   (row_total + alpha_ * static_cast<double>(k));
+  return -std::log(p);
+}
+
+double OutlierClassifier::surprisal(
+    const std::vector<std::size_t>& row) const {
+  PREPARE_CHECK(trained_);
+  PREPARE_CHECK(row.size() == alphabet_.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    const std::size_t pv = parents_[i] == kNoParent ? 0 : row[parents_[i]];
+    total += local_surprisal(i, row[i], pv);
+  }
+  return total;
+}
+
+Classification OutlierClassifier::classify(
+    const std::vector<std::size_t>& row) const {
+  PREPARE_CHECK(trained_);
+  PREPARE_CHECK(row.size() == alphabet_.size());
+  Classification out;
+  out.impacts.resize(row.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    const std::size_t pv = parents_[i] == kNoParent ? 0 : row[parents_[i]];
+    const double s = local_surprisal(i, row[i], pv);
+    out.impacts[i] = s - baseline_[i];
+    total += s;
+  }
+  out.score = total - threshold_;
+  out.abnormal = out.score > 0.0;
+  return out;
+}
+
+Classification OutlierClassifier::classify_expected(
+    const std::vector<Distribution>& dists) const {
+  PREPARE_CHECK(trained_);
+  PREPARE_CHECK(dists.size() == alphabet_.size());
+  Classification out;
+  out.impacts.resize(dists.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < dists.size(); ++i) {
+    PREPARE_CHECK(dists[i].size() == alphabet_[i]);
+    const std::size_t pv =
+        parents_[i] == kNoParent ? 0 : dists[parents_[i]].mode();
+    double expected = 0.0;
+    for (std::size_t v = 0; v < alphabet_[i]; ++v)
+      if (dists[i][v] > 0.0)
+        expected += dists[i][v] * local_surprisal(i, v, pv);
+    out.impacts[i] = expected - baseline_[i];
+    total += expected;
+  }
+  out.score = total - threshold_;
+  out.abnormal = out.score > 0.0;
+  return out;
+}
+
+}  // namespace prepare

@@ -1,0 +1,217 @@
+#include "models/tan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace prepare {
+
+TanClassifier::TanClassifier(double alpha) : alpha_(alpha) {
+  PREPARE_CHECK(alpha > 0.0);
+}
+
+void TanClassifier::train(const LabeledDataset& data) {
+  PREPARE_CHECK_MSG(!data.rows.empty(), "empty training set");
+  PREPARE_CHECK(data.rows.size() == data.abnormal.size());
+  PREPARE_CHECK(data.attributes() >= 1);
+  alphabet_ = data.alphabet;
+  learn_structure(data);
+  learn_cpts(data);
+  trained_ = true;
+}
+
+void TanClassifier::learn_structure(const LabeledDataset& data) {
+  const std::size_t n = data.attributes();
+  cmi_.assign(n, std::vector<double>(n, 0.0));
+
+  // Class-conditional joint counts with Laplace smoothing, per pair.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      double info = 0.0;
+      for (int c = 0; c < 2; ++c) {
+        // Count occurrences in class c.
+        const std::size_t ki = alphabet_[i], kj = alphabet_[j];
+        std::vector<double> joint(ki * kj, alpha_);
+        std::vector<double> mi(ki, alpha_ * static_cast<double>(kj));
+        std::vector<double> mj(kj, alpha_ * static_cast<double>(ki));
+        double total = alpha_ * static_cast<double>(ki * kj);
+        for (std::size_t r = 0; r < data.rows.size(); ++r) {
+          if ((data.abnormal[r] ? 1 : 0) != c) continue;
+          const std::size_t vi = data.rows[r][i];
+          const std::size_t vj = data.rows[r][j];
+          joint[vi * kj + vj] += 1.0;
+          mi[vi] += 1.0;
+          mj[vj] += 1.0;
+          total += 1.0;
+        }
+        // Weight by the (smoothed) class probability.
+        const double n_c =
+            static_cast<double>(std::count(data.abnormal.begin(),
+                                           data.abnormal.end(), c == 1));
+        const double p_c =
+            (n_c + alpha_) / (static_cast<double>(data.size()) + 2.0 * alpha_);
+        double info_c = 0.0;
+        for (std::size_t vi = 0; vi < ki; ++vi) {
+          for (std::size_t vj = 0; vj < kj; ++vj) {
+            const double p_joint = joint[vi * kj + vj] / total;
+            const double p_i = mi[vi] / total;
+            const double p_j = mj[vj] / total;
+            if (p_joint > 0.0)
+              info_c += p_joint * std::log(p_joint / (p_i * p_j));
+          }
+        }
+        info += p_c * std::max(0.0, info_c);
+      }
+      cmi_[i][j] = cmi_[j][i] = info;
+    }
+  }
+
+  // Maximum-weight spanning tree (Prim), rooted at attribute 0; the
+  // traversal order fixes edge orientation: parent = the tree vertex
+  // through which a vertex was attached.
+  parents_.assign(n, kNoParent);
+  if (n == 1) return;
+  std::vector<bool> in_tree(n, false);
+  std::vector<double> best_weight(n, -1.0);
+  std::vector<std::size_t> best_from(n, kNoParent);
+  in_tree[0] = true;
+  for (std::size_t j = 1; j < n; ++j) {
+    best_weight[j] = cmi_[0][j];
+    best_from[j] = 0;
+  }
+  for (std::size_t added = 1; added < n; ++added) {
+    std::size_t pick = kNoParent;
+    double pick_weight = -std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < n; ++j) {
+      if (in_tree[j]) continue;
+      if (best_weight[j] > pick_weight) {
+        pick_weight = best_weight[j];
+        pick = j;
+      }
+    }
+    PREPARE_DCHECK(pick != kNoParent);
+    in_tree[pick] = true;
+    parents_[pick] = best_from[pick];
+    for (std::size_t j = 0; j < n; ++j) {
+      if (in_tree[j]) continue;
+      if (cmi_[pick][j] > best_weight[j]) {
+        best_weight[j] = cmi_[pick][j];
+        best_from[j] = pick;
+      }
+    }
+  }
+}
+
+void TanClassifier::learn_cpts(const LabeledDataset& data) {
+  const std::size_t n = data.attributes();
+  class_counts_ = {0.0, 0.0};
+  for (int c = 0; c < 2; ++c) {
+    cpt_[c].assign(n, {});
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t rows =
+          parents_[i] == kNoParent ? 1 : alphabet_[parents_[i]];
+      cpt_[c][i].assign(rows * alphabet_[i], 0.0);
+    }
+  }
+  for (std::size_t r = 0; r < data.rows.size(); ++r) {
+    const auto& row = data.rows[r];
+    PREPARE_CHECK(row.size() == n);
+    const int c = data.abnormal[r] ? 1 : 0;
+    class_counts_[c] += 1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      PREPARE_CHECK(row[i] < alphabet_[i]);
+      const std::size_t pv =
+          parents_[i] == kNoParent ? 0 : row[parents_[i]];
+      cpt_[c][i][pv * alphabet_[i] + row[i]] += 1.0;
+    }
+  }
+}
+
+double TanClassifier::likelihood(std::size_t attribute, std::size_t value,
+                                 std::size_t parent_value,
+                                 bool abnormal) const {
+  PREPARE_CHECK(trained_);
+  PREPARE_CHECK(attribute < alphabet_.size());
+  PREPARE_CHECK(value < alphabet_[attribute]);
+  const int c = abnormal ? 1 : 0;
+  const std::size_t pv = parents_[attribute] == kNoParent ? 0 : parent_value;
+  const std::size_t k = alphabet_[attribute];
+  const auto& table = cpt_[c][attribute];
+  const std::size_t base = pv * k;
+  PREPARE_CHECK(base + k <= table.size());
+  double row_total = 0.0;
+  for (std::size_t v = 0; v < k; ++v) row_total += table[base + v];
+  return (table[base + value] + alpha_) /
+         (row_total + alpha_ * static_cast<double>(k));
+}
+
+double TanClassifier::prior(bool abnormal) const {
+  PREPARE_CHECK(trained_);
+  const int c = abnormal ? 1 : 0;
+  const double total = class_counts_[0] + class_counts_[1];
+  return (class_counts_[c] + alpha_) / (total + 2.0 * alpha_);
+}
+
+double TanClassifier::conditional_mutual_information(std::size_t i,
+                                                     std::size_t j) const {
+  PREPARE_CHECK(trained_);
+  PREPARE_CHECK(i < cmi_.size() && j < cmi_.size());
+  return cmi_[i][j];
+}
+
+double TanClassifier::log_impact(std::size_t attribute, std::size_t value,
+                                 std::size_t parent_value) const {
+  return std::log(likelihood(attribute, value, parent_value, true) /
+                  likelihood(attribute, value, parent_value, false));
+}
+
+Classification TanClassifier::classify(
+    const std::vector<std::size_t>& row) const {
+  PREPARE_CHECK(trained_);
+  PREPARE_CHECK(row.size() == alphabet_.size());
+  Classification out;
+  out.impacts.resize(row.size());
+  out.score = std::log(prior(true) / prior(false));
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    const std::size_t pv =
+        parents_[i] == kNoParent ? 0 : row[parents_[i]];
+    out.impacts[i] = log_impact(i, row[i], pv);
+    out.score += out.impacts[i];
+  }
+  out.abnormal = out.score > 0.0;
+  return out;
+}
+
+Classification TanClassifier::classify_expected(
+    const std::vector<Distribution>& dists) const {
+  PREPARE_CHECK(trained_);
+  PREPARE_CHECK(dists.size() == alphabet_.size());
+  Classification out;
+  out.impacts.resize(dists.size());
+  out.score = std::log(prior(true) / prior(false));
+  for (std::size_t i = 0; i < dists.size(); ++i) {
+    PREPARE_CHECK(dists[i].size() == alphabet_[i]);
+    double e = 0.0;
+    if (parents_[i] == kNoParent) {
+      for (std::size_t v = 0; v < alphabet_[i]; ++v)
+        if (dists[i][v] > 0.0) e += dists[i][v] * log_impact(i, v, 0);
+    } else {
+      // Expectation over the child's predicted distribution with the
+      // parent pinned at its most likely predicted value. A full
+      // independent product would put mass on (child, parent) pairs that
+      // never co-occur — correlated attributes like free_mem/mem_util
+      // would then cancel their own evidence.
+      const std::size_t pv = dists[parents_[i]].mode();
+      for (std::size_t v = 0; v < alphabet_[i]; ++v)
+        if (dists[i][v] > 0.0) e += dists[i][v] * log_impact(i, v, pv);
+    }
+    out.impacts[i] = e;
+    out.score += e;
+  }
+  out.abnormal = out.score > 0.0;
+  return out;
+}
+
+}  // namespace prepare

@@ -1,0 +1,68 @@
+// Tree-Augmented Naive Bayes (TAN) classifier (Cohen et al., OSDI'04 [12];
+// paper Section II-B/II-C).
+//
+// Structure learning follows Friedman's classic construction: compute the
+// class-conditional mutual information I(A_i; A_j | C) for every
+// attribute pair, build the maximum-weight spanning tree over attributes,
+// and orient it from a root — each attribute then has the class plus at
+// most one other attribute as parents. CPTs use Laplace smoothing.
+//
+// The per-attribute impact strength L_i (Eq. 2),
+//
+//   L_i = log[ P(a_i | a_pi, C=1) / P(a_i | a_pi, C=0) ],
+//
+// is exposed for both concrete samples and predicted value distributions;
+// Classification::score is exactly the left-hand side of Eq. (1).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "models/classifier.h"
+
+namespace prepare {
+
+class TanClassifier : public Classifier {
+ public:
+  explicit TanClassifier(double alpha = 1.0);
+
+  void train(const LabeledDataset& data) override;
+  bool trained() const override { return trained_; }
+  Classification classify(const std::vector<std::size_t>& row) const override;
+  Classification classify_expected(
+      const std::vector<Distribution>& dists) const override;
+
+  /// parent(i) = index of attribute i's attribute-parent, or kNoParent
+  /// for the root (whose only parent is the class node).
+  static constexpr std::size_t kNoParent = static_cast<std::size_t>(-1);
+  const std::vector<std::size_t>& parents() const { return parents_; }
+
+  /// Smoothed P(a_i = v | a_pi = pv, C = c); for the root, pv is ignored.
+  double likelihood(std::size_t attribute, std::size_t value,
+                    std::size_t parent_value, bool abnormal) const;
+  double prior(bool abnormal) const;
+
+  /// Class-conditional mutual information I(A_i; A_j | C) from the last
+  /// training set (exposed for tests; symmetric).
+  double conditional_mutual_information(std::size_t i, std::size_t j) const;
+
+ private:
+  void learn_structure(const LabeledDataset& data);
+  void learn_cpts(const LabeledDataset& data);
+  double log_impact(std::size_t attribute, std::size_t value,
+                    std::size_t parent_value) const;
+
+  double alpha_;
+  bool trained_ = false;
+  std::vector<std::size_t> alphabet_;
+  std::vector<std::size_t> parents_;
+  std::vector<std::vector<double>> cmi_;  // pairwise I(A_i; A_j | C)
+
+  /// cpt_[c][i] is a table of size alphabet[pi] x alphabet[i]
+  /// (row-major; a single row of size alphabet[i] for the root).
+  std::array<std::vector<std::vector<double>>, 2> cpt_;
+  std::array<double, 2> class_counts_ = {0.0, 0.0};
+};
+
+}  // namespace prepare

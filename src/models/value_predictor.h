@@ -1,0 +1,39 @@
+// Attribute-value predictor interface.
+//
+// A predictor consumes the discretized sample stream of one attribute and
+// answers "what is the value distribution `steps` sampling intervals from
+// now?" (paper Section II-B: "The metric value prediction can estimate
+// the value distribution of an attribute at a future time").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "models/distribution.h"
+
+namespace prepare {
+
+class ValuePredictor {
+ public:
+  virtual ~ValuePredictor() = default;
+
+  /// Batch-trains on a symbol sequence (resets previous counts and sets
+  /// the prediction context to the end of the sequence).
+  virtual void train(const std::vector<std::size_t>& sequence) = 0;
+
+  /// Feeds one runtime observation. With `learn` true the transition
+  /// counts are updated too (the paper's periodic model update); with
+  /// false only the prediction context advances.
+  virtual void observe(std::size_t symbol, bool learn) = 0;
+
+  /// Distribution of the attribute value `steps` intervals ahead
+  /// (steps >= 1). Requires ready().
+  virtual Distribution predict(std::size_t steps) const = 0;
+
+  /// Whether enough context has been seen to predict.
+  virtual bool ready() const = 0;
+
+  virtual std::size_t alphabet() const = 0;
+};
+
+}  // namespace prepare

@@ -1,0 +1,43 @@
+#include "monitor/memory_estimator.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace prepare {
+
+GrayboxMemoryEstimator::GrayboxMemoryEstimator(GrayboxMemoryConfig config)
+    : config_(config), estimate_(config.quiet_prior) {
+  PREPARE_CHECK(config_.faults_per_pressure > 0.0);
+  PREPARE_CHECK(config_.decay > 0.0 && config_.decay <= 1.0);
+  PREPARE_CHECK(config_.quiet_prior >= 0.0 && config_.quiet_prior <= 1.0);
+  PREPARE_CHECK(config_.disk_full_kbps > config_.disk_baseline_kbps);
+}
+
+double GrayboxMemoryEstimator::update(double page_fault_rate,
+                                      double disk_read_kbps) {
+  PREPARE_CHECK(page_fault_rate >= 0.0);
+  if (page_fault_rate >= config_.min_signal_faults) {
+    // Live paging: invert the fault-rate curve for a direct estimate and
+    // corroborate with the disk-read excess (cache misses hitting disk).
+    const double from_faults =
+        config_.pressure_onset +
+        page_fault_rate / config_.faults_per_pressure;
+    const double disk_excess =
+        std::clamp((disk_read_kbps - config_.disk_baseline_kbps) /
+                       (config_.disk_full_kbps - config_.disk_baseline_kbps),
+                   0.0, 1.0);
+    const double from_disk =
+        config_.pressure_onset + disk_excess * (1.0 - config_.pressure_onset);
+    estimate_ = 0.8 * from_faults + 0.2 * from_disk;
+    confident_ = true;
+  } else {
+    // Quiet guest: no visibility below the paging onset. Decay toward
+    // the uninformed prior.
+    estimate_ += (config_.quiet_prior - estimate_) * config_.decay;
+    confident_ = false;
+  }
+  return estimate_;
+}
+
+}  // namespace prepare

@@ -1,0 +1,61 @@
+// Gray-box memory inference (paper Section V, 4th limitation):
+//
+//   "PREPARE currently needs to implant a light-weight monitoring daemon
+//    within one guest VM to track its memory usage information. However,
+//    these memory usage statistics can either be inferred indirectly
+//    [Wood et al., NSDI'07] or obtained by VM introspection."
+//
+// This estimator implements the indirect-inference route: it watches the
+// externally visible paging signals (major page-fault rate, swap/disk
+// read traffic) and maintains an estimate of the guest's memory
+// utilization. The key asymmetry: paging only becomes visible once the
+// guest is already under pressure, so the estimate is confident near and
+// above the paging onset and decays toward an uninformed prior when the
+// guest is quiet — exactly the blind spot gray-box monitoring has in
+// practice (and the reason the in-guest daemon predicts leaks earlier;
+// see bench/abl_graybox).
+#pragma once
+
+namespace prepare {
+
+struct GrayboxMemoryConfig {
+  /// Paging model calibration: fault rate observed at `pressure_onset`
+  /// is ~0, rising by `faults_per_pressure` per unit of pressure above
+  /// the onset (matches the monitor's guest paging behaviour).
+  double pressure_onset = 0.9;
+  double faults_per_pressure = 4000.0;
+  /// Fault rate below this is considered noise (no paging signal).
+  double min_signal_faults = 20.0;
+  /// Disk-read excess (KB/s over the quiet baseline) that corroborates
+  /// cache pressure; blended in at a fixed weight.
+  double disk_baseline_kbps = 60.0;
+  double disk_full_kbps = 900.0;
+  /// With no signal the estimate decays toward `quiet_prior` by
+  /// `decay` per sample.
+  double quiet_prior = 0.6;
+  double decay = 0.04;
+};
+
+class GrayboxMemoryEstimator {
+ public:
+  explicit GrayboxMemoryEstimator(
+      GrayboxMemoryConfig config = GrayboxMemoryConfig());
+
+  /// Feeds one sample of externally visible signals; returns the updated
+  /// utilization estimate in [0, ~1.1] (demand/allocation; >1 = paging).
+  double update(double page_fault_rate, double disk_read_kbps);
+
+  double utilization() const { return estimate_; }
+  /// Whether the current estimate is backed by a live paging signal (as
+  /// opposed to the decayed prior).
+  bool confident() const { return confident_; }
+
+  const GrayboxMemoryConfig& config() const { return config_; }
+
+ private:
+  GrayboxMemoryConfig config_;
+  double estimate_;
+  bool confident_ = false;
+};
+
+}  // namespace prepare

@@ -1,0 +1,62 @@
+#include "monitor/slo_log.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace prepare {
+
+void SloLog::record(double time, double dt, bool violated,
+                    double slo_metric) {
+  PREPARE_CHECK(dt > 0.0);
+  metric_trace_.append(time, slo_metric);
+  if (violated && !open_) {
+    open_ = true;
+    open_start_ = time;
+  } else if (!violated && open_) {
+    closed_.push_back({open_start_, time});
+    open_ = false;
+  }
+  last_time_ = time + dt;
+}
+
+bool SloLog::violated_at(double t) const {
+  for (const auto& iv : closed_)
+    if (t >= iv.start && t < iv.end) return true;
+  return open_ && t >= open_start_ && t < last_time_;
+}
+
+double SloLog::violation_time(double t0, double t1) const {
+  PREPARE_CHECK(t1 >= t0);
+  double total = 0.0;
+  auto overlap = [&](double s, double e) {
+    const double lo = std::max(s, t0);
+    const double hi = std::min(e, t1);
+    return std::max(0.0, hi - lo);
+  };
+  for (const auto& iv : closed_) total += overlap(iv.start, iv.end);
+  if (open_) total += overlap(open_start_, last_time_);
+  return total;
+}
+
+double SloLog::total_violation_time() const {
+  double total = 0.0;
+  for (const auto& iv : closed_) total += iv.duration();
+  if (open_) total += last_time_ - open_start_;
+  return total;
+}
+
+std::vector<SloLog::Interval> SloLog::intervals() const {
+  std::vector<Interval> out = closed_;
+  if (open_) out.push_back({open_start_, last_time_});
+  return out;
+}
+
+void SloLog::clear() {
+  closed_.clear();
+  open_ = false;
+  open_start_ = last_time_ = 0.0;
+  metric_trace_.clear();
+}
+
+}  // namespace prepare

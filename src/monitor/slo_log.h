@@ -1,0 +1,54 @@
+// SLO violation log.
+//
+// The external SLO tracker of the paper: records, tick by tick, whether
+// the application's SLO is violated, exposes total violation time (the
+// headline metric of Figs. 6/8) and answers point queries for the
+// automatic runtime data labeling (Section II-B).
+#pragma once
+
+#include <vector>
+
+#include "timeseries/timeseries.h"
+
+namespace prepare {
+
+class SloLog {
+ public:
+  struct Interval {
+    double start = 0.0;
+    double end = 0.0;  ///< exclusive; open interval end while violating
+    double duration() const { return end - start; }
+  };
+
+  /// Records the SLO state over [time, time+dt).
+  void record(double time, double dt, bool violated, double slo_metric);
+
+  /// Whether the SLO was violated at time t (within a recorded tick).
+  bool violated_at(double t) const;
+
+  /// Total violated time within [t0, t1].
+  double violation_time(double t0, double t1) const;
+  /// Total violated time over the whole log.
+  double total_violation_time() const;
+
+  /// Closed violation intervals (plus the open one, if any, truncated at
+  /// the last recorded time).
+  std::vector<Interval> intervals() const;
+
+  /// The SLO headline metric trace (throughput / response time).
+  const TimeSeries& metric_trace() const { return metric_trace_; }
+
+  double last_time() const { return last_time_; }
+  bool currently_violated() const { return open_; }
+
+  void clear();
+
+ private:
+  std::vector<Interval> closed_;
+  bool open_ = false;
+  double open_start_ = 0.0;
+  double last_time_ = 0.0;
+  TimeSeries metric_trace_;
+};
+
+}  // namespace prepare

@@ -1,0 +1,29 @@
+// Standalone HTML run report: one self-contained file with inline SVG
+// charts — the SLO metric trace with violation shading and management-
+// event markers, plus per-VM CPU and memory panels. No external assets,
+// so the file can be archived next to the trace CSVs.
+#pragma once
+
+#include <string>
+
+#include "monitor/metric_store.h"
+#include "monitor/slo_log.h"
+#include "sim/event_log.h"
+
+namespace prepare {
+
+struct ReportInput {
+  const MetricStore* store = nullptr;  ///< required
+  const SloLog* slo = nullptr;         ///< required
+  const EventLog* events = nullptr;    ///< optional (event markers)
+  std::string title = "PREPARE run report";
+  std::string slo_metric_name = "SLO metric";
+};
+
+/// Renders the report as a single HTML document.
+std::string render_html_report(const ReportInput& input);
+
+/// Renders and writes to `path`; throws std::runtime_error on I/O error.
+void write_html_report(const ReportInput& input, const std::string& path);
+
+}  // namespace prepare

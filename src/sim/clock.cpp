@@ -1,0 +1,25 @@
+#include "sim/clock.h"
+
+#include "common/check.h"
+
+namespace prepare {
+
+void SimClock::schedule_in(double delay, std::function<void()> fn) {
+  PREPARE_CHECK(delay >= 0.0);
+  queue_.push({now_ + delay, next_seq_++, std::move(fn)});
+}
+
+void SimClock::advance(double dt) {
+  PREPARE_CHECK(dt > 0.0);
+  const double target = now_ + dt;
+  while (!queue_.empty() && queue_.top().due <= target) {
+    // Copy out before pop: the callback may push new events.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.due;
+    ev.fn();
+  }
+  now_ = target;
+}
+
+}  // namespace prepare

@@ -1,0 +1,52 @@
+// Discrete-event simulation clock.
+//
+// The cluster simulator advances in fixed ticks (the application dynamics
+// are difference equations), but hypervisor operations complete after
+// arbitrary sub-tick latencies, so the clock also carries a deferred-event
+// queue: advance(dt) fires every event whose due time falls inside the
+// step, in due-time order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace prepare {
+
+class SimClock {
+ public:
+  SimClock() = default;
+
+  double now() const { return now_; }
+
+  /// Schedules `fn` to run when the clock reaches now() + delay.
+  /// Events scheduled for the same instant fire in scheduling order.
+  void schedule_in(double delay, std::function<void()> fn);
+
+  /// Advances time by dt, firing due events in order. An event callback may
+  /// schedule further events; those fire too if they fall within the step.
+  void advance(double dt);
+
+  /// Number of pending (not yet fired) events.
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    double due;
+    std::uint64_t seq;  // tie-break so equal-time events keep FIFO order
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.due != b.due) return a.due > b.due;
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace prepare

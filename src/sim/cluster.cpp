@@ -1,0 +1,90 @@
+#include "sim/cluster.h"
+
+#include "common/check.h"
+
+namespace prepare {
+
+Host* Cluster::add_host(std::string name, Host::Capacity capacity) {
+  PREPARE_CHECK_MSG(find_host(name) == nullptr, "duplicate host name");
+  hosts_.push_back(std::make_unique<Host>(std::move(name), capacity));
+  return hosts_.back().get();
+}
+
+Vm* Cluster::add_vm(std::string name, double cpu_alloc, double mem_alloc,
+                    Host* host) {
+  PREPARE_CHECK(host != nullptr);
+  PREPARE_CHECK_MSG(find_vm(name) == nullptr, "duplicate VM name");
+  vms_.push_back(std::make_unique<Vm>(std::move(name), cpu_alloc, mem_alloc));
+  Vm* vm = vms_.back().get();
+  host->place(vm);
+  return vm;
+}
+
+Host* Cluster::host_of(const Vm& vm) const {
+  for (const auto& host : hosts_)
+    if (host->hosts(vm)) return host.get();
+  return nullptr;
+}
+
+Vm* Cluster::find_vm(const std::string& name) const {
+  for (const auto& vm : vms_)
+    if (vm->name() == name) return vm.get();
+  return nullptr;
+}
+
+Host* Cluster::find_host(const std::string& name) const {
+  for (const auto& host : hosts_)
+    if (host->name() == name) return host.get();
+  return nullptr;
+}
+
+Host* Cluster::find_target_host(double cpu_alloc, double mem_alloc,
+                                const Host* exclude) const {
+  for (const auto& host : hosts_) {
+    if (host.get() == exclude) continue;
+    if (host->can_fit(cpu_alloc, mem_alloc)) return host.get();
+  }
+  return nullptr;
+}
+
+Host* Cluster::find_best_target_host(double cpu_alloc, double mem_alloc,
+                                     const Host* exclude) const {
+  Host* best = nullptr;
+  double best_slack = 0.0;
+  for (const auto& host : hosts_) {
+    if (host.get() == exclude) continue;
+    if (!host->can_fit(cpu_alloc, mem_alloc)) continue;
+    // Normalized slack left after placement: smaller = tighter fit.
+    const double cpu_slack =
+        (host->cpu_headroom() - cpu_alloc) / host->guest_cpu_capacity();
+    const double mem_slack =
+        (host->mem_headroom() - mem_alloc) / host->guest_mem_capacity();
+    const double slack = cpu_slack + mem_slack;
+    if (best == nullptr || slack < best_slack) {
+      best = host.get();
+      best_slack = slack;
+    }
+  }
+  return best;
+}
+
+void Cluster::move_vm(Vm* vm, Host* target) {
+  PREPARE_CHECK(vm != nullptr);
+  move_vm_with_alloc(vm, target, vm->cpu_alloc(), vm->mem_alloc());
+}
+
+void Cluster::move_vm_with_alloc(Vm* vm, Host* target, double cpu_alloc,
+                                 double mem_alloc) {
+  PREPARE_CHECK(vm != nullptr && target != nullptr);
+  Host* source = host_of(*vm);
+  PREPARE_CHECK_MSG(source != nullptr, "VM is not placed anywhere");
+  PREPARE_CHECK_MSG(source != target, "VM already on target host");
+  PREPARE_CHECK_MSG(target->can_fit(cpu_alloc, mem_alloc),
+                    "target host cannot fit " + vm->name());
+  source->remove(vm);
+  vm->set_cpu_alloc(cpu_alloc);
+  vm->set_mem_alloc(mem_alloc);
+  target->place(vm);
+}
+
+}  // namespace prepare

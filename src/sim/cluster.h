@@ -1,0 +1,60 @@
+// Cluster: owns all hosts and VMs, tracks placement.
+//
+// Placement is deliberately simple (first-fit over hosts) — PREPARE's
+// migration actuator only needs "find a host with the desired resources"
+// (paper Section II-D, citing PAC [15] for smarter consolidation).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/host.h"
+#include "sim/vm.h"
+
+namespace prepare {
+
+class Cluster {
+ public:
+  /// Adds a host; returns a stable pointer owned by the cluster.
+  Host* add_host(std::string name, Host::Capacity capacity = Host::Capacity());
+
+  /// Creates a VM and places it on `host`. Throws CheckFailure if the
+  /// host cannot fit the allocation.
+  Vm* add_vm(std::string name, double cpu_alloc, double mem_alloc,
+             Host* host);
+
+  const std::vector<std::unique_ptr<Host>>& hosts() const { return hosts_; }
+  const std::vector<std::unique_ptr<Vm>>& vms() const { return vms_; }
+
+  Host* host_of(const Vm& vm) const;
+  Vm* find_vm(const std::string& name) const;
+  Host* find_host(const std::string& name) const;
+
+  /// First host (excluding `exclude`) that can fit the given allocation;
+  /// nullptr if none.
+  Host* find_target_host(double cpu_alloc, double mem_alloc,
+                         const Host* exclude) const;
+
+  /// Best-fit variant (PAC-style [15]): among hosts that fit, pick the
+  /// one whose *remaining* normalized headroom after placement is
+  /// smallest — packing migrations tightly keeps the larger holes free
+  /// for future, possibly bigger, relocations. nullptr if none fit.
+  Host* find_best_target_host(double cpu_alloc, double mem_alloc,
+                              const Host* exclude) const;
+
+  /// Moves `vm` from its current host to `target` (capacity re-checked).
+  /// Used by the hypervisor at migration completion.
+  void move_vm(Vm* vm, Host* target);
+
+  /// Moves `vm` to `target` and atomically applies a new allocation —
+  /// the capacity check on the target uses the landing allocation.
+  void move_vm_with_alloc(Vm* vm, Host* target, double cpu_alloc,
+                          double mem_alloc);
+
+ private:
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::vector<std::unique_ptr<Vm>> vms_;
+};
+
+}  // namespace prepare

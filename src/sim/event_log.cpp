@@ -1,0 +1,39 @@
+#include "sim/event_log.h"
+
+namespace prepare {
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kCpuScale: return "cpu_scale";
+    case EventKind::kMemScale: return "mem_scale";
+    case EventKind::kMigrationStart: return "migration_start";
+    case EventKind::kMigrationDone: return "migration_done";
+    case EventKind::kAlert: return "alert";
+    case EventKind::kAlertConfirmed: return "alert_confirmed";
+    case EventKind::kPrevention: return "prevention";
+    case EventKind::kValidation: return "validation";
+    case EventKind::kInfo: return "info";
+  }
+  return "?";
+}
+
+void EventLog::record(double time, EventKind kind, std::string subject,
+                      std::string detail) {
+  events_.push_back({time, kind, std::move(subject), std::move(detail)});
+}
+
+std::vector<Event> EventLog::events_of(EventKind kind) const {
+  std::vector<Event> out;
+  for (const auto& e : events_)
+    if (e.kind == kind) out.push_back(e);
+  return out;
+}
+
+std::size_t EventLog::count_of(EventKind kind) const {
+  std::size_t n = 0;
+  for (const auto& e : events_)
+    if (e.kind == kind) ++n;
+  return n;
+}
+
+}  // namespace prepare

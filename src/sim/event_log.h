@@ -1,0 +1,46 @@
+// Append-only log of management actions taken during a run (scalings,
+// migrations, alerts). Benches and tests read it to verify what happened
+// and when; the trace benches print it alongside the SLO metric series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace prepare {
+
+enum class EventKind {
+  kCpuScale,
+  kMemScale,
+  kMigrationStart,
+  kMigrationDone,
+  kAlert,
+  kAlertConfirmed,
+  kPrevention,
+  kValidation,
+  kInfo,
+};
+
+const char* event_kind_name(EventKind kind);
+
+struct Event {
+  double time = 0.0;
+  EventKind kind = EventKind::kInfo;
+  std::string subject;  ///< VM or component the event refers to
+  std::string detail;
+};
+
+class EventLog {
+ public:
+  void record(double time, EventKind kind, std::string subject,
+              std::string detail);
+
+  const std::vector<Event>& events() const { return events_; }
+  std::vector<Event> events_of(EventKind kind) const;
+  std::size_t count_of(EventKind kind) const;
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<Event> events_;
+};
+
+}  // namespace prepare

@@ -1,0 +1,77 @@
+#include "sim/host.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace prepare {
+
+Host::Host(std::string name, Capacity capacity)
+    : name_(std::move(name)), capacity_(capacity) {
+  PREPARE_CHECK(capacity_.cpu_cores > capacity_.dom0_cpu_reserve);
+  PREPARE_CHECK(capacity_.mem_mb > capacity_.dom0_mem_reserve);
+}
+
+double Host::guest_cpu_capacity() const {
+  return capacity_.cpu_cores - capacity_.dom0_cpu_reserve;
+}
+
+double Host::guest_mem_capacity() const {
+  return capacity_.mem_mb - capacity_.dom0_mem_reserve;
+}
+
+double Host::cpu_allocated() const {
+  double total = 0.0;
+  for (const Vm* vm : vms_) total += vm->cpu_alloc();
+  return total;
+}
+
+double Host::mem_allocated() const {
+  double total = 0.0;
+  for (const Vm* vm : vms_) total += vm->mem_alloc();
+  return total;
+}
+
+bool Host::can_fit(double cpu_cores, double mem_mb) const {
+  return cpu_headroom() >= cpu_cores && mem_headroom() >= mem_mb;
+}
+
+bool Host::can_grow(const Vm& vm, double cpu_delta, double mem_delta) const {
+  PREPARE_CHECK_MSG(hosts(vm), "can_grow queried for a VM not on this host");
+  return cpu_headroom() >= cpu_delta && mem_headroom() >= mem_delta;
+}
+
+void Host::place(Vm* vm) {
+  PREPARE_CHECK(vm != nullptr);
+  PREPARE_CHECK_MSG(!hosts(*vm), "VM already placed on this host");
+  PREPARE_CHECK_MSG(can_fit(vm->cpu_alloc(), vm->mem_alloc()),
+                    "host capacity exceeded placing " + vm->name());
+  vms_.push_back(vm);
+}
+
+void Host::remove(Vm* vm) {
+  auto it = std::find(vms_.begin(), vms_.end(), vm);
+  PREPARE_CHECK_MSG(it != vms_.end(), "VM not on this host");
+  vms_.erase(it);
+}
+
+bool Host::reserve(double cpu_cores, double mem_mb) {
+  PREPARE_CHECK(cpu_cores >= 0.0 && mem_mb >= 0.0);
+  if (cpu_headroom() < cpu_cores || mem_headroom() < mem_mb) return false;
+  reserved_cpu_ += cpu_cores;
+  reserved_mem_ += mem_mb;
+  return true;
+}
+
+void Host::release(double cpu_cores, double mem_mb) {
+  PREPARE_CHECK(cpu_cores <= reserved_cpu_ + 1e-9);
+  PREPARE_CHECK(mem_mb <= reserved_mem_ + 1e-9);
+  reserved_cpu_ = std::max(0.0, reserved_cpu_ - cpu_cores);
+  reserved_mem_ = std::max(0.0, reserved_mem_ - mem_mb);
+}
+
+bool Host::hosts(const Vm& vm) const {
+  return std::find(vms_.begin(), vms_.end(), &vm) != vms_.end();
+}
+
+}  // namespace prepare

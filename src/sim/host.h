@@ -1,0 +1,75 @@
+// Simulated physical host (one VCL node: dual-core Xeon, 4 GB in the
+// paper's testbed). Holds placed VMs and enforces that the sum of VM
+// allocations stays within capacity minus the dom0 reserve.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/vm.h"
+
+namespace prepare {
+
+struct HostCapacity {
+  double cpu_cores = 2.0;
+  double mem_mb = 4096.0;
+  double dom0_cpu_reserve = 0.2;
+  double dom0_mem_reserve = 512.0;
+};
+
+class Host {
+ public:
+  using Capacity = HostCapacity;
+
+  Host(std::string name, Capacity capacity = Capacity());
+
+  const std::string& name() const { return name_; }
+  const Capacity& capacity() const { return capacity_; }
+
+  /// CPU cores available to guests (capacity minus dom0 reserve).
+  double guest_cpu_capacity() const;
+  /// Memory available to guests, MB.
+  double guest_mem_capacity() const;
+
+  /// Sum of current VM CPU allocations.
+  double cpu_allocated() const;
+  /// Sum of current VM memory allocations.
+  double mem_allocated() const;
+
+  /// Headroom accounts for both placed VMs and open reservations.
+  double cpu_headroom() const {
+    return guest_cpu_capacity() - cpu_allocated() - reserved_cpu_;
+  }
+  double mem_headroom() const {
+    return guest_mem_capacity() - mem_allocated() - reserved_mem_;
+  }
+
+  /// Reserves capacity for an inbound migration (released on arrival or
+  /// abort). Returns false without reserving if the headroom is missing.
+  bool reserve(double cpu_cores, double mem_mb);
+  void release(double cpu_cores, double mem_mb);
+  double reserved_cpu() const { return reserved_cpu_; }
+  double reserved_mem() const { return reserved_mem_; }
+
+  /// Whether a VM with the given allocations would fit right now.
+  bool can_fit(double cpu_cores, double mem_mb) const;
+
+  /// Whether growing `vm`'s allocation by the given deltas stays within
+  /// capacity. The VM must be placed on this host.
+  bool can_grow(const Vm& vm, double cpu_delta, double mem_delta) const;
+
+  void place(Vm* vm);
+  void remove(Vm* vm);
+  bool hosts(const Vm& vm) const;
+
+  const std::vector<Vm*>& vms() const { return vms_; }
+
+ private:
+  std::string name_;
+  Capacity capacity_;
+  std::vector<Vm*> vms_;
+  double reserved_cpu_ = 0.0;
+  double reserved_mem_ = 0.0;
+};
+
+}  // namespace prepare

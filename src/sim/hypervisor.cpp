@@ -1,0 +1,106 @@
+#include "sim/hypervisor.h"
+
+#include <sstream>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace prepare {
+
+Hypervisor::Hypervisor(SimClock* clock, Cluster* cluster, EventLog* log,
+                       Config config)
+    : clock_(clock), cluster_(cluster), log_(log), config_(config) {
+  PREPARE_CHECK(clock != nullptr);
+  PREPARE_CHECK(cluster != nullptr);
+  PREPARE_CHECK(log != nullptr);
+  PREPARE_CHECK(config_.migration_bandwidth_mbps > 0.0);
+  PREPARE_CHECK(config_.migration_precopy_factor >= 1.0);
+}
+
+bool Hypervisor::scale_cpu(Vm* vm, double target_cores) {
+  PREPARE_CHECK(vm != nullptr);
+  PREPARE_CHECK(target_cores > 0.0);
+  Host* host = cluster_->host_of(*vm);
+  PREPARE_CHECK_MSG(host != nullptr, "VM not placed");
+  const double delta = target_cores - vm->cpu_alloc();
+  if (delta > 0.0 && !host->can_grow(*vm, delta, 0.0)) {
+    log_->record(clock_->now(), EventKind::kInfo, vm->name(),
+                 "cpu scale rejected: insufficient host headroom");
+    return false;
+  }
+  std::ostringstream detail;
+  detail << vm->cpu_alloc() << " -> " << target_cores << " cores";
+  log_->record(clock_->now(), EventKind::kCpuScale, vm->name(), detail.str());
+  clock_->schedule_in(config_.cpu_scale_latency_s,
+                      [vm, target_cores] { vm->set_cpu_alloc(target_cores); });
+  return true;
+}
+
+bool Hypervisor::scale_memory(Vm* vm, double target_mb) {
+  PREPARE_CHECK(vm != nullptr);
+  PREPARE_CHECK(target_mb > 0.0);
+  Host* host = cluster_->host_of(*vm);
+  PREPARE_CHECK_MSG(host != nullptr, "VM not placed");
+  const double delta = target_mb - vm->mem_alloc();
+  if (delta > 0.0 && !host->can_grow(*vm, 0.0, delta)) {
+    log_->record(clock_->now(), EventKind::kInfo, vm->name(),
+                 "mem scale rejected: insufficient host headroom");
+    return false;
+  }
+  std::ostringstream detail;
+  detail << vm->mem_alloc() << " -> " << target_mb << " MB";
+  log_->record(clock_->now(), EventKind::kMemScale, vm->name(), detail.str());
+  clock_->schedule_in(config_.mem_scale_latency_s,
+                      [vm, target_mb] { vm->set_mem_alloc(target_mb); });
+  return true;
+}
+
+double Hypervisor::migration_duration(double mem_mb) const {
+  return mem_mb / config_.migration_bandwidth_mbps *
+             config_.migration_precopy_factor +
+         config_.migration_stopcopy_s;
+}
+
+bool Hypervisor::migrate(Vm* vm, Host* target, double new_cpu_alloc,
+                         double new_mem_alloc) {
+  PREPARE_CHECK(vm != nullptr);
+  PREPARE_CHECK(target != nullptr);
+  if (vm->migrating()) return false;
+  Host* source = cluster_->host_of(*vm);
+  PREPARE_CHECK_MSG(source != nullptr, "VM not placed");
+  if (source == target) return false;
+
+  const double cpu_after = new_cpu_alloc > 0.0 ? new_cpu_alloc : vm->cpu_alloc();
+  const double mem_after = new_mem_alloc > 0.0 ? new_mem_alloc : vm->mem_alloc();
+  // Reserve the landing allocation on the target for the duration of the
+  // pre-copy, so concurrent migrations cannot oversubscribe it.
+  if (!target->reserve(cpu_after, mem_after)) {
+    log_->record(clock_->now(), EventKind::kInfo, vm->name(),
+                 "migration rejected: target " + target->name() +
+                     " cannot fit desired allocation");
+    return false;
+  }
+
+  const double duration = migration_duration(vm->mem_alloc());
+  std::ostringstream detail;
+  detail << source->name() << " -> " << target->name() << " ("
+         << vm->mem_alloc() << " MB, " << duration << " s)";
+  log_->record(clock_->now(), EventKind::kMigrationStart, vm->name(),
+               detail.str());
+  vm->begin_migration(config_.migration_penalty);
+
+  Cluster* cluster = cluster_;
+  EventLog* log = log_;
+  SimClock* clock = clock_;
+  clock_->schedule_in(
+      duration, [vm, target, cpu_after, mem_after, cluster, log, clock] {
+        target->release(cpu_after, mem_after);
+        cluster->move_vm_with_alloc(vm, target, cpu_after, mem_after);
+        vm->end_migration();
+        log->record(clock->now(), EventKind::kMigrationDone, vm->name(),
+                    "arrived on " + target->name());
+      });
+  return true;
+}
+
+}  // namespace prepare

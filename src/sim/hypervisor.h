@@ -1,0 +1,72 @@
+// Hypervisor control plane: the actuation interface PREPARE drives.
+//
+// Mirrors the two prevention primitives of the paper (Section II-D):
+//
+//  * elastic resource scaling — CPU cap and memory balloon adjustments,
+//    which take effect after ~100 ms (Table I: 107 ms CPU / 116 ms mem);
+//  * live VM migration — pre-copy model whose duration scales with VM
+//    memory (Table I: 8.56 s for 512 MB); the VM keeps running on the
+//    source with a throughput penalty until the final stop-copy, then
+//    appears on the target, optionally with a new (bigger) allocation.
+//
+// Scaling requests that exceed the local host's headroom fail, which is
+// exactly the condition under which PREPARE falls back to migration.
+#pragma once
+
+#include <string>
+
+#include "sim/clock.h"
+#include "sim/cluster.h"
+#include "sim/event_log.h"
+
+namespace prepare {
+
+struct HypervisorConfig {
+  double cpu_scale_latency_s = 0.107;
+  double mem_scale_latency_s = 0.116;
+  /// Effective pre-copy bandwidth, MB/s.
+  double migration_bandwidth_mbps = 70.0;
+  /// Multiplier on mem/bandwidth to account for dirty-page re-copy
+  /// rounds (>= 1).
+  double migration_precopy_factor = 1.12;
+  /// Final stop-and-copy pause, seconds.
+  double migration_stopcopy_s = 0.35;
+  /// Throughput multiplier applied to the VM while pre-copy runs.
+  double migration_penalty = 0.85;
+};
+
+class Hypervisor {
+ public:
+  using Config = HypervisorConfig;
+
+  Hypervisor(SimClock* clock, Cluster* cluster, EventLog* log,
+             Config config = Config());
+
+  /// Sets the VM's CPU cap to `target_cores` after the scaling latency.
+  /// Fails (returns false, no change scheduled) if the host lacks
+  /// headroom for an increase.
+  bool scale_cpu(Vm* vm, double target_cores);
+
+  /// Balloon the VM's memory to `target_mb` after the scaling latency.
+  bool scale_memory(Vm* vm, double target_mb);
+
+  /// Starts a live migration of `vm` to `target`. The new allocation
+  /// (applied on arrival) defaults to the current one; pass larger values
+  /// to land the VM with more resources. Returns false if the target
+  /// cannot fit the new allocation or the VM is already migrating.
+  bool migrate(Vm* vm, Host* target, double new_cpu_alloc = 0.0,
+               double new_mem_alloc = 0.0);
+
+  /// Predicted migration duration for a VM of the given memory footprint.
+  double migration_duration(double mem_mb) const;
+
+  const Config& config() const { return config_; }
+
+ private:
+  SimClock* clock_;
+  Cluster* cluster_;
+  EventLog* log_;
+  Config config_;
+};
+
+}  // namespace prepare

@@ -1,0 +1,133 @@
+#include "sim/vm.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace prepare {
+
+Vm::Vm(std::string name, double cpu_alloc_cores, double mem_alloc_mb)
+    : name_(std::move(name)),
+      cpu_alloc_(cpu_alloc_cores),
+      mem_alloc_(mem_alloc_mb) {
+  PREPARE_CHECK(cpu_alloc_cores > 0.0);
+  PREPARE_CHECK(mem_alloc_mb > 0.0);
+}
+
+void Vm::set_cpu_alloc(double cores) {
+  PREPARE_CHECK(cores > 0.0);
+  cpu_alloc_ = cores;
+}
+
+void Vm::set_mem_alloc(double mb) {
+  PREPARE_CHECK(mb > 0.0);
+  mem_alloc_ = mb;
+}
+
+void Vm::begin_tick() {
+  app_cpu_demand_ = fault_cpu_demand_ = 0.0;
+  app_mem_demand_ = fault_mem_demand_ = 0.0;
+  net_in_ = net_out_ = disk_read_ = disk_write_ = 0.0;
+}
+
+void Vm::set_app_cpu_demand(double cores) {
+  PREPARE_CHECK(cores >= 0.0);
+  app_cpu_demand_ = cores;
+}
+
+void Vm::set_fault_cpu_demand(double cores) {
+  PREPARE_CHECK(cores >= 0.0);
+  fault_cpu_demand_ = cores;
+}
+
+void Vm::set_app_mem_demand(double mb) {
+  PREPARE_CHECK(mb >= 0.0);
+  app_mem_demand_ = mb;
+}
+
+void Vm::set_fault_mem_demand(double mb) {
+  PREPARE_CHECK(mb >= 0.0);
+  fault_mem_demand_ = mb;
+}
+
+void Vm::add_fault_cpu_demand(double cores) {
+  PREPARE_CHECK(cores >= 0.0);
+  fault_cpu_demand_ += cores;
+}
+
+void Vm::add_fault_mem_demand(double mb) {
+  PREPARE_CHECK(mb >= 0.0);
+  fault_mem_demand_ += mb;
+}
+
+void Vm::set_app_parallelism(double threads) {
+  PREPARE_CHECK(threads > 0.0);
+  app_parallelism_ = threads;
+}
+
+void Vm::finalize_tick(double dt) {
+  PREPARE_CHECK(dt > 0.0);
+  const double total_cpu = app_cpu_demand_ + fault_cpu_demand_;
+  if (total_cpu <= cpu_alloc_) {
+    app_cpu_granted_ = app_cpu_demand_;
+    cpu_used_ = total_cpu;
+  } else {
+    // Thread-weighted fair share: the app's weight is its parallelism,
+    // a CPU-bound fault's weight is one thread per core it demands.
+    // Work-conserving: the app may exceed its share by whatever the
+    // fault leaves on the table (and vice versa).
+    const double weight_sum = app_parallelism_ + fault_cpu_demand_;
+    const double app_share =
+        cpu_alloc_ * app_parallelism_ / weight_sum;
+    app_cpu_granted_ = std::min(
+        app_cpu_demand_, std::max(app_share, cpu_alloc_ - fault_cpu_demand_));
+    const double fault_used =
+        std::min(fault_cpu_demand_, cpu_alloc_ - app_cpu_granted_);
+    cpu_used_ = std::min(cpu_alloc_, app_cpu_granted_ + fault_used);
+  }
+
+  const double mem_demand = app_mem_demand_ + fault_mem_demand_;
+  mem_used_ = std::min(mem_demand, mem_alloc_);
+
+  // Paging penalty: ramp efficiency down between the knee and "full
+  // thrash" pressure points.
+  const double pressure = mem_demand / mem_alloc_;
+  double mem_eff_target = 1.0;
+  if (pressure > memory_model_.pressure_knee) {
+    const double span =
+        memory_model_.pressure_full - memory_model_.pressure_knee;
+    const double frac =
+        std::min(1.0, (pressure - memory_model_.pressure_knee) / span);
+    mem_eff_target = 1.0 - frac * (1.0 - memory_model_.min_efficiency);
+  }
+  // Thrashing sets in immediately; recovery (page-in, cache re-warm)
+  // takes time, so post-prevention SLO recovery is not instantaneous.
+  if (mem_eff_target < mem_efficiency_state_) {
+    mem_efficiency_state_ = mem_eff_target;
+  } else {
+    const double blend =
+        std::min(1.0, dt / memory_model_.recovery_tau_s);
+    mem_efficiency_state_ +=
+        (mem_eff_target - mem_efficiency_state_) * blend;
+  }
+  efficiency_ = mem_efficiency_state_ * migration_penalty_;
+}
+
+double Vm::cpu_utilization() const {
+  return cpu_alloc_ > 0.0 ? cpu_used_ / cpu_alloc_ : 0.0;
+}
+
+void Vm::begin_migration(double penalty) {
+  PREPARE_CHECK(penalty > 0.0 && penalty <= 1.0);
+  PREPARE_CHECK_MSG(!migrating_, "VM is already migrating");
+  migrating_ = true;
+  migration_penalty_ = penalty;
+}
+
+void Vm::end_migration() {
+  PREPARE_CHECK(migrating_);
+  migrating_ = false;
+  migration_penalty_ = 1.0;
+}
+
+}  // namespace prepare

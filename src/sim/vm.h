@@ -1,0 +1,130 @@
+// Simulated guest virtual machine.
+//
+// A Vm carries a CPU allocation (cap, in cores) and a memory allocation
+// (in MB), plus per-tick demand registers that the application model and
+// the fault injector fill in. finalize_tick() resolves contention:
+//
+//  * CPU: if total demand exceeds the cap, the app and any fault process
+//    (CPU hog) share the cap in proportion to their runnable parallelism
+//    (threads), the way a fair-share scheduler divides a VM between a
+//    single-threaded PE and a many-worker CPU hog. The app's weight is
+//    its parallelism (set_app_parallelism); a fault's weight is its
+//    demand (one busy thread per core demanded). Shares are
+//    work-conserving: whatever one side leaves unused, the other may
+//    take.
+//  * Memory: demand beyond the allocation cannot be used; the paging
+//    penalty is modeled as an efficiency factor that shrinks as demand
+//    approaches and passes the allocation (thrashing).
+//
+// The monitor reads usage out of a Vm exactly the way libxenstat reads a
+// domain from dom0: it sees usage and allocation, never the app internals.
+#pragma once
+
+#include <string>
+
+namespace prepare {
+
+class Vm {
+ public:
+  Vm(std::string name, double cpu_alloc_cores, double mem_alloc_mb);
+
+  const std::string& name() const { return name_; }
+
+  // --- allocation (set by the hypervisor) ---
+  double cpu_alloc() const { return cpu_alloc_; }
+  double mem_alloc() const { return mem_alloc_; }
+  void set_cpu_alloc(double cores);
+  void set_mem_alloc(double mb);
+
+  /// The application's runnable parallelism (scheduler weight): 1 for a
+  /// single-threaded PE, higher for a thread-pooled tier. Persistent
+  /// (not cleared by begin_tick).
+  void set_app_parallelism(double threads);
+  double app_parallelism() const { return app_parallelism_; }
+
+  // --- per-tick demand registers ---
+  void begin_tick();
+  void set_app_cpu_demand(double cores);
+  void set_app_mem_demand(double mb);
+  /// Fault demands accumulate so concurrent faults compose.
+  void set_fault_cpu_demand(double cores);
+  void set_fault_mem_demand(double mb);
+  void add_fault_cpu_demand(double cores);
+  void add_fault_mem_demand(double mb);
+  void set_net_in(double kbps) { net_in_ = kbps; }
+  void set_net_out(double kbps) { net_out_ = kbps; }
+  void set_disk_read(double kbps) { disk_read_ = kbps; }
+  void set_disk_write(double kbps) { disk_write_ = kbps; }
+
+  /// Resolves contention for this tick. Must be called after all demands
+  /// are registered and before any granted/usage getter is read.
+  /// `dt` drives the efficiency-recovery inertia.
+  void finalize_tick(double dt = 1.0);
+
+  // --- resolved state (valid after finalize_tick) ---
+  /// CPU cores actually granted to the application this tick.
+  double app_cpu_granted() const { return app_cpu_granted_; }
+  /// Total CPU used by the VM (app + faults), capped at the allocation.
+  double cpu_used() const { return cpu_used_; }
+  /// CPU utilization in [0, 1] relative to the allocation.
+  double cpu_utilization() const;
+  /// Total CPU demand (app + faults), uncapped.
+  double cpu_demand() const { return app_cpu_demand_ + fault_cpu_demand_; }
+  /// Memory in use (demand capped at allocation), MB.
+  double mem_used() const { return mem_used_; }
+  /// Memory demand (app + faults, e.g. a leak), uncapped, MB.
+  double mem_demand() const { return app_mem_demand_ + fault_mem_demand_; }
+  /// Free memory as seen from inside the guest, MB.
+  double free_mem() const { return mem_alloc_ - mem_used_; }
+  /// Service-efficiency multiplier in (0, 1]: 1 when memory is
+  /// comfortable, shrinking under paging pressure and during migration.
+  double efficiency() const { return efficiency_; }
+  double net_in() const { return net_in_; }
+  double net_out() const { return net_out_; }
+  double disk_read() const { return disk_read_; }
+  double disk_write() const { return disk_write_; }
+
+  // --- migration (driven by the hypervisor) ---
+  bool migrating() const { return migrating_; }
+  void begin_migration(double penalty);
+  void end_migration();
+
+  /// Knobs for the paging-penalty model (exposed for tests).
+  struct MemoryModel {
+    double pressure_knee = 0.85;  ///< demand/alloc where paging starts
+    double pressure_full = 1.35;  ///< demand/alloc where efficiency bottoms
+    double min_efficiency = 0.10; ///< efficiency floor under full thrash
+    /// Degradation is immediate, but recovery (page-in, cache re-warm)
+    /// approaches the healthy level with this time constant, seconds.
+    double recovery_tau_s = 12.0;
+  };
+  const MemoryModel& memory_model() const { return memory_model_; }
+  void set_memory_model(const MemoryModel& m) { memory_model_ = m; }
+
+ private:
+  std::string name_;
+  double cpu_alloc_;
+  double mem_alloc_;
+  double app_parallelism_ = 1.0;
+  MemoryModel memory_model_;
+
+  // demand registers
+  double app_cpu_demand_ = 0.0;
+  double fault_cpu_demand_ = 0.0;
+  double app_mem_demand_ = 0.0;
+  double fault_mem_demand_ = 0.0;
+  double net_in_ = 0.0, net_out_ = 0.0;
+  double disk_read_ = 0.0, disk_write_ = 0.0;
+
+  // resolved state
+  double app_cpu_granted_ = 0.0;
+  double cpu_used_ = 0.0;
+  double mem_used_ = 0.0;
+  double efficiency_ = 1.0;
+  double mem_efficiency_state_ = 1.0;  // carries recovery inertia
+
+  bool migrating_ = false;
+  double migration_penalty_ = 1.0;
+};
+
+}  // namespace prepare

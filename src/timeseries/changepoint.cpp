@@ -1,0 +1,59 @@
+#include "timeseries/changepoint.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace prepare {
+
+CusumDetector::CusumDetector(Config config) : config_(config) {
+  PREPARE_CHECK(config_.warmup_samples >= 2);
+  PREPARE_CHECK(config_.threshold > 0.0);
+  PREPARE_CHECK(config_.drift >= 0.0);
+}
+
+bool CusumDetector::update(double value) {
+  const std::size_t index = samples_seen_++;
+  if (!baseline_ready_) {
+    ++warmup_seen_;
+    warmup_sum_ += value;
+    warmup_sumsq_ += value * value;
+    if (warmup_seen_ == config_.warmup_samples) {
+      const double n = static_cast<double>(warmup_seen_);
+      mean_ = warmup_sum_ / n;
+      const double var =
+          std::max(0.0, warmup_sumsq_ / n - mean_ * mean_);
+      stddev_ = std::max(std::sqrt(var), config_.min_stddev);
+      baseline_ready_ = true;
+    }
+    return false;
+  }
+  const double z = (value - mean_) / stddev_;
+  pos_ = std::max(0.0, pos_ + z - config_.drift);
+  neg_ = std::max(0.0, neg_ - z - config_.drift);
+  if (pos_ > config_.threshold || neg_ > config_.threshold) {
+    if (!changed_) change_index_ = index;
+    changed_ = true;
+    return true;
+  }
+  return false;
+}
+
+void CusumDetector::rearm() {
+  pos_ = neg_ = 0.0;
+  changed_ = false;
+  change_index_.reset();
+}
+
+void CusumDetector::reset() {
+  rearm();
+  warmup_seen_ = 0;
+  warmup_sum_ = warmup_sumsq_ = 0.0;
+  mean_ = 0.0;
+  stddev_ = 1.0;
+  baseline_ready_ = false;
+  samples_seen_ = 0;
+}
+
+}  // namespace prepare

@@ -1,0 +1,69 @@
+// Online change-point detection (two-sided CUSUM).
+//
+// PREPARE uses change-point detection on every component's metrics to
+// distinguish a workload change (change points on ALL components at about
+// the same time) from an internal fault (change points on the faulty
+// component only) — Section II-C of the paper, citing PAL [13].
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+namespace prepare {
+
+/// Two-sided CUSUM detector over a standardized stream.
+///
+/// The detector learns the baseline mean/stddev from the first
+/// `warmup_samples` observations, then accumulates positive and negative
+/// deviations beyond `drift` standard deviations; a change is flagged when
+/// either accumulator exceeds `threshold` standard deviations.
+struct CusumConfig {
+  std::size_t warmup_samples = 36;  ///< baseline estimation window
+  double drift = 1.0;               ///< slack, in baseline stddevs
+  double threshold = 10.0;          ///< decision level, in baseline stddevs
+  double min_stddev = 1e-6;         ///< floor to avoid division blowups
+};
+
+class CusumDetector {
+ public:
+  using Config = CusumConfig;
+
+  explicit CusumDetector(Config config = Config());
+
+  /// Feeds one observation; returns true if a change point fires on it.
+  bool update(double value);
+
+  /// Whether a change has been flagged since the last reset.
+  bool changed() const { return changed_; }
+
+  /// Time index (0-based sample number) of the first detected change.
+  std::optional<std::size_t> change_index() const { return change_index_; }
+
+  /// Re-arm the detector, keeping the learned baseline.
+  void rearm();
+
+  /// Full reset: drops baseline and accumulated state.
+  void reset();
+
+  bool baseline_ready() const { return baseline_ready_; }
+  double baseline_mean() const { return mean_; }
+  double baseline_stddev() const { return stddev_; }
+
+ private:
+  Config config_;
+  // baseline
+  std::size_t warmup_seen_ = 0;
+  double warmup_sum_ = 0.0;
+  double warmup_sumsq_ = 0.0;
+  double mean_ = 0.0;
+  double stddev_ = 1.0;
+  bool baseline_ready_ = false;
+  // CUSUM state
+  double pos_ = 0.0;
+  double neg_ = 0.0;
+  bool changed_ = false;
+  std::optional<std::size_t> change_index_;
+  std::size_t samples_seen_ = 0;
+};
+
+}  // namespace prepare

@@ -1,0 +1,62 @@
+// Fixed-capacity sliding window over the most recent observations.
+//
+// Used by the alarm filter (last W predictions) and by the load-average
+// style derived metrics in the monitor.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace prepare {
+
+template <typename T>
+class SlidingWindow {
+ public:
+  explicit SlidingWindow(std::size_t capacity) : capacity_(capacity) {
+    PREPARE_CHECK(capacity > 0);
+  }
+
+  void push(const T& value) {
+    if (items_.size() == capacity_) items_.pop_front();
+    items_.push_back(value);
+  }
+
+  std::size_t size() const { return items_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool full() const { return items_.size() == capacity_; }
+
+  const T& operator[](std::size_t i) const {
+    PREPARE_CHECK(i < items_.size());
+    return items_[i];
+  }
+  const T& newest() const {
+    PREPARE_CHECK(!items_.empty());
+    return items_.back();
+  }
+
+  /// Number of elements for which pred(x) is true.
+  template <typename Pred>
+  std::size_t count_if(Pred pred) const {
+    std::size_t n = 0;
+    for (const auto& x : items_)
+      if (pred(x)) ++n;
+    return n;
+  }
+
+  /// Sum of elements (requires T supports +).
+  T sum() const { return std::accumulate(items_.begin(), items_.end(), T{}); }
+
+  void clear() { items_.clear(); }
+
+  auto begin() const { return items_.begin(); }
+  auto end() const { return items_.end(); }
+
+ private:
+  std::size_t capacity_;
+  std::deque<T> items_;
+};
+
+}  // namespace prepare

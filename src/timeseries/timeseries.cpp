@@ -1,0 +1,60 @@
+#include "timeseries/timeseries.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace prepare {
+
+void TimeSeries::append(double time, double value) {
+  PREPARE_CHECK_MSG(points_.empty() || time > points_.back().time,
+                    "timestamps must be strictly increasing");
+  points_.push_back({time, value});
+}
+
+const TimePoint& TimeSeries::at(std::size_t i) const {
+  PREPARE_CHECK(i < points_.size());
+  return points_[i];
+}
+
+const TimePoint& TimeSeries::back() const {
+  PREPARE_CHECK(!points_.empty());
+  return points_.back();
+}
+
+std::vector<double> TimeSeries::values_between(double t0, double t1) const {
+  std::vector<double> out;
+  auto lo = std::lower_bound(
+      points_.begin(), points_.end(), t0,
+      [](const TimePoint& p, double t) { return p.time < t; });
+  for (auto it = lo; it != points_.end() && it->time <= t1; ++it)
+    out.push_back(it->value);
+  return out;
+}
+
+std::vector<double> TimeSeries::last_values(std::size_t n) const {
+  const std::size_t take = std::min(n, points_.size());
+  std::vector<double> out;
+  out.reserve(take);
+  for (std::size_t i = points_.size() - take; i < points_.size(); ++i)
+    out.push_back(points_[i].value);
+  return out;
+}
+
+std::optional<double> TimeSeries::value_at_or_before(double t) const {
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](double tq, const TimePoint& p) { return tq < p.time; });
+  if (it == points_.begin()) return std::nullopt;
+  return std::prev(it)->value;
+}
+
+std::optional<double> TimeSeries::mean_between(double t0, double t1) const {
+  const auto vals = values_between(t0, t1);
+  if (vals.empty()) return std::nullopt;
+  double sum = 0.0;
+  for (double v : vals) sum += v;
+  return sum / static_cast<double>(vals.size());
+}
+
+}  // namespace prepare

@@ -1,0 +1,50 @@
+// Time-stamped scalar series with window queries.
+//
+// One TimeSeries holds one attribute of one VM (e.g. "free_mem of vm3"),
+// sampled at a roughly regular interval. The monitor appends; the models
+// and the prevention validator read windows out of it.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace prepare {
+
+struct TimePoint {
+  double time = 0.0;   ///< seconds since experiment start
+  double value = 0.0;
+};
+
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+
+  /// Appends a sample; time must be strictly increasing.
+  void append(double time, double value);
+
+  std::size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+  const TimePoint& at(std::size_t i) const;
+  const TimePoint& back() const;
+  const std::vector<TimePoint>& points() const { return points_; }
+
+  /// Values with time in [t0, t1] (inclusive).
+  std::vector<double> values_between(double t0, double t1) const;
+
+  /// The last `n` values (fewer if the series is shorter).
+  std::vector<double> last_values(std::size_t n) const;
+
+  /// Value at the latest sample time <= t, if any.
+  std::optional<double> value_at_or_before(double t) const;
+
+  /// Mean of values in [t0, t1]; nullopt if no samples fall inside.
+  std::optional<double> mean_between(double t0, double t1) const;
+
+  void clear() { points_.clear(); }
+
+ private:
+  std::vector<TimePoint> points_;
+};
+
+}  // namespace prepare

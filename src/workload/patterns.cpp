@@ -1,0 +1,62 @@
+#include "workload/patterns.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+
+namespace prepare {
+
+ConstantWorkload::ConstantWorkload(double rate) : rate_(rate) {
+  PREPARE_CHECK(rate >= 0.0);
+}
+
+double ConstantWorkload::rate(double) const { return rate_; }
+
+StepWorkload::StepWorkload(double base, double jump, double t_step)
+    : base_(base), jump_(jump), t_step_(t_step) {
+  PREPARE_CHECK(base >= 0.0);
+}
+
+double StepWorkload::rate(double t) const {
+  return std::max(0.0, t >= t_step_ ? base_ + jump_ : base_);
+}
+
+RampWorkload::RampWorkload(double base, double slope, double t0, double t1,
+                           double cap)
+    : base_(base), slope_(slope), t0_(t0), t1_(t1), cap_(cap) {
+  PREPARE_CHECK(base >= 0.0);
+  PREPARE_CHECK(t1 > t0);
+}
+
+double RampWorkload::rate(double t) const {
+  if (t < t0_ || t > t1_) return base_;
+  double r = base_ + slope_ * (t - t0_);
+  if (cap_ > 0.0) r = std::min(r, cap_);
+  return std::max(0.0, r);
+}
+
+SineWorkload::SineWorkload(double base, double amplitude, double period_s)
+    : base_(base), amplitude_(amplitude), period_(period_s) {
+  PREPARE_CHECK(period_s > 0.0);
+}
+
+double SineWorkload::rate(double t) const {
+  const double r =
+      base_ + amplitude_ * std::sin(2.0 * std::numbers::pi * t / period_);
+  return std::max(0.0, r);
+}
+
+void CompositeWorkload::add(std::unique_ptr<Workload> w) {
+  PREPARE_CHECK(w != nullptr);
+  parts_.push_back(std::move(w));
+}
+
+double CompositeWorkload::rate(double t) const {
+  double total = 0.0;
+  for (const auto& part : parts_) total += part->rate(t);
+  return std::max(0.0, total);
+}
+
+}  // namespace prepare

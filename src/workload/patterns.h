@@ -1,0 +1,66 @@
+// Elementary workload patterns: constant, step, linear ramp, sinusoid,
+// and an additive composite. The bottleneck fault drives a RampWorkload;
+// the sinusoid exercises the non-Markovian attribute behaviour that
+// motivates the 2-dependent Markov model (paper Section II-B).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "workload/workload.h"
+
+namespace prepare {
+
+class ConstantWorkload : public Workload {
+ public:
+  explicit ConstantWorkload(double rate);
+  double rate(double t) const override;
+
+ private:
+  double rate_;
+};
+
+/// rate = base before t_step, base + jump after.
+class StepWorkload : public Workload {
+ public:
+  StepWorkload(double base, double jump, double t_step);
+  double rate(double t) const override;
+
+ private:
+  double base_, jump_, t_step_;
+};
+
+/// rate = base outside [t0, t1]; inside, grows linearly from base by
+/// slope*(t - t0), capped at `cap` (0 = uncapped). Reverts to base after
+/// t1 (the injected overload ends).
+class RampWorkload : public Workload {
+ public:
+  RampWorkload(double base, double slope, double t0, double t1,
+               double cap = 0.0);
+  double rate(double t) const override;
+
+ private:
+  double base_, slope_, t0_, t1_, cap_;
+};
+
+/// rate = base + amplitude * sin(2*pi*t / period).
+class SineWorkload : public Workload {
+ public:
+  SineWorkload(double base, double amplitude, double period_s);
+  double rate(double t) const override;
+
+ private:
+  double base_, amplitude_, period_;
+};
+
+/// Sum of component workloads (clamped at zero).
+class CompositeWorkload : public Workload {
+ public:
+  void add(std::unique_ptr<Workload> w);
+  double rate(double t) const override;
+
+ private:
+  std::vector<std::unique_ptr<Workload>> parts_;
+};
+
+}  // namespace prepare

@@ -1,0 +1,44 @@
+// Workload driven by a recorded rate series — replay a real trace file
+// against the simulated applications (the way the paper replays the NASA
+// web-server trace against RUBiS), instead of the synthetic generators.
+//
+// Rates are linearly interpolated between points; before the first point
+// the first rate holds, after the last the series wraps around (so a
+// short trace can drive a long run), scaled by `rate_scale`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/workload.h"
+
+namespace prepare {
+
+class TraceWorkload : public Workload {
+ public:
+  struct Point {
+    double time = 0.0;
+    double rate = 0.0;
+  };
+
+  /// Points must be non-empty with strictly increasing times and
+  /// non-negative rates.
+  explicit TraceWorkload(std::vector<Point> points, double rate_scale = 1.0);
+
+  /// Loads a two-column CSV (header: time_s, rate) written by hand or by
+  /// an external exporter.
+  static TraceWorkload from_csv(const std::string& path,
+                                double rate_scale = 1.0);
+
+  double rate(double t) const override;
+
+  std::size_t size() const { return points_.size(); }
+  /// Duration covered by the trace (time of last point).
+  double span() const { return points_.back().time; }
+
+ private:
+  std::vector<Point> points_;
+  double rate_scale_;
+};
+
+}  // namespace prepare

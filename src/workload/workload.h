@@ -1,0 +1,17 @@
+// Workload generators: request/tuple arrival intensity as a function of
+// simulated time. The client workload generators of the paper (UDP packet
+// source for System S, HTTP client emulating the NASA web-server trace
+// for RUBiS) are modeled as rate processes sampled once per tick.
+#pragma once
+
+namespace prepare {
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// Arrival intensity (requests/s or tuples/s) at simulated time t.
+  virtual double rate(double t) const = 0;
+};
+
+}  // namespace prepare

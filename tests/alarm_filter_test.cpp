@@ -1,0 +1,110 @@
+#include "core/alarm_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace prepare {
+namespace {
+
+TEST(AlarmFilter, RejectsBadConfig) {
+  EXPECT_THROW(AlarmFilter(0, 4), CheckFailure);
+  EXPECT_THROW(AlarmFilter(5, 4), CheckFailure);
+}
+
+TEST(AlarmFilter, PaperDefaultThreeOfFour) {
+  AlarmFilter f;  // k = 3, W = 4
+  EXPECT_EQ(f.k(), 3u);
+  EXPECT_EQ(f.w(), 4u);
+  EXPECT_FALSE(f.push(true));
+  EXPECT_FALSE(f.push(true));
+  EXPECT_TRUE(f.push(true));  // 3 of the last 3
+}
+
+TEST(AlarmFilter, TransientSpikeFiltered) {
+  AlarmFilter f(3, 4);
+  // Isolated alerts separated by quiet samples never confirm.
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(f.push(i % 3 == 0));
+  }
+}
+
+TEST(AlarmFilter, ToleratesOneMissWithinWindow) {
+  AlarmFilter f(3, 4);
+  f.push(true);
+  f.push(true);
+  f.push(false);
+  EXPECT_TRUE(f.push(true));  // window = T T F T -> 3 of 4
+}
+
+TEST(AlarmFilter, ConfirmationDropsWhenAlertsStop) {
+  AlarmFilter f(3, 4);
+  for (int i = 0; i < 5; ++i) f.push(true);
+  EXPECT_TRUE(f.confirmed());
+  f.push(false);
+  EXPECT_TRUE(f.confirmed());  // still 3 of last 4
+  f.push(false);
+  EXPECT_FALSE(f.confirmed());
+}
+
+TEST(AlarmFilter, OneOfOnePassesThrough) {
+  AlarmFilter f(1, 1);
+  EXPECT_TRUE(f.push(true));
+  EXPECT_FALSE(f.push(false));
+}
+
+TEST(AlarmFilter, ResetForgets) {
+  AlarmFilter f(2, 3);
+  f.push(true);
+  f.push(true);
+  f.reset();
+  EXPECT_FALSE(f.confirmed());
+  EXPECT_FALSE(f.push(true));
+}
+
+// Properties over (k, W): confirmation exactly when >= k of the last W
+// raw alerts are set, checked against a brute-force reference.
+class FilterKwSweep
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(FilterKwSweep, MatchesBruteForce) {
+  const auto [k, w] = GetParam();
+  AlarmFilter f(k, w);
+  Rng rng(17);
+  std::vector<bool> history;
+  for (int i = 0; i < 300; ++i) {
+    const bool alert = rng.chance(0.35);
+    history.push_back(alert);
+    const bool confirmed = f.push(alert);
+    std::size_t count = 0;
+    const std::size_t lo = history.size() > w ? history.size() - w : 0;
+    for (std::size_t j = lo; j < history.size(); ++j)
+      if (history[j]) ++count;
+    EXPECT_EQ(confirmed, count >= k) << "at sample " << i;
+  }
+}
+
+TEST_P(FilterKwSweep, LargerKNeverConfirmsMoreOften) {
+  const auto [k, w] = GetParam();
+  if (k >= w) GTEST_SKIP();
+  AlarmFilter strict(k + 1, w);
+  AlarmFilter lenient(k, w);
+  Rng rng(23);
+  for (int i = 0; i < 300; ++i) {
+    const bool alert = rng.chance(0.4);
+    const bool s = strict.push(alert);
+    const bool l = lenient.push(alert);
+    EXPECT_LE(s, l);  // strict implies lenient
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, FilterKwSweep,
+    ::testing::Values(std::make_pair(1ul, 1ul), std::make_pair(1ul, 4ul),
+                      std::make_pair(2ul, 4ul), std::make_pair(3ul, 4ul),
+                      std::make_pair(4ul, 4ul), std::make_pair(3ul, 8ul),
+                      std::make_pair(5ul, 8ul)));
+
+}  // namespace
+}  // namespace prepare

@@ -1,0 +1,180 @@
+#include "core/anomaly_predictor.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace prepare {
+namespace {
+
+/// Synthetic component: feature 0 declines toward zero during anomalies
+/// (free memory), feature 1 rises (CPU), feature 2 is noise.
+struct SyntheticTrace {
+  std::vector<std::vector<double>> rows;
+  std::vector<bool> abnormal;
+};
+
+SyntheticTrace leak_trace(std::uint64_t seed) {
+  SyntheticTrace out;
+  Rng rng(seed);
+  auto emit = [&](double free_mem, double cpu, bool abnormal) {
+    out.rows.push_back({free_mem + rng.gaussian(0.0, 2.0),
+                        cpu + rng.gaussian(0.0, 1.0),
+                        rng.uniform(0.0, 10.0)});
+    out.abnormal.push_back(abnormal);
+  };
+  // Healthy phase.
+  for (int i = 0; i < 120; ++i) emit(300.0, 20.0, false);
+  // Decline phase (still labeled normal until the SLO trips).
+  for (int i = 0; i < 30; ++i)
+    emit(300.0 - 8.0 * i, 20.0 + 0.8 * i, false);
+  // Violation phase.
+  for (int i = 0; i < 40; ++i) emit(20.0, 85.0, true);
+  // Recovery.
+  for (int i = 0; i < 40; ++i) emit(300.0, 20.0, false);
+  return out;
+}
+
+std::vector<std::string> names() { return {"free_mem", "cpu", "noise"}; }
+
+TEST(AnomalyPredictor, RequiresFeatures) {
+  EXPECT_THROW(AnomalyPredictor({}), CheckFailure);
+}
+
+TEST(AnomalyPredictor, LifecycleChecks) {
+  AnomalyPredictor p(names());
+  EXPECT_FALSE(p.trained());
+  EXPECT_THROW(p.observe({1.0, 2.0, 3.0}), CheckFailure);
+  EXPECT_THROW(p.predict(1), CheckFailure);
+  EXPECT_THROW(p.classify_current(), CheckFailure);
+}
+
+TEST(AnomalyPredictor, TrainsAndClassifiesCurrent) {
+  AnomalyPredictor p(names());
+  const auto trace = leak_trace(1);
+  p.train(trace.rows, trace.abnormal);
+  EXPECT_TRUE(p.trained());
+  EXPECT_TRUE(p.discriminative());
+  p.observe({20.0, 85.0, 5.0});
+  EXPECT_TRUE(p.classify_current().abnormal);
+  p.observe({300.0, 20.0, 5.0});
+  p.observe({300.0, 20.0, 5.0});
+  EXPECT_FALSE(p.classify_current().abnormal);
+}
+
+TEST(AnomalyPredictor, PredictsAnomalyDuringDecline) {
+  AnomalyPredictor p(names());
+  const auto trace = leak_trace(2);
+  p.train(trace.rows, trace.abnormal);
+  // Feed a fresh decline; the predictor should alarm before the values
+  // reach the violation-era levels.
+  Rng rng(3);
+  bool alarmed_early = false;
+  for (int i = 0; i < 30; ++i) {
+    const double free_mem = 300.0 - 8.0 * i;
+    p.observe({free_mem + rng.gaussian(0.0, 2.0),
+               20.0 + 0.8 * i + rng.gaussian(0.0, 1.0),
+               rng.uniform(0.0, 10.0)});
+    if (!p.ready()) continue;
+    const auto result = p.predict(10);
+    if (result.classification.abnormal && free_mem > 80.0)
+      alarmed_early = true;
+  }
+  EXPECT_TRUE(alarmed_early);
+}
+
+TEST(AnomalyPredictor, PredictedValuesFollowTrend) {
+  AnomalyPredictor p(names());
+  const auto trace = leak_trace(4);
+  p.train(trace.rows, trace.abnormal);
+  // Mid-decline context: the predicted free_mem at the horizon should be
+  // well below the current value.
+  Rng rng(5);
+  for (int i = 0; i < 15; ++i)
+    p.observe({300.0 - 8.0 * i, 20.0 + 0.8 * i, rng.uniform(0.0, 10.0)});
+  const auto result = p.predict(8);
+  EXPECT_LT(result.predicted_values[0], 300.0 - 8.0 * 14);
+}
+
+TEST(AnomalyPredictor, AttributionPinpointsLeakFeatures) {
+  AnomalyPredictor p(names());
+  const auto trace = leak_trace(6);
+  p.train(trace.rows, trace.abnormal);
+  p.observe({20.0, 85.0, 5.0});
+  const auto cls = p.classify_current();
+  const auto order = Classifier::ranked_attributes(cls);
+  EXPECT_NE(order[0], 2u);  // noise must not rank first
+  EXPECT_GT(cls.impacts[0], 0.0);
+}
+
+TEST(AnomalyPredictor, NonDiscriminativeWhenClassesOverlap) {
+  // Labels are independent of the features: the model cannot separate.
+  std::vector<std::vector<double>> rows;
+  std::vector<bool> abnormal;
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    rows.push_back({rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0),
+                    rng.uniform(0.0, 1.0)});
+    abnormal.push_back(i % 5 == 0);
+  }
+  AnomalyPredictor p(names());
+  p.train(rows, abnormal);
+  EXPECT_FALSE(p.discriminative());
+  EXPECT_LT(p.train_tpr(), 0.5);
+}
+
+TEST(AnomalyPredictor, AllNormalTrainingIsDiscriminativeByConvention) {
+  std::vector<std::vector<double>> rows(50, {1.0, 2.0, 3.0});
+  std::vector<bool> abnormal(50, false);
+  AnomalyPredictor p(names());
+  p.train(rows, abnormal);
+  EXPECT_TRUE(p.discriminative());
+  EXPECT_DOUBLE_EQ(p.train_tpr(), 1.0);
+}
+
+TEST(AnomalyPredictor, NaiveBayesBackendWorks) {
+  PredictorConfig config;
+  config.classifier = ClassifierKind::kNaiveBayes;
+  AnomalyPredictor p(names(), config);
+  const auto trace = leak_trace(8);
+  p.train(trace.rows, trace.abnormal);
+  p.observe({20.0, 85.0, 5.0});
+  EXPECT_TRUE(p.classify_current().abnormal);
+}
+
+TEST(AnomalyPredictor, SimpleMarkovBackendWorks) {
+  PredictorConfig config;
+  config.order = MarkovOrder::kSimple;
+  AnomalyPredictor p(names(), config);
+  const auto trace = leak_trace(9);
+  p.train(trace.rows, trace.abnormal);
+  p.observe({300.0, 20.0, 5.0});
+  EXPECT_NO_THROW(p.predict(6));
+}
+
+TEST(AnomalyPredictor, MismatchedRowSizesThrow) {
+  AnomalyPredictor p(names());
+  EXPECT_THROW(p.train({{1.0, 2.0}}, {false}), CheckFailure);
+  const auto trace = leak_trace(10);
+  p.train(trace.rows, trace.abnormal);
+  EXPECT_THROW(p.observe({1.0}), CheckFailure);
+}
+
+TEST(AnomalyPredictor, RetrainReplacesModel) {
+  AnomalyPredictor p(names());
+  const auto trace = leak_trace(11);
+  p.train(trace.rows, trace.abnormal);
+  // Retrain with all-normal data: nothing should classify abnormal.
+  std::vector<std::vector<double>> rows(60, {100.0, 10.0, 5.0});
+  std::vector<bool> abnormal(60, false);
+  p.train(rows, abnormal);
+  p.observe({20.0, 85.0, 5.0});
+  EXPECT_FALSE(p.classify_current().abnormal);
+}
+
+}  // namespace
+}  // namespace prepare

@@ -1,0 +1,119 @@
+#include "timeseries/changepoint.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace prepare {
+namespace {
+
+CusumConfig small_config() {
+  CusumConfig c;
+  c.warmup_samples = 20;
+  c.drift = 1.0;
+  c.threshold = 8.0;
+  return c;
+}
+
+TEST(Cusum, RejectsBadConfig) {
+  CusumConfig c;
+  c.warmup_samples = 1;
+  EXPECT_THROW(CusumDetector{c}, CheckFailure);
+  c = CusumConfig{};
+  c.threshold = 0.0;
+  EXPECT_THROW(CusumDetector{c}, CheckFailure);
+}
+
+TEST(Cusum, NoChangeOnStationaryNoise) {
+  CusumDetector d(small_config());
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) d.update(10.0 + rng.gaussian(0.0, 1.0));
+  EXPECT_FALSE(d.changed());
+}
+
+TEST(Cusum, DetectsUpwardStep) {
+  CusumDetector d(small_config());
+  Rng rng(5);
+  for (int i = 0; i < 40; ++i) d.update(10.0 + rng.gaussian(0.0, 0.5));
+  bool fired = false;
+  for (int i = 0; i < 40 && !fired; ++i)
+    fired = d.update(20.0 + rng.gaussian(0.0, 0.5));
+  EXPECT_TRUE(fired);
+  EXPECT_TRUE(d.changed());
+  ASSERT_TRUE(d.change_index().has_value());
+  EXPECT_GE(*d.change_index(), 40u);
+}
+
+TEST(Cusum, DetectsDownwardStep) {
+  CusumDetector d(small_config());
+  Rng rng(6);
+  for (int i = 0; i < 40; ++i) d.update(10.0 + rng.gaussian(0.0, 0.5));
+  bool fired = false;
+  for (int i = 0; i < 40 && !fired; ++i)
+    fired = d.update(2.0 + rng.gaussian(0.0, 0.5));
+  EXPECT_TRUE(fired);
+}
+
+TEST(Cusum, BaselineReadyAfterWarmup) {
+  CusumDetector d(small_config());
+  for (int i = 0; i < 19; ++i) d.update(5.0);
+  EXPECT_FALSE(d.baseline_ready());
+  d.update(5.0);
+  EXPECT_TRUE(d.baseline_ready());
+  EXPECT_NEAR(d.baseline_mean(), 5.0, 1e-9);
+}
+
+TEST(Cusum, RearmKeepsBaseline) {
+  CusumDetector d(small_config());
+  Rng rng(7);
+  for (int i = 0; i < 30; ++i) d.update(10.0 + rng.gaussian(0.0, 0.5));
+  for (int i = 0; i < 40; ++i) d.update(30.0);
+  ASSERT_TRUE(d.changed());
+  d.rearm();
+  EXPECT_FALSE(d.changed());
+  EXPECT_TRUE(d.baseline_ready());
+  // The stream is still far from baseline: it fires again quickly.
+  bool fired = false;
+  for (int i = 0; i < 20 && !fired; ++i) fired = d.update(30.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Cusum, ResetDropsBaseline) {
+  CusumDetector d(small_config());
+  for (int i = 0; i < 25; ++i) d.update(5.0);
+  d.reset();
+  EXPECT_FALSE(d.baseline_ready());
+  EXPECT_FALSE(d.changed());
+}
+
+TEST(Cusum, GradualRampEventuallyFires) {
+  CusumDetector d(small_config());
+  Rng rng(8);
+  for (int i = 0; i < 30; ++i) d.update(10.0 + rng.gaussian(0.0, 0.3));
+  bool fired = false;
+  for (int i = 0; i < 200 && !fired; ++i)
+    fired = d.update(10.0 + 0.2 * i + rng.gaussian(0.0, 0.3));
+  EXPECT_TRUE(fired);
+}
+
+// Property sweep: a larger threshold never fires earlier than a smaller
+// one on the same stream.
+class CusumThresholdSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CusumThresholdSweep, FiresOnStepWithSaneIndex) {
+  CusumConfig c = small_config();
+  c.threshold = GetParam();
+  CusumDetector d(c);
+  Rng rng(9);
+  for (int i = 0; i < 40; ++i) d.update(5.0 + rng.gaussian(0.0, 0.4));
+  for (int i = 0; i < 100; ++i) d.update(15.0 + rng.gaussian(0.0, 0.4));
+  ASSERT_TRUE(d.changed());
+  EXPECT_GE(*d.change_index(), 40u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, CusumThresholdSweep,
+                         ::testing::Values(4.0, 8.0, 12.0, 20.0));
+
+}  // namespace
+}  // namespace prepare

@@ -1,0 +1,148 @@
+// Conservation and flow invariants of the application models — the
+// properties any queueing substrate must satisfy regardless of faults,
+// scalings or migrations happening around it.
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/stream/stream_app.h"
+#include "apps/webapp/web_app.h"
+#include "common/rng.h"
+#include "sim/cluster.h"
+#include "workload/patterns.h"
+
+namespace prepare {
+namespace {
+
+class StreamConservation
+    : public ::testing::TestWithParam<double> {  // source rate
+ protected:
+  void build(double rate) {
+    workload_ = std::make_unique<ConstantWorkload>(rate);
+    for (int i = 0; i < 7; ++i) {
+      Host* h = cluster_.add_host("h" + std::to_string(i));
+      vms_.push_back(
+          cluster_.add_vm("pe" + std::to_string(i + 1), 1.0, 512.0, h));
+    }
+    app_ = std::make_unique<StreamApp>(vms_, workload_.get());
+  }
+
+  Cluster cluster_;
+  std::vector<Vm*> vms_;
+  std::unique_ptr<Workload> workload_;
+  std::unique_ptr<StreamApp> app_;
+};
+
+TEST_P(StreamConservation, OutputNeverExceedsOfferedWork) {
+  build(GetParam());
+  // Over the whole run, emitted tuples cannot exceed offered tuples times
+  // the pipeline's intrinsic selectivity (0.9 at PE6), up to the
+  // smoothing window and transient backlog drain.
+  double offered = 0.0, emitted = 0.0;
+  for (double t = 0.0; t < 300.0; t += 1.0) {
+    for (Vm* vm : vms_) vm->begin_tick();
+    app_->step(t, 1.0);
+    offered += app_->offered_rate();
+    emitted += app_->output_rate();
+  }
+  EXPECT_LE(emitted, offered * 0.9 * 1.02);
+}
+
+TEST_P(StreamConservation, BacklogsNonNegativeAndBounded) {
+  build(GetParam());
+  Rng rng(11);
+  for (double t = 0.0; t < 300.0; t += 1.0) {
+    for (Vm* vm : vms_) vm->begin_tick();
+    // Random fault turbulence.
+    if (rng.chance(0.1))
+      vms_[static_cast<std::size_t>(rng.uniform_int(0, 6))]
+          ->set_fault_cpu_demand(rng.uniform(0.0, 6.0));
+    if (rng.chance(0.1))
+      vms_[static_cast<std::size_t>(rng.uniform_int(0, 6))]
+          ->set_fault_mem_demand(rng.uniform(0.0, 600.0));
+    app_->step(t, 1.0);
+    for (std::size_t i = 0; i < app_->pe_count(); ++i) {
+      EXPECT_GE(app_->backlog_of(i), 0.0);
+      EXPECT_LE(app_->backlog_of(i),
+                StreamAppConfig{}.max_backlog_tuples + 1e-6);
+    }
+    EXPECT_GE(app_->output_rate(), 0.0);
+    EXPECT_GE(app_->tuple_latency(), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, StreamConservation,
+                         ::testing::Values(5000.0, 25000.0, 60000.0,
+                                           120000.0, 200000.0));
+
+class WebConservation : public ::testing::TestWithParam<double> {
+ protected:
+  void build(double rate) {
+    workload_ = std::make_unique<ConstantWorkload>(rate);
+    const char* names[] = {"web", "app1", "app2", "db"};
+    for (int i = 0; i < 4; ++i) {
+      Host* h = cluster_.add_host("h" + std::to_string(i));
+      vms_.push_back(
+          cluster_.add_vm(names[i], 1.0, i == 3 ? 1024.0 : 768.0, h));
+    }
+    app_ = std::make_unique<WebApp>(vms_, workload_.get());
+  }
+
+  Cluster cluster_;
+  std::vector<Vm*> vms_;
+  std::unique_ptr<Workload> workload_;
+  std::unique_ptr<WebApp> app_;
+};
+
+TEST_P(WebConservation, ResponseTimePositiveAndFiniteUnderChaos) {
+  build(GetParam());
+  Rng rng(13);
+  for (double t = 0.0; t < 300.0; t += 1.0) {
+    for (Vm* vm : vms_) vm->begin_tick();
+    if (rng.chance(0.15))
+      vms_[3]->set_fault_cpu_demand(rng.uniform(0.0, 8.0));
+    if (rng.chance(0.15))
+      vms_[3]->set_fault_mem_demand(rng.uniform(0.0, 1200.0));
+    app_->step(t, 1.0);
+    EXPECT_GT(app_->response_time(), 0.0);
+    EXPECT_LT(app_->response_time(), 120.0);  // bounded by finite queues
+    for (std::size_t i = 0; i < app_->tier_count(); ++i) {
+      EXPECT_GE(app_->backlog_of(i), 0.0);
+      EXPECT_LE(app_->backlog_of(i),
+                WebAppConfig{}.max_backlog_requests + 1e-6);
+    }
+  }
+}
+
+TEST_P(WebConservation, SloMonotoneInLoad) {
+  // Response time at double the load is never (persistently) lower.
+  build(GetParam());
+  for (double t = 0.0; t < 120.0; t += 1.0) {
+    for (Vm* vm : vms_) vm->begin_tick();
+    app_->step(t, 1.0);
+  }
+  const double light = app_->response_time();
+
+  Cluster cluster2;
+  std::vector<Vm*> vms2;
+  const char* names[] = {"web", "app1", "app2", "db"};
+  for (int i = 0; i < 4; ++i) {
+    Host* h = cluster2.add_host("g" + std::to_string(i));
+    vms2.push_back(
+        cluster2.add_vm(names[i], 1.0, i == 3 ? 1024.0 : 768.0, h));
+  }
+  ConstantWorkload heavy_load(GetParam() * 2.0);
+  WebApp heavy(vms2, &heavy_load);
+  for (double t = 0.0; t < 120.0; t += 1.0) {
+    for (Vm* vm : vms2) vm->begin_tick();
+    heavy.step(t, 1.0);
+  }
+  EXPECT_GE(heavy.response_time(), light * 0.95);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, WebConservation,
+                         ::testing::Values(20.0, 60.0, 100.0));
+
+}  // namespace
+}  // namespace prepare

@@ -1,0 +1,142 @@
+#include "models/discretizer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace prepare {
+namespace {
+
+TEST(Discretizer, RejectsBadConstruction) {
+  EXPECT_THROW(Discretizer(1), CheckFailure);
+  EXPECT_THROW(Discretizer(4, DiscretizerKind::kEqualWidth, -0.1),
+               CheckFailure);
+}
+
+TEST(Discretizer, UseBeforeFitThrows) {
+  Discretizer d(4);
+  EXPECT_THROW(d.discretize(1.0), CheckFailure);
+  EXPECT_THROW(d.bins(), CheckFailure);
+  EXPECT_THROW(d.bin_center(0), CheckFailure);
+}
+
+TEST(Discretizer, FitOnEmptyThrows) {
+  Discretizer d(4);
+  EXPECT_THROW(d.fit({}), CheckFailure);
+}
+
+TEST(EqualWidth, PartitionsRange) {
+  Discretizer d(4, DiscretizerKind::kEqualWidth, 0.0);
+  d.fit({0.0, 100.0});
+  EXPECT_EQ(d.bins(), 4u);
+  EXPECT_EQ(d.discretize(10.0), 0u);
+  EXPECT_EQ(d.discretize(30.0), 1u);
+  EXPECT_EQ(d.discretize(60.0), 2u);
+  EXPECT_EQ(d.discretize(90.0), 3u);
+}
+
+TEST(EqualWidth, ClampsOutliers) {
+  Discretizer d(4, DiscretizerKind::kEqualWidth, 0.0);
+  d.fit({0.0, 100.0});
+  EXPECT_EQ(d.discretize(-50.0), 0u);
+  EXPECT_EQ(d.discretize(1e9), 3u);
+}
+
+TEST(EqualWidth, ConstantDataStillWorks) {
+  Discretizer d(4, DiscretizerKind::kEqualWidth);
+  d.fit({5.0, 5.0, 5.0});
+  EXPECT_LT(d.discretize(4.0), d.bins());
+  EXPECT_LT(d.discretize(6.0), d.bins());
+}
+
+TEST(EqualWidth, CentersAreMonotone) {
+  Discretizer d(6, DiscretizerKind::kEqualWidth);
+  d.fit({0.0, 60.0});
+  const auto centers = d.bin_centers();
+  ASSERT_EQ(centers.size(), 6u);
+  for (std::size_t i = 1; i < centers.size(); ++i)
+    EXPECT_GT(centers[i], centers[i - 1]);
+}
+
+TEST(Quantile, EqualMassBins) {
+  Discretizer d(4, DiscretizerKind::kQuantile);
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) xs.push_back(static_cast<double>(i));
+  d.fit(xs);
+  EXPECT_EQ(d.bins(), 4u);
+  // Roughly a quarter of the data per bin.
+  std::vector<int> counts(4, 0);
+  for (double x : xs) counts[d.discretize(x)]++;
+  for (int c : counts) EXPECT_NEAR(c, 25, 2);
+}
+
+TEST(Quantile, SkewedDataKeepsResolutionInBulk) {
+  // 90% of the mass near zero, 10% extreme outliers: the bulk must not
+  // collapse into a single bin (the equal-width failure mode).
+  std::vector<double> xs;
+  for (int i = 0; i < 90; ++i) xs.push_back(static_cast<double>(i) * 0.01);
+  for (int i = 0; i < 10; ++i) xs.push_back(1000.0 + i);
+  Discretizer q(5, DiscretizerKind::kQuantile);
+  q.fit(xs);
+  EXPECT_GT(q.discretize(0.6), q.discretize(0.2));
+
+  Discretizer e(5, DiscretizerKind::kEqualWidth, 0.0);
+  e.fit(xs);
+  EXPECT_EQ(e.discretize(0.6), e.discretize(0.2));  // all bulk in bin 0
+}
+
+TEST(Quantile, TiedDataMergesBins) {
+  std::vector<double> xs(100, 7.0);
+  xs.push_back(9.0);
+  Discretizer d(5, DiscretizerKind::kQuantile);
+  d.fit(xs);
+  EXPECT_LT(d.bins(), 5u);
+  EXPECT_GE(d.bins(), 2u);
+  EXPECT_LT(d.discretize(7.0), d.discretize(9.0));
+}
+
+TEST(Quantile, ConstantDataYieldsTwoBins) {
+  Discretizer d(5, DiscretizerKind::kQuantile);
+  d.fit(std::vector<double>(50, 3.0));
+  EXPECT_EQ(d.bins(), 2u);
+  EXPECT_EQ(d.discretize(3.0), 0u);
+  EXPECT_EQ(d.discretize(100.0), 1u);
+}
+
+TEST(Discretizer, VectorOverload) {
+  Discretizer d(4, DiscretizerKind::kEqualWidth, 0.0);
+  d.fit({0.0, 100.0});
+  const auto bins = d.discretize(std::vector<double>{10.0, 90.0});
+  ASSERT_EQ(bins.size(), 2u);
+  EXPECT_EQ(bins[0], 0u);
+  EXPECT_EQ(bins[1], 3u);
+}
+
+// Property sweep: every value maps to a valid bin and bin assignment is
+// monotone in the value.
+class DiscretizerSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int>> {};
+
+TEST_P(DiscretizerSweep, ValidAndMonotone) {
+  const auto [bins, kind_int] = GetParam();
+  const auto kind = static_cast<DiscretizerKind>(kind_int);
+  Discretizer d(bins, kind);
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(i * i * 0.1);  // skewed
+  d.fit(xs);
+  std::size_t prev = 0;
+  for (double x = -10.0; x < 5000.0; x += 13.0) {
+    const std::size_t b = d.discretize(x);
+    EXPECT_LT(b, d.bins());
+    EXPECT_GE(b, prev);
+    prev = b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, DiscretizerSweep,
+    ::testing::Combine(::testing::Values(2, 3, 5, 8, 16),
+                       ::testing::Values(0, 1)));
+
+}  // namespace
+}  // namespace prepare

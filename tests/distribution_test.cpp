@@ -1,0 +1,64 @@
+#include "models/distribution.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace prepare {
+namespace {
+
+TEST(Distribution, DeltaIsPointMass) {
+  const auto d = Distribution::delta(5, 2);
+  EXPECT_DOUBLE_EQ(d[2], 1.0);
+  EXPECT_DOUBLE_EQ(d[0], 0.0);
+  EXPECT_EQ(d.mode(), 2u);
+  EXPECT_DOUBLE_EQ(d.entropy(), 0.0);
+}
+
+TEST(Distribution, DeltaOutOfRangeThrows) {
+  EXPECT_THROW(Distribution::delta(3, 3), CheckFailure);
+}
+
+TEST(Distribution, UniformProperties) {
+  const auto d = Distribution::uniform(4);
+  EXPECT_DOUBLE_EQ(d[0], 0.25);
+  EXPECT_NEAR(d.entropy(), std::log(4.0), 1e-12);
+  EXPECT_NEAR(d.sum(), 1.0, 1e-12);
+}
+
+TEST(Distribution, NormalizeRescales) {
+  Distribution d(3);
+  d[0] = 2.0;
+  d[1] = 2.0;
+  d.normalize();
+  EXPECT_DOUBLE_EQ(d[0], 0.5);
+  EXPECT_DOUBLE_EQ(d[2], 0.0);
+}
+
+TEST(Distribution, NormalizeZeroBecomesUniform) {
+  Distribution d(4);
+  d.normalize();
+  EXPECT_DOUBLE_EQ(d[3], 0.25);
+}
+
+TEST(Distribution, ModeTiesPickLowestIndex) {
+  Distribution d(std::vector<double>{0.4, 0.4, 0.2});
+  EXPECT_EQ(d.mode(), 0u);
+}
+
+TEST(Distribution, Expectation) {
+  Distribution d(std::vector<double>{0.5, 0.5});
+  EXPECT_DOUBLE_EQ(d.expectation({10.0, 20.0}), 15.0);
+  EXPECT_THROW(d.expectation({1.0}), CheckFailure);
+}
+
+TEST(Distribution, UniformMaximizesEntropy) {
+  const auto u = Distribution::uniform(8);
+  Distribution skewed(std::vector<double>{0.9, 0.1, 0, 0, 0, 0, 0, 0});
+  EXPECT_GT(u.entropy(), skewed.entropy());
+}
+
+}  // namespace
+}  // namespace prepare

@@ -1,0 +1,123 @@
+#include "core/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace prepare {
+namespace {
+
+TEST(Experiment, DeterministicForSeed) {
+  ScenarioConfig config;
+  config.scheme = Scheme::kPrepare;
+  config.seed = 5;
+  const auto a = run_scenario(config);
+  const auto b = run_scenario(config);
+  EXPECT_DOUBLE_EQ(a.violation_time, b.violation_time);
+  EXPECT_EQ(a.faulty_vm, b.faulty_vm);
+  EXPECT_EQ(a.events.events().size(), b.events.events().size());
+}
+
+TEST(Experiment, SeedsVaryTheFaultyPe) {
+  ScenarioConfig config;
+  config.scheme = Scheme::kNoIntervention;
+  std::set<std::string> targets;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    config.seed = seed;
+    targets.insert(run_scenario(config).faulty_vm);
+  }
+  EXPECT_GT(targets.size(), 1u);  // "randomly selected PE"
+}
+
+TEST(Experiment, RubisFaultsAlwaysTargetTheDb) {
+  ScenarioConfig config;
+  config.app = AppKind::kRubis;
+  config.scheme = Scheme::kNoIntervention;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    config.seed = seed;
+    EXPECT_EQ(run_scenario(config).faulty_vm, "vm-db");
+  }
+}
+
+TEST(Experiment, BottleneckTargetsTheSink) {
+  ScenarioConfig config;
+  config.fault = FaultKind::kBottleneck;
+  config.scheme = Scheme::kNoIntervention;
+  EXPECT_EQ(run_scenario(config).faulty_vm, "vm-pe6");
+}
+
+TEST(Experiment, TwoInjectionsProduceTwoViolationEpisodes) {
+  ScenarioConfig config;
+  config.scheme = Scheme::kNoIntervention;
+  config.seed = 2;
+  const auto result = run_scenario(config);
+  bool violated_in_first = false, violated_in_second = false;
+  for (const auto& iv : result.slo.intervals()) {
+    if (iv.start >= config.fault1_start &&
+        iv.start < config.fault1_start + config.fault_duration + 60.0)
+      violated_in_first = true;
+    if (iv.start >= config.fault2_start &&
+        iv.start < config.fault2_start + config.fault_duration + 60.0)
+      violated_in_second = true;
+  }
+  EXPECT_TRUE(violated_in_first);
+  EXPECT_TRUE(violated_in_second);
+}
+
+TEST(Experiment, MeasurementWindowCoversSecondInjection) {
+  ScenarioConfig config;
+  config.scheme = Scheme::kNoIntervention;
+  const auto result = run_scenario(config);
+  EXPECT_DOUBLE_EQ(result.measure_start, config.fault2_start - 30.0);
+  EXPECT_DOUBLE_EQ(result.measure_end, config.run_end);
+  EXPECT_LE(result.violation_time, result.violation_time_total);
+}
+
+TEST(Experiment, StoreHoldsAlignedSamplesForAllVms) {
+  ScenarioConfig config;
+  config.scheme = Scheme::kNoIntervention;
+  const auto result = run_scenario(config);
+  const auto& names = result.store.vm_names();
+  ASSERT_EQ(names.size(), 7u);
+  const std::size_t n = result.store.sample_count(names[0]);
+  EXPECT_EQ(n, static_cast<std::size_t>(config.run_end /
+                                        config.sampling_interval_s));
+  for (const auto& vm : names)
+    EXPECT_EQ(result.store.sample_count(vm), n);
+}
+
+TEST(Experiment, SamplingIntervalRespected) {
+  ScenarioConfig config;
+  config.scheme = Scheme::kNoIntervention;
+  config.sampling_interval_s = 10.0;
+  const auto result = run_scenario(config);
+  const auto& vm = result.store.vm_names()[0];
+  EXPECT_DOUBLE_EQ(result.store.sample_time(vm, 1) -
+                       result.store.sample_time(vm, 0),
+                   10.0);
+}
+
+TEST(Experiment, NonDivisibleSamplingIntervalThrows) {
+  ScenarioConfig config;
+  config.sampling_interval_s = 2.5;
+  config.dt = 1.0;
+  EXPECT_THROW(run_scenario(config), CheckFailure);
+}
+
+TEST(Experiment, RunRepeatedAggregates) {
+  ScenarioConfig config;
+  config.scheme = Scheme::kNoIntervention;
+  const auto repeated = run_repeated(config, 3);
+  ASSERT_EQ(repeated.runs.size(), 3u);
+  EXPECT_GT(repeated.mean, 0.0);
+  EXPECT_GE(repeated.stddev, 0.0);
+}
+
+TEST(Experiment, NamesAreStable) {
+  EXPECT_STREQ(app_kind_name(AppKind::kSystemS), "system_s");
+  EXPECT_STREQ(fault_kind_name(FaultKind::kCpuHog), "cpu_hog");
+  EXPECT_STREQ(scheme_name(Scheme::kPrepare), "prepare");
+}
+
+}  // namespace
+}  // namespace prepare

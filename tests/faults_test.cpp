@@ -1,0 +1,141 @@
+#include "faults/faults.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "faults/injector.h"
+
+namespace prepare {
+namespace {
+
+TEST(MemoryLeakFault, AccumulatesWhileActive) {
+  Vm vm("v", 1.0, 512.0);
+  MemoryLeakFault leak(&vm, 10.0, 100.0, 2.0);
+  vm.begin_tick();
+  leak.apply(5.0, 1.0);  // before the window: no-op
+  vm.finalize_tick();
+  EXPECT_DOUBLE_EQ(vm.mem_demand(), 0.0);
+
+  double leaked = 0.0;
+  for (double t = 10.0; t < 60.0; t += 1.0) {
+    vm.begin_tick();
+    leak.apply(t, 1.0);
+    vm.finalize_tick();
+    leaked = leak.leaked_mb();
+  }
+  EXPECT_NEAR(leaked, 100.0, 1e-9);  // 50 ticks x 2 MB/s
+  EXPECT_NEAR(vm.mem_demand(), 100.0, 1e-9);
+}
+
+TEST(MemoryLeakFault, ReleasedAfterWindow) {
+  Vm vm("v", 1.0, 512.0);
+  MemoryLeakFault leak(&vm, 0.0, 10.0, 5.0);
+  for (double t = 0.0; t < 10.0; t += 1.0) {
+    vm.begin_tick();
+    leak.apply(t, 1.0);
+    vm.finalize_tick();
+  }
+  EXPECT_GT(vm.mem_demand(), 0.0);
+  vm.begin_tick();
+  leak.apply(10.0, 1.0);  // window over: the leaking process is gone
+  vm.finalize_tick();
+  EXPECT_DOUBLE_EQ(vm.mem_demand(), 0.0);
+}
+
+TEST(MemoryLeakFault, BurnsSomeCpu) {
+  Vm vm("v", 1.0, 512.0);
+  MemoryLeakFault leak(&vm, 0.0, 10.0, 5.0);
+  vm.begin_tick();
+  leak.apply(1.0, 1.0);
+  vm.finalize_tick();
+  EXPECT_GT(vm.cpu_demand(), 0.0);
+}
+
+TEST(MemoryLeakFault, ResetClearsLeak) {
+  Vm vm("v", 1.0, 512.0);
+  MemoryLeakFault leak(&vm, 0.0, 10.0, 5.0);
+  vm.begin_tick();
+  leak.apply(1.0, 1.0);
+  leak.reset();
+  EXPECT_DOUBLE_EQ(leak.leaked_mb(), 0.0);
+}
+
+TEST(CpuHogFault, DemandsFixedShareWhileActive) {
+  Vm vm("v", 1.0, 512.0);
+  CpuHogFault hog(&vm, 10.0, 20.0, 1.5);
+  vm.begin_tick();
+  hog.apply(15.0, 1.0);
+  vm.finalize_tick();
+  EXPECT_DOUBLE_EQ(vm.cpu_demand(), 1.5);
+  vm.begin_tick();
+  hog.apply(30.0, 1.0);  // window over
+  vm.finalize_tick();
+  EXPECT_DOUBLE_EQ(vm.cpu_demand(), 0.0);
+}
+
+TEST(BottleneckFault, IsWorkloadLevelNoOp) {
+  Vm vm("v", 1.0, 512.0);
+  BottleneckFault fault(&vm, 0.0, 100.0);
+  vm.begin_tick();
+  fault.apply(50.0, 1.0);
+  vm.finalize_tick();
+  EXPECT_DOUBLE_EQ(vm.cpu_demand(), 0.0);
+  EXPECT_EQ(fault.target(), &vm);  // ground truth still carried
+}
+
+TEST(Fault, ActiveWindowIsHalfOpen) {
+  Vm vm("v", 1.0, 512.0);
+  CpuHogFault hog(&vm, 10.0, 20.0);
+  EXPECT_FALSE(hog.active(9.999));
+  EXPECT_TRUE(hog.active(10.0));
+  EXPECT_TRUE(hog.active(29.999));
+  EXPECT_FALSE(hog.active(30.0));
+  EXPECT_DOUBLE_EQ(hog.end(), 30.0);
+}
+
+TEST(Fault, RejectsBadArguments) {
+  Vm vm("v", 1.0, 512.0);
+  EXPECT_THROW(MemoryLeakFault(nullptr, 0.0, 10.0), CheckFailure);
+  EXPECT_THROW(MemoryLeakFault(&vm, 0.0, 10.0, 0.0), CheckFailure);
+  EXPECT_THROW(CpuHogFault(&vm, 0.0, 0.0), CheckFailure);
+}
+
+TEST(FaultInjector, AppliesActiveFaults) {
+  Vm vm("v", 1.0, 512.0);
+  FaultInjector injector;
+  injector.add(std::make_unique<CpuHogFault>(&vm, 0.0, 10.0, 1.0));
+  injector.add(std::make_unique<MemoryLeakFault>(&vm, 5.0, 10.0, 2.0));
+  vm.begin_tick();
+  injector.apply(6.0, 1.0);
+  vm.finalize_tick();
+  EXPECT_GT(vm.cpu_demand(), 1.0);  // hog + leak's allocation CPU
+  EXPECT_GT(vm.mem_demand(), 0.0);
+}
+
+TEST(FaultInjector, ActiveFaultLookup) {
+  Vm vm("v", 1.0, 512.0);
+  FaultInjector injector;
+  Fault* hog = injector.add(std::make_unique<CpuHogFault>(&vm, 0.0, 10.0));
+  Fault* leak =
+      injector.add(std::make_unique<MemoryLeakFault>(&vm, 20.0, 10.0));
+  EXPECT_EQ(injector.active_fault(5.0), hog);
+  EXPECT_EQ(injector.active_fault(15.0), nullptr);
+  EXPECT_EQ(injector.active_fault(25.0), leak);
+}
+
+TEST(FaultInjector, ResetPropagates) {
+  Vm vm("v", 1.0, 512.0);
+  FaultInjector injector;
+  auto* leak = static_cast<MemoryLeakFault*>(
+      injector.add(std::make_unique<MemoryLeakFault>(&vm, 0.0, 10.0, 3.0)));
+  vm.begin_tick();
+  injector.apply(1.0, 1.0);
+  EXPECT_GT(leak->leaked_mb(), 0.0);
+  injector.reset();
+  EXPECT_DOUBLE_EQ(leak->leaked_mb(), 0.0);
+}
+
+}  // namespace
+}  // namespace prepare

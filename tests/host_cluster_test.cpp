@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "sim/cluster.h"
+#include "sim/host.h"
+
+namespace prepare {
+namespace {
+
+TEST(Host, GuestCapacityExcludesDom0) {
+  Host host("h");
+  EXPECT_DOUBLE_EQ(host.guest_cpu_capacity(), 1.8);
+  EXPECT_DOUBLE_EQ(host.guest_mem_capacity(), 3584.0);
+}
+
+TEST(Host, RejectsCapacitySmallerThanReserve) {
+  HostCapacity c;
+  c.cpu_cores = 0.1;
+  EXPECT_THROW(Host("h", c), CheckFailure);
+}
+
+TEST(Host, PlacementTracksAllocation) {
+  Host host("h");
+  Vm a("a", 1.0, 512.0), b("b", 0.5, 1024.0);
+  host.place(&a);
+  host.place(&b);
+  EXPECT_DOUBLE_EQ(host.cpu_allocated(), 1.5);
+  EXPECT_DOUBLE_EQ(host.mem_allocated(), 1536.0);
+  EXPECT_NEAR(host.cpu_headroom(), 0.3, 1e-12);
+  EXPECT_TRUE(host.hosts(a));
+}
+
+TEST(Host, RejectsOverCapacityPlacement) {
+  Host host("h");
+  Vm big("big", 2.0, 512.0);  // > 1.8 guest cores
+  EXPECT_THROW(host.place(&big), CheckFailure);
+}
+
+TEST(Host, RejectsDuplicatePlacement) {
+  Host host("h");
+  Vm a("a", 0.5, 256.0);
+  host.place(&a);
+  EXPECT_THROW(host.place(&a), CheckFailure);
+}
+
+TEST(Host, RemoveFreesCapacity) {
+  Host host("h");
+  Vm a("a", 1.0, 512.0);
+  host.place(&a);
+  host.remove(&a);
+  EXPECT_DOUBLE_EQ(host.cpu_allocated(), 0.0);
+  EXPECT_FALSE(host.hosts(a));
+  EXPECT_THROW(host.remove(&a), CheckFailure);
+}
+
+TEST(Host, CanGrowChecksHeadroom) {
+  Host host("h");
+  Vm a("a", 1.0, 512.0);
+  host.place(&a);
+  EXPECT_TRUE(host.can_grow(a, 0.8, 0.0));
+  EXPECT_FALSE(host.can_grow(a, 0.9, 0.0));
+  EXPECT_TRUE(host.can_grow(a, 0.0, 3072.0));
+  EXPECT_FALSE(host.can_grow(a, 0.0, 3073.0));
+}
+
+TEST(Host, CanGrowForForeignVmThrows) {
+  Host host("h");
+  Vm stranger("s", 0.5, 256.0);
+  EXPECT_THROW(host.can_grow(stranger, 0.1, 0.0), CheckFailure);
+}
+
+TEST(Host, ReservationShrinksHeadroom) {
+  Host host("h");
+  EXPECT_TRUE(host.reserve(1.0, 1024.0));
+  EXPECT_NEAR(host.cpu_headroom(), 0.8, 1e-12);
+  EXPECT_FALSE(host.can_fit(1.0, 0.0));
+  host.release(1.0, 1024.0);
+  EXPECT_NEAR(host.cpu_headroom(), 1.8, 1e-12);
+}
+
+TEST(Host, ReserveFailsWithoutHeadroom) {
+  Host host("h");
+  EXPECT_FALSE(host.reserve(2.0, 0.0));
+  EXPECT_DOUBLE_EQ(host.reserved_cpu(), 0.0);
+}
+
+TEST(Host, OverReleaseRejected) {
+  Host host("h");
+  host.reserve(0.5, 100.0);
+  EXPECT_THROW(host.release(1.0, 100.0), CheckFailure);
+}
+
+TEST(Cluster, AddAndFind) {
+  Cluster cluster;
+  Host* h1 = cluster.add_host("h1");
+  Vm* vm = cluster.add_vm("vm1", 1.0, 512.0, h1);
+  EXPECT_EQ(cluster.find_host("h1"), h1);
+  EXPECT_EQ(cluster.find_vm("vm1"), vm);
+  EXPECT_EQ(cluster.find_vm("nope"), nullptr);
+  EXPECT_EQ(cluster.host_of(*vm), h1);
+}
+
+TEST(Cluster, DuplicateNamesRejected) {
+  Cluster cluster;
+  Host* h1 = cluster.add_host("h1");
+  cluster.add_vm("vm1", 0.5, 256.0, h1);
+  EXPECT_THROW(cluster.add_host("h1"), CheckFailure);
+  EXPECT_THROW(cluster.add_vm("vm1", 0.5, 256.0, h1), CheckFailure);
+}
+
+TEST(Cluster, FindTargetHostSkipsExcludedAndFull) {
+  Cluster cluster;
+  Host* h1 = cluster.add_host("h1");
+  Host* h2 = cluster.add_host("h2");
+  cluster.add_vm("big", 1.8, 512.0, h2);  // h2 full on CPU
+  EXPECT_EQ(cluster.find_target_host(1.0, 512.0, h1), nullptr);
+  Host* h3 = cluster.add_host("h3");
+  EXPECT_EQ(cluster.find_target_host(1.0, 512.0, h1), h3);
+}
+
+TEST(Cluster, MoveVmRelocates) {
+  Cluster cluster;
+  Host* h1 = cluster.add_host("h1");
+  Host* h2 = cluster.add_host("h2");
+  Vm* vm = cluster.add_vm("vm1", 1.0, 512.0, h1);
+  cluster.move_vm(vm, h2);
+  EXPECT_EQ(cluster.host_of(*vm), h2);
+  EXPECT_FALSE(h1->hosts(*vm));
+}
+
+TEST(Cluster, MoveVmWithAllocAppliesNewAllocation) {
+  Cluster cluster;
+  Host* h1 = cluster.add_host("h1");
+  Host* h2 = cluster.add_host("h2");
+  Vm* vm = cluster.add_vm("vm1", 1.0, 512.0, h1);
+  cluster.move_vm_with_alloc(vm, h2, 1.5, 1024.0);
+  EXPECT_DOUBLE_EQ(vm->cpu_alloc(), 1.5);
+  EXPECT_DOUBLE_EQ(vm->mem_alloc(), 1024.0);
+  EXPECT_EQ(cluster.host_of(*vm), h2);
+}
+
+TEST(Cluster, MoveVmToSameHostRejected) {
+  Cluster cluster;
+  Host* h1 = cluster.add_host("h1");
+  Vm* vm = cluster.add_vm("vm1", 1.0, 512.0, h1);
+  EXPECT_THROW(cluster.move_vm(vm, h1), CheckFailure);
+}
+
+TEST(Cluster, MoveVmOverCapacityRejected) {
+  Cluster cluster;
+  Host* h1 = cluster.add_host("h1");
+  Host* h2 = cluster.add_host("h2");
+  cluster.add_vm("filler", 1.5, 2048.0, h2);
+  Vm* vm = cluster.add_vm("vm1", 1.0, 512.0, h1);
+  EXPECT_THROW(cluster.move_vm(vm, h2), CheckFailure);
+  // Unchanged placement after the failed move.
+  EXPECT_EQ(cluster.host_of(*vm), h1);
+}
+
+TEST(Cluster, BestFitPicksTightestHost) {
+  Cluster cluster;
+  Host* origin = cluster.add_host("origin");
+  Host* roomy = cluster.add_host("roomy");
+  Host* snug = cluster.add_host("snug");
+  cluster.add_vm("filler", 1.0, 2048.0, snug);  // snug has less headroom
+  (void)origin;
+  // Both fit a 0.5-core / 512 MB landing, but snug is the tighter fit.
+  EXPECT_EQ(cluster.find_best_target_host(0.5, 512.0, origin), snug);
+  // First-fit just returns the roomy host (declaration order).
+  EXPECT_EQ(cluster.find_target_host(0.5, 512.0, origin), roomy);
+}
+
+TEST(Cluster, BestFitSkipsExcludedAndFull) {
+  Cluster cluster;
+  Host* origin = cluster.add_host("origin");
+  Host* full = cluster.add_host("full");
+  cluster.add_vm("blocker", 1.7, 3000.0, full);
+  EXPECT_EQ(cluster.find_best_target_host(1.0, 1024.0, origin), nullptr);
+  Host* spare = cluster.add_host("spare");
+  EXPECT_EQ(cluster.find_best_target_host(1.0, 1024.0, origin), spare);
+  // Excluding the spare leaves the (empty) origin as the only candidate.
+  EXPECT_EQ(cluster.find_best_target_host(1.0, 1024.0, spare), origin);
+}
+
+}  // namespace
+}  // namespace prepare

@@ -1,0 +1,128 @@
+#include "sim/hypervisor.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/clock.h"
+#include "sim/cluster.h"
+#include "sim/event_log.h"
+
+namespace prepare {
+namespace {
+
+class HypervisorTest : public ::testing::Test {
+ protected:
+  HypervisorTest()
+      : hypervisor_(&clock_, &cluster_, &log_) {
+    h1_ = cluster_.add_host("h1");
+    h2_ = cluster_.add_host("h2");
+    vm_ = cluster_.add_vm("vm", 1.0, 512.0, h1_);
+  }
+
+  SimClock clock_;
+  Cluster cluster_;
+  EventLog log_;
+  Hypervisor hypervisor_;
+  Host* h1_ = nullptr;
+  Host* h2_ = nullptr;
+  Vm* vm_ = nullptr;
+};
+
+TEST_F(HypervisorTest, CpuScaleAppliesAfterLatency) {
+  ASSERT_TRUE(hypervisor_.scale_cpu(vm_, 1.5));
+  EXPECT_DOUBLE_EQ(vm_->cpu_alloc(), 1.0);  // not yet
+  clock_.advance(0.05);
+  EXPECT_DOUBLE_EQ(vm_->cpu_alloc(), 1.0);  // latency is 107 ms
+  clock_.advance(0.10);
+  EXPECT_DOUBLE_EQ(vm_->cpu_alloc(), 1.5);
+  EXPECT_EQ(log_.count_of(EventKind::kCpuScale), 1u);
+}
+
+TEST_F(HypervisorTest, MemScaleAppliesAfterLatency) {
+  ASSERT_TRUE(hypervisor_.scale_memory(vm_, 1024.0));
+  clock_.advance(0.2);
+  EXPECT_DOUBLE_EQ(vm_->mem_alloc(), 1024.0);
+  EXPECT_EQ(log_.count_of(EventKind::kMemScale), 1u);
+}
+
+TEST_F(HypervisorTest, ScaleDownAlwaysAllowed) {
+  EXPECT_TRUE(hypervisor_.scale_cpu(vm_, 0.5));
+  EXPECT_TRUE(hypervisor_.scale_memory(vm_, 256.0));
+  clock_.advance(1.0);
+  EXPECT_DOUBLE_EQ(vm_->cpu_alloc(), 0.5);
+  EXPECT_DOUBLE_EQ(vm_->mem_alloc(), 256.0);
+}
+
+TEST_F(HypervisorTest, ScaleBeyondHeadroomRejected) {
+  EXPECT_FALSE(hypervisor_.scale_cpu(vm_, 2.0));  // guest cap is 1.8
+  EXPECT_FALSE(hypervisor_.scale_memory(vm_, 4000.0));
+  clock_.advance(1.0);
+  EXPECT_DOUBLE_EQ(vm_->cpu_alloc(), 1.0);
+  EXPECT_EQ(log_.count_of(EventKind::kCpuScale), 0u);
+}
+
+TEST_F(HypervisorTest, MigrationDurationScalesWithMemory) {
+  const double d512 = hypervisor_.migration_duration(512.0);
+  const double d1024 = hypervisor_.migration_duration(1024.0);
+  EXPECT_GT(d1024, d512);
+  // Table I: ~8.5 s for a 512 MB VM with the default bandwidth model.
+  EXPECT_NEAR(d512, 8.5, 1.0);
+}
+
+TEST_F(HypervisorTest, MigrationMovesVmAndAppliesLanding) {
+  ASSERT_TRUE(hypervisor_.migrate(vm_, h2_, 1.5, 1024.0));
+  EXPECT_TRUE(vm_->migrating());
+  EXPECT_EQ(cluster_.host_of(*vm_), h1_);  // still on source mid pre-copy
+  clock_.advance(hypervisor_.migration_duration(512.0) + 0.1);
+  EXPECT_FALSE(vm_->migrating());
+  EXPECT_EQ(cluster_.host_of(*vm_), h2_);
+  EXPECT_DOUBLE_EQ(vm_->cpu_alloc(), 1.5);
+  EXPECT_DOUBLE_EQ(vm_->mem_alloc(), 1024.0);
+  EXPECT_EQ(log_.count_of(EventKind::kMigrationDone), 1u);
+  // Reservation fully released on arrival.
+  EXPECT_DOUBLE_EQ(h2_->reserved_cpu(), 0.0);
+  EXPECT_DOUBLE_EQ(h2_->reserved_mem(), 0.0);
+}
+
+TEST_F(HypervisorTest, MigrationDefaultKeepsAllocation) {
+  ASSERT_TRUE(hypervisor_.migrate(vm_, h2_));
+  clock_.advance(10.0);
+  EXPECT_DOUBLE_EQ(vm_->cpu_alloc(), 1.0);
+  EXPECT_DOUBLE_EQ(vm_->mem_alloc(), 512.0);
+}
+
+TEST_F(HypervisorTest, MigrationAppliesPerformancePenalty) {
+  ASSERT_TRUE(hypervisor_.migrate(vm_, h2_));
+  vm_->begin_tick();
+  vm_->set_app_mem_demand(100.0);
+  vm_->finalize_tick();
+  EXPECT_NEAR(vm_->efficiency(), hypervisor_.config().migration_penalty,
+              1e-12);
+}
+
+TEST_F(HypervisorTest, ConcurrentMigrationsCannotOversubscribeTarget) {
+  Vm* other = cluster_.add_vm("other", 0.5, 256.0, h1_);
+  ASSERT_TRUE(hypervisor_.migrate(vm_, h2_, 1.5, 1024.0));
+  // Second migration wants 1.5 cores too: 3.0 > h2's 1.8 guest cores.
+  EXPECT_FALSE(hypervisor_.migrate(other, h2_, 1.5, 1024.0));
+  clock_.advance(20.0);
+  EXPECT_EQ(cluster_.host_of(*vm_), h2_);
+  EXPECT_EQ(cluster_.host_of(*other), h1_);
+}
+
+TEST_F(HypervisorTest, MigrationOfMigratingVmRejected) {
+  ASSERT_TRUE(hypervisor_.migrate(vm_, h2_));
+  EXPECT_FALSE(hypervisor_.migrate(vm_, h2_));
+}
+
+TEST_F(HypervisorTest, MigrationToSameHostRejected) {
+  EXPECT_FALSE(hypervisor_.migrate(vm_, h1_));
+}
+
+TEST_F(HypervisorTest, MigrationTooBigForTargetRejected) {
+  cluster_.add_vm("filler", 1.0, 2048.0, h2_);
+  EXPECT_FALSE(hypervisor_.migrate(vm_, h2_, 1.0, 2048.0));
+  EXPECT_FALSE(vm_->migrating());
+}
+
+}  // namespace
+}  // namespace prepare

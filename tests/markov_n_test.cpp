@@ -1,0 +1,126 @@
+#include "models/markov_n.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "models/markov.h"
+#include "models/markov2.h"
+
+namespace prepare {
+namespace {
+
+std::vector<std::size_t> random_sequence(std::size_t n, std::size_t k,
+                                         std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::size_t> seq;
+  for (std::size_t i = 0; i < n; ++i)
+    seq.push_back(static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(k) - 1)));
+  return seq;
+}
+
+TEST(NDependentMarkov, RejectsBadConstruction) {
+  EXPECT_THROW(NDependentMarkov(0, 3), CheckFailure);
+  EXPECT_THROW(NDependentMarkov(1, 1), CheckFailure);
+  EXPECT_THROW(NDependentMarkov(2, 3, 0.0), CheckFailure);
+  EXPECT_THROW(NDependentMarkov(20, 10), CheckFailure);  // 10^20 states
+}
+
+TEST(NDependentMarkov, Order1MatchesSimpleChain) {
+  const auto seq = random_sequence(500, 4, 1);
+  NDependentMarkov general(1, 4, 0.5);
+  MarkovChain simple(4, 0.5);
+  general.train(seq);
+  simple.train(seq);
+  for (std::size_t steps : {1u, 3u, 7u}) {
+    const auto a = general.predict(steps);
+    const auto b = simple.predict(steps);
+    for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(a[i], b[i], 1e-9);
+  }
+}
+
+TEST(NDependentMarkov, Order2MatchesTwoDependent) {
+  const auto seq = random_sequence(600, 3, 2);
+  NDependentMarkov general(2, 3, 0.5);
+  TwoDependentMarkov two(3, 0.5);
+  general.train(seq);
+  two.train(seq);
+  for (std::size_t steps : {1u, 2u, 5u, 12u}) {
+    const auto a = general.predict(steps);
+    const auto b = two.predict(steps);
+    for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(a[i], b[i], 1e-9);
+  }
+}
+
+TEST(NDependentMarkov, TransitionRowsAreDistributions) {
+  NDependentMarkov m(3, 3, 0.5);
+  m.train(random_sequence(800, 3, 3));
+  std::vector<std::size_t> ctx(3);
+  for (ctx[0] = 0; ctx[0] < 3; ++ctx[0])
+    for (ctx[1] = 0; ctx[1] < 3; ++ctx[1])
+      for (ctx[2] = 0; ctx[2] < 3; ++ctx[2]) {
+        double total = 0.0;
+        for (std::size_t n = 0; n < 3; ++n) total += m.transition(ctx, n);
+        EXPECT_NEAR(total, 1.0, 1e-9);
+      }
+}
+
+TEST(NDependentMarkov, ReadyNeedsOrderObservations) {
+  NDependentMarkov m(3, 4);
+  m.observe(0, true);
+  m.observe(1, true);
+  EXPECT_FALSE(m.ready());
+  EXPECT_THROW(m.predict(1), CheckFailure);
+  m.observe(2, true);
+  EXPECT_TRUE(m.ready());
+  EXPECT_NO_THROW(m.predict(2));
+}
+
+TEST(NDependentMarkov, Order3DisambiguatesWhereOrder2CanNot) {
+  // Period-6 wave 0 1 1 2 1 1 | ... : the order-2 context (1, 1) is
+  // followed by 2 half the time (after 0 1 1) and by 0 the other half
+  // (after 2 1 1); the order-3 context resolves the ambiguity.
+  std::vector<std::size_t> seq;
+  for (int r = 0; r < 100; ++r)
+    for (std::size_t v : {0u, 1u, 1u, 2u, 1u, 1u}) seq.push_back(v);
+  NDependentMarkov three(3, 3, 0.05);
+  NDependentMarkov two(2, 3, 0.05);
+  three.train(seq);
+  two.train(seq);
+  // Sequence ends ... 2 1 1: next must be 0.
+  EXPECT_GT(three.predict(1)[0], 0.95);
+  EXPECT_LT(two.predict(1)[0], 0.65);  // order-2 is torn between 0 and 2
+}
+
+TEST(NDependentMarkov, PredictionsAreValidDistributions) {
+  NDependentMarkov m(3, 4, 0.2);
+  m.train(random_sequence(500, 4, 5));
+  for (std::size_t steps : {1u, 4u, 24u}) {
+    const auto d = m.predict(steps);
+    EXPECT_NEAR(d.sum(), 1.0, 1e-9);
+    for (std::size_t i = 0; i < d.size(); ++i) EXPECT_GE(d[i], 0.0);
+  }
+}
+
+// Order sweep: every order learns the deterministic cycle it can encode.
+class MarkovOrderSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MarkovOrderSweep, LearnsCycle) {
+  const std::size_t order = GetParam();
+  std::vector<std::size_t> seq;
+  for (int r = 0; r < 200; ++r)
+    for (std::size_t v = 0; v < 4; ++v) seq.push_back(v);
+  NDependentMarkov m(order, 4, 0.05);
+  m.train(seq);
+  // Sequence ends at 3; one step ahead is 0, two ahead 1, ...
+  EXPECT_EQ(m.predict(1).mode(), 0u);
+  EXPECT_EQ(m.predict(2).mode(), 1u);
+  EXPECT_EQ(m.predict(6).mode(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, MarkovOrderSweep,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace prepare

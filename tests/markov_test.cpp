@@ -1,0 +1,200 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "models/markov.h"
+#include "models/markov2.h"
+
+namespace prepare {
+namespace {
+
+TEST(MarkovChain, RejectsBadConstruction) {
+  EXPECT_THROW(MarkovChain(1), CheckFailure);
+  EXPECT_THROW(MarkovChain(4, 0.0), CheckFailure);
+}
+
+TEST(MarkovChain, PredictBeforeContextThrows) {
+  MarkovChain m(3);
+  EXPECT_THROW(m.predict(1), CheckFailure);
+  m.observe(0, true);
+  EXPECT_NO_THROW(m.predict(1));
+}
+
+TEST(MarkovChain, TransitionRowsAreDistributions) {
+  MarkovChain m(4, 0.5);
+  Rng rng(3);
+  std::vector<std::size_t> seq;
+  for (int i = 0; i < 500; ++i)
+    seq.push_back(static_cast<std::size_t>(rng.uniform_int(0, 3)));
+  m.train(seq);
+  for (std::size_t from = 0; from < 4; ++from) {
+    double total = 0.0;
+    for (std::size_t to = 0; to < 4; ++to) total += m.transition(from, to);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(MarkovChain, LearnsDeterministicCycle) {
+  MarkovChain m(3, 0.01);
+  std::vector<std::size_t> seq;
+  for (int i = 0; i < 300; ++i) seq.push_back(i % 3);
+  m.train(seq);
+  // Last symbol is 2; one step ahead must be 0, two steps 1, three 2.
+  EXPECT_EQ(m.predict(1).mode(), 0u);
+  EXPECT_EQ(m.predict(2).mode(), 1u);
+  EXPECT_EQ(m.predict(3).mode(), 2u);
+}
+
+TEST(MarkovChain, MultiStepIsChapmanKolmogorov) {
+  MarkovChain m(3, 0.5);
+  Rng rng(4);
+  std::vector<std::size_t> seq;
+  for (int i = 0; i < 400; ++i)
+    seq.push_back(static_cast<std::size_t>(rng.uniform_int(0, 2)));
+  m.train(seq);
+  // P2[j] = sum_i P1[i] * T[i][j]
+  const auto p1 = m.predict(1);
+  const auto p2 = m.predict(2);
+  for (std::size_t j = 0; j < 3; ++j) {
+    double expect = 0.0;
+    for (std::size_t i = 0; i < 3; ++i) expect += p1[i] * m.transition(i, j);
+    EXPECT_NEAR(p2[j], expect, 1e-9);
+  }
+}
+
+TEST(MarkovChain, ObserveWithoutLearnOnlyMovesContext) {
+  MarkovChain learner(3, 0.01);
+  std::vector<std::size_t> seq;
+  for (int i = 0; i < 300; ++i) seq.push_back(i % 3);
+  learner.train(seq);
+  const double before = learner.transition(0, 1);
+  learner.observe(0, /*learn=*/false);
+  learner.observe(0, /*learn=*/false);  // a 0->0 transition, not learned
+  EXPECT_DOUBLE_EQ(learner.transition(0, 1), before);
+  learner.observe(0, /*learn=*/true);   // now learned
+  EXPECT_NE(learner.transition(0, 0), 0.0);
+}
+
+TEST(TwoDependentMarkov, RejectsBadConstruction) {
+  EXPECT_THROW(TwoDependentMarkov(1), CheckFailure);
+  EXPECT_THROW(TwoDependentMarkov(4, -1.0), CheckFailure);
+}
+
+TEST(TwoDependentMarkov, NeedsTwoObservations) {
+  TwoDependentMarkov m(3);
+  EXPECT_FALSE(m.ready());
+  m.observe(0, true);
+  EXPECT_FALSE(m.ready());
+  EXPECT_THROW(m.predict(1), CheckFailure);
+  m.observe(1, true);
+  EXPECT_TRUE(m.ready());
+  EXPECT_NO_THROW(m.predict(1));
+}
+
+TEST(TwoDependentMarkov, TransitionRowsAreDistributions) {
+  TwoDependentMarkov m(3, 0.5);
+  Rng rng(5);
+  std::vector<std::size_t> seq;
+  for (int i = 0; i < 600; ++i)
+    seq.push_back(static_cast<std::size_t>(rng.uniform_int(0, 2)));
+  m.train(seq);
+  for (std::size_t a = 0; a < 3; ++a) {
+    for (std::size_t b = 0; b < 3; ++b) {
+      double total = 0.0;
+      for (std::size_t c = 0; c < 3; ++c) total += m.transition(a, b, c);
+      EXPECT_NEAR(total, 1.0, 1e-9);
+    }
+  }
+}
+
+TEST(TwoDependentMarkov, PredictionSumsToOne) {
+  TwoDependentMarkov m(4, 0.5);
+  Rng rng(6);
+  std::vector<std::size_t> seq;
+  for (int i = 0; i < 600; ++i)
+    seq.push_back(static_cast<std::size_t>(rng.uniform_int(0, 3)));
+  m.train(seq);
+  for (std::size_t steps : {1u, 2u, 5u, 24u})
+    EXPECT_NEAR(m.predict(steps).sum(), 1.0, 1e-9);
+}
+
+// The paper's motivating case (Section II-B): a triangle-wave attribute.
+// At a given level the next value depends on the *slope*, which only the
+// pair state captures: the simple chain is blind to direction.
+std::vector<std::size_t> triangle_sequence(std::size_t period_up,
+                                           int repeats) {
+  std::vector<std::size_t> seq;
+  for (int r = 0; r < repeats; ++r) {
+    for (std::size_t v = 0; v < period_up; ++v) seq.push_back(v);
+    for (std::size_t v = period_up; v-- > 1;) seq.push_back(v);
+  }
+  return seq;
+}
+
+TEST(TwoDependentMarkov, TracksTriangleWaveSlope) {
+  const auto seq = triangle_sequence(5, 60);  // 0..4..1 repeating
+  TwoDependentMarkov two(5, 0.05);
+  two.train(seq);
+  MarkovChain one(5, 0.05);
+  one.train(seq);
+  // The sequence ends ... 3 2 1 (descending at 1): next is 0.
+  EXPECT_EQ(two.predict(1).mode(), 0u);
+  // The simple chain at state 1 is torn between 0 (down) and 2 (up);
+  // measure probability mass instead of the tie-dependent mode.
+  EXPECT_GT(two.predict(1)[0], 0.9);
+  EXPECT_LT(one.predict(1)[0], 0.7);
+}
+
+TEST(TwoDependentMarkov, OutperformsSimpleOnRampForecast) {
+  // Long rising ramps: from (prev<cur) the 2-dependent model keeps
+  // climbing over multiple steps; the simple chain diffuses.
+  std::vector<std::size_t> seq;
+  for (int r = 0; r < 50; ++r)
+    for (std::size_t v = 0; v < 8; ++v) seq.push_back(v);
+  TwoDependentMarkov two(8, 0.05);
+  MarkovChain one(8, 0.05);
+  // Train on all but the tail, then predict from mid-ramp.
+  std::vector<std::size_t> train(seq.begin(), seq.end() - 5);
+  two.train(train);
+  one.train(train);
+  // Context is ... 1 2 (ascending): three steps ahead should be 5.
+  const auto p_two = two.predict(3);
+  const auto p_one = one.predict(3);
+  EXPECT_GT(p_two[5], p_one[5]);
+  EXPECT_EQ(p_two.mode(), 5u);
+}
+
+TEST(TwoDependentMarkov, SymbolOutOfRangeThrows) {
+  TwoDependentMarkov m(3);
+  EXPECT_THROW(m.observe(3, true), CheckFailure);
+}
+
+// Property sweep: predictions are valid distributions for any horizon.
+class MarkovHorizonSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MarkovHorizonSweep, ValidDistributionAtAnyHorizon) {
+  Rng rng(9);
+  std::vector<std::size_t> seq;
+  for (int i = 0; i < 300; ++i)
+    seq.push_back(static_cast<std::size_t>(rng.uniform_int(0, 4)));
+  MarkovChain one(5);
+  TwoDependentMarkov two(5);
+  one.train(seq);
+  two.train(seq);
+  for (const auto& p : {one.predict(GetParam()), two.predict(GetParam())}) {
+    EXPECT_NEAR(p.sum(), 1.0, 1e-9);
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      EXPECT_GE(p[i], 0.0);
+      EXPECT_LE(p[i], 1.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Horizons, MarkovHorizonSweep,
+                         ::testing::Values(1, 2, 3, 6, 9, 24, 100));
+
+}  // namespace
+}  // namespace prepare

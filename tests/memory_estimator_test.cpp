@@ -1,0 +1,94 @@
+#include "monitor/memory_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "monitor/vm_monitor.h"
+#include "sim/vm.h"
+
+namespace prepare {
+namespace {
+
+TEST(GrayboxEstimator, RejectsBadConfig) {
+  GrayboxMemoryConfig c;
+  c.decay = 0.0;
+  EXPECT_THROW(GrayboxMemoryEstimator{c}, CheckFailure);
+  c = GrayboxMemoryConfig{};
+  c.disk_full_kbps = c.disk_baseline_kbps;
+  EXPECT_THROW(GrayboxMemoryEstimator{c}, CheckFailure);
+}
+
+TEST(GrayboxEstimator, QuietGuestDecaysToPrior) {
+  GrayboxMemoryEstimator est;
+  for (int i = 0; i < 200; ++i) est.update(0.0, 40.0);
+  EXPECT_NEAR(est.utilization(), est.config().quiet_prior, 0.01);
+  EXPECT_FALSE(est.confident());
+}
+
+TEST(GrayboxEstimator, PagingSignalRecoversPressure) {
+  GrayboxMemoryEstimator est;
+  // Guest at pressure 1.0: fault rate = (1.0 - 0.9) * 4000 = 400 /s.
+  est.update(400.0, 500.0);
+  EXPECT_TRUE(est.confident());
+  EXPECT_NEAR(est.utilization(), 1.0, 0.07);
+}
+
+TEST(GrayboxEstimator, TracksRisingLeak) {
+  GrayboxMemoryEstimator est;
+  double prev = est.utilization();
+  bool monotone_past_onset = true;
+  for (double pressure = 0.92; pressure <= 1.2; pressure += 0.02) {
+    const double faults = (pressure - 0.9) * 4000.0;
+    const double now = est.update(faults, 100.0 + pressure * 300.0);
+    if (now < prev - 1e-9) monotone_past_onset = false;
+    prev = now;
+  }
+  EXPECT_TRUE(monotone_past_onset);
+  EXPECT_GT(est.utilization(), 1.0);
+}
+
+TEST(GrayboxEstimator, BlindBelowOnset) {
+  // Pressure 0.5 produces no paging at all: the estimator cannot see it.
+  GrayboxMemoryEstimator est;
+  for (int i = 0; i < 50; ++i) est.update(0.0, 40.0);
+  EXPECT_NEAR(est.utilization(), est.config().quiet_prior, 0.05);
+}
+
+TEST(GrayboxMonitor, LeakVisibleOnlyOncePagingStarts) {
+  VmMonitorConfig config;
+  config.noise = 0.0;
+  config.memory_source = MemorySource::kGrayboxInference;
+  VmMonitor monitor(config, 1);
+  Vm vm("v", 1.0, 512.0);
+
+  // Comfortable guest: graybox mem_util sits at the prior, not truth.
+  vm.begin_tick();
+  vm.set_app_mem_demand(150.0);  // true util ~29%
+  vm.finalize_tick();
+  const auto quiet = monitor.sample(vm);
+  EXPECT_NEAR(get(quiet, Attribute::kMemUtil), 60.0, 8.0);  // prior
+
+  // Deep pressure: graybox converges to the truth.
+  vm.begin_tick();
+  vm.set_app_mem_demand(512.0 * 1.05);
+  vm.finalize_tick();
+  AttributeVector pressured{};
+  for (int i = 0; i < 5; ++i) pressured = monitor.sample(vm);
+  EXPECT_GT(get(pressured, Attribute::kMemUtil), 90.0);
+  EXPECT_LT(get(pressured, Attribute::kFreeMem), 60.0);
+}
+
+TEST(GrayboxMonitor, InGuestDaemonRemainsExact) {
+  VmMonitorConfig config;
+  config.noise = 0.0;
+  VmMonitor monitor(config, 1);
+  Vm vm("v", 1.0, 512.0);
+  vm.begin_tick();
+  vm.set_app_mem_demand(150.0);
+  vm.finalize_tick();
+  EXPECT_NEAR(get(monitor.sample(vm), Attribute::kMemUtil),
+              150.0 / 512.0 * 100.0, 0.1);
+}
+
+}  // namespace
+}  // namespace prepare

@@ -1,0 +1,113 @@
+#include "models/naive_bayes.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace prepare {
+namespace {
+
+/// Two attributes over 3 bins; attribute 0 is high iff abnormal,
+/// attribute 1 is pure noise.
+LabeledDataset planted_dataset(std::size_t n, std::uint64_t seed) {
+  LabeledDataset data;
+  data.alphabet = {3, 3};
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool abnormal = i % 3 == 0;
+    const std::size_t a0 = abnormal ? 2 : (rng.chance(0.5) ? 0 : 1);
+    const std::size_t a1 = static_cast<std::size_t>(rng.uniform_int(0, 2));
+    data.rows.push_back({a0, a1});
+    data.abnormal.push_back(abnormal);
+  }
+  return data;
+}
+
+TEST(NaiveBayes, RejectsBadConstruction) {
+  EXPECT_THROW(NaiveBayesClassifier(0.0), CheckFailure);
+}
+
+TEST(NaiveBayes, TrainOnEmptyThrows) {
+  NaiveBayesClassifier nb;
+  EXPECT_THROW(nb.train(LabeledDataset{}), CheckFailure);
+}
+
+TEST(NaiveBayes, ClassifiesPlantedSignal) {
+  NaiveBayesClassifier nb;
+  nb.train(planted_dataset(300, 1));
+  EXPECT_TRUE(nb.classify({2, 1}).abnormal);
+  EXPECT_FALSE(nb.classify({0, 1}).abnormal);
+}
+
+TEST(NaiveBayes, ScoreDecomposesIntoImpacts) {
+  NaiveBayesClassifier nb;
+  nb.train(planted_dataset(300, 2));
+  const auto result = nb.classify({2, 0});
+  double total = std::log(nb.prior(true) / nb.prior(false));
+  for (double impact : result.impacts) total += impact;
+  EXPECT_NEAR(result.score, total, 1e-12);
+}
+
+TEST(NaiveBayes, PlantedAttributeHasLargestImpact) {
+  NaiveBayesClassifier nb;
+  nb.train(planted_dataset(500, 3));
+  const auto result = nb.classify({2, 2});
+  const auto order = Classifier::ranked_attributes(result);
+  EXPECT_EQ(order[0], 0u);
+  EXPECT_GT(result.impacts[0], result.impacts[1]);
+}
+
+TEST(NaiveBayes, LikelihoodsAreDistributions) {
+  NaiveBayesClassifier nb;
+  nb.train(planted_dataset(200, 4));
+  for (bool c : {false, true}) {
+    for (std::size_t a = 0; a < 2; ++a) {
+      double total = 0.0;
+      for (std::size_t v = 0; v < 3; ++v) total += nb.likelihood(a, v, c);
+      EXPECT_NEAR(total, 1.0, 1e-9);
+    }
+  }
+}
+
+TEST(NaiveBayes, PriorsSumToOne) {
+  NaiveBayesClassifier nb;
+  nb.train(planted_dataset(200, 5));
+  EXPECT_NEAR(nb.prior(true) + nb.prior(false), 1.0, 1e-12);
+}
+
+TEST(NaiveBayes, ExpectedClassificationMatchesDeltaInputs) {
+  NaiveBayesClassifier nb;
+  nb.train(planted_dataset(300, 6));
+  const std::vector<std::size_t> row = {2, 1};
+  std::vector<Distribution> dists = {Distribution::delta(3, 2),
+                                     Distribution::delta(3, 1)};
+  const auto hard = nb.classify(row);
+  const auto soft = nb.classify_expected(dists);
+  EXPECT_NEAR(hard.score, soft.score, 1e-9);
+  EXPECT_EQ(hard.abnormal, soft.abnormal);
+}
+
+TEST(NaiveBayes, AllNormalTrainingNeverAlarms) {
+  LabeledDataset data;
+  data.alphabet = {3};
+  for (int i = 0; i < 50; ++i) {
+    data.rows.push_back({static_cast<std::size_t>(i % 3)});
+    data.abnormal.push_back(false);
+  }
+  NaiveBayesClassifier nb;
+  nb.train(data);
+  for (std::size_t v = 0; v < 3; ++v)
+    EXPECT_FALSE(nb.classify({v}).abnormal);
+}
+
+TEST(NaiveBayes, UntrainedQueriesThrow) {
+  NaiveBayesClassifier nb;
+  EXPECT_THROW(nb.classify({0}), CheckFailure);
+  EXPECT_THROW(nb.prior(true), CheckFailure);
+}
+
+}  // namespace
+}  // namespace prepare

@@ -1,0 +1,108 @@
+#include "report/report.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "core/experiment.h"
+
+namespace prepare {
+namespace {
+
+const ScenarioResult& managed_run() {
+  static const ScenarioResult result = [] {
+    ScenarioConfig config;
+    config.app = AppKind::kSystemS;
+    config.fault = FaultKind::kMemoryLeak;
+    config.scheme = Scheme::kPrepare;
+    config.seed = 7;
+    return run_scenario(config);
+  }();
+  return result;
+}
+
+ReportInput input() {
+  ReportInput in;
+  in.store = &managed_run().store;
+  in.slo = &managed_run().slo;
+  in.events = &managed_run().events;
+  in.title = "leak run";
+  in.slo_metric_name = "throughput (tuples/s)";
+  return in;
+}
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t count = 0, pos = 0;
+  while ((pos = haystack.find(needle, pos)) != std::string::npos) {
+    ++count;
+    pos += needle.size();
+  }
+  return count;
+}
+
+TEST(Report, ContainsStructureAndData) {
+  const std::string html = render_html_report(input());
+  EXPECT_NE(html.find("<!doctype html>"), std::string::npos);
+  EXPECT_NE(html.find("leak run"), std::string::npos);
+  EXPECT_NE(html.find("throughput (tuples/s)"), std::string::npos);
+  // One headline chart + one per VM.
+  EXPECT_EQ(count_occurrences(html, "<svg"),
+            1 + managed_run().store.vm_names().size());
+  EXPECT_EQ(count_occurrences(html, "<svg"),
+            count_occurrences(html, "</svg>"));
+  EXPECT_EQ(count_occurrences(html, "<figure>"),
+            count_occurrences(html, "</figure>"));
+  // Every VM gets a panel.
+  for (const auto& vm : managed_run().store.vm_names())
+    EXPECT_NE(html.find(vm), std::string::npos);
+}
+
+TEST(Report, ViolationShadingAndEventsPresent) {
+  const std::string html = render_html_report(input());
+  if (!managed_run().slo.intervals().empty()) {
+    EXPECT_NE(html.find("class='violation'"), std::string::npos);
+  }
+  // The PREPARE run scaled something: markers exist.
+  EXPECT_NE(html.find("stroke-dasharray"), std::string::npos);
+}
+
+TEST(Report, SummaryNumbersMatch) {
+  const std::string html = render_html_report(input());
+  std::ostringstream expect;
+  expect << managed_run().store.vm_names().size();
+  EXPECT_NE(html.find("<td>monitored VMs</td><td>" + expect.str()),
+            std::string::npos);
+}
+
+TEST(Report, WritesFile) {
+  const std::string path = ::testing::TempDir() + "/report_test.html";
+  write_html_report(input(), path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream content;
+  content << in.rdbuf();
+  EXPECT_GT(content.str().size(), 1000u);
+  std::remove(path.c_str());
+}
+
+TEST(Report, RejectsMissingInputs) {
+  ReportInput in;
+  EXPECT_THROW(render_html_report(in), CheckFailure);
+  in.store = &managed_run().store;
+  EXPECT_THROW(render_html_report(in), CheckFailure);
+  SloLog empty;
+  in.slo = &empty;
+  EXPECT_THROW(render_html_report(in), CheckFailure);  // no trace
+}
+
+TEST(Report, UnwritablePathThrows) {
+  EXPECT_THROW(write_html_report(input(), "/nonexistent-dir/r.html"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace prepare

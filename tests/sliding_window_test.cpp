@@ -1,0 +1,80 @@
+#include "timeseries/sliding_window.h"
+
+#include <gtest/gtest.h>
+
+namespace prepare {
+namespace {
+
+TEST(SlidingWindow, RejectsZeroCapacity) {
+  EXPECT_THROW(SlidingWindow<int>(0), CheckFailure);
+}
+
+TEST(SlidingWindow, FillsUpToCapacity) {
+  SlidingWindow<int> w(3);
+  w.push(1);
+  w.push(2);
+  EXPECT_EQ(w.size(), 2u);
+  EXPECT_FALSE(w.full());
+  w.push(3);
+  EXPECT_TRUE(w.full());
+}
+
+TEST(SlidingWindow, EvictsOldest) {
+  SlidingWindow<int> w(3);
+  for (int i = 1; i <= 5; ++i) w.push(i);
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_EQ(w[0], 3);
+  EXPECT_EQ(w[2], 5);
+  EXPECT_EQ(w.newest(), 5);
+}
+
+TEST(SlidingWindow, CountIf) {
+  SlidingWindow<int> w(4);
+  for (int i = 1; i <= 4; ++i) w.push(i);
+  EXPECT_EQ(w.count_if([](int x) { return x % 2 == 0; }), 2u);
+}
+
+TEST(SlidingWindow, Sum) {
+  SlidingWindow<double> w(3);
+  w.push(1.5);
+  w.push(2.5);
+  EXPECT_DOUBLE_EQ(w.sum(), 4.0);
+}
+
+TEST(SlidingWindow, OutOfRangeIndexThrows) {
+  SlidingWindow<int> w(2);
+  w.push(1);
+  EXPECT_THROW(w[1], CheckFailure);
+}
+
+TEST(SlidingWindow, NewestOnEmptyThrows) {
+  SlidingWindow<int> w(2);
+  EXPECT_THROW(w.newest(), CheckFailure);
+}
+
+TEST(SlidingWindow, ClearResets) {
+  SlidingWindow<int> w(2);
+  w.push(1);
+  w.clear();
+  EXPECT_EQ(w.size(), 0u);
+}
+
+// Property sweep: after n pushes the window holds min(n, capacity)
+// elements, and they are exactly the most recent ones in order.
+class WindowCapacitySweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(WindowCapacitySweep, HoldsMostRecent) {
+  const std::size_t cap = GetParam();
+  SlidingWindow<std::size_t> w(cap);
+  const std::size_t pushes = 50;
+  for (std::size_t i = 0; i < pushes; ++i) w.push(i);
+  ASSERT_EQ(w.size(), std::min(pushes, cap));
+  for (std::size_t i = 0; i < w.size(); ++i)
+    EXPECT_EQ(w[i], pushes - w.size() + i);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, WindowCapacitySweep,
+                         ::testing::Values(1, 2, 3, 7, 49, 50, 51, 100));
+
+}  // namespace
+}  // namespace prepare

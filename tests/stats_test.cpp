@@ -1,0 +1,163 @@
+#include "common/stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace prepare {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, KnownSequence) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 denominator: sum sq dev = 32, n-1 = 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MatchesBatchOnRandomData) {
+  Rng rng(99);
+  std::vector<double> xs;
+  RunningStats s;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.gaussian(10.0, 3.0);
+    xs.push_back(x);
+    s.add(x);
+  }
+  EXPECT_NEAR(s.mean(), mean_of(xs), 1e-9);
+  EXPECT_NEAR(s.stddev(), stddev_of(xs), 1e-9);
+}
+
+TEST(RunningStats, ResetClears) {
+  RunningStats s;
+  s.add(1.0);
+  s.add(2.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(MeanOf, Empty) { EXPECT_DOUBLE_EQ(mean_of({}), 0.0); }
+
+TEST(MeanOf, Values) { EXPECT_DOUBLE_EQ(mean_of({1.0, 2.0, 6.0}), 3.0); }
+
+TEST(StddevOf, FewerThanTwoIsZero) {
+  EXPECT_DOUBLE_EQ(stddev_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev_of({5.0}), 0.0);
+}
+
+TEST(StddevOf, ConstantIsZero) {
+  EXPECT_DOUBLE_EQ(stddev_of({2.0, 2.0, 2.0}), 0.0);
+}
+
+TEST(PercentileOf, Median) {
+  EXPECT_DOUBLE_EQ(percentile_of({3.0, 1.0, 2.0}, 50.0), 2.0);
+}
+
+TEST(PercentileOf, Extremes) {
+  std::vector<double> xs = {5.0, 1.0, 9.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 100.0), 9.0);
+}
+
+TEST(PercentileOf, Interpolates) {
+  // Sorted: 0, 10. p75 -> 7.5.
+  EXPECT_DOUBLE_EQ(percentile_of({10.0, 0.0}, 75.0), 7.5);
+}
+
+TEST(PercentileOf, OutOfRangeThrows) {
+  EXPECT_THROW(percentile_of({1.0}, -1.0), CheckFailure);
+  EXPECT_THROW(percentile_of({1.0}, 101.0), CheckFailure);
+}
+
+TEST(PercentileOf, Empty) { EXPECT_DOUBLE_EQ(percentile_of({}, 50.0), 0.0); }
+
+TEST(CorrelationOf, PerfectPositive) {
+  EXPECT_NEAR(correlation_of({1, 2, 3, 4}, {2, 4, 6, 8}), 1.0, 1e-12);
+}
+
+TEST(CorrelationOf, PerfectNegative) {
+  EXPECT_NEAR(correlation_of({1, 2, 3, 4}, {8, 6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(CorrelationOf, DegenerateIsZero) {
+  EXPECT_DOUBLE_EQ(correlation_of({1, 1, 1}, {2, 4, 6}), 0.0);
+}
+
+TEST(CorrelationOf, SizeMismatchThrows) {
+  EXPECT_THROW(correlation_of({1.0}, {1.0, 2.0}), CheckFailure);
+}
+
+TEST(Ewma, FirstValuePassesThrough) {
+  Ewma e(0.5);
+  EXPECT_DOUBLE_EQ(e.update(10.0), 10.0);
+}
+
+TEST(Ewma, BlendsTowardNewValues) {
+  Ewma e(0.5);
+  e.update(0.0);
+  EXPECT_DOUBLE_EQ(e.update(10.0), 5.0);
+  EXPECT_DOUBLE_EQ(e.update(10.0), 7.5);
+}
+
+TEST(Ewma, ConvergesToConstantInput) {
+  Ewma e(0.2);
+  e.update(0.0);
+  for (int i = 0; i < 200; ++i) e.update(42.0);
+  EXPECT_NEAR(e.value(), 42.0, 1e-6);
+}
+
+TEST(Ewma, ResetForgets) {
+  Ewma e(0.5);
+  e.update(100.0);
+  e.reset();
+  EXPECT_FALSE(e.initialized());
+  EXPECT_DOUBLE_EQ(e.update(1.0), 1.0);
+}
+
+// Property sweep: EWMA output is always within the range of its inputs.
+class EwmaAlphaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(EwmaAlphaSweep, StaysWithinInputRange) {
+  Ewma e(GetParam());
+  Rng rng(7);
+  double lo = 1e18, hi = -1e18;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(-5.0, 5.0);
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+    const double y = e.update(x);
+    EXPECT_GE(y, lo - 1e-9);
+    EXPECT_LE(y, hi + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, EwmaAlphaSweep,
+                         ::testing::Values(0.01, 0.1, 0.5, 0.9, 1.0));
+
+}  // namespace
+}  // namespace prepare

@@ -1,0 +1,168 @@
+#include "apps/stream/stream_app.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "sim/cluster.h"
+#include "workload/patterns.h"
+
+namespace prepare {
+namespace {
+
+class StreamAppTest : public ::testing::Test {
+ protected:
+  void build(double rate) {
+    workload_ = std::make_unique<ConstantWorkload>(rate);
+    for (int i = 0; i < 7; ++i) {
+      Host* h = cluster_.add_host("h" + std::to_string(i));
+      vms_.push_back(
+          cluster_.add_vm("pe" + std::to_string(i + 1), 1.0, 512.0, h));
+    }
+    app_ = std::make_unique<StreamApp>(vms_, workload_.get());
+  }
+
+  void run(double seconds) {
+    for (double t = 0.0; t < seconds; t += 1.0) {
+      for (Vm* vm : vms_) vm->begin_tick();
+      app_->step(t, 1.0);
+    }
+  }
+
+  Cluster cluster_;
+  std::vector<Vm*> vms_;
+  std::unique_ptr<Workload> workload_;
+  std::unique_ptr<StreamApp> app_;
+};
+
+TEST_F(StreamAppTest, RequiresSevenVms) {
+  ConstantWorkload w(1000.0);
+  std::vector<Vm*> three(3, nullptr);
+  EXPECT_THROW(StreamApp(three, &w), CheckFailure);
+}
+
+TEST_F(StreamAppTest, HealthyAtNominalLoad) {
+  build(25000.0);
+  run(60.0);
+  EXPECT_FALSE(app_->slo_violated());
+  // Throughput settles at input rate x intrinsic selectivity (PE6: 0.9).
+  EXPECT_NEAR(app_->output_rate(), 25000.0 * 0.9, 25000.0 * 0.02);
+  EXPECT_LT(app_->tuple_latency(), 0.020);
+}
+
+TEST_F(StreamAppTest, BacklogsEmptyAtNominalLoad) {
+  build(25000.0);
+  run(30.0);
+  for (std::size_t i = 0; i < app_->pe_count(); ++i)
+    EXPECT_LT(app_->backlog_of(i), 100.0);
+}
+
+TEST_F(StreamAppTest, OverloadViolatesSlo) {
+  build(120000.0);  // far beyond PE6's ~83 Ktuples/s capacity
+  run(60.0);
+  EXPECT_TRUE(app_->slo_violated());
+  // Output is cut by the saturated sink.
+  EXPECT_LT(app_->output_rate(), 120000.0 * 0.9 * 0.95);
+}
+
+TEST_F(StreamAppTest, BacklogBounded) {
+  build(150000.0);
+  run(200.0);
+  for (std::size_t i = 0; i < app_->pe_count(); ++i)
+    EXPECT_LE(app_->backlog_of(i), StreamAppConfig{}.max_backlog_tuples);
+}
+
+TEST_F(StreamAppTest, RecoversWhenOverloadEnds) {
+  workload_ = std::make_unique<RampWorkload>(25000.0, 3000.0, 10.0, 40.0,
+                                             150000.0);
+  for (int i = 0; i < 7; ++i) {
+    Host* h = cluster_.add_host("h" + std::to_string(i));
+    vms_.push_back(
+        cluster_.add_vm("pe" + std::to_string(i + 1), 1.0, 512.0, h));
+  }
+  app_ = std::make_unique<StreamApp>(vms_, workload_.get());
+  bool violated_during_overload = false;
+  for (double t = 0.0; t < 45.0; t += 1.0) {
+    for (Vm* vm : vms_) vm->begin_tick();
+    app_->step(t, 1.0);
+    violated_during_overload |= app_->slo_violated();
+  }
+  EXPECT_TRUE(violated_during_overload);
+  run(120.0);  // workload back to nominal; queues drain
+  EXPECT_FALSE(app_->slo_violated());
+}
+
+TEST_F(StreamAppTest, MemoryPressureOnOnePeViolatesSlo) {
+  build(25000.0);
+  run(30.0);
+  ASSERT_FALSE(app_->slo_violated());
+  // Simulate a leak-thrashed PE3: huge fault memory demand each tick.
+  for (double t = 30.0; t < 120.0; t += 1.0) {
+    for (Vm* vm : vms_) vm->begin_tick();
+    vms_[2]->set_fault_mem_demand(700.0);
+    app_->step(t, 1.0);
+  }
+  EXPECT_TRUE(app_->slo_violated());
+}
+
+TEST_F(StreamAppTest, CpuHogOnOnePeViolatesSlo) {
+  build(25000.0);
+  run(30.0);
+  ASSERT_FALSE(app_->slo_violated());
+  for (double t = 30.0; t < 60.0; t += 1.0) {
+    for (Vm* vm : vms_) vm->begin_tick();
+    vms_[3]->set_fault_cpu_demand(8.0);
+    app_->step(t, 1.0);
+  }
+  EXPECT_TRUE(app_->slo_violated());
+}
+
+TEST_F(StreamAppTest, ScalingTheHoggedPeRestoresSlo) {
+  build(25000.0);
+  run(30.0);
+  vms_[3]->set_cpu_alloc(1.8);
+  for (double t = 30.0; t < 90.0; t += 1.0) {
+    for (Vm* vm : vms_) vm->begin_tick();
+    vms_[3]->set_fault_cpu_demand(8.0);
+    app_->step(t, 1.0);
+  }
+  EXPECT_FALSE(app_->slo_violated());
+}
+
+TEST_F(StreamAppTest, NetworkMetricsFlowThroughPipeline) {
+  build(25000.0);
+  run(30.0);
+  // PE1 receives the full source stream.
+  EXPECT_GT(vms_[0]->net_in(), 0.0);
+  // The sink (PE6) pushes the highest byte volume (420 B/tuple).
+  double max_out = 0.0;
+  std::size_t argmax = 0;
+  for (std::size_t i = 0; i < vms_.size(); ++i) {
+    if (vms_[i]->net_out() > max_out) {
+      max_out = vms_[i]->net_out();
+      argmax = i;
+    }
+  }
+  EXPECT_EQ(argmax, 5u);  // PE6
+}
+
+TEST_F(StreamAppTest, SloMetricNameAndOfferedRate) {
+  build(25000.0);
+  run(10.0);
+  EXPECT_EQ(app_->slo_metric_name(), "throughput_tuples_per_s");
+  EXPECT_NEAR(app_->offered_rate(), 25000.0, 2500.0);
+  EXPECT_EQ(app_->vms().size(), 7u);
+}
+
+TEST_F(StreamAppTest, PeSpecsExposeBottleneckSink) {
+  build(25000.0);
+  // PE6 (index 5) must be the heaviest relative to a 1-core allocation
+  // at full stream rate so it saturates first under a ramp.
+  const auto& sink = app_->spec_of(5);
+  EXPECT_GT(sink.bytes_per_tuple, app_->spec_of(0).bytes_per_tuple);
+}
+
+}  // namespace
+}  // namespace prepare

@@ -1,0 +1,98 @@
+#include "timeseries/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace prepare {
+namespace {
+
+TimeSeries make_series() {
+  TimeSeries ts;
+  for (int i = 0; i < 10; ++i)
+    ts.append(static_cast<double>(i) * 5.0, static_cast<double>(i));
+  return ts;  // times 0,5,...,45; values 0..9
+}
+
+TEST(TimeSeries, AppendAndSize) {
+  TimeSeries ts;
+  EXPECT_TRUE(ts.empty());
+  ts.append(1.0, 10.0);
+  EXPECT_EQ(ts.size(), 1u);
+  EXPECT_DOUBLE_EQ(ts.back().value, 10.0);
+}
+
+TEST(TimeSeries, RejectsNonIncreasingTime) {
+  TimeSeries ts;
+  ts.append(5.0, 1.0);
+  EXPECT_THROW(ts.append(5.0, 2.0), CheckFailure);
+  EXPECT_THROW(ts.append(4.0, 2.0), CheckFailure);
+}
+
+TEST(TimeSeries, AtBoundsChecked) {
+  TimeSeries ts = make_series();
+  EXPECT_DOUBLE_EQ(ts.at(3).value, 3.0);
+  EXPECT_THROW(ts.at(10), CheckFailure);
+}
+
+TEST(TimeSeries, BackOnEmptyThrows) {
+  TimeSeries ts;
+  EXPECT_THROW(ts.back(), CheckFailure);
+}
+
+TEST(TimeSeries, ValuesBetweenInclusive) {
+  TimeSeries ts = make_series();
+  const auto vals = ts.values_between(10.0, 20.0);
+  ASSERT_EQ(vals.size(), 3u);  // t = 10, 15, 20
+  EXPECT_DOUBLE_EQ(vals[0], 2.0);
+  EXPECT_DOUBLE_EQ(vals[2], 4.0);
+}
+
+TEST(TimeSeries, ValuesBetweenEmptyRange) {
+  TimeSeries ts = make_series();
+  EXPECT_TRUE(ts.values_between(11.0, 14.0).empty());
+  EXPECT_TRUE(ts.values_between(100.0, 200.0).empty());
+}
+
+TEST(TimeSeries, ValuesBetweenWholeRange) {
+  TimeSeries ts = make_series();
+  EXPECT_EQ(ts.values_between(-10.0, 100.0).size(), 10u);
+}
+
+TEST(TimeSeries, LastValues) {
+  TimeSeries ts = make_series();
+  const auto vals = ts.last_values(3);
+  ASSERT_EQ(vals.size(), 3u);
+  EXPECT_DOUBLE_EQ(vals[0], 7.0);
+  EXPECT_DOUBLE_EQ(vals[2], 9.0);
+}
+
+TEST(TimeSeries, LastValuesMoreThanSize) {
+  TimeSeries ts = make_series();
+  EXPECT_EQ(ts.last_values(100).size(), 10u);
+}
+
+TEST(TimeSeries, ValueAtOrBefore) {
+  TimeSeries ts = make_series();
+  EXPECT_EQ(ts.value_at_or_before(-1.0), std::nullopt);
+  EXPECT_DOUBLE_EQ(*ts.value_at_or_before(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(*ts.value_at_or_before(7.0), 1.0);   // latest <= 7 is t=5
+  EXPECT_DOUBLE_EQ(*ts.value_at_or_before(100.0), 9.0);
+}
+
+TEST(TimeSeries, MeanBetween) {
+  TimeSeries ts = make_series();
+  EXPECT_DOUBLE_EQ(*ts.mean_between(0.0, 10.0), 1.0);  // values 0,1,2
+  EXPECT_EQ(ts.mean_between(11.0, 14.0), std::nullopt);
+}
+
+TEST(TimeSeries, ClearEmpties) {
+  TimeSeries ts = make_series();
+  ts.clear();
+  EXPECT_TRUE(ts.empty());
+  ts.append(0.0, 1.0);  // timestamps restart fine after clear
+  EXPECT_EQ(ts.size(), 1u);
+}
+
+}  // namespace
+}  // namespace prepare

@@ -1,0 +1,209 @@
+#include "sim/vm.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace prepare {
+namespace {
+
+Vm make_vm() { return Vm("vm", 1.0, 512.0); }
+
+TEST(Vm, RejectsBadAllocations) {
+  EXPECT_THROW(Vm("v", 0.0, 512.0), CheckFailure);
+  EXPECT_THROW(Vm("v", 1.0, 0.0), CheckFailure);
+}
+
+TEST(Vm, UncontendedDemandFullyGranted) {
+  Vm vm = make_vm();
+  vm.begin_tick();
+  vm.set_app_cpu_demand(0.4);
+  vm.finalize_tick();
+  EXPECT_DOUBLE_EQ(vm.app_cpu_granted(), 0.4);
+  EXPECT_DOUBLE_EQ(vm.cpu_used(), 0.4);
+  EXPECT_DOUBLE_EQ(vm.cpu_utilization(), 0.4);
+}
+
+TEST(Vm, HogContentionGivesAppItsFairShare) {
+  Vm vm = make_vm();  // app parallelism 1 (default)
+  vm.begin_tick();
+  vm.set_app_cpu_demand(0.5);
+  vm.set_fault_cpu_demand(1.5);  // a hog with 1.5 threads' worth of work
+  vm.finalize_tick();
+  // Fair share = alloc x 1/(1 + 1.5) = 0.4 cores.
+  EXPECT_NEAR(vm.app_cpu_granted(), 0.4, 1e-12);
+  EXPECT_DOUBLE_EQ(vm.cpu_used(), 1.0);
+  EXPECT_DOUBLE_EQ(vm.cpu_utilization(), 1.0);
+  EXPECT_DOUBLE_EQ(vm.cpu_demand(), 2.0);
+}
+
+TEST(Vm, ManyWorkerHogSqueezesSingleThreadedApp) {
+  Vm vm = make_vm();
+  vm.set_app_parallelism(1.0);
+  vm.begin_tick();
+  vm.set_app_cpu_demand(0.9);
+  vm.set_fault_cpu_demand(8.0);
+  vm.finalize_tick();
+  EXPECT_NEAR(vm.app_cpu_granted(), 1.0 / 9.0, 1e-12);
+}
+
+TEST(Vm, HigherParallelismDefendsBiggerShare) {
+  Vm vm = make_vm();
+  vm.set_app_parallelism(4.0);
+  vm.begin_tick();
+  vm.set_app_cpu_demand(0.9);
+  vm.set_fault_cpu_demand(8.0);
+  vm.finalize_tick();
+  EXPECT_NEAR(vm.app_cpu_granted(), 4.0 / 12.0, 1e-12);
+}
+
+TEST(Vm, WorkConservingWhenHogLeavesSlack) {
+  Vm vm = make_vm();
+  vm.begin_tick();
+  vm.set_app_cpu_demand(0.9);
+  vm.set_fault_cpu_demand(0.3);  // light hog: one 0.3-core thread
+  vm.finalize_tick();
+  // The app's fair share 1/(1+0.3) = 0.769 exceeds what the hog leaves
+  // (0.7), so the share wins: the app is not starved below it.
+  EXPECT_NEAR(vm.app_cpu_granted(), 1.0 / 1.3, 1e-12);
+}
+
+TEST(Vm, BeginTickClearsDemands) {
+  Vm vm = make_vm();
+  vm.begin_tick();
+  vm.set_app_cpu_demand(0.5);
+  vm.set_fault_mem_demand(100.0);
+  vm.begin_tick();
+  vm.finalize_tick();
+  EXPECT_DOUBLE_EQ(vm.cpu_used(), 0.0);
+  EXPECT_DOUBLE_EQ(vm.mem_used(), 0.0);
+}
+
+TEST(Vm, MemoryCappedAtAllocation) {
+  Vm vm = make_vm();
+  vm.begin_tick();
+  vm.set_app_mem_demand(300.0);
+  vm.set_fault_mem_demand(400.0);  // demand 700 > alloc 512
+  vm.finalize_tick();
+  EXPECT_DOUBLE_EQ(vm.mem_used(), 512.0);
+  EXPECT_DOUBLE_EQ(vm.free_mem(), 0.0);
+  EXPECT_DOUBLE_EQ(vm.mem_demand(), 700.0);
+}
+
+TEST(Vm, ComfortableMemoryFullEfficiency) {
+  Vm vm = make_vm();
+  vm.begin_tick();
+  vm.set_app_mem_demand(300.0);  // pressure 0.59 < knee
+  vm.finalize_tick();
+  EXPECT_DOUBLE_EQ(vm.efficiency(), 1.0);
+}
+
+TEST(Vm, PressureDegradesEfficiency) {
+  Vm vm = make_vm();
+  vm.begin_tick();
+  vm.set_app_mem_demand(512.0 * 1.1);  // past the knee
+  vm.finalize_tick();
+  EXPECT_LT(vm.efficiency(), 1.0);
+  EXPECT_GE(vm.efficiency(), vm.memory_model().min_efficiency);
+}
+
+TEST(Vm, EfficiencyBottomsAtFloor) {
+  Vm vm = make_vm();
+  vm.begin_tick();
+  vm.set_app_mem_demand(512.0 * 3.0);  // way past pressure_full
+  vm.finalize_tick();
+  EXPECT_NEAR(vm.efficiency(), vm.memory_model().min_efficiency, 1e-12);
+}
+
+TEST(Vm, DegradationIsImmediateRecoveryIsGradual) {
+  Vm vm = make_vm();
+  // Degrade hard in one tick.
+  vm.begin_tick();
+  vm.set_app_mem_demand(512.0 * 2.0);
+  vm.finalize_tick(1.0);
+  const double degraded = vm.efficiency();
+  EXPECT_NEAR(degraded, vm.memory_model().min_efficiency, 1e-12);
+  // Demand drops; one tick later efficiency has only partially healed.
+  vm.begin_tick();
+  vm.set_app_mem_demand(100.0);
+  vm.finalize_tick(1.0);
+  EXPECT_GT(vm.efficiency(), degraded);
+  EXPECT_LT(vm.efficiency(), 1.0);
+  // After many recovery time constants it is healthy again.
+  for (int i = 0; i < 100; ++i) {
+    vm.begin_tick();
+    vm.set_app_mem_demand(100.0);
+    vm.finalize_tick(1.0);
+  }
+  EXPECT_NEAR(vm.efficiency(), 1.0, 1e-3);
+}
+
+TEST(Vm, MigrationPenaltyAppliedAndRemoved) {
+  Vm vm = make_vm();
+  vm.begin_migration(0.85);
+  EXPECT_TRUE(vm.migrating());
+  vm.begin_tick();
+  vm.set_app_mem_demand(100.0);
+  vm.finalize_tick();
+  EXPECT_NEAR(vm.efficiency(), 0.85, 1e-12);
+  vm.end_migration();
+  EXPECT_FALSE(vm.migrating());
+  vm.begin_tick();
+  vm.set_app_mem_demand(100.0);
+  vm.finalize_tick();
+  EXPECT_NEAR(vm.efficiency(), 1.0, 1e-12);
+}
+
+TEST(Vm, DoubleMigrationRejected) {
+  Vm vm = make_vm();
+  vm.begin_migration(0.85);
+  EXPECT_THROW(vm.begin_migration(0.85), CheckFailure);
+}
+
+TEST(Vm, EndMigrationWithoutStartRejected) {
+  Vm vm = make_vm();
+  EXPECT_THROW(vm.end_migration(), CheckFailure);
+}
+
+TEST(Vm, NegativeDemandRejected) {
+  Vm vm = make_vm();
+  vm.begin_tick();
+  EXPECT_THROW(vm.set_app_cpu_demand(-1.0), CheckFailure);
+  EXPECT_THROW(vm.set_fault_mem_demand(-1.0), CheckFailure);
+}
+
+TEST(Vm, AllocationUpdates) {
+  Vm vm = make_vm();
+  vm.set_cpu_alloc(2.0);
+  vm.set_mem_alloc(1024.0);
+  EXPECT_DOUBLE_EQ(vm.cpu_alloc(), 2.0);
+  EXPECT_DOUBLE_EQ(vm.mem_alloc(), 1024.0);
+  EXPECT_THROW(vm.set_cpu_alloc(0.0), CheckFailure);
+}
+
+// Property: granted app CPU never exceeds demand or allocation.
+class VmContentionSweep
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(VmContentionSweep, GrantWithinBounds) {
+  const auto [app, fault] = GetParam();
+  Vm vm = make_vm();
+  vm.begin_tick();
+  vm.set_app_cpu_demand(app);
+  vm.set_fault_cpu_demand(fault);
+  vm.finalize_tick();
+  EXPECT_LE(vm.app_cpu_granted(), app + 1e-12);
+  EXPECT_LE(vm.app_cpu_granted(), vm.cpu_alloc() + 1e-12);
+  EXPECT_LE(vm.cpu_used(), vm.cpu_alloc() + 1e-12);
+  EXPECT_GE(vm.app_cpu_granted(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Demands, VmContentionSweep,
+    ::testing::Values(std::make_pair(0.0, 0.0), std::make_pair(0.5, 0.0),
+                      std::make_pair(1.0, 0.0), std::make_pair(2.0, 0.0),
+                      std::make_pair(0.5, 0.5), std::make_pair(0.5, 2.0),
+                      std::make_pair(3.0, 3.0)));
+
+}  // namespace
+}  // namespace prepare

@@ -1,0 +1,149 @@
+#include "apps/webapp/web_app.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "monitor/attributes.h"
+#include "sim/cluster.h"
+#include "workload/patterns.h"
+
+namespace prepare {
+namespace {
+
+class WebAppTest : public ::testing::Test {
+ protected:
+  void build(double rate) {
+    workload_ = std::make_unique<ConstantWorkload>(rate);
+    make_vms();
+    app_ = std::make_unique<WebApp>(vms_, workload_.get());
+  }
+
+  void make_vms() {
+    const char* names[] = {"web", "app1", "app2", "db"};
+    for (int i = 0; i < 4; ++i) {
+      Host* h = cluster_.add_host("h" + std::to_string(i));
+      vms_.push_back(cluster_.add_vm(names[i], 1.0,
+                                     i == 3 ? 1024.0 : 768.0, h));
+    }
+  }
+
+  void run(double from, double to) {
+    for (double t = from; t < to; t += 1.0) {
+      for (Vm* vm : vms_) vm->begin_tick();
+      app_->step(t, 1.0);
+    }
+  }
+
+  Cluster cluster_;
+  std::vector<Vm*> vms_;
+  std::unique_ptr<Workload> workload_;
+  std::unique_ptr<WebApp> app_;
+};
+
+TEST_F(WebAppTest, RequiresFourVms) {
+  ConstantWorkload w(10.0);
+  std::vector<Vm*> two(2, nullptr);
+  EXPECT_THROW(WebApp(two, &w), CheckFailure);
+}
+
+TEST_F(WebAppTest, HealthyAtNominalLoad) {
+  build(60.0);
+  run(0.0, 60.0);
+  EXPECT_FALSE(app_->slo_violated());
+  EXPECT_LT(app_->response_time(), 0.060);
+  EXPECT_GT(app_->response_time(), 0.001);
+}
+
+TEST_F(WebAppTest, OverloadSaturatesDbFirst) {
+  build(170.0);  // beyond the DB's ~133 req/s end-to-end capacity
+  run(0.0, 90.0);
+  EXPECT_TRUE(app_->slo_violated());
+  // The DB tier (index 3) carries the backlog, not the web tier.
+  EXPECT_GT(app_->backlog_of(3), app_->backlog_of(0));
+}
+
+TEST_F(WebAppTest, BacklogBounded) {
+  build(400.0);
+  run(0.0, 300.0);
+  for (std::size_t i = 0; i < app_->tier_count(); ++i)
+    EXPECT_LE(app_->backlog_of(i), WebAppConfig{}.max_backlog_requests);
+}
+
+TEST_F(WebAppTest, RecoversAfterOverload) {
+  workload_ =
+      std::make_unique<RampWorkload>(60.0, 4.0, 10.0, 60.0, 250.0);
+  make_vms();
+  app_ = std::make_unique<WebApp>(vms_, workload_.get());
+  run(0.0, 60.0);
+  EXPECT_TRUE(app_->slo_violated());
+  run(60.0, 220.0);
+  EXPECT_FALSE(app_->slo_violated());
+}
+
+TEST_F(WebAppTest, DbMemoryPressureRaisesResponseTime) {
+  build(60.0);
+  run(0.0, 30.0);
+  const double healthy = app_->response_time();
+  for (double t = 30.0; t < 150.0; t += 1.0) {
+    for (Vm* vm : vms_) vm->begin_tick();
+    vms_[3]->set_fault_mem_demand(800.0);  // leak-like pressure on the DB
+    app_->step(t, 1.0);
+  }
+  EXPECT_GT(app_->response_time(), healthy * 2.0);
+  EXPECT_TRUE(app_->slo_violated());
+}
+
+TEST_F(WebAppTest, DbThrashRaisesDiskReads) {
+  build(60.0);
+  run(0.0, 30.0);
+  const double warm_reads = vms_[3]->disk_read();
+  for (double t = 30.0; t < 150.0; t += 1.0) {
+    for (Vm* vm : vms_) vm->begin_tick();
+    vms_[3]->set_fault_mem_demand(900.0);
+    app_->step(t, 1.0);
+  }
+  EXPECT_GT(vms_[3]->disk_read(), warm_reads * 2.0);
+}
+
+TEST_F(WebAppTest, CpuHogOnDbViolatesSlo) {
+  build(60.0);
+  run(0.0, 30.0);
+  ASSERT_FALSE(app_->slo_violated());
+  for (double t = 30.0; t < 70.0; t += 1.0) {
+    for (Vm* vm : vms_) vm->begin_tick();
+    vms_[3]->set_fault_cpu_demand(8.0);
+    app_->step(t, 1.0);
+  }
+  EXPECT_TRUE(app_->slo_violated());
+}
+
+TEST_F(WebAppTest, ScalingDbCpuDefeatsHog) {
+  build(60.0);
+  run(0.0, 30.0);
+  vms_[3]->set_cpu_alloc(1.8);
+  for (double t = 30.0; t < 90.0; t += 1.0) {
+    for (Vm* vm : vms_) vm->begin_tick();
+    vms_[3]->set_fault_cpu_demand(8.0);
+    app_->step(t, 1.0);
+  }
+  EXPECT_FALSE(app_->slo_violated());
+}
+
+TEST_F(WebAppTest, AppServersShareLoadEvenly) {
+  build(60.0);
+  run(0.0, 60.0);
+  EXPECT_NEAR(vms_[1]->cpu_used(), vms_[2]->cpu_used(),
+              0.05 * vms_[1]->cpu_used() + 1e-6);
+}
+
+TEST_F(WebAppTest, SloMetricNameAndVms) {
+  build(60.0);
+  EXPECT_EQ(app_->slo_metric_name(), "response_time_s");
+  EXPECT_EQ(app_->vms().size(), 4u);
+}
+
+}  // namespace
+}  // namespace prepare
