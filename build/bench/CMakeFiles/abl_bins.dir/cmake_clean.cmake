@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_bins.dir/abl_bins.cpp.o"
+  "CMakeFiles/abl_bins.dir/abl_bins.cpp.o.d"
+  "abl_bins"
+  "abl_bins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_bins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

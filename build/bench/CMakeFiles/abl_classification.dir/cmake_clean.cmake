@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_classification.dir/abl_classification.cpp.o"
+  "CMakeFiles/abl_classification.dir/abl_classification.cpp.o.d"
+  "abl_classification"
+  "abl_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

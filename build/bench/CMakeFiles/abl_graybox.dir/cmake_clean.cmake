@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_graybox.dir/abl_graybox.cpp.o"
+  "CMakeFiles/abl_graybox.dir/abl_graybox.cpp.o.d"
+  "abl_graybox"
+  "abl_graybox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_graybox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_markov_n.dir/abl_markov_n.cpp.o"
+  "CMakeFiles/abl_markov_n.dir/abl_markov_n.cpp.o.d"
+  "abl_markov_n"
+  "abl_markov_n.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_markov_n.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

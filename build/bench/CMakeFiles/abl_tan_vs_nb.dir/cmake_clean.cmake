@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_tan_vs_nb.dir/abl_tan_vs_nb.cpp.o"
+  "CMakeFiles/abl_tan_vs_nb.dir/abl_tan_vs_nb.cpp.o.d"
+  "abl_tan_vs_nb"
+  "abl_tan_vs_nb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_tan_vs_nb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_tan_vs_nb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_validation.dir/abl_validation.cpp.o"
+  "CMakeFiles/abl_validation.dir/abl_validation.cpp.o.d"
+  "abl_validation"
+  "abl_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

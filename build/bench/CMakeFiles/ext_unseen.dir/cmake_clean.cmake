@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_unseen.dir/ext_unseen.cpp.o"
+  "CMakeFiles/ext_unseen.dir/ext_unseen.cpp.o.d"
+  "ext_unseen"
+  "ext_unseen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_unseen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig07_traces_scaling.cpp" "bench/CMakeFiles/fig07_traces_scaling.dir/fig07_traces_scaling.cpp.o" "gcc" "bench/CMakeFiles/fig07_traces_scaling.dir/fig07_traces_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/prepare_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/prepare_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/prepare_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/prepare_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/prepare_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/prepare_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/prepare_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/prepare_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeseries/CMakeFiles/prepare_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/prepare_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_traces_scaling.dir/fig07_traces_scaling.cpp.o"
+  "CMakeFiles/fig07_traces_scaling.dir/fig07_traces_scaling.cpp.o.d"
+  "fig07_traces_scaling"
+  "fig07_traces_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_traces_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_slo_migration.dir/fig08_slo_migration.cpp.o"
+  "CMakeFiles/fig08_slo_migration.dir/fig08_slo_migration.cpp.o.d"
+  "fig08_slo_migration"
+  "fig08_slo_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_slo_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

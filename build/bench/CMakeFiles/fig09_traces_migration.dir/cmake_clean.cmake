@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_traces_migration.dir/fig09_traces_migration.cpp.o"
+  "CMakeFiles/fig09_traces_migration.dir/fig09_traces_migration.cpp.o.d"
+  "fig09_traces_migration"
+  "fig09_traces_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_traces_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_per_vs_mono.dir/fig10_per_vs_mono.cpp.o"
+  "CMakeFiles/fig10_per_vs_mono.dir/fig10_per_vs_mono.cpp.o.d"
+  "fig10_per_vs_mono"
+  "fig10_per_vs_mono.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_per_vs_mono.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

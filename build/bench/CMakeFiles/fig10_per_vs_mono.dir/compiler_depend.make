@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig10_per_vs_mono.
+# This may be replaced when dependencies are built.

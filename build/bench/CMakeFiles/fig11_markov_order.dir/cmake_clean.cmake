@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_markov_order.dir/fig11_markov_order.cpp.o"
+  "CMakeFiles/fig11_markov_order.dir/fig11_markov_order.cpp.o.d"
+  "fig11_markov_order"
+  "fig11_markov_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_markov_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

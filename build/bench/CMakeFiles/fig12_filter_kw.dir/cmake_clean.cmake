@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_filter_kw.dir/fig12_filter_kw.cpp.o"
+  "CMakeFiles/fig12_filter_kw.dir/fig12_filter_kw.cpp.o.d"
+  "fig12_filter_kw"
+  "fig12_filter_kw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_filter_kw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

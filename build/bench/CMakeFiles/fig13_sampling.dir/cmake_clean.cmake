@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_sampling.dir/fig13_sampling.cpp.o"
+  "CMakeFiles/fig13_sampling.dir/fig13_sampling.cpp.o.d"
+  "fig13_sampling"
+  "fig13_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prepare_cli.dir/prepare_cli.cpp.o"
+  "CMakeFiles/prepare_cli.dir/prepare_cli.cpp.o.d"
+  "prepare_cli"
+  "prepare_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prepare_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rubis_daytrace.dir/rubis_daytrace.cpp.o"
+  "CMakeFiles/rubis_daytrace.dir/rubis_daytrace.cpp.o.d"
+  "rubis_daytrace"
+  "rubis_daytrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rubis_daytrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

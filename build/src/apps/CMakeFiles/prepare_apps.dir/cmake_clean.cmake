@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prepare_apps.dir/stream/stream_app.cpp.o"
+  "CMakeFiles/prepare_apps.dir/stream/stream_app.cpp.o.d"
+  "CMakeFiles/prepare_apps.dir/webapp/web_app.cpp.o"
+  "CMakeFiles/prepare_apps.dir/webapp/web_app.cpp.o.d"
+  "libprepare_apps.a"
+  "libprepare_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prepare_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

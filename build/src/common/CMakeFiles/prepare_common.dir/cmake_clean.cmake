@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prepare_common.dir/csv.cpp.o"
+  "CMakeFiles/prepare_common.dir/csv.cpp.o.d"
+  "CMakeFiles/prepare_common.dir/logging.cpp.o"
+  "CMakeFiles/prepare_common.dir/logging.cpp.o.d"
+  "CMakeFiles/prepare_common.dir/stats.cpp.o"
+  "CMakeFiles/prepare_common.dir/stats.cpp.o.d"
+  "libprepare_common.a"
+  "libprepare_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prepare_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

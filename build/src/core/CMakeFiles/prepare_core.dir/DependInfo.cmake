@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/accuracy.cpp" "src/core/CMakeFiles/prepare_core.dir/accuracy.cpp.o" "gcc" "src/core/CMakeFiles/prepare_core.dir/accuracy.cpp.o.d"
+  "/root/repo/src/core/alarm_filter.cpp" "src/core/CMakeFiles/prepare_core.dir/alarm_filter.cpp.o" "gcc" "src/core/CMakeFiles/prepare_core.dir/alarm_filter.cpp.o.d"
+  "/root/repo/src/core/anomaly_predictor.cpp" "src/core/CMakeFiles/prepare_core.dir/anomaly_predictor.cpp.o" "gcc" "src/core/CMakeFiles/prepare_core.dir/anomaly_predictor.cpp.o.d"
+  "/root/repo/src/core/cause_inference.cpp" "src/core/CMakeFiles/prepare_core.dir/cause_inference.cpp.o" "gcc" "src/core/CMakeFiles/prepare_core.dir/cause_inference.cpp.o.d"
+  "/root/repo/src/core/controller.cpp" "src/core/CMakeFiles/prepare_core.dir/controller.cpp.o" "gcc" "src/core/CMakeFiles/prepare_core.dir/controller.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/prepare_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/prepare_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/prevention.cpp" "src/core/CMakeFiles/prepare_core.dir/prevention.cpp.o" "gcc" "src/core/CMakeFiles/prepare_core.dir/prevention.cpp.o.d"
+  "/root/repo/src/core/replay.cpp" "src/core/CMakeFiles/prepare_core.dir/replay.cpp.o" "gcc" "src/core/CMakeFiles/prepare_core.dir/replay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prepare_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeseries/CMakeFiles/prepare_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/prepare_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/prepare_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/prepare_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/prepare_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/prepare_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/prepare_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/prepare_report.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prepare_core.dir/accuracy.cpp.o"
+  "CMakeFiles/prepare_core.dir/accuracy.cpp.o.d"
+  "CMakeFiles/prepare_core.dir/alarm_filter.cpp.o"
+  "CMakeFiles/prepare_core.dir/alarm_filter.cpp.o.d"
+  "CMakeFiles/prepare_core.dir/anomaly_predictor.cpp.o"
+  "CMakeFiles/prepare_core.dir/anomaly_predictor.cpp.o.d"
+  "CMakeFiles/prepare_core.dir/cause_inference.cpp.o"
+  "CMakeFiles/prepare_core.dir/cause_inference.cpp.o.d"
+  "CMakeFiles/prepare_core.dir/controller.cpp.o"
+  "CMakeFiles/prepare_core.dir/controller.cpp.o.d"
+  "CMakeFiles/prepare_core.dir/experiment.cpp.o"
+  "CMakeFiles/prepare_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/prepare_core.dir/prevention.cpp.o"
+  "CMakeFiles/prepare_core.dir/prevention.cpp.o.d"
+  "CMakeFiles/prepare_core.dir/replay.cpp.o"
+  "CMakeFiles/prepare_core.dir/replay.cpp.o.d"
+  "libprepare_core.a"
+  "libprepare_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prepare_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

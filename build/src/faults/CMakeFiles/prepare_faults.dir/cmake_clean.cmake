@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prepare_faults.dir/faults.cpp.o"
+  "CMakeFiles/prepare_faults.dir/faults.cpp.o.d"
+  "CMakeFiles/prepare_faults.dir/injector.cpp.o"
+  "CMakeFiles/prepare_faults.dir/injector.cpp.o.d"
+  "libprepare_faults.a"
+  "libprepare_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prepare_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

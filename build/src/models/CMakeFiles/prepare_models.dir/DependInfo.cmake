@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/classifier.cpp" "src/models/CMakeFiles/prepare_models.dir/classifier.cpp.o" "gcc" "src/models/CMakeFiles/prepare_models.dir/classifier.cpp.o.d"
+  "/root/repo/src/models/discretizer.cpp" "src/models/CMakeFiles/prepare_models.dir/discretizer.cpp.o" "gcc" "src/models/CMakeFiles/prepare_models.dir/discretizer.cpp.o.d"
+  "/root/repo/src/models/distribution.cpp" "src/models/CMakeFiles/prepare_models.dir/distribution.cpp.o" "gcc" "src/models/CMakeFiles/prepare_models.dir/distribution.cpp.o.d"
+  "/root/repo/src/models/markov.cpp" "src/models/CMakeFiles/prepare_models.dir/markov.cpp.o" "gcc" "src/models/CMakeFiles/prepare_models.dir/markov.cpp.o.d"
+  "/root/repo/src/models/markov2.cpp" "src/models/CMakeFiles/prepare_models.dir/markov2.cpp.o" "gcc" "src/models/CMakeFiles/prepare_models.dir/markov2.cpp.o.d"
+  "/root/repo/src/models/markov_n.cpp" "src/models/CMakeFiles/prepare_models.dir/markov_n.cpp.o" "gcc" "src/models/CMakeFiles/prepare_models.dir/markov_n.cpp.o.d"
+  "/root/repo/src/models/naive_bayes.cpp" "src/models/CMakeFiles/prepare_models.dir/naive_bayes.cpp.o" "gcc" "src/models/CMakeFiles/prepare_models.dir/naive_bayes.cpp.o.d"
+  "/root/repo/src/models/outlier.cpp" "src/models/CMakeFiles/prepare_models.dir/outlier.cpp.o" "gcc" "src/models/CMakeFiles/prepare_models.dir/outlier.cpp.o.d"
+  "/root/repo/src/models/tan.cpp" "src/models/CMakeFiles/prepare_models.dir/tan.cpp.o" "gcc" "src/models/CMakeFiles/prepare_models.dir/tan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prepare_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prepare_models.dir/classifier.cpp.o"
+  "CMakeFiles/prepare_models.dir/classifier.cpp.o.d"
+  "CMakeFiles/prepare_models.dir/discretizer.cpp.o"
+  "CMakeFiles/prepare_models.dir/discretizer.cpp.o.d"
+  "CMakeFiles/prepare_models.dir/distribution.cpp.o"
+  "CMakeFiles/prepare_models.dir/distribution.cpp.o.d"
+  "CMakeFiles/prepare_models.dir/markov.cpp.o"
+  "CMakeFiles/prepare_models.dir/markov.cpp.o.d"
+  "CMakeFiles/prepare_models.dir/markov2.cpp.o"
+  "CMakeFiles/prepare_models.dir/markov2.cpp.o.d"
+  "CMakeFiles/prepare_models.dir/markov_n.cpp.o"
+  "CMakeFiles/prepare_models.dir/markov_n.cpp.o.d"
+  "CMakeFiles/prepare_models.dir/naive_bayes.cpp.o"
+  "CMakeFiles/prepare_models.dir/naive_bayes.cpp.o.d"
+  "CMakeFiles/prepare_models.dir/outlier.cpp.o"
+  "CMakeFiles/prepare_models.dir/outlier.cpp.o.d"
+  "CMakeFiles/prepare_models.dir/tan.cpp.o"
+  "CMakeFiles/prepare_models.dir/tan.cpp.o.d"
+  "libprepare_models.a"
+  "libprepare_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prepare_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

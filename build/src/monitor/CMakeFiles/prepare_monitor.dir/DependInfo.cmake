@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/monitor/attributes.cpp" "src/monitor/CMakeFiles/prepare_monitor.dir/attributes.cpp.o" "gcc" "src/monitor/CMakeFiles/prepare_monitor.dir/attributes.cpp.o.d"
+  "/root/repo/src/monitor/labeler.cpp" "src/monitor/CMakeFiles/prepare_monitor.dir/labeler.cpp.o" "gcc" "src/monitor/CMakeFiles/prepare_monitor.dir/labeler.cpp.o.d"
+  "/root/repo/src/monitor/memory_estimator.cpp" "src/monitor/CMakeFiles/prepare_monitor.dir/memory_estimator.cpp.o" "gcc" "src/monitor/CMakeFiles/prepare_monitor.dir/memory_estimator.cpp.o.d"
+  "/root/repo/src/monitor/metric_store.cpp" "src/monitor/CMakeFiles/prepare_monitor.dir/metric_store.cpp.o" "gcc" "src/monitor/CMakeFiles/prepare_monitor.dir/metric_store.cpp.o.d"
+  "/root/repo/src/monitor/slo_log.cpp" "src/monitor/CMakeFiles/prepare_monitor.dir/slo_log.cpp.o" "gcc" "src/monitor/CMakeFiles/prepare_monitor.dir/slo_log.cpp.o.d"
+  "/root/repo/src/monitor/trace_io.cpp" "src/monitor/CMakeFiles/prepare_monitor.dir/trace_io.cpp.o" "gcc" "src/monitor/CMakeFiles/prepare_monitor.dir/trace_io.cpp.o.d"
+  "/root/repo/src/monitor/vm_monitor.cpp" "src/monitor/CMakeFiles/prepare_monitor.dir/vm_monitor.cpp.o" "gcc" "src/monitor/CMakeFiles/prepare_monitor.dir/vm_monitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prepare_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/prepare_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeseries/CMakeFiles/prepare_timeseries.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prepare_monitor.dir/attributes.cpp.o"
+  "CMakeFiles/prepare_monitor.dir/attributes.cpp.o.d"
+  "CMakeFiles/prepare_monitor.dir/labeler.cpp.o"
+  "CMakeFiles/prepare_monitor.dir/labeler.cpp.o.d"
+  "CMakeFiles/prepare_monitor.dir/memory_estimator.cpp.o"
+  "CMakeFiles/prepare_monitor.dir/memory_estimator.cpp.o.d"
+  "CMakeFiles/prepare_monitor.dir/metric_store.cpp.o"
+  "CMakeFiles/prepare_monitor.dir/metric_store.cpp.o.d"
+  "CMakeFiles/prepare_monitor.dir/slo_log.cpp.o"
+  "CMakeFiles/prepare_monitor.dir/slo_log.cpp.o.d"
+  "CMakeFiles/prepare_monitor.dir/trace_io.cpp.o"
+  "CMakeFiles/prepare_monitor.dir/trace_io.cpp.o.d"
+  "CMakeFiles/prepare_monitor.dir/vm_monitor.cpp.o"
+  "CMakeFiles/prepare_monitor.dir/vm_monitor.cpp.o.d"
+  "libprepare_monitor.a"
+  "libprepare_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prepare_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

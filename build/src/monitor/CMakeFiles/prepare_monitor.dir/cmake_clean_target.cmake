@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libprepare_monitor.a"
+)

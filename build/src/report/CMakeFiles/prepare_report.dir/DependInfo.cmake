@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/report/report.cpp" "src/report/CMakeFiles/prepare_report.dir/report.cpp.o" "gcc" "src/report/CMakeFiles/prepare_report.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prepare_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/prepare_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/prepare_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeseries/CMakeFiles/prepare_timeseries.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prepare_report.dir/report.cpp.o"
+  "CMakeFiles/prepare_report.dir/report.cpp.o.d"
+  "libprepare_report.a"
+  "libprepare_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prepare_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/clock.cpp" "src/sim/CMakeFiles/prepare_sim.dir/clock.cpp.o" "gcc" "src/sim/CMakeFiles/prepare_sim.dir/clock.cpp.o.d"
+  "/root/repo/src/sim/cluster.cpp" "src/sim/CMakeFiles/prepare_sim.dir/cluster.cpp.o" "gcc" "src/sim/CMakeFiles/prepare_sim.dir/cluster.cpp.o.d"
+  "/root/repo/src/sim/event_log.cpp" "src/sim/CMakeFiles/prepare_sim.dir/event_log.cpp.o" "gcc" "src/sim/CMakeFiles/prepare_sim.dir/event_log.cpp.o.d"
+  "/root/repo/src/sim/host.cpp" "src/sim/CMakeFiles/prepare_sim.dir/host.cpp.o" "gcc" "src/sim/CMakeFiles/prepare_sim.dir/host.cpp.o.d"
+  "/root/repo/src/sim/hypervisor.cpp" "src/sim/CMakeFiles/prepare_sim.dir/hypervisor.cpp.o" "gcc" "src/sim/CMakeFiles/prepare_sim.dir/hypervisor.cpp.o.d"
+  "/root/repo/src/sim/vm.cpp" "src/sim/CMakeFiles/prepare_sim.dir/vm.cpp.o" "gcc" "src/sim/CMakeFiles/prepare_sim.dir/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prepare_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeseries/CMakeFiles/prepare_timeseries.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prepare_sim.dir/clock.cpp.o"
+  "CMakeFiles/prepare_sim.dir/clock.cpp.o.d"
+  "CMakeFiles/prepare_sim.dir/cluster.cpp.o"
+  "CMakeFiles/prepare_sim.dir/cluster.cpp.o.d"
+  "CMakeFiles/prepare_sim.dir/event_log.cpp.o"
+  "CMakeFiles/prepare_sim.dir/event_log.cpp.o.d"
+  "CMakeFiles/prepare_sim.dir/host.cpp.o"
+  "CMakeFiles/prepare_sim.dir/host.cpp.o.d"
+  "CMakeFiles/prepare_sim.dir/hypervisor.cpp.o"
+  "CMakeFiles/prepare_sim.dir/hypervisor.cpp.o.d"
+  "CMakeFiles/prepare_sim.dir/vm.cpp.o"
+  "CMakeFiles/prepare_sim.dir/vm.cpp.o.d"
+  "libprepare_sim.a"
+  "libprepare_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prepare_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prepare_timeseries.dir/changepoint.cpp.o"
+  "CMakeFiles/prepare_timeseries.dir/changepoint.cpp.o.d"
+  "CMakeFiles/prepare_timeseries.dir/timeseries.cpp.o"
+  "CMakeFiles/prepare_timeseries.dir/timeseries.cpp.o.d"
+  "libprepare_timeseries.a"
+  "libprepare_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prepare_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prepare_workload.dir/nasa_trace.cpp.o"
+  "CMakeFiles/prepare_workload.dir/nasa_trace.cpp.o.d"
+  "CMakeFiles/prepare_workload.dir/patterns.cpp.o"
+  "CMakeFiles/prepare_workload.dir/patterns.cpp.o.d"
+  "CMakeFiles/prepare_workload.dir/trace_workload.cpp.o"
+  "CMakeFiles/prepare_workload.dir/trace_workload.cpp.o.d"
+  "libprepare_workload.a"
+  "libprepare_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prepare_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

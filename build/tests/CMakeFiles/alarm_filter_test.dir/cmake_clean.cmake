@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alarm_filter_test.dir/alarm_filter_test.cpp.o"
+  "CMakeFiles/alarm_filter_test.dir/alarm_filter_test.cpp.o.d"
+  "alarm_filter_test"
+  "alarm_filter_test.pdb"
+  "alarm_filter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alarm_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

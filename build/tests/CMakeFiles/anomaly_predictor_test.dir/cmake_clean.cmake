@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anomaly_predictor_test.dir/anomaly_predictor_test.cpp.o"
+  "CMakeFiles/anomaly_predictor_test.dir/anomaly_predictor_test.cpp.o.d"
+  "anomaly_predictor_test"
+  "anomaly_predictor_test.pdb"
+  "anomaly_predictor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anomaly_predictor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cause_inference_test.dir/cause_inference_test.cpp.o"
+  "CMakeFiles/cause_inference_test.dir/cause_inference_test.cpp.o.d"
+  "cause_inference_test"
+  "cause_inference_test.pdb"
+  "cause_inference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cause_inference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/changepoint_test.dir/changepoint_test.cpp.o"
+  "CMakeFiles/changepoint_test.dir/changepoint_test.cpp.o.d"
+  "changepoint_test"
+  "changepoint_test.pdb"
+  "changepoint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/changepoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

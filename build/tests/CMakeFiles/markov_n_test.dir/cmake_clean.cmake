@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/markov_n_test.dir/markov_n_test.cpp.o"
+  "CMakeFiles/markov_n_test.dir/markov_n_test.cpp.o.d"
+  "markov_n_test"
+  "markov_n_test.pdb"
+  "markov_n_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/markov_n_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

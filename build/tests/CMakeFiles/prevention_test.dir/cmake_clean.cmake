@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prevention_test.dir/prevention_test.cpp.o"
+  "CMakeFiles/prevention_test.dir/prevention_test.cpp.o.d"
+  "prevention_test"
+  "prevention_test.pdb"
+  "prevention_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prevention_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

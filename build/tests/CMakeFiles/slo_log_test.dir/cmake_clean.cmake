@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slo_log_test.dir/slo_log_test.cpp.o"
+  "CMakeFiles/slo_log_test.dir/slo_log_test.cpp.o.d"
+  "slo_log_test"
+  "slo_log_test.pdb"
+  "slo_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slo_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

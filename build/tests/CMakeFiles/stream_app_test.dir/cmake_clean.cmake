@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_app_test.dir/stream_app_test.cpp.o"
+  "CMakeFiles/stream_app_test.dir/stream_app_test.cpp.o.d"
+  "stream_app_test"
+  "stream_app_test.pdb"
+  "stream_app_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_app_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

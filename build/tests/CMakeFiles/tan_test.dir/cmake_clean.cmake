@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tan_test.dir/tan_test.cpp.o"
+  "CMakeFiles/tan_test.dir/tan_test.cpp.o.d"
+  "tan_test"
+  "tan_test.pdb"
+  "tan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_workload_test.dir/trace_workload_test.cpp.o"
+  "CMakeFiles/trace_workload_test.dir/trace_workload_test.cpp.o.d"
+  "trace_workload_test"
+  "trace_workload_test.pdb"
+  "trace_workload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

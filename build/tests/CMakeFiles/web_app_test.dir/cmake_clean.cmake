@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_app_test.dir/web_app_test.cpp.o"
+  "CMakeFiles/web_app_test.dir/web_app_test.cpp.o.d"
+  "web_app_test"
+  "web_app_test.pdb"
+  "web_app_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_app_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
