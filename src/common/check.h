@@ -1,49 +1,139 @@
-// Lightweight precondition / invariant checking.
+// Structured precondition / invariant checking.
 //
-// PREPARE_CHECK is always on (cheap conditions only: argument validation on
-// public API boundaries). PREPARE_DCHECK compiles out in release builds and
-// is used for internal invariants on hot paths.
+// Two severity tiers:
+//
+//  * PREPARE_CHECK*  — always on. Cheap conditions only: argument
+//    validation on public API boundaries and invariants whose violation
+//    would silently corrupt model state (probability mass, resource
+//    conservation). Failure throws prepare::CheckFailure.
+//  * PREPARE_DCHECK* — internal invariants on hot paths. Compiled out
+//    unless PREPARE_DCHECK_IS_ON (debug builds, or any build configured
+//    with -DPREPARE_FORCE_DCHECK — the sanitizer CMake profiles set this
+//    so ASan/UBSan runs also exercise every invariant).
+//
+// All macros accept streamed context, evaluated only on failure:
+//
+//   PREPARE_CHECK(row < rows_) << "vm=" << vm.name() << " tick=" << tick;
+//   PREPARE_CHECK_LE(used, capacity) << "host " << host.name();
+//   PREPARE_CHECK_NEAR(dist.sum(), 1.0, 1e-6) << "after normalize()";
+//
+// The comparison forms (EQ/NE/LT/LE/GT/GE/NEAR) re-evaluate their
+// operands to format the failure message, so operands must not have side
+// effects (they are evaluated exactly once on the passing path).
 #pragma once
 
+#include <cmath>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 
+#if defined(PREPARE_FORCE_DCHECK) || !defined(NDEBUG)
+#define PREPARE_DCHECK_IS_ON 1
+#else
+#define PREPARE_DCHECK_IS_ON 0
+#endif
+
 namespace prepare {
 
 /// Thrown when a PREPARE_CHECK condition fails. Carries the failing
-/// expression and location so callers (and tests) can assert on it.
+/// expression, location, and any streamed context so callers (and tests)
+/// can assert on it.
 class CheckFailure : public std::logic_error {
  public:
   explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
 };
 
 namespace detail {
-[[noreturn]] inline void check_failed(const char* expr, const char* file,
-                                      int line, const std::string& msg) {
-  std::ostringstream os;
-  os << "check failed: " << expr << " at " << file << ":" << line;
-  if (!msg.empty()) os << " — " << msg;
-  throw CheckFailure(os.str());
-}
-}  // namespace detail
 
+/// Accumulates the failure message for one failed check. Created only on
+/// the failure path; the CheckThrower consuming it throws CheckFailure.
+class CheckStream {
+ public:
+  CheckStream(const char* expr, const char* file, int line) {
+    os_ << "check failed: " << expr << " at " << file << ":" << line;
+  }
+
+  template <typename T>
+  CheckStream& operator<<(const T& value) {
+    if (!context_started_) {
+      os_ << " — ";
+      context_started_ = true;
+    }
+    os_ << value;
+    return *this;
+  }
+
+  std::string str() const { return os_.str(); }
+
+ private:
+  std::ostringstream os_;
+  bool context_started_ = false;
+};
+
+// operator& binds looser than operator<<, so the thrower fires after the
+// whole context chain has been streamed into the CheckStream temporary.
+struct CheckThrower {
+  [[noreturn]] void operator&(const CheckStream& stream) const {
+    throw CheckFailure(stream.str());
+  }
+};
+
+inline bool check_near(double a, double b, double tolerance) {
+  return std::fabs(a - b) <= tolerance;
+}
+
+}  // namespace detail
 }  // namespace prepare
 
-#define PREPARE_CHECK(cond)                                              \
-  do {                                                                   \
-    if (!(cond))                                                         \
-      ::prepare::detail::check_failed(#cond, __FILE__, __LINE__, "");    \
-  } while (0)
+// The ternary keeps PREPARE_CHECK usable as an expression; both arms are
+// void. Streamed context after the macro attaches to the CheckStream on
+// the (unevaluated-on-success) failure arm.
+#define PREPARE_CHECK(cond)                     \
+  (cond) ? (void)0                              \
+         : ::prepare::detail::CheckThrower() &  \
+               ::prepare::detail::CheckStream(#cond, __FILE__, __LINE__)
 
-#define PREPARE_CHECK_MSG(cond, msg)                                     \
-  do {                                                                   \
-    if (!(cond))                                                         \
-      ::prepare::detail::check_failed(#cond, __FILE__, __LINE__, (msg)); \
-  } while (0)
+#define PREPARE_CHECK_OP_IMPL(a, b, op)                                     \
+  PREPARE_CHECK((a)op(b)) << "(" << (a) << " vs " << (b) << ") "
 
-#ifdef NDEBUG
-#define PREPARE_DCHECK(cond) ((void)0)
-#else
+#define PREPARE_CHECK_EQ(a, b) PREPARE_CHECK_OP_IMPL(a, b, ==)
+#define PREPARE_CHECK_NE(a, b) PREPARE_CHECK_OP_IMPL(a, b, !=)
+#define PREPARE_CHECK_LT(a, b) PREPARE_CHECK_OP_IMPL(a, b, <)
+#define PREPARE_CHECK_LE(a, b) PREPARE_CHECK_OP_IMPL(a, b, <=)
+#define PREPARE_CHECK_GT(a, b) PREPARE_CHECK_OP_IMPL(a, b, >)
+#define PREPARE_CHECK_GE(a, b) PREPARE_CHECK_OP_IMPL(a, b, >=)
+
+/// |a - b| <= tol, with both values and the tolerance in the message.
+#define PREPARE_CHECK_NEAR(a, b, tol)                          \
+  PREPARE_CHECK(::prepare::detail::check_near((a), (b), (tol))) \
+      << "(" << (a) << " vs " << (b) << ", tol " << (tol) << ") "
+
+/// Legacy form; prefer streaming context onto PREPARE_CHECK directly.
+#define PREPARE_CHECK_MSG(cond, msg) PREPARE_CHECK(cond) << (msg)
+
+#if PREPARE_DCHECK_IS_ON
 #define PREPARE_DCHECK(cond) PREPARE_CHECK(cond)
+#define PREPARE_DCHECK_EQ(a, b) PREPARE_CHECK_EQ(a, b)
+#define PREPARE_DCHECK_NE(a, b) PREPARE_CHECK_NE(a, b)
+#define PREPARE_DCHECK_LT(a, b) PREPARE_CHECK_LT(a, b)
+#define PREPARE_DCHECK_LE(a, b) PREPARE_CHECK_LE(a, b)
+#define PREPARE_DCHECK_GT(a, b) PREPARE_CHECK_GT(a, b)
+#define PREPARE_DCHECK_GE(a, b) PREPARE_CHECK_GE(a, b)
+#define PREPARE_DCHECK_NEAR(a, b, tol) PREPARE_CHECK_NEAR(a, b, tol)
+#else
+// `true || (cond)` references the operands (no unused-variable warnings)
+// without evaluating them; the dead failure arm swallows streamed context.
+#define PREPARE_DCHECK(cond)                    \
+  (true || (cond))                              \
+      ? (void)0                                 \
+      : ::prepare::detail::CheckThrower() &     \
+            ::prepare::detail::CheckStream("", "", 0)
+#define PREPARE_DCHECK_EQ(a, b) PREPARE_DCHECK((a) == (b))
+#define PREPARE_DCHECK_NE(a, b) PREPARE_DCHECK((a) != (b))
+#define PREPARE_DCHECK_LT(a, b) PREPARE_DCHECK((a) < (b))
+#define PREPARE_DCHECK_LE(a, b) PREPARE_DCHECK((a) <= (b))
+#define PREPARE_DCHECK_GT(a, b) PREPARE_DCHECK((a) > (b))
+#define PREPARE_DCHECK_GE(a, b) PREPARE_DCHECK((a) >= (b))
+#define PREPARE_DCHECK_NEAR(a, b, tol) \
+  PREPARE_DCHECK(::prepare::detail::check_near((a), (b), (tol)))
 #endif

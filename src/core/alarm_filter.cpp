@@ -6,14 +6,19 @@ namespace prepare {
 
 AlarmFilter::AlarmFilter(std::size_t k, std::size_t w)
     : k_(k), window_(w) {
-  PREPARE_CHECK(k >= 1);
-  PREPARE_CHECK_MSG(k <= w, "k must not exceed the window size W");
+  PREPARE_CHECK_GE(k, std::size_t{1}) << "need at least one alert to confirm";
+  PREPARE_CHECK_LE(k, w) << "k must not exceed the window size W";
 }
 
 bool AlarmFilter::push(bool alert) {
   window_.push(alert);
-  confirmed_ =
-      window_.count_if([](bool a) { return a; }) >= k_;
+  // Window-index invariants: the window never grows past W, and the
+  // alert count it reports can never exceed the entries it holds.
+  PREPARE_DCHECK_LE(window_.size(), window_.capacity())
+      << "sliding window overran its capacity";
+  const std::size_t alerts = window_.count_if([](bool a) { return a; });
+  PREPARE_DCHECK_LE(alerts, window_.size()) << "alert count exceeds window";
+  confirmed_ = alerts >= k_;
   return confirmed_;
 }
 

@@ -19,6 +19,9 @@ Discretizer::Discretizer(std::size_t bins, DiscretizerKind kind,
 
 void Discretizer::fit(const std::vector<double>& values) {
   PREPARE_CHECK_MSG(!values.empty(), "cannot fit discretizer on empty data");
+  for (std::size_t i = 0; i < values.size(); ++i)
+    PREPARE_CHECK(std::isfinite(values[i]))
+        << "non-finite training value " << values[i] << " at index " << i;
   std::vector<double> sorted = values;
   std::sort(sorted.begin(), sorted.end());
   const double lo = sorted.front();
@@ -78,6 +81,13 @@ void Discretizer::fit(const std::vector<double>& values) {
     const double bin_hi = b == n_bins - 1 ? hi : cuts_[b];
     centers_[b] = 0.5 * (bin_lo + std::max(bin_lo, bin_hi));
   }
+#if PREPARE_DCHECK_IS_ON
+  // Bin bounds invariant: interior cuts strictly ascending, so
+  // lower_bound in discretize() maps each value to exactly one bin.
+  for (std::size_t b = 1; b < cuts_.size(); ++b)
+    PREPARE_DCHECK_LT(cuts_[b - 1], cuts_[b])
+        << "cut points not strictly ascending at index " << b;
+#endif
   fitted_ = true;
 }
 
@@ -88,10 +98,14 @@ std::size_t Discretizer::bins() const {
 
 std::size_t Discretizer::discretize(double value) const {
   PREPARE_CHECK_MSG(fitted_, "discretizer used before fit()");
+  PREPARE_CHECK(std::isfinite(value))
+      << "cannot discretize non-finite value " << value;
   // Bin i covers (cuts[i-1], cuts[i]]; values above the last cut land in
   // the top bin.
   const auto it = std::lower_bound(cuts_.begin(), cuts_.end(), value);
-  return static_cast<std::size_t>(it - cuts_.begin());
+  const auto bin = static_cast<std::size_t>(it - cuts_.begin());
+  PREPARE_DCHECK_LT(bin, centers_.size()) << "bin index escaped the range";
+  return bin;
 }
 
 std::vector<std::size_t> Discretizer::discretize(
@@ -104,7 +118,7 @@ std::vector<std::size_t> Discretizer::discretize(
 
 double Discretizer::bin_center(std::size_t bin) const {
   PREPARE_CHECK(fitted_);
-  PREPARE_CHECK(bin < centers_.size());
+  PREPARE_CHECK_LT(bin, centers_.size()) << "bin index out of range";
   return centers_[bin];
 }
 

@@ -22,6 +22,11 @@ Distribution Distribution::uniform(std::size_t size) {
 }
 
 void Distribution::normalize() {
+  for (std::size_t i = 0; i < p_.size(); ++i) {
+    PREPARE_CHECK(std::isfinite(p_[i]))
+        << "non-finite mass " << p_[i] << " at symbol " << i;
+    PREPARE_CHECK_GE(p_[i], 0.0) << "negative mass at symbol " << i;
+  }
   const double s = sum();
   if (s <= 0.0) {
     if (!p_.empty())
@@ -29,6 +34,14 @@ void Distribution::normalize() {
     return;
   }
   for (double& x : p_) x /= s;
+  PREPARE_DCHECK_NEAR(sum(), 1.0, 1e-9) << "normalize() left unnormalized mass";
+}
+
+bool Distribution::is_normalized(double tolerance) const {
+  if (p_.empty()) return false;
+  for (double x : p_)
+    if (!std::isfinite(x) || x < 0.0) return false;
+  return std::fabs(sum() - 1.0) <= tolerance;
 }
 
 double Distribution::sum() const {

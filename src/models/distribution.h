@@ -25,9 +25,14 @@ class Distribution {
   double& operator[](std::size_t i) { return p_[i]; }
   const std::vector<double>& probabilities() const { return p_; }
 
-  /// Rescales to sum 1 (uniform if the sum is zero).
+  /// Rescales to sum 1 (uniform if the sum is zero). Throws CheckFailure
+  /// if any entry is negative or non-finite — a corrupted model state
+  /// that silent renormalization would otherwise mask.
   void normalize();
   double sum() const;
+  /// True when every entry is finite and non-negative and the total mass
+  /// is 1 within `tolerance`. Empty distributions are not normalized.
+  bool is_normalized(double tolerance = 1e-9) const;
 
   /// Most likely symbol (lowest index wins ties).
   std::size_t mode() const;

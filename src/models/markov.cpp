@@ -51,6 +51,7 @@ Distribution MarkovChain::predict(std::size_t steps) const {
   }
   Distribution d(std::move(v));
   d.normalize();
+  PREPARE_DCHECK(d.is_normalized(1e-9)) << "predict() output not a distribution";
   return d;
 }
 

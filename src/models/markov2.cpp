@@ -57,6 +57,13 @@ Distribution TwoDependentMarkov::predict(std::size_t steps) const {
       }
     }
     std::swap(v, next);
+#if PREPARE_DCHECK_IS_ON
+    // Each transition row sums to 1, so propagation conserves mass.
+    double mass = 0.0;
+    for (double x : v) mass += x;
+    PREPARE_DCHECK_NEAR(mass, 1.0, 1e-6)
+        << "pair-state mass leaked after step " << s + 1;
+#endif
   }
   // Marginalize the pair distribution onto the current value.
   Distribution d(alphabet_);
@@ -64,6 +71,7 @@ Distribution TwoDependentMarkov::predict(std::size_t steps) const {
     for (std::size_t b = 0; b < alphabet_; ++b)
       d[b] += v[pair_index(a, b)];
   d.normalize();
+  PREPARE_DCHECK(d.is_normalized(1e-9)) << "predict() output not a distribution";
   return d;
 }
 

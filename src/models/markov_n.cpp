@@ -88,12 +88,20 @@ Distribution NDependentMarkov::predict(std::size_t steps) const {
             mass * (counts_[base + j] + alpha_) / denom;
     }
     std::swap(v, next);
+#if PREPARE_DCHECK_IS_ON
+    // Smoothed transition rows sum to 1, so each step conserves mass.
+    double mass = 0.0;
+    for (double x : v) mass += x;
+    PREPARE_DCHECK_NEAR(mass, 1.0, 1e-6)
+        << "context-state mass leaked after step " << s + 1;
+#endif
   }
   // Marginalize onto the most recent symbol (the low digit).
   Distribution d(alphabet_);
   for (std::size_t ctx = 0; ctx < states_; ++ctx)
     d[ctx % alphabet_] += v[ctx];
   d.normalize();
+  PREPARE_DCHECK(d.is_normalized(1e-9)) << "predict() output not a distribution";
   return d;
 }
 

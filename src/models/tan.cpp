@@ -26,16 +26,19 @@ void TanClassifier::learn_structure(const LabeledDataset& data) {
   const std::size_t n = data.attributes();
   cmi_.assign(n, std::vector<double>(n, 0.0));
 
-  // Class-conditional joint counts with Laplace smoothing, per pair.
+  // Class-conditional joint counts with Laplace smoothing, per pair. The
+  // count buffers live outside the loops and are re-initialized with
+  // assign() so each pair reuses one allocation.
+  std::vector<double> joint, mi, mj;
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j) {
       double info = 0.0;
       for (int c = 0; c < 2; ++c) {
         // Count occurrences in class c.
         const std::size_t ki = alphabet_[i], kj = alphabet_[j];
-        std::vector<double> joint(ki * kj, alpha_);
-        std::vector<double> mi(ki, alpha_ * static_cast<double>(kj));
-        std::vector<double> mj(kj, alpha_ * static_cast<double>(ki));
+        joint.assign(ki * kj, alpha_);
+        mi.assign(ki, alpha_ * static_cast<double>(kj));
+        mj.assign(kj, alpha_ * static_cast<double>(ki));
         double total = alpha_ * static_cast<double>(ki * kj);
         for (std::size_t r = 0; r < data.rows.size(); ++r) {
           if ((data.abnormal[r] ? 1 : 0) != c) continue;
@@ -117,16 +120,21 @@ void TanClassifier::learn_cpts(const LabeledDataset& data) {
   }
   for (std::size_t r = 0; r < data.rows.size(); ++r) {
     const auto& row = data.rows[r];
-    PREPARE_CHECK(row.size() == n);
+    PREPARE_CHECK_EQ(row.size(), n) << "ragged training row " << r;
     const int c = data.abnormal[r] ? 1 : 0;
     class_counts_[c] += 1.0;
     for (std::size_t i = 0; i < n; ++i) {
-      PREPARE_CHECK(row[i] < alphabet_[i]);
+      PREPARE_CHECK_LT(row[i], alphabet_[i])
+          << "row " << r << " attribute " << i << " out of alphabet";
       const std::size_t pv =
           parents_[i] == kNoParent ? 0 : row[parents_[i]];
       cpt_[c][i][pv * alphabet_[i] + row[i]] += 1.0;
     }
   }
+  // Every training row landed in exactly one class bucket.
+  PREPARE_DCHECK_NEAR(class_counts_[0] + class_counts_[1],
+                      static_cast<double>(data.rows.size()), 1e-9)
+      << "class counts do not cover the training set";
 }
 
 double TanClassifier::likelihood(std::size_t attribute, std::size_t value,
@@ -151,7 +159,9 @@ double TanClassifier::prior(bool abnormal) const {
   PREPARE_CHECK(trained_);
   const int c = abnormal ? 1 : 0;
   const double total = class_counts_[0] + class_counts_[1];
-  return (class_counts_[c] + alpha_) / (total + 2.0 * alpha_);
+  const double p = (class_counts_[c] + alpha_) / (total + 2.0 * alpha_);
+  PREPARE_DCHECK(p > 0.0 && p < 1.0) << "degenerate class prior " << p;
+  return p;
 }
 
 double TanClassifier::conditional_mutual_information(std::size_t i,
@@ -192,7 +202,11 @@ Classification TanClassifier::classify_expected(
   out.impacts.resize(dists.size());
   out.score = std::log(prior(true) / prior(false));
   for (std::size_t i = 0; i < dists.size(); ++i) {
-    PREPARE_CHECK(dists[i].size() == alphabet_[i]);
+    PREPARE_CHECK_EQ(dists[i].size(), alphabet_[i])
+        << "predicted distribution for attribute " << i
+        << " does not match its alphabet";
+    PREPARE_DCHECK(dists[i].is_normalized(1e-6))
+        << "attribute " << i << " distribution sums to " << dists[i].sum();
     double e = 0.0;
     if (parents_[i] == kNoParent) {
       for (std::size_t v = 0; v < alphabet_[i]; ++v)

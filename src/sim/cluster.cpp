@@ -17,6 +17,7 @@ Vm* Cluster::add_vm(std::string name, double cpu_alloc, double mem_alloc,
   vms_.push_back(std::make_unique<Vm>(std::move(name), cpu_alloc, mem_alloc));
   Vm* vm = vms_.back().get();
   host->place(vm);
+  dcheck_placement();
   return vm;
 }
 
@@ -85,6 +86,25 @@ void Cluster::move_vm_with_alloc(Vm* vm, Host* target, double cpu_alloc,
   vm->set_cpu_alloc(cpu_alloc);
   vm->set_mem_alloc(mem_alloc);
   target->place(vm);
+  dcheck_placement();
+}
+
+void Cluster::dcheck_placement() const {
+#if PREPARE_DCHECK_IS_ON
+  std::size_t hosted = 0;
+  for (const auto& vm : vms_) {
+    std::size_t on = 0;
+    for (const auto& host : hosts_)
+      if (host->hosts(*vm)) ++on;
+    PREPARE_DCHECK_EQ(on, std::size_t{1})
+        << "VM " << vm->name() << " placed on " << on << " hosts";
+    hosted += on;
+  }
+  std::size_t listed = 0;
+  for (const auto& host : hosts_) listed += host->vms().size();
+  PREPARE_DCHECK_EQ(listed, hosted)
+      << "hosts list VMs the cluster does not own";
+#endif
 }
 
 }  // namespace prepare

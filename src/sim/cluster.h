@@ -53,6 +53,10 @@ class Cluster {
                           double mem_alloc);
 
  private:
+  /// Placement invariant (DCHECK-gated): every VM the cluster owns lives
+  /// on exactly one host, and every hosted VM is cluster-owned.
+  void dcheck_placement() const;
+
   std::vector<std::unique_ptr<Host>> hosts_;
   std::vector<std::unique_ptr<Vm>> vms_;
 };

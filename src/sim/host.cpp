@@ -44,15 +44,17 @@ bool Host::can_grow(const Vm& vm, double cpu_delta, double mem_delta) const {
 void Host::place(Vm* vm) {
   PREPARE_CHECK(vm != nullptr);
   PREPARE_CHECK_MSG(!hosts(*vm), "VM already placed on this host");
-  PREPARE_CHECK_MSG(can_fit(vm->cpu_alloc(), vm->mem_alloc()),
-                    "host capacity exceeded placing " + vm->name());
+  PREPARE_CHECK(can_fit(vm->cpu_alloc(), vm->mem_alloc()))
+      << "host " << name_ << " capacity exceeded placing " << vm->name();
   vms_.push_back(vm);
+  dcheck_conservation();
 }
 
 void Host::remove(Vm* vm) {
   auto it = std::find(vms_.begin(), vms_.end(), vm);
   PREPARE_CHECK_MSG(it != vms_.end(), "VM not on this host");
   vms_.erase(it);
+  dcheck_conservation();
 }
 
 bool Host::reserve(double cpu_cores, double mem_mb) {
@@ -60,14 +62,34 @@ bool Host::reserve(double cpu_cores, double mem_mb) {
   if (cpu_headroom() < cpu_cores || mem_headroom() < mem_mb) return false;
   reserved_cpu_ += cpu_cores;
   reserved_mem_ += mem_mb;
+  dcheck_conservation();
   return true;
 }
 
 void Host::release(double cpu_cores, double mem_mb) {
-  PREPARE_CHECK(cpu_cores <= reserved_cpu_ + 1e-9);
-  PREPARE_CHECK(mem_mb <= reserved_mem_ + 1e-9);
+  PREPARE_CHECK_LE(cpu_cores, reserved_cpu_ + 1e-9)
+      << "releasing more CPU than host " << name_ << " has reserved";
+  PREPARE_CHECK_LE(mem_mb, reserved_mem_ + 1e-9)
+      << "releasing more memory than host " << name_ << " has reserved";
   reserved_cpu_ = std::max(0.0, reserved_cpu_ - cpu_cores);
   reserved_mem_ = std::max(0.0, reserved_mem_ - mem_mb);
+  dcheck_conservation();
+}
+
+void Host::dcheck_conservation() const {
+#if PREPARE_DCHECK_IS_ON
+  PREPARE_DCHECK_GE(reserved_cpu_, 0.0) << "host " << name_;
+  PREPARE_DCHECK_GE(reserved_mem_, 0.0) << "host " << name_;
+  // CPU conservation: the sum of VM CPU allocations plus reservations
+  // fits in the guest share of the host.
+  PREPARE_DCHECK_LE(cpu_allocated() + reserved_cpu_,
+                    guest_cpu_capacity() + 1e-9)
+      << "host " << name_ << " is CPU-oversubscribed";
+  // Memory conservation: same for memory, MB.
+  PREPARE_DCHECK_LE(mem_allocated() + reserved_mem_,
+                    guest_mem_capacity() + 1e-9)
+      << "host " << name_ << " is memory-oversubscribed";
+#endif
 }
 
 bool Host::hosts(const Vm& vm) const {

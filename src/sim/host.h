@@ -65,6 +65,11 @@ class Host {
   const std::vector<Vm*>& vms() const { return vms_; }
 
  private:
+  /// Conservation invariants (DCHECK-gated): placed allocations plus
+  /// open reservations never exceed guest capacity, and reservations
+  /// never go negative. Called after every mutation.
+  void dcheck_conservation() const;
+
   std::string name_;
   Capacity capacity_;
   std::vector<Vm*> vms_;

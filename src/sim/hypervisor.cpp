@@ -65,6 +65,8 @@ bool Hypervisor::migrate(Vm* vm, Host* target, double new_cpu_alloc,
                          double new_mem_alloc) {
   PREPARE_CHECK(vm != nullptr);
   PREPARE_CHECK(target != nullptr);
+  PREPARE_CHECK_GE(new_cpu_alloc, 0.0) << "negative landing CPU allocation";
+  PREPARE_CHECK_GE(new_mem_alloc, 0.0) << "negative landing memory allocation";
   if (vm->migrating()) return false;
   Host* source = cluster_->host_of(*vm);
   PREPARE_CHECK_MSG(source != nullptr, "VM not placed");

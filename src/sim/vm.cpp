@@ -111,6 +111,17 @@ void Vm::finalize_tick(double dt) {
         (mem_eff_target - mem_efficiency_state_) * blend;
   }
   efficiency_ = mem_efficiency_state_ * migration_penalty_;
+
+  // Per-VM resource conservation: what a tick grants can never exceed
+  // the allocation, and the app never receives more than the VM used.
+  PREPARE_DCHECK_LE(cpu_used_, cpu_alloc_ + 1e-9)
+      << name_ << " used more CPU than allocated";
+  PREPARE_DCHECK_LE(app_cpu_granted_, cpu_used_ + 1e-9)
+      << name_ << " granted the app more CPU than the VM used";
+  PREPARE_DCHECK_LE(mem_used_, mem_alloc_ + 1e-9)
+      << name_ << " used more memory than allocated";
+  PREPARE_DCHECK(efficiency_ > 0.0 && efficiency_ <= 1.0)
+      << name_ << " efficiency " << efficiency_ << " escaped (0, 1]";
 }
 
 double Vm::cpu_utilization() const {

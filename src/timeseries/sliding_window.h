@@ -29,7 +29,7 @@ class SlidingWindow {
   bool full() const { return items_.size() == capacity_; }
 
   const T& operator[](std::size_t i) const {
-    PREPARE_CHECK(i < items_.size());
+    PREPARE_CHECK_LT(i, items_.size()) << "window index out of range";
     return items_[i];
   }
   const T& newest() const {

@@ -1,0 +1,201 @@
+#include "common/check.h"
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "models/discretizer.h"
+#include "models/distribution.h"
+
+namespace prepare {
+namespace {
+
+// --- PREPARE_CHECK pass/fail paths -----------------------------------------
+
+TEST(Check, PassingCheckIsSilent) {
+  EXPECT_NO_THROW(PREPARE_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(PREPARE_CHECK(true) << "context never materializes");
+}
+
+TEST(Check, FailingCheckThrowsCheckFailure) {
+  EXPECT_THROW(PREPARE_CHECK(false), CheckFailure);
+}
+
+TEST(Check, MessageCarriesExpressionAndLocation) {
+  try {
+    PREPARE_CHECK(2 == 3);
+    FAIL() << "expected CheckFailure";
+  } catch (const CheckFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 == 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("check_test.cpp"), std::string::npos) << what;
+  }
+}
+
+TEST(Check, StreamedContextAppearsInMessage) {
+  try {
+    PREPARE_CHECK(false) << "vm=" << "web-1" << " tick=" << 42;
+    FAIL() << "expected CheckFailure";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("vm=web-1 tick=42"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Check, ContextIsLazilyEvaluated) {
+  int calls = 0;
+  auto expensive = [&calls] {
+    ++calls;
+    return std::string("costly");
+  };
+  PREPARE_CHECK(true) << expensive();
+  EXPECT_EQ(calls, 0) << "context must not be evaluated on the passing path";
+  EXPECT_THROW(PREPARE_CHECK(false) << expensive(), CheckFailure);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Check, LegacyMsgFormStillWorks) {
+  EXPECT_NO_THROW(PREPARE_CHECK_MSG(true, "fine"));
+  try {
+    PREPARE_CHECK_MSG(false, std::string("legacy context"));
+    FAIL() << "expected CheckFailure";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("legacy context"), std::string::npos);
+  }
+}
+
+TEST(Check, CheckFailureIsALogicError) {
+  EXPECT_THROW(PREPARE_CHECK(false), std::logic_error);
+}
+
+// --- comparison forms -------------------------------------------------------
+
+TEST(Check, ComparisonFormsPassAndFail) {
+  EXPECT_NO_THROW(PREPARE_CHECK_EQ(4, 4));
+  EXPECT_NO_THROW(PREPARE_CHECK_NE(4, 5));
+  EXPECT_NO_THROW(PREPARE_CHECK_LT(1, 2));
+  EXPECT_NO_THROW(PREPARE_CHECK_LE(2, 2));
+  EXPECT_NO_THROW(PREPARE_CHECK_GT(3, 2));
+  EXPECT_NO_THROW(PREPARE_CHECK_GE(3, 3));
+  EXPECT_THROW(PREPARE_CHECK_EQ(4, 5), CheckFailure);
+  EXPECT_THROW(PREPARE_CHECK_NE(4, 4), CheckFailure);
+  EXPECT_THROW(PREPARE_CHECK_LT(2, 2), CheckFailure);
+  EXPECT_THROW(PREPARE_CHECK_LE(3, 2), CheckFailure);
+  EXPECT_THROW(PREPARE_CHECK_GT(2, 2), CheckFailure);
+  EXPECT_THROW(PREPARE_CHECK_GE(2, 3), CheckFailure);
+}
+
+TEST(Check, ComparisonFailureFormatsBothOperands) {
+  try {
+    PREPARE_CHECK_LE(7.5, 3.25) << "host overcommitted";
+    FAIL() << "expected CheckFailure";
+  } catch (const CheckFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("7.5 vs 3.25"), std::string::npos) << what;
+    EXPECT_NE(what.find("host overcommitted"), std::string::npos) << what;
+  }
+}
+
+TEST(Check, NearPassesWithinToleranceOnly) {
+  EXPECT_NO_THROW(PREPARE_CHECK_NEAR(1.0, 1.0 + 1e-10, 1e-9));
+  EXPECT_THROW(PREPARE_CHECK_NEAR(1.0, 1.1, 1e-3), CheckFailure);
+  // NaN is never near anything.
+  EXPECT_THROW(
+      PREPARE_CHECK_NEAR(std::numeric_limits<double>::quiet_NaN(), 0.0, 1.0),
+      CheckFailure);
+}
+
+// --- DCHECK gating ----------------------------------------------------------
+
+TEST(Check, DcheckMatchesCompileTimeGate) {
+#if PREPARE_DCHECK_IS_ON
+  EXPECT_THROW(PREPARE_DCHECK(false), CheckFailure);
+  EXPECT_THROW(PREPARE_DCHECK_EQ(1, 2) << "ctx", CheckFailure);
+  EXPECT_THROW(PREPARE_DCHECK_NEAR(0.0, 1.0, 1e-3), CheckFailure);
+#else
+  EXPECT_NO_THROW(PREPARE_DCHECK(false));
+  EXPECT_NO_THROW(PREPARE_DCHECK_EQ(1, 2) << "ctx");
+  EXPECT_NO_THROW(PREPARE_DCHECK_NEAR(0.0, 1.0, 1e-3));
+#endif
+  EXPECT_NO_THROW(PREPARE_DCHECK(true));
+}
+
+TEST(Check, DisabledDcheckDoesNotEvaluateOperands) {
+#if !PREPARE_DCHECK_IS_ON
+  int calls = 0;
+  auto probe = [&calls] {
+    ++calls;
+    return false;
+  };
+  PREPARE_DCHECK(probe());
+  EXPECT_EQ(calls, 0);
+#else
+  GTEST_SKIP() << "DCHECKs are enabled in this build";
+#endif
+}
+
+// --- instrumented invariants: distribution normalization --------------------
+
+TEST(CheckInvariants, NormalizeRejectsNegativeMass) {
+  Distribution d(std::vector<double>{0.5, -0.25, 0.75});
+  EXPECT_THROW(d.normalize(), CheckFailure);
+}
+
+TEST(CheckInvariants, NormalizeRejectsNonFiniteMass) {
+  Distribution nan_dist(
+      std::vector<double>{1.0, std::numeric_limits<double>::quiet_NaN()});
+  EXPECT_THROW(nan_dist.normalize(), CheckFailure);
+  Distribution inf_dist(
+      std::vector<double>{1.0, std::numeric_limits<double>::infinity()});
+  EXPECT_THROW(inf_dist.normalize(), CheckFailure);
+}
+
+TEST(CheckInvariants, IsNormalizedReflectsMass) {
+  Distribution d(std::vector<double>{0.25, 0.75});
+  EXPECT_TRUE(d.is_normalized());
+  d[1] = 0.5;
+  EXPECT_FALSE(d.is_normalized());
+  d.normalize();
+  EXPECT_TRUE(d.is_normalized());
+  EXPECT_FALSE(Distribution().is_normalized());
+  Distribution negative(std::vector<double>{1.5, -0.5});
+  EXPECT_FALSE(negative.is_normalized());
+}
+
+// --- instrumented invariants: discretizer out-of-range ----------------------
+
+TEST(CheckInvariants, DiscretizerRejectsNonFiniteInputs) {
+  Discretizer disc(4);
+  disc.fit({1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0});
+  EXPECT_THROW(disc.discretize(std::numeric_limits<double>::quiet_NaN()),
+               CheckFailure);
+  EXPECT_THROW(disc.discretize(std::numeric_limits<double>::infinity()),
+               CheckFailure);
+  EXPECT_NO_THROW(disc.discretize(-1e12));  // finite outliers clamp to edges
+}
+
+TEST(CheckInvariants, DiscretizerRejectsNonFiniteTrainingData) {
+  Discretizer disc(3);
+  EXPECT_THROW(disc.fit({1.0, std::numeric_limits<double>::quiet_NaN()}),
+               CheckFailure);
+}
+
+TEST(CheckInvariants, DiscretizerBinCenterOutOfRangeThrows) {
+  Discretizer disc(3);
+  disc.fit({1.0, 2.0, 3.0, 4.0, 5.0, 6.0});
+  EXPECT_THROW(disc.bin_center(disc.bins()), CheckFailure);
+  EXPECT_THROW(disc.bin_center(999), CheckFailure);
+}
+
+TEST(CheckInvariants, DiscretizerUseBeforeFitThrows) {
+  const Discretizer disc(3);
+  EXPECT_THROW(disc.discretize(1.0), CheckFailure);
+  EXPECT_THROW(disc.bins(), CheckFailure);
+}
+
+}  // namespace
+}  // namespace prepare

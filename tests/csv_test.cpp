@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "common/check.h"
+#include "temp_path.h"
 
 namespace prepare {
 namespace {
@@ -20,7 +21,7 @@ std::string read_file(const std::string& path) {
 
 class CsvTest : public ::testing::Test {
  protected:
-  std::string path_ = ::testing::TempDir() + "/csv_test_out.csv";
+  std::string path_ = test_util::unique_temp_path("csv_test_out.csv");
   void TearDown() override { std::remove(path_.c_str()); }
 };
 

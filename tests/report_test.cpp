@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "core/experiment.h"
+#include "temp_path.h"
 
 namespace prepare {
 namespace {
@@ -79,7 +80,7 @@ TEST(Report, SummaryNumbersMatch) {
 }
 
 TEST(Report, WritesFile) {
-  const std::string path = ::testing::TempDir() + "/report_test.html";
+  const std::string path = test_util::unique_temp_path("report_test.html");
   write_html_report(input(), path);
   std::ifstream in(path);
   ASSERT_TRUE(in.good());

@@ -1,0 +1,35 @@
+// Unique scratch-file paths for tests.
+//
+// gtest_discover_tests registers every TEST as its own ctest entry, so
+// cases from one fixture run as concurrent processes under `ctest -j`,
+// and several build trees (plain/ASan/UBSan) may run their suites at
+// once. A fixed name under TempDir() therefore races: one case's
+// TearDown unlinks the file another case is reading. Tag paths with the
+// running test's name and the pid so every case in every tree writes its
+// own file.
+#pragma once
+
+#include <unistd.h>
+
+#include <cctype>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace prepare {
+namespace test_util {
+
+inline std::string unique_temp_path(const std::string& stem) {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  std::string tag = info ? std::string(info->test_suite_name()) + "_" +
+                               info->name()
+                         : "global";
+  // Parameterized names carry '/' and friends; keep the path clean.
+  for (char& c : tag)
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  return ::testing::TempDir() + "/" + tag + "_" +
+         std::to_string(::getpid()) + "_" + stem;
+}
+
+}  // namespace test_util
+}  // namespace prepare

@@ -6,14 +6,15 @@
 
 #include "common/csv.h"
 #include "core/experiment.h"
+#include "temp_path.h"
 
 namespace prepare {
 namespace {
 
 class TraceIoTest : public ::testing::Test {
  protected:
-  std::string metrics_path_ = ::testing::TempDir() + "/trace_metrics.csv";
-  std::string slo_path_ = ::testing::TempDir() + "/trace_slo.csv";
+  std::string metrics_path_ = test_util::unique_temp_path("trace_metrics.csv");
+  std::string slo_path_ = test_util::unique_temp_path("trace_slo.csv");
   void TearDown() override {
     std::remove(metrics_path_.c_str());
     std::remove(slo_path_.c_str());
@@ -95,7 +96,7 @@ TEST_F(TraceIoTest, WrongSchemaThrows) {
 }
 
 TEST(CsvReader, ParsesWriterOutput) {
-  const std::string path = ::testing::TempDir() + "/csvreader_test.csv";
+  const std::string path = test_util::unique_temp_path("csvreader_test.csv");
   {
     CsvWriter w(path, {"a", "b", "c"});
     w.row(std::vector<double>{1.0, 2.0, 3.0});

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/csv.h"
+#include "temp_path.h"
 
 namespace prepare {
 namespace {
@@ -50,7 +51,7 @@ TEST(TraceWorkload, SinglePointIsConstant) {
 }
 
 TEST(TraceWorkload, LoadsFromCsv) {
-  const std::string path = ::testing::TempDir() + "/trace_workload.csv";
+  const std::string path = test_util::unique_temp_path("trace_workload.csv");
   {
     CsvWriter csv(path, {"time_s", "rate"});
     csv.row(std::vector<double>{0.0, 100.0});

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Repo lint runner: custom invariant lint + clang-tidy (when available).
+#
+# Usage: tools/lint.sh [PATHS...]
+#   PATHS default to src. clang-tidy needs a compilation database; point
+#   PREPARE_BUILD_DIR at a configured build tree (default: build) — the
+#   top-level CMakeLists exports compile_commands.json automatically.
+#
+# Exits non-zero if any enabled linter reports a finding. clang-tidy is
+# skipped with a notice when the binary is not installed (the custom lint
+# always runs), so CI hosts without LLVM still get invariant coverage.
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+
+PATHS=("$@")
+if [ ${#PATHS[@]} -eq 0 ]; then
+  PATHS=(src)
+fi
+
+status=0
+
+echo "== check_invariants.py ${PATHS[*]}"
+if ! python3 tools/check_invariants.py "${PATHS[@]}"; then
+  status=1
+fi
+
+if command -v clang-tidy > /dev/null 2>&1; then
+  build_dir="${PREPARE_BUILD_DIR:-build}"
+  if [ ! -f "$build_dir/compile_commands.json" ]; then
+    echo "lint.sh: no $build_dir/compile_commands.json — configure first:" >&2
+    echo "  cmake -B $build_dir -S .    (exports the compilation database)" >&2
+    exit 1
+  fi
+  mapfile -t tidy_files < <(find "${PATHS[@]}" -name '*.cpp' | sort)
+  echo "== clang-tidy (${#tidy_files[@]} files, config .clang-tidy)"
+  if ! clang-tidy -p "$build_dir" --quiet --warnings-as-errors='*' \
+      "${tidy_files[@]}"; then
+    status=1
+  fi
+else
+  echo "== clang-tidy not installed — skipped (custom lint still enforced)"
+fi
+
+exit $status
