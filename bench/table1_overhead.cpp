@@ -21,10 +21,15 @@
 // which match the paper by construction.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <sstream>
 #include <vector>
 
 #include "common/rng.h"
 #include "core/anomaly_predictor.h"
+#include "core/experiment.h"
+#include "obs/stage_profiler.h"
 #include "models/markov.h"
 #include "models/markov2.h"
 #include "models/tan.h"
@@ -219,7 +224,56 @@ void BM_LiveMigration512MB(benchmark::State& state) {
 }
 BENCHMARK(BM_LiveMigration512MB);
 
+/// Wall time of one full default scenario (System S, memory leak,
+/// PREPARE scheme); `registry` null = uninstrumented build path.
+double timed_scenario_run(obs::MetricsRegistry* registry) {
+  ScenarioConfig config;
+  config.seed = 11;
+  config.metrics = registry;
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = run_scenario(config);
+  const auto end = std::chrono::steady_clock::now();
+  benchmark::DoNotOptimize(result.violation_time);
+  return std::chrono::duration<double>(end - start).count();
+}
+
+/// End-to-end stage profile (the runtime complement of the
+/// microbenchmarks above): runs the default scenario with the
+/// StageProfiler attached and prints per-stage p50/p90/p99 — plus the
+/// same scenario bare, to measure what the instrumentation itself
+/// costs. The acceptance bar is < 5% overhead.
+void report_pipeline_stage_profile() {
+  constexpr int kReps = 3;
+  obs::MetricsRegistry registry;
+  timed_scenario_run(nullptr);  // warm-up (allocator, code paths)
+  double with_obs = 0.0;
+  double without_obs = 0.0;
+  for (int r = 0; r < kReps; ++r) {
+    without_obs += timed_scenario_run(nullptr);
+    with_obs += timed_scenario_run(&registry);  // histograms accumulate
+  }
+  std::printf("\n-- controller pipeline stage profile (%d scenario runs) --\n",
+              kReps);
+  std::ostringstream table;
+  obs::write_stage_report(registry, table);
+  std::fputs(table.str().c_str(), stdout);
+  const double overhead =
+      without_obs <= 0.0 ? 0.0
+                         : (with_obs - without_obs) / without_obs * 100.0;
+  std::printf(
+      "scenario wall time: %.3f s instrumented vs %.3f s bare "
+      "(observability overhead %+.2f%%)\n",
+      with_obs / kReps, without_obs / kReps, overhead);
+}
+
 }  // namespace
 }  // namespace prepare
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  prepare::report_pipeline_stage_profile();
+  return 0;
+}

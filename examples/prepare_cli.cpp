@@ -8,13 +8,18 @@
 // as CSV for offline analysis / replay through the accuracy harness.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <optional>
+#include <sstream>
 #include <string>
 
 #include "common/stats.h"
 #include "core/experiment.h"
 #include "core/replay.h"
 #include "monitor/trace_io.h"
+#include "obs/metrics.h"
+#include "obs/stage_profiler.h"
+#include "obs/trace_export.h"
 #include "report/report.h"
 
 using namespace prepare;
@@ -38,7 +43,12 @@ namespace {
       "PREFIX_slo.csv,\n                                 print the alert "
       "timeline, run nothing)\n"
       "  --report FILE.html            (write an HTML report of the last "
-      "run)\n",
+      "run)\n"
+      "  --obs-out FILE.jsonl          (write the last run's structured "
+      "trace:\n                                 run header, events, metric/"
+      "histogram snapshots)\n"
+      "  --obs-summary                 (print the per-stage overhead table, "
+      "Table 1 style)\n",
       argv0);
   std::exit(2);
 }
@@ -64,6 +74,8 @@ int main(int argc, char** argv) {
   std::optional<std::string> export_prefix;
   std::optional<std::string> replay_prefix;
   std::optional<std::string> report_path;
+  std::optional<std::string> obs_out;
+  bool obs_summary = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -105,6 +117,10 @@ int main(int argc, char** argv) {
       replay_prefix = value();
     } else if (arg == "--report") {
       report_path = value();
+    } else if (arg == "--obs-out") {
+      obs_out = value();
+    } else if (arg == "--obs-summary") {
+      obs_summary = true;
     } else {
       usage(argv[0]);
     }
@@ -137,11 +153,20 @@ int main(int argc, char** argv) {
               scheme_name(config.scheme),
               static_cast<unsigned long long>(config.seed), repeats);
 
+  obs::MetricsRegistry registry;
+  const bool observe = obs_out.has_value() || obs_summary;
+
   std::vector<double> runs;
   ScenarioResult last;
+  std::uint64_t last_seed = config.seed;
   for (std::size_t r = 0; r < repeats; ++r) {
     ScenarioConfig c = config;
     c.seed = config.seed + r;
+    last_seed = c.seed;
+    if (observe) {
+      registry.reset();  // the exported trace covers the last run only
+      c.metrics = &registry;
+    }
     last = run_scenario(c);
     runs.push_back(last.violation_time);
     std::printf("  run %zu (seed %llu): SLO violation %.1f s (faulty %s)\n",
@@ -168,6 +193,36 @@ int main(int argc, char** argv) {
     save_metric_store_csv(last.store, metrics);
     save_slo_log_csv(last.slo, slo);
     std::printf("exported %s and %s\n", metrics.c_str(), slo.c_str());
+  }
+  if (obs_out) {
+    // Deterministic run id (no wall clock): scenario + last seed.
+    const std::string run_id = std::string(app_kind_name(config.app)) + "-" +
+                               fault_kind_name(config.fault) + "-" +
+                               scheme_name(config.scheme) + "-seed" +
+                               std::to_string(last_seed);
+    std::ofstream os(*obs_out);
+    if (!os) {
+      std::fprintf(stderr, "cannot open %s for writing\n", obs_out->c_str());
+      return 1;
+    }
+    obs::RunInfo info;
+    info.run_id = run_id;
+    info.sim_time_end = config.run_end;
+    info.labels = {{"app", app_kind_name(config.app)},
+                   {"fault", fault_kind_name(config.fault)},
+                   {"scheme", scheme_name(config.scheme)},
+                   {"seed", std::to_string(last_seed)}};
+    obs::write_run_header(os, info);
+    last.events.to_jsonl(os, run_id);
+    obs::write_metrics_jsonl(os, registry, run_id, config.run_end);
+    std::printf("structured trace written to %s (run_id %s)\n",
+                obs_out->c_str(), run_id.c_str());
+  }
+  if (obs_summary) {
+    std::printf("\nper-stage overhead (last run):\n");
+    std::ostringstream table;
+    obs::write_stage_report(registry, table);
+    std::fputs(table.str().c_str(), stdout);
   }
   return 0;
 }

@@ -1,7 +1,27 @@
 #include "common/logging.h"
 
+#include <cctype>
+#include <cstdlib>
+
 namespace prepare {
 
-LogLevel Logger::level_ = LogLevel::kWarn;
+LogLevel parse_log_level(const char* name, LogLevel fallback) {
+  if (name == nullptr) return fallback;
+  std::string lower;
+  for (const char* p = name; *p != '\0'; ++p)
+    lower += static_cast<char>(
+        std::tolower(static_cast<unsigned char>(*p)));
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return fallback;
+}
+
+std::atomic<LogLevel> Logger::level_{
+    parse_log_level(std::getenv("PREPARE_LOG_LEVEL"), LogLevel::kWarn)};
+
+std::atomic<std::ostream*> Logger::sink_{&std::cerr};
 
 }  // namespace prepare

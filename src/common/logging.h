@@ -4,6 +4,7 @@
 // seconds, so anything chatty must be gated behind Level::kDebug.
 #pragma once
 
+#include <atomic>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -12,21 +13,47 @@ namespace prepare {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Process-wide log configuration. Not thread-safe by design: the
-/// simulator is single-threaded and benches set the level once at startup.
+/// Parses a level name ("debug", "info", "warn", "error", "off" —
+/// case-insensitive); returns `fallback` for null/unknown input.
+LogLevel parse_log_level(const char* name, LogLevel fallback);
+
+/// Process-wide log configuration. Level and sink are atomics, so
+/// concurrent record emission and reconfiguration are safe; each record
+/// is written to the sink as a single insertion.
+///
+/// The initial level comes from the PREPARE_LOG_LEVEL environment
+/// variable (read once at startup; default "warn"). The sink defaults
+/// to std::cerr and can be redirected, e.g. into a file or a test
+/// capture buffer; the sink object must outlive every record emitted
+/// through it.
 class Logger {
  public:
-  static LogLevel level() { return level_; }
-  static void set_level(LogLevel level) { level_ = level; }
+  static LogLevel level() { return level_.load(std::memory_order_relaxed); }
+  static void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+
+  static std::ostream* sink() {
+    return sink_.load(std::memory_order_acquire);
+  }
+  /// Routes subsequent records to `sink` (never null; pass &std::cerr
+  /// to restore the default).
+  static void set_sink(std::ostream* sink) {
+    sink_.store(sink == nullptr ? &std::cerr : sink,
+                std::memory_order_release);
+  }
 
   /// Sink for one formatted record; flushes on destruction.
   class Record {
    public:
-    Record(LogLevel level, const char* tag) : enabled_(level >= level_) {
+    Record(LogLevel level, const char* tag) : enabled_(level >= Logger::level()) {
       if (enabled_) os_ << "[" << name(level) << "] " << tag << ": ";
     }
     ~Record() {
-      if (enabled_) std::cerr << os_.str() << "\n";
+      if (enabled_) {
+        os_ << "\n";
+        *Logger::sink() << os_.str();
+      }
     }
     Record(const Record&) = delete;
     Record& operator=(const Record&) = delete;
@@ -52,7 +79,8 @@ class Logger {
   };
 
  private:
-  static LogLevel level_;
+  static std::atomic<LogLevel> level_;
+  static std::atomic<std::ostream*> sink_;
 };
 
 }  // namespace prepare

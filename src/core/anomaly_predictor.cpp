@@ -127,9 +127,20 @@ void AnomalyPredictor::train(const std::vector<std::vector<double>>& rows,
   trained_ = true;
 }
 
+void AnomalyPredictor::set_profiler(obs::StageProfiler* profiler) {
+  stage_discretize_ =
+      profiler == nullptr ? nullptr : profiler->stage(obs::kStageDiscretize);
+  stage_lookahead_ = profiler == nullptr
+                         ? nullptr
+                         : profiler->stage(obs::kStageMarkovLookahead);
+  stage_classify_ =
+      profiler == nullptr ? nullptr : profiler->stage(obs::kStageTanClassify);
+}
+
 void AnomalyPredictor::observe(const std::vector<double>& row) {
   PREPARE_CHECK_MSG(trained_, "observe() before train()");
   PREPARE_CHECK(row.size() == names_.size());
+  obs::ScopedTimer timer(stage_discretize_);
   last_row_.resize(row.size());
   for (std::size_t i = 0; i < row.size(); ++i) {
     last_row_[i] = discretizers_[i].discretize(row[i]);
@@ -150,9 +161,13 @@ AnomalyPredictor::Result AnomalyPredictor::predict(std::size_t steps) const {
   PREPARE_CHECK(steps >= 1);
   std::vector<Distribution> dists;
   dists.reserve(predictors_.size());
-  for (const auto& p : predictors_) dists.push_back(p->predict(steps));
+  {
+    obs::ScopedTimer timer(stage_lookahead_);
+    for (const auto& p : predictors_) dists.push_back(p->predict(steps));
+  }
 
   Result out;
+  obs::ScopedTimer classify_timer(stage_classify_);
   if (config_.classify_mode) {
     std::vector<std::size_t> row(dists.size());
     for (std::size_t i = 0; i < dists.size(); ++i) row[i] = dists[i].mode();
@@ -160,6 +175,7 @@ AnomalyPredictor::Result AnomalyPredictor::predict(std::size_t steps) const {
   } else {
     out.classification = classifier_->classify_expected(dists);
   }
+  classify_timer.stop();
   if (supervised_without_abnormal_) out.classification.abnormal = false;
   out.predicted_values.resize(dists.size());
   for (std::size_t i = 0; i < dists.size(); ++i)
@@ -171,6 +187,7 @@ AnomalyPredictor::Result AnomalyPredictor::predict(std::size_t steps) const {
 Classification AnomalyPredictor::classify_current() const {
   PREPARE_CHECK_MSG(trained_ && has_observation_,
                     "classify_current() needs a trained model and a sample");
+  obs::ScopedTimer timer(stage_classify_);
   Classification cls = classifier_->classify(last_row_);
   if (supervised_without_abnormal_) cls.abnormal = false;
   return cls;

@@ -17,6 +17,7 @@
 #include "models/classifier.h"
 #include "models/discretizer.h"
 #include "models/value_predictor.h"
+#include "obs/stage_profiler.h"
 
 namespace prepare {
 
@@ -119,6 +120,11 @@ class AnomalyPredictor {
   const PredictorConfig& config() const { return config_; }
   const Classifier& classifier() const;
 
+  /// Attaches per-stage wall-time instrumentation (discretize, Markov
+  /// look-ahead, TAN classify). The profiler must outlive the
+  /// predictor; nullptr detaches (the default: zero overhead).
+  void set_profiler(obs::StageProfiler* profiler);
+
  private:
   std::unique_ptr<ValuePredictor> make_value_predictor(
       std::size_t alphabet) const;
@@ -135,6 +141,11 @@ class AnomalyPredictor {
   bool discriminative_ = true;
   bool supervised_without_abnormal_ = false;
   double train_tpr_ = 0.0;
+
+  // Stage wall-time histograms (null = uninstrumented).
+  obs::Histogram* stage_discretize_ = nullptr;
+  obs::Histogram* stage_lookahead_ = nullptr;
+  obs::Histogram* stage_classify_ = nullptr;
 };
 
 }  // namespace prepare

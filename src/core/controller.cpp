@@ -80,23 +80,48 @@ PrepareController::PrepareController(ControllerContext ctx,
           std::round(config.lookahead_s / config.sampling_interval_s)))),
       inference_(vm_names(), config.inference),
       actuator_(ctx.hypervisor, ctx.cluster, ctx.store, ctx.log,
-                config.prevention) {
+                config.prevention, ctx.metrics),
+      profiler_(ctx.metrics) {
   const auto names = attribute_feature_names();
   for (const auto& vm : vm_names()) {
-    predictors_.emplace(vm, AnomalyPredictor(names, config_.predictor));
+    auto [it, inserted] =
+        predictors_.emplace(vm, AnomalyPredictor(names, config_.predictor));
+    if (inserted && profiler_.enabled()) it->second.set_profiler(&profiler_);
     filters_.emplace(vm, AlarmFilter(config_.filter_k, config_.filter_w));
   }
+  stage_alarm_filter_ = profiler_.stage(obs::kStageAlarmFilter);
+  stage_cause_inference_ = profiler_.stage(obs::kStageCauseInference);
+  stage_prevention_ = profiler_.stage(obs::kStagePrevention);
+  raw_alerts_counter_ = obs::counter(ctx.metrics, "controller.raw_alerts_total");
+  confirmed_alerts_counter_ =
+      obs::counter(ctx.metrics, "controller.confirmed_alerts_total");
+  reactive_fallbacks_counter_ =
+      obs::counter(ctx.metrics, "controller.reactive_fallbacks_total");
 }
 
 void PrepareController::train(double t0, double t1) {
   std::vector<std::vector<double>> rows;
   std::vector<bool> abnormal;
+  std::size_t trained_models = 0, discriminative_models = 0;
   for (auto& [vm, predictor] : predictors_) {
     labeled_rows(vm, t0, t1, &rows, &abnormal);
     if (rows.empty()) continue;
     predictor.train(rows, abnormal);
+    ++trained_models;
+    if (predictor.discriminative()) {
+      ++discriminative_models;
+    } else {
+      PREPARE_INFO("prepare") << "model for " << vm
+                              << " is not discriminative (train TPR "
+                              << predictor.train_tpr()
+                              << "): its alerts are suppressed";
+    }
   }
   trained_ = true;
+  PREPARE_INFO("prepare") << "trained " << trained_models
+                          << " per-VM models over [" << t0 << ", " << t1
+                          << "], " << discriminative_models
+                          << " discriminative";
   ctx_.log->record(t1, EventKind::kInfo, "prepare",
                    "per-VM prediction models trained");
 }
@@ -107,7 +132,10 @@ void PrepareController::on_sample(double now) {
   for (const auto& vm : vm_names()) {
     const auto samples = ctx_.store->last_samples(vm, 1);
     if (samples.empty()) continue;
-    inference_.observe(vm, now, samples.back());
+    {
+      obs::ScopedTimer timer(stage_cause_inference_);
+      inference_.observe(vm, now, samples.back());
+    }
     if (trained_) {
       auto it = predictors_.find(vm);
       if (it != predictors_.end() && it->second.trained())
@@ -127,12 +155,21 @@ void PrepareController::on_sample(double now) {
                          config_.alert_min_top_impact;
     if (raw) {
       ++raw_alerts_;
+      obs::inc(raw_alerts_counter_);
       ctx_.log->record(now, EventKind::kAlert, vm, "predicted anomaly");
     }
-    if (filters_.at(vm).push(raw)) {
+    bool vm_confirmed;
+    {
+      obs::ScopedTimer timer(stage_alarm_filter_);
+      vm_confirmed = filters_.at(vm).push(raw);
+    }
+    if (vm_confirmed) {
       ++confirmed_alerts_;
+      obs::inc(confirmed_alerts_counter_);
       confirmed.emplace(vm, result.classification);
       unhealthy.insert(vm);
+      PREPARE_INFO("prepare") << "confirmed predicted anomaly on " << vm
+                              << " at t=" << now;
       ctx_.log->record(now, EventKind::kAlertConfirmed, vm,
                        "k-of-W confirmed");
     }
@@ -147,6 +184,9 @@ void PrepareController::on_sample(double now) {
   std::map<std::string, Classification> reactive;
   if (ctx_.slo->currently_violated()) {
     ++reactive_fallbacks_;
+    obs::inc(reactive_fallbacks_counter_);
+    PREPARE_INFO("prepare") << "SLO violated at t=" << now
+                            << ": entering reactive fallback diagnosis";
     Classification best;
     std::string best_vm;
     for (auto& [vm, predictor] : predictors_) {
@@ -175,20 +215,33 @@ void PrepareController::on_sample(double now) {
         unhealthy.insert(vm);
 
   // 4. Validation of earlier preventions.
-  actuator_.on_sample(now, unhealthy);
+  {
+    obs::ScopedTimer timer(stage_prevention_);
+    actuator_.on_sample(now, unhealthy);
+  }
 
   // 5. Cause inference + actuation over the union of confirmed
   //    predictions and reactive diagnoses.
   std::map<std::string, Classification> alerting = confirmed;
   alerting.insert(reactive.begin(), reactive.end());
   if (alerting.empty()) return;
-  Diagnosis diagnosis = inference_.diagnose(alerting);
-  diagnosis.workload_change = inference_.workload_change_suspected(now);
-  if (diagnosis.workload_change)
+  Diagnosis diagnosis;
+  {
+    obs::ScopedTimer timer(stage_cause_inference_);
+    diagnosis = inference_.diagnose(alerting);
+    diagnosis.workload_change = inference_.workload_change_suspected(now);
+  }
+  if (diagnosis.workload_change) {
+    PREPARE_INFO("prepare") << "change points on all components at t=" << now
+                            << ": workload change suspected";
     ctx_.log->record(now, EventKind::kInfo, "prepare",
                      "change points on all components: workload change "
                      "suspected");
-  for (const auto& faulty : diagnosis.faulty) actuator_.actuate(faulty, now);
+  }
+  {
+    obs::ScopedTimer timer(stage_prevention_);
+    for (const auto& faulty : diagnosis.faulty) actuator_.actuate(faulty, now);
+  }
 }
 
 // ---------------------------------------------------------------- reactive
@@ -199,10 +252,16 @@ ReactiveController::ReactiveController(ControllerContext ctx,
       config_(config),
       inference_(vm_names(), config.inference),
       actuator_(ctx.hypervisor, ctx.cluster, ctx.store, ctx.log,
-                config.prevention) {
+                config.prevention, ctx.metrics),
+      profiler_(ctx.metrics) {
   const auto names = attribute_feature_names();
-  for (const auto& vm : vm_names())
-    predictors_.emplace(vm, AnomalyPredictor(names, config_.predictor));
+  for (const auto& vm : vm_names()) {
+    auto [it, inserted] =
+        predictors_.emplace(vm, AnomalyPredictor(names, config_.predictor));
+    if (inserted && profiler_.enabled()) it->second.set_profiler(&profiler_);
+  }
+  stage_cause_inference_ = profiler_.stage(obs::kStageCauseInference);
+  stage_prevention_ = profiler_.stage(obs::kStagePrevention);
 }
 
 void ReactiveController::train(double t0, double t1) {
@@ -220,7 +279,10 @@ void ReactiveController::on_sample(double now) {
   for (const auto& vm : vm_names()) {
     const auto samples = ctx_.store->last_samples(vm, 1);
     if (samples.empty()) continue;
-    inference_.observe(vm, now, samples.back());
+    {
+      obs::ScopedTimer timer(stage_cause_inference_);
+      inference_.observe(vm, now, samples.back());
+    }
     if (trained_) {
       auto it = predictors_.find(vm);
       if (it != predictors_.end() && it->second.trained())
@@ -258,10 +320,20 @@ void ReactiveController::on_sample(double now) {
     for (const auto& [vm, cls] : alerting) unhealthy.insert(vm);
   }
 
-  actuator_.on_sample(now, unhealthy);
+  {
+    obs::ScopedTimer timer(stage_prevention_);
+    actuator_.on_sample(now, unhealthy);
+  }
   if (alerting.empty()) return;
-  Diagnosis diagnosis = inference_.diagnose(alerting);
-  for (const auto& faulty : diagnosis.faulty) actuator_.actuate(faulty, now);
+  Diagnosis diagnosis;
+  {
+    obs::ScopedTimer timer(stage_cause_inference_);
+    diagnosis = inference_.diagnose(alerting);
+  }
+  {
+    obs::ScopedTimer timer(stage_prevention_);
+    for (const auto& faulty : diagnosis.faulty) actuator_.actuate(faulty, now);
+  }
 }
 
 }  // namespace prepare

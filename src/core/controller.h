@@ -27,6 +27,7 @@
 #include "monitor/labeler.h"
 #include "monitor/metric_store.h"
 #include "monitor/slo_log.h"
+#include "obs/stage_profiler.h"
 #include "sim/cluster.h"
 #include "sim/event_log.h"
 #include "sim/hypervisor.h"
@@ -41,6 +42,10 @@ struct ControllerContext {
   const MetricStore* store = nullptr;
   const SloLog* slo = nullptr;
   EventLog* log = nullptr;
+  /// Optional observability registry: when set, the controller times
+  /// every pipeline stage into stage.* histograms and counts alerts /
+  /// fallbacks / preventions (must outlive the controller).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Full PREPARE configuration (paper defaults).
@@ -124,10 +129,19 @@ class PrepareController : public AnomalyManager {
   std::map<std::string, AlarmFilter> filters_;
   CauseInference inference_;
   PreventionActuator actuator_;
+  obs::StageProfiler profiler_;
 
   std::size_t raw_alerts_ = 0;
   std::size_t confirmed_alerts_ = 0;
   std::size_t reactive_fallbacks_ = 0;
+
+  // Observability handles (null = uninstrumented).
+  obs::Histogram* stage_alarm_filter_ = nullptr;
+  obs::Histogram* stage_cause_inference_ = nullptr;
+  obs::Histogram* stage_prevention_ = nullptr;
+  obs::Counter* raw_alerts_counter_ = nullptr;
+  obs::Counter* confirmed_alerts_counter_ = nullptr;
+  obs::Counter* reactive_fallbacks_counter_ = nullptr;
 };
 
 class ReactiveController : public AnomalyManager {
@@ -148,6 +162,9 @@ class ReactiveController : public AnomalyManager {
   std::map<std::string, AnomalyPredictor> predictors_;
   CauseInference inference_;
   PreventionActuator actuator_;
+  obs::StageProfiler profiler_;
+  obs::Histogram* stage_cause_inference_ = nullptr;
+  obs::Histogram* stage_prevention_ = nullptr;
 };
 
 }  // namespace prepare

@@ -11,6 +11,7 @@
 #include "common/stats.h"
 #include "faults/injector.h"
 #include "monitor/vm_monitor.h"
+#include "obs/stage_profiler.h"
 #include "sim/clock.h"
 #include "sim/cluster.h"
 #include "sim/hypervisor.h"
@@ -85,6 +86,11 @@ void add_ramps_if_bottleneck(CompositeWorkload* w, const ScenarioConfig& c,
 
 std::unique_ptr<Testbed> build_testbed(const ScenarioConfig& config) {
   auto bed = std::make_unique<Testbed>();
+  // Attach instrumentation before any placement happens so initial VM
+  // placements are counted and the event-log drop counter exists from
+  // the first record.
+  bed->cluster.set_metrics(config.metrics);
+  bed->events.set_metrics(config.metrics);
   Rng rng(config.seed);
 
   const std::size_t app_vms =
@@ -196,6 +202,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   ctx.store = &result.store;
   ctx.slo = &result.slo;
   ctx.log = &bed->events;
+  ctx.metrics = config.metrics;
 
   PrepareConfig pcfg = config.prepare;
   pcfg.sampling_interval_s = config.sampling_interval_s;
@@ -213,6 +220,13 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
       break;
   }
 
+  obs::StageProfiler profiler(config.metrics);
+  obs::Histogram* stage_monitor = profiler.stage(obs::kStageMonitorSample);
+  obs::Counter* ticks_counter = obs::counter(config.metrics, "run.ticks_total");
+  obs::Counter* samples_counter =
+      obs::counter(config.metrics, "run.samples_total");
+  obs::Gauge* sim_time_gauge = obs::gauge(config.metrics, "run.sim_time_s");
+
   const auto vms = bed->app->vms();
   bool trained = false;
   std::size_t tick = 0;
@@ -224,10 +238,15 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     bed->app->step(now, config.dt);
     result.slo.record(now, config.dt, bed->app->slo_violated(),
                       bed->app->slo_metric());
+    obs::inc(ticks_counter);
 
     if (tick % sample_every == 0) {
-      for (Vm* vm : vms)
-        result.store.record(vm->name(), now, monitor.sample(*vm));
+      {
+        obs::ScopedTimer timer(stage_monitor);
+        for (Vm* vm : vms)
+          result.store.record(vm->name(), now, monitor.sample(*vm));
+      }
+      obs::inc(samples_counter);
       if (!trained && now >= config.train_time) {
         manager->train(0.0, now);
         trained = true;
@@ -238,6 +257,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     bed->clock.advance(config.dt);
     ++tick;
   }
+  obs::set(sim_time_gauge, bed->clock.now());
 
   // Clamp: a second injection scheduled past the run end (e.g. the
   // quiet-trace configuration) leaves an empty measurement window.

@@ -69,6 +69,14 @@ struct ScenarioConfig {
   /// Controller configuration (prevention mode selects scaling
   /// vs. migration, i.e. Fig. 6/7 vs. Fig. 8/9).
   PrepareConfig prepare;
+
+  /// Optional observability registry. When set, the run publishes
+  /// run.* / sim.* / controller.* / prevention.* metrics and times all
+  /// seven pipeline stages into stage.<name>.seconds histograms; when
+  /// null (default) no instrumentation code runs at all. Must outlive
+  /// the run; pass a freshly reset() registry per repeat to keep runs
+  /// separable.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct ScenarioResult {

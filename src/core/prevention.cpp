@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "common/logging.h"
 
 namespace prepare {
 
@@ -12,12 +13,19 @@ PreventionActuator::PreventionActuator(Hypervisor* hypervisor,
                                        Cluster* cluster,
                                        const MetricStore* store,
                                        EventLog* log,
-                                       PreventionConfig config)
+                                       PreventionConfig config,
+                                       obs::MetricsRegistry* metrics)
     : hypervisor_(hypervisor),
       cluster_(cluster),
       store_(store),
       log_(log),
-      config_(config) {
+      config_(config),
+      actions_counter_(obs::counter(metrics, "prevention.actions_total")),
+      validations_failed_counter_(
+          obs::counter(metrics, "prevention.validations_failed_total")),
+      reclaims_counter_(obs::counter(metrics, "prevention.reclaims_total")),
+      migrations_skipped_counter_(
+          obs::counter(metrics, "prevention.migrations_skipped_total")) {
   PREPARE_CHECK(hypervisor != nullptr);
   PREPARE_CHECK(cluster != nullptr);
   PREPARE_CHECK(store != nullptr);
@@ -95,6 +103,11 @@ bool PreventionActuator::try_migrate(Vm* vm, MetricKind kind, double now) {
   if (target == nullptr) {
     log_->record(now, EventKind::kInfo, vm->name(),
                  "migration skipped: no host with desired resources");
+    obs::inc(migrations_skipped_counter_);
+    PREPARE_WARN("prevention")
+        << "migration of " << vm->name() << " at t=" << now
+        << " skipped: no host fits cpu=" << cpu_after
+        << " mem=" << mem_after;
     return false;
   }
   if (!hypervisor_->migrate(vm, target, cpu_after, mem_after)) return false;
@@ -133,6 +146,7 @@ bool PreventionActuator::actuate(const Diagnosis::FaultyVm& faulty,
     const Attribute a = faulty.ranked[i];
     if (!apply_action(vm, a, now)) continue;
     ++actions_fired_;
+    obs::inc(actions_counter_);
     std::ostringstream detail;
     detail << "acted on " << attribute_name(a) << " (rank " << i << ")";
     log_->record(now, EventKind::kPrevention, faulty.vm, detail.str());
@@ -156,6 +170,7 @@ bool PreventionActuator::actuate(const Diagnosis::FaultyVm& faulty,
         if (other == MetricKind::kOther || other == primary) continue;
         if (try_scale(vm, other, now)) {
           ++actions_fired_;
+          obs::inc(actions_counter_);
           log_->record(now, EventKind::kPrevention, faulty.vm,
                        "companion action on " +
                            attribute_name(faulty.ranked[j]));
@@ -170,6 +185,9 @@ bool PreventionActuator::actuate(const Diagnosis::FaultyVm& faulty,
   }
   log_->record(now, EventKind::kInfo, faulty.vm,
                "no applicable prevention action");
+  PREPARE_WARN("prevention")
+      << "no applicable action for " << faulty.vm << " at t=" << now
+      << " (every ranked metric exhausted)";
   return false;
 }
 
@@ -203,6 +221,10 @@ void PreventionActuator::on_sample(double now,
     const bool responded =
         std::abs(after - before) / denom >= config_.min_relative_change;
     ++validations_failed_;
+    obs::inc(validations_failed_counter_);
+    PREPARE_INFO("prevention")
+        << vm_name << " still unhealthy at t=" << now << " after acting on "
+        << attribute_name(pv.acted) << "; trying next ranked metric";
     std::ostringstream detail;
     detail << "still unhealthy after acting on "
            << attribute_name(pv.acted)
@@ -217,6 +239,7 @@ void PreventionActuator::on_sample(double now,
       if (vm != nullptr && !vm->migrating() &&
           apply_action(vm, next, now)) {
         ++actions_fired_;
+        obs::inc(actions_counter_);
         log_->record(now, EventKind::kPrevention, vm_name,
                      "fallback action on " + attribute_name(next));
         pv.action_time = now;
@@ -267,6 +290,7 @@ void PreventionActuator::maybe_reclaim(double now,
         if (hypervisor_->scale_cpu(vm, target)) {
           log_->record(now, EventKind::kInfo, vm_name,
                        "elastic reclaim: cpu scaled down");
+          obs::inc(reclaims_counter_);
           last_action_time_[vm_name] = now;
         }
       }
@@ -281,6 +305,7 @@ void PreventionActuator::maybe_reclaim(double now,
         if (hypervisor_->scale_memory(vm, target)) {
           log_->record(now, EventKind::kInfo, vm_name,
                        "elastic reclaim: memory scaled down");
+          obs::inc(reclaims_counter_);
           last_action_time_[vm_name] = now;
         }
       }

@@ -28,6 +28,7 @@
 #include "core/cause_inference.h"
 #include "monitor/attributes.h"
 #include "monitor/metric_store.h"
+#include "obs/metrics.h"
 #include "sim/event_log.h"
 #include "sim/hypervisor.h"
 
@@ -85,9 +86,12 @@ struct PreventionConfig {
 
 class PreventionActuator {
  public:
+  /// `metrics` (optional) receives prevention.* counters; it must
+  /// outlive the actuator.
   PreventionActuator(Hypervisor* hypervisor, Cluster* cluster,
                      const MetricStore* store, EventLog* log,
-                     PreventionConfig config = PreventionConfig());
+                     PreventionConfig config = PreventionConfig(),
+                     obs::MetricsRegistry* metrics = nullptr);
 
   /// Triggers a prevention for one diagnosed faulty VM. Returns true if
   /// an action was fired. No-op while a validation for that VM is open.
@@ -145,6 +149,12 @@ class PreventionActuator {
   std::map<std::string, double> last_migration_time_;
   std::size_t actions_fired_ = 0;
   std::size_t validations_failed_ = 0;
+
+  // Observability counters (null = uninstrumented).
+  obs::Counter* actions_counter_ = nullptr;
+  obs::Counter* validations_failed_counter_ = nullptr;
+  obs::Counter* reclaims_counter_ = nullptr;
+  obs::Counter* migrations_skipped_counter_ = nullptr;
 };
 
 }  // namespace prepare

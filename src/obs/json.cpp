@@ -1,0 +1,79 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace prepare {
+namespace obs {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[40];
+  // Shortest representation that round-trips a double.
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+JsonObject& JsonObject::raw_field(const std::string& key,
+                                  const std::string& raw) {
+  if (!first_) os_ << ",";
+  first_ = false;
+  os_ << "\"" << json_escape(key) << "\":" << raw;
+  return *this;
+}
+
+JsonObject& JsonObject::field(const std::string& key,
+                              const std::string& value) {
+  return raw_field(key, "\"" + json_escape(value) + "\"");
+}
+
+JsonObject& JsonObject::field(const std::string& key, const char* value) {
+  return field(key, std::string(value));
+}
+
+JsonObject& JsonObject::field(const std::string& key, double value) {
+  return raw_field(key, json_number(value));
+}
+
+JsonObject& JsonObject::field(const std::string& key, std::uint64_t value) {
+  return raw_field(key, std::to_string(value));
+}
+
+JsonObject& JsonObject::field(const std::string& key, int value) {
+  return raw_field(key, std::to_string(value));
+}
+
+void JsonObject::close() {
+  if (closed_) return;
+  closed_ = true;
+  os_ << "}\n";
+}
+
+}  // namespace obs
+}  // namespace prepare

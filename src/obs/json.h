@@ -1,0 +1,56 @@
+// Minimal JSON writing for the observability layer.
+//
+// The trace exporter emits JSONL: one flat JSON object per line, keys
+// and scalar values only (the schema tools/check_obs_schema.py
+// validates). This header provides exactly that much JSON — an escaper
+// and a single-object line writer — instead of pulling in a JSON
+// library the container may not have.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace prepare {
+namespace obs {
+
+/// Escapes a string for use inside a JSON string literal (quotes,
+/// backslashes, control characters; UTF-8 passes through untouched).
+std::string json_escape(const std::string& s);
+
+/// Formats a double as a JSON number. JSON has no NaN/Inf literals, so
+/// non-finite values are emitted as null (the schema checker treats
+/// null as "unavailable").
+std::string json_number(double value);
+
+/// Writes one flat JSON object as a single line. Fields are emitted in
+/// call order; the closing `}\n` is written on destruction (or by
+/// close()).
+///
+///   JsonObject(os).field("record", "event").field("t", 12.5);
+class JsonObject {
+ public:
+  explicit JsonObject(std::ostream& os) : os_(os) { os_ << "{"; }
+  ~JsonObject() { close(); }
+  JsonObject(const JsonObject&) = delete;
+  JsonObject& operator=(const JsonObject&) = delete;
+
+  JsonObject& field(const std::string& key, const std::string& value);
+  JsonObject& field(const std::string& key, const char* value);
+  JsonObject& field(const std::string& key, double value);
+  JsonObject& field(const std::string& key, std::uint64_t value);
+  JsonObject& field(const std::string& key, int value);
+
+  /// Writes `}\n`. Idempotent; further field() calls are invalid.
+  void close();
+
+ private:
+  JsonObject& raw_field(const std::string& key, const std::string& raw);
+
+  std::ostream& os_;
+  bool closed_ = false;
+  bool first_ = true;
+};
+
+}  // namespace obs
+}  // namespace prepare

@@ -1,0 +1,150 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace prepare {
+namespace obs {
+
+namespace {
+
+/// Bucket upper bounds are precomputed out to this value; anything
+/// larger lands in the final catch-all bucket. 1e12 on a seconds scale
+/// is ~31k years — far beyond any wall time or count we record.
+constexpr double kBucketRangeMax = 1e12;
+constexpr std::size_t kMaxBuckets = 4096;
+
+}  // namespace
+
+Histogram::Histogram(double min_bound, double growth)
+    : min_bound_(min_bound),
+      growth_(growth),
+      inv_log_growth_(1.0 / std::log(growth)) {
+  PREPARE_CHECK(min_bound > 0.0);
+  PREPARE_CHECK(growth > 1.0);
+  double bound = min_bound;
+  while (bound < kBucketRangeMax && bounds_.size() < kMaxBuckets) {
+    bounds_.push_back(bound);
+    bound *= growth;
+  }
+}
+
+std::size_t Histogram::bucket_index(double value) const {
+  if (!(value >= min_bound_)) return 0;  // negatives and NaN clamp low
+  std::size_t index =
+      1 + static_cast<std::size_t>(std::max(
+              0.0, std::floor(std::log(value / min_bound_) *
+                              inv_log_growth_)));
+  index = std::min(index, bounds_.size());
+  // log() rounding can land one bucket off either way at the exact
+  // boundaries; fix up against the precomputed bit-exact bounds.
+  while (index > 0 && value < bucket_lower(index)) --index;
+  while (index < bounds_.size() && value >= bucket_upper(index)) ++index;
+  return index;
+}
+
+double Histogram::bucket_lower(std::size_t index) const {
+  if (index == 0) return 0.0;
+  PREPARE_CHECK(index <= bounds_.size());
+  return bounds_[index - 1];
+}
+
+double Histogram::bucket_upper(std::size_t index) const {
+  if (index >= bounds_.size()) return std::numeric_limits<double>::infinity();
+  return bounds_[index];
+}
+
+void Histogram::record(double value) {
+  PREPARE_DCHECK(std::isfinite(value)) << "histogram fed " << value;
+  const std::size_t index = bucket_index(value);
+  if (index >= buckets_.size()) buckets_.resize(index + 1, 0);
+  ++buckets_[index];
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+double Histogram::quantile(double q) const {
+  PREPARE_CHECK(q >= 0.0 && q <= 1.0);
+  if (count_ == 0) return 0.0;
+  const auto rank = static_cast<std::uint64_t>(std::max(
+      1.0, std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t cumulative = 0;
+  std::size_t bucket = buckets_.empty() ? 0 : buckets_.size() - 1;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= rank) {
+      bucket = i;
+      break;
+    }
+  }
+  // Representative point of the bucket: geometric mean of its bounds
+  // (arithmetic midpoint for the underflow bucket, exact max for the
+  // catch-all), clamped into the exactly-tracked [min, max].
+  double estimate;
+  if (bucket == 0) {
+    estimate = min_bound_ * 0.5;
+  } else if (bucket >= bounds_.size()) {
+    estimate = max_;
+  } else {
+    estimate = std::sqrt(bucket_lower(bucket) * bucket_upper(bucket));
+  }
+  return std::min(std::max(estimate, min_), max_);
+}
+
+void Histogram::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+void MetricsRegistry::check_unregistered(const std::string& name,
+                                         const char* kind) const {
+  PREPARE_CHECK_MSG(counters_.count(name) == 0 && gauges_.count(name) == 0 &&
+                        histograms_.count(name) == 0,
+                    "metric '" + name + "' already registered with a "
+                    "different kind (wanted " + kind + ")");
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  auto it = counters_.find(name);
+  if (it != counters_.end()) return &it->second;
+  check_unregistered(name, "counter");
+  return &counters_[name];
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  auto it = gauges_.find(name);
+  if (it != gauges_.end()) return &it->second;
+  check_unregistered(name, "gauge");
+  return &gauges_[name];
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name,
+                                      double min_bound, double growth) {
+  auto it = histograms_.find(name);
+  if (it != histograms_.end()) return &it->second;
+  check_unregistered(name, "histogram");
+  return &histograms_.emplace(name, Histogram(min_bound, growth))
+              .first->second;
+}
+
+void MetricsRegistry::reset() {
+  for (auto& [name, metric] : counters_) metric.reset();
+  for (auto& [name, metric] : gauges_) metric.reset();
+  for (auto& [name, metric] : histograms_) metric.reset();
+}
+
+}  // namespace obs
+}  // namespace prepare

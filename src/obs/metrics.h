@@ -1,0 +1,161 @@
+// Metrics registry: named counters, gauges, and log-bucketed histograms.
+//
+// PREPARE's evaluation is about observing the predict → diagnose →
+// prevent loop (Table 1 overhead, alert lead times, action counts), so
+// the reproduction needs a way to measure itself. This registry is that
+// substrate:
+//
+//  * Counter   — monotonically accumulating value (events, actions);
+//  * Gauge     — last-written value (allocations, sim time);
+//  * Histogram — log-bucketed distribution with p50/p90/p99 queries
+//                (stage wall times). Relative quantile error is bounded
+//                by the bucket growth factor (default 1.1 ≈ ±10%).
+//
+// Instruments register by name (dot-separated, see README
+// "Observability" for the naming scheme) and keep the returned pointer:
+// registration is a map lookup, but recording through a cached pointer
+// is a couple of arithmetic ops — cheap enough for per-tick use.
+// Pointers stay valid for the registry's lifetime (reset() clears
+// values, not registrations).
+//
+// Everything is nullable by convention: instrumented code paths hold
+// `Counter*`/`Histogram*` that are nullptr when observability is off,
+// and record through the null-safe helpers at the bottom. A run without
+// a registry pays only a pointer test per instrumentation point.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace prepare {
+namespace obs {
+
+class Counter {
+ public:
+  void inc(double delta = 1.0) { value_ += delta; }
+  double value() const { return value_; }
+  void reset() { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+};
+
+class Gauge {
+ public:
+  void set(double value) { value_ = value; }
+  double value() const { return value_; }
+  void reset() { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Log-bucketed histogram over non-negative values.
+///
+/// Bucket 0 holds [0, min_bound) (plus any negative input, clamped);
+/// bucket i >= 1 holds [min_bound * growth^(i-1), min_bound * growth^i).
+/// Exact count/sum/min/max are tracked alongside, and quantile()
+/// results are clamped into [min, max] — so a one-sample histogram
+/// answers every quantile exactly.
+class Histogram {
+ public:
+  explicit Histogram(double min_bound = 1e-9, double growth = 1.1);
+
+  void record(double value);
+
+  /// Quantile estimate for q in [0, 1] (0.5 = p50). Returns 0 when
+  /// empty. Error is bounded by one bucket width (a factor of growth).
+  double quantile(double q) const;
+
+  std::size_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+
+  double min_bound() const { return min_bound_; }
+  double growth() const { return growth_; }
+
+  /// Bucket geometry, exposed for tests and exporters.
+  std::size_t bucket_index(double value) const;
+  double bucket_lower(std::size_t index) const;
+  double bucket_upper(std::size_t index) const;
+  std::size_t bucket_count() const { return bounds_.size(); }
+
+  void reset();
+
+ private:
+  double min_bound_;
+  double growth_;
+  double inv_log_growth_;
+  /// bounds_[i] is the lower bound of bucket i+1 (== upper bound of
+  /// bucket i); precomputed so bucket edges are bit-exact.
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> buckets_;  ///< sized lazily up to bounds_+1
+
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Name → metric registry. Metric names must be unique across kinds
+/// (registering "x" as both a counter and a gauge throws CheckFailure).
+/// Element addresses are stable: maps are never erased, only reset.
+class MetricsRegistry {
+ public:
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name, double min_bound = 1e-9,
+                       double growth = 1.1);
+
+  /// Sorted-by-name views for exporters.
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  /// Zeroes every metric in place. Registrations (and thus cached
+  /// pointers) survive — use between repeated runs sharing a registry.
+  void reset();
+
+ private:
+  void check_unregistered(const std::string& name, const char* kind) const;
+
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+// Null-safe recording helpers: instrumented code holds nullptr handles
+// when no registry is attached, and these compile down to a test+skip.
+inline void inc(Counter* counter, double delta = 1.0) {
+  if (counter != nullptr) counter->inc(delta);
+}
+inline void set(Gauge* gauge, double value) {
+  if (gauge != nullptr) gauge->set(value);
+}
+inline void observe(Histogram* histogram, double value) {
+  if (histogram != nullptr) histogram->record(value);
+}
+
+// Null-safe registration helpers for optional registries.
+inline Counter* counter(MetricsRegistry* registry, const std::string& name) {
+  return registry == nullptr ? nullptr : registry->counter(name);
+}
+inline Gauge* gauge(MetricsRegistry* registry, const std::string& name) {
+  return registry == nullptr ? nullptr : registry->gauge(name);
+}
+inline Histogram* histogram(MetricsRegistry* registry,
+                            const std::string& name) {
+  return registry == nullptr ? nullptr : registry->histogram(name);
+}
+
+}  // namespace obs
+}  // namespace prepare

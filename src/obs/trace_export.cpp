@@ -1,0 +1,56 @@
+#include "obs/trace_export.h"
+
+#include "common/check.h"
+#include "obs/json.h"
+
+namespace prepare {
+namespace obs {
+
+void write_run_header(std::ostream& os, const RunInfo& info) {
+  PREPARE_CHECK_MSG(!info.run_id.empty(), "run header needs a run_id");
+  JsonObject record(os);
+  record.field("record", "run")
+      .field("schema", kObsSchemaVersion)
+      .field("run_id", info.run_id)
+      .field("sim_time_end", info.sim_time_end);
+  for (const auto& [key, value] : info.labels) record.field(key, value);
+}
+
+void write_metrics_jsonl(std::ostream& os, const MetricsRegistry& registry,
+                         const std::string& run_id, double sim_time) {
+  for (const auto& [name, counter] : registry.counters()) {
+    JsonObject(os)
+        .field("record", "metric")
+        .field("run_id", run_id)
+        .field("t", sim_time)
+        .field("name", name)
+        .field("type", "counter")
+        .field("value", counter.value());
+  }
+  for (const auto& [name, gauge] : registry.gauges()) {
+    JsonObject(os)
+        .field("record", "metric")
+        .field("run_id", run_id)
+        .field("t", sim_time)
+        .field("name", name)
+        .field("type", "gauge")
+        .field("value", gauge.value());
+  }
+  for (const auto& [name, histogram] : registry.histograms()) {
+    JsonObject(os)
+        .field("record", "histogram")
+        .field("run_id", run_id)
+        .field("t", sim_time)
+        .field("name", name)
+        .field("count", static_cast<std::uint64_t>(histogram.count()))
+        .field("sum", histogram.sum())
+        .field("min", histogram.min())
+        .field("max", histogram.max())
+        .field("p50", histogram.quantile(0.50))
+        .field("p90", histogram.quantile(0.90))
+        .field("p99", histogram.quantile(0.99));
+  }
+}
+
+}  // namespace obs
+}  // namespace prepare

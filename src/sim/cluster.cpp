@@ -4,6 +4,14 @@
 
 namespace prepare {
 
+void Cluster::set_metrics(obs::MetricsRegistry* registry) {
+  metrics_ = registry;
+  placements_counter_ =
+      obs::counter(registry, "sim.cluster.placements_total");
+  moves_counter_ = obs::counter(registry, "sim.cluster.vm_moves_total");
+  for (const auto& host : hosts_) host->publish_metrics(metrics_);
+}
+
 Host* Cluster::add_host(std::string name, Host::Capacity capacity) {
   PREPARE_CHECK_MSG(find_host(name) == nullptr, "duplicate host name");
   hosts_.push_back(std::make_unique<Host>(std::move(name), capacity));
@@ -18,6 +26,8 @@ Vm* Cluster::add_vm(std::string name, double cpu_alloc, double mem_alloc,
   Vm* vm = vms_.back().get();
   host->place(vm);
   dcheck_placement();
+  obs::inc(placements_counter_);
+  host->publish_metrics(metrics_);
   return vm;
 }
 
@@ -87,6 +97,9 @@ void Cluster::move_vm_with_alloc(Vm* vm, Host* target, double cpu_alloc,
   vm->set_mem_alloc(mem_alloc);
   target->place(vm);
   dcheck_placement();
+  obs::inc(moves_counter_);
+  source->publish_metrics(metrics_);
+  target->publish_metrics(metrics_);
 }
 
 void Cluster::dcheck_placement() const {

@@ -16,6 +16,11 @@ namespace prepare {
 
 class Cluster {
  public:
+  /// Attaches observability instruments (placement/move counters plus
+  /// per-host allocation gauges, refreshed after every placement
+  /// change). The registry must outlive the cluster; nullptr detaches.
+  void set_metrics(obs::MetricsRegistry* registry);
+
   /// Adds a host; returns a stable pointer owned by the cluster.
   Host* add_host(std::string name, Host::Capacity capacity = Host::Capacity());
 
@@ -59,6 +64,10 @@ class Cluster {
 
   std::vector<std::unique_ptr<Host>> hosts_;
   std::vector<std::unique_ptr<Vm>> vms_;
+
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* placements_counter_ = nullptr;
+  obs::Counter* moves_counter_ = nullptr;
 };
 
 }  // namespace prepare

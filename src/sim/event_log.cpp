@@ -1,5 +1,7 @@
 #include "sim/event_log.h"
 
+#include "obs/json.h"
+
 namespace prepare {
 
 const char* event_kind_name(EventKind kind) {
@@ -19,7 +21,13 @@ const char* event_kind_name(EventKind kind) {
 
 void EventLog::record(double time, EventKind kind, std::string subject,
                       std::string detail) {
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    obs::inc(dropped_counter_);
+    return;
+  }
   events_.push_back({time, kind, std::move(subject), std::move(detail)});
+  obs::inc(recorded_counter_);
 }
 
 std::vector<Event> EventLog::events_of(EventKind kind) const {
@@ -34,6 +42,23 @@ std::size_t EventLog::count_of(EventKind kind) const {
   for (const auto& e : events_)
     if (e.kind == kind) ++n;
   return n;
+}
+
+void EventLog::set_metrics(obs::MetricsRegistry* registry) {
+  recorded_counter_ = obs::counter(registry, "events.recorded_total");
+  dropped_counter_ = obs::counter(registry, "events.dropped_total");
+}
+
+void EventLog::to_jsonl(std::ostream& os, const std::string& run_id) const {
+  for (const auto& e : events_) {
+    obs::JsonObject(os)
+        .field("record", "event")
+        .field("run_id", run_id)
+        .field("t", e.time)
+        .field("kind", event_kind_name(e.kind))
+        .field("subject", e.subject)
+        .field("detail", e.detail);
+  }
 }
 
 }  // namespace prepare

@@ -3,8 +3,12 @@
 // and when; the trace benches print it alongside the SLO metric series.
 #pragma once
 
+#include <cstddef>
+#include <ostream>
 #include <string>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace prepare {
 
@@ -31,16 +35,43 @@ struct Event {
 
 class EventLog {
  public:
+  /// Capacity guard: long runs (ext_scale sweeps) must not grow the log
+  /// without bound. Once `capacity` events are held, further records
+  /// are dropped and counted (see dropped() / the events.dropped_total
+  /// metric).
+  static constexpr std::size_t kDefaultCapacity = 262144;
+
   void record(double time, EventKind kind, std::string subject,
               std::string detail);
 
   const std::vector<Event>& events() const { return events_; }
   std::vector<Event> events_of(EventKind kind) const;
   std::size_t count_of(EventKind kind) const;
-  void clear() { events_.clear(); }
+  void clear() {
+    events_.clear();
+    dropped_ = 0;
+  }
+
+  void set_capacity(std::size_t capacity) { capacity_ = capacity; }
+  std::size_t capacity() const { return capacity_; }
+  /// Events discarded by the capacity guard since the last clear().
+  std::size_t dropped() const { return dropped_; }
+
+  /// Attaches observability counters (events.recorded_total,
+  /// events.dropped_total). The registry must outlive every subsequent
+  /// record() on this log (and on copies of it). Pass nullptr to detach.
+  void set_metrics(obs::MetricsRegistry* registry);
+
+  /// Writes one `event` JSONL record per event (schema: see
+  /// src/obs/trace_export.h). `run_id` stamps each record.
+  void to_jsonl(std::ostream& os, const std::string& run_id = "") const;
 
  private:
   std::vector<Event> events_;
+  std::size_t capacity_ = kDefaultCapacity;
+  std::size_t dropped_ = 0;
+  obs::Counter* recorded_counter_ = nullptr;
+  obs::Counter* dropped_counter_ = nullptr;
 };
 
 }  // namespace prepare

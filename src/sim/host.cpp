@@ -96,4 +96,13 @@ bool Host::hosts(const Vm& vm) const {
   return std::find(vms_.begin(), vms_.end(), &vm) != vms_.end();
 }
 
+void Host::publish_metrics(obs::MetricsRegistry* registry) const {
+  if (registry == nullptr) return;
+  const std::string prefix = "sim.host." + name_;
+  registry->gauge(prefix + ".cpu_allocated_cores")->set(cpu_allocated());
+  registry->gauge(prefix + ".mem_allocated_mb")->set(mem_allocated());
+  registry->gauge(prefix + ".vm_count")
+      ->set(static_cast<double>(vms_.size()));
+}
+
 }  // namespace prepare

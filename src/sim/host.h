@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sim/vm.h"
 
 namespace prepare {
@@ -61,6 +62,12 @@ class Host {
   void place(Vm* vm);
   void remove(Vm* vm);
   bool hosts(const Vm& vm) const;
+
+  /// Publishes this host's packing state as gauges
+  /// (sim.host.<name>.cpu_allocated_cores / .mem_allocated_mb /
+  /// .vm_count). The cluster calls this after every placement change;
+  /// a null registry is a no-op.
+  void publish_metrics(obs::MetricsRegistry* registry) const;
 
   const std::vector<Vm*>& vms() const { return vms_; }
 

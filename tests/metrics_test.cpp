@@ -1,0 +1,184 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace prepare {
+namespace obs {
+namespace {
+
+// --- counters and gauges ----------------------------------------------------
+
+TEST(Counter, AccumulatesAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0.0);
+  c.inc();
+  c.inc(2.5);
+  EXPECT_DOUBLE_EQ(c.value(), 3.5);
+  c.reset();
+  EXPECT_EQ(c.value(), 0.0);
+}
+
+TEST(Gauge, HoldsLastValue) {
+  Gauge g;
+  g.set(4.0);
+  g.set(-1.5);
+  EXPECT_DOUBLE_EQ(g.value(), -1.5);
+  g.reset();
+  EXPECT_EQ(g.value(), 0.0);
+}
+
+// --- histogram bucket geometry ----------------------------------------------
+
+TEST(Histogram, BucketZeroHoldsSubMinBoundValues) {
+  Histogram h;  // min_bound 1e-9
+  EXPECT_EQ(h.bucket_index(0.0), 0u);
+  EXPECT_EQ(h.bucket_index(0.5e-9), 0u);
+  // Negative inputs clamp into bucket 0 rather than indexing out of
+  // range.
+  EXPECT_EQ(h.bucket_index(-1.0), 0u);
+}
+
+TEST(Histogram, BucketBoundariesAreHalfOpen) {
+  Histogram h(1.0, 2.0);  // buckets: [0,1), [1,2), [2,4), [4,8), ...
+  EXPECT_EQ(h.bucket_index(0.999), 0u);
+  EXPECT_EQ(h.bucket_index(1.0), 1u);
+  EXPECT_EQ(h.bucket_index(1.999), 1u);
+  EXPECT_EQ(h.bucket_index(2.0), 2u);
+  EXPECT_EQ(h.bucket_index(3.999), 2u);
+  EXPECT_EQ(h.bucket_index(4.0), 3u);
+}
+
+TEST(Histogram, ExactBoundsMatchBucketEdges) {
+  // The log-based index must agree with the precomputed bit-exact
+  // bounds at every edge, where naive log arithmetic is off by one.
+  Histogram h(1e-9, 1.1);
+  for (std::size_t i = 1; i + 1 < h.bucket_count(); ++i) {
+    const double lower = h.bucket_lower(i);
+    EXPECT_EQ(h.bucket_index(lower), i) << "at bucket " << i;
+    EXPECT_EQ(h.bucket_index(std::nextafter(lower, 0.0)), i - 1)
+        << "below bucket " << i;
+  }
+}
+
+TEST(Histogram, LowerAndUpperAreConsistent) {
+  Histogram h(1.0, 2.0);
+  for (std::size_t i = 0; i + 1 < h.bucket_count(); ++i)
+    EXPECT_DOUBLE_EQ(h.bucket_upper(i), h.bucket_lower(i + 1));
+}
+
+// --- histogram quantiles ----------------------------------------------------
+
+TEST(Histogram, EmptyHistogramAnswersZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(h.quantile(0.99), 0.0);
+}
+
+TEST(Histogram, OneSampleAnswersEveryQuantileExactly) {
+  Histogram h;
+  h.record(3.7e-3);
+  EXPECT_EQ(h.count(), 1u);
+  // The estimate is clamped into [min, max] == [3.7e-3, 3.7e-3].
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 3.7e-3);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 3.7e-3);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 3.7e-3);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 3.7e-3);
+}
+
+TEST(Histogram, QuantilesWithinRelativeErrorBound) {
+  Histogram h;  // growth 1.1 => ±10% relative error
+  std::vector<double> values;
+  for (int i = 1; i <= 1000; ++i) values.push_back(i * 1e-6);
+  for (double v : values) h.record(v);
+  for (double q : {0.5, 0.9, 0.99}) {
+    const double exact =
+        values[static_cast<std::size_t>(q * 1000) - 1];
+    const double estimate = h.quantile(q);
+    EXPECT_NEAR(estimate, exact, exact * 0.11)
+        << "q=" << q << " exact=" << exact << " est=" << estimate;
+  }
+}
+
+TEST(Histogram, TracksExactCountSumMinMax) {
+  Histogram h;
+  h.record(2e-6);
+  h.record(8e-6);
+  h.record(5e-6);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 15e-6);
+  EXPECT_DOUBLE_EQ(h.min(), 2e-6);
+  EXPECT_DOUBLE_EQ(h.max(), 8e-6);
+  EXPECT_DOUBLE_EQ(h.mean(), 5e-6);
+  // Quantiles never leave the observed range.
+  EXPECT_GE(h.quantile(0.99), 2e-6);
+  EXPECT_LE(h.quantile(0.99), 8e-6);
+}
+
+TEST(Histogram, ResetClearsValuesButKeepsGeometry) {
+  Histogram h(1.0, 2.0);
+  h.record(3.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(h.bucket_index(2.0), 2u);  // geometry unchanged
+}
+
+// --- registry ---------------------------------------------------------------
+
+TEST(MetricsRegistry, SameNameReturnsSameInstrument) {
+  MetricsRegistry registry;
+  Counter* a = registry.counter("x.total");
+  Counter* b = registry.counter("x.total");
+  EXPECT_EQ(a, b);
+  a->inc();
+  EXPECT_EQ(b->value(), 1.0);
+}
+
+TEST(MetricsRegistry, CrossKindNameCollisionThrows) {
+  MetricsRegistry registry;
+  registry.counter("x");
+  EXPECT_THROW(registry.gauge("x"), CheckFailure);
+  EXPECT_THROW(registry.histogram("x"), CheckFailure);
+  registry.gauge("y");
+  EXPECT_THROW(registry.counter("y"), CheckFailure);
+}
+
+TEST(MetricsRegistry, ResetZeroesInPlaceKeepingPointers) {
+  MetricsRegistry registry;
+  Counter* c = registry.counter("c");
+  Histogram* h = registry.histogram("h");
+  c->inc(5.0);
+  h->record(1e-3);
+  registry.reset();
+  EXPECT_EQ(c->value(), 0.0);
+  EXPECT_EQ(h->count(), 0u);
+  // The same pointers keep working after reset.
+  c->inc();
+  EXPECT_EQ(registry.counter("c")->value(), 1.0);
+}
+
+TEST(MetricsRegistry, NullSafeHelpersNoOpOnNullRegistry) {
+  MetricsRegistry* registry = nullptr;
+  EXPECT_EQ(obs::counter(registry, "a"), nullptr);
+  EXPECT_EQ(obs::gauge(registry, "b"), nullptr);
+  EXPECT_EQ(obs::histogram(registry, "c"), nullptr);
+  // Recording through null handles is a no-op, not a crash.
+  inc(nullptr);
+  set(nullptr, 1.0);
+  observe(nullptr, 1.0);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace prepare

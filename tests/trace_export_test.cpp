@@ -1,0 +1,142 @@
+#include "obs/trace_export.h"
+
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "obs/json.h"
+#include "sim/event_log.h"
+
+namespace prepare {
+namespace {
+
+using obs::JsonObject;
+using obs::MetricsRegistry;
+using obs::RunInfo;
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) out.push_back(line);
+  return out;
+}
+
+// --- JSON primitives --------------------------------------------------------
+
+TEST(Json, EscapesQuotesBackslashesAndControlChars) {
+  EXPECT_EQ(obs::json_escape("plain"), "plain");
+  EXPECT_EQ(obs::json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(obs::json_escape(std::string("a\x01""b")), "a\\u0001b");
+}
+
+TEST(Json, NumbersRoundTripAndNonFiniteBecomesNull) {
+  EXPECT_EQ(std::stod(obs::json_number(12.5)), 12.5);
+  EXPECT_EQ(std::stod(obs::json_number(1e-9)), 1e-9);
+  EXPECT_EQ(obs::json_number(std::numeric_limits<double>::infinity()),
+            "null");
+  EXPECT_EQ(obs::json_number(std::numeric_limits<double>::quiet_NaN()),
+            "null");
+}
+
+TEST(Json, ObjectIsOneLineAndCloseIsIdempotent) {
+  std::ostringstream os;
+  {
+    JsonObject record(os);
+    record.field("record", "event").field("t", 12.5);
+    record.close();
+    record.close();
+  }
+  EXPECT_EQ(os.str(), "{\"record\":\"event\",\"t\":12.5}\n");
+}
+
+// --- run header -------------------------------------------------------------
+
+TEST(TraceExport, RunHeaderCarriesSchemaIdAndLabels) {
+  std::ostringstream os;
+  RunInfo info;
+  info.run_id = "system_s-memory_leak-prepare-seed11";
+  info.sim_time_end = 1350.0;
+  info.labels = {{"app", "system_s"}, {"seed", "11"}};
+  obs::write_run_header(os, info);
+  const auto lines = lines_of(os.str());
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"record\":\"run\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"schema\":1"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"run_id\":\"system_s-memory_leak-prepare-seed11\""),
+            std::string::npos);
+  EXPECT_NE(lines[0].find("\"sim_time_end\":1350"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"app\":\"system_s\""), std::string::npos);
+}
+
+TEST(TraceExport, RunHeaderRequiresRunId) {
+  std::ostringstream os;
+  EXPECT_THROW(obs::write_run_header(os, RunInfo{}), CheckFailure);
+}
+
+// --- metric snapshots -------------------------------------------------------
+
+TEST(TraceExport, MetricSnapshotEmitsOneRecordPerInstrument) {
+  MetricsRegistry registry;
+  registry.counter("a.total")->inc(3.0);
+  registry.gauge("b.level")->set(0.5);
+  registry.histogram("c.seconds")->record(1e-3);
+  std::ostringstream os;
+  obs::write_metrics_jsonl(os, registry, "r1", 100.0);
+  const auto lines = lines_of(os.str());
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[0].find("\"name\":\"a.total\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"type\":\"counter\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"value\":3"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"type\":\"gauge\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"record\":\"histogram\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"count\":1"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"p99\":"), std::string::npos);
+  for (const auto& line : lines) {
+    EXPECT_NE(line.find("\"run_id\":\"r1\""), std::string::npos) << line;
+    EXPECT_NE(line.find("\"t\":100"), std::string::npos) << line;
+  }
+}
+
+// --- event log JSONL + capacity guard --------------------------------------
+
+TEST(EventLogJsonl, RoundTripsEventsWithEscaping) {
+  EventLog log;
+  log.record(10.0, EventKind::kAlert, "vm-pe3", "predicted anomaly");
+  log.record(15.0, EventKind::kMemScale, "vm-pe3", "512 -> 1024 \"MB\"");
+  std::ostringstream os;
+  log.to_jsonl(os, "r1");
+  const auto lines = lines_of(os.str());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"record\":\"event\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"kind\":\"alert\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"subject\":\"vm-pe3\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"kind\":\"mem_scale\""), std::string::npos);
+  EXPECT_NE(lines[1].find("512 -> 1024 \\\"MB\\\""), std::string::npos);
+}
+
+TEST(EventLog, CapacityGuardDropsAndCounts) {
+  obs::MetricsRegistry registry;
+  EventLog log;
+  log.set_metrics(&registry);
+  log.set_capacity(2);
+  log.record(1.0, EventKind::kInfo, "a", "kept");
+  log.record(2.0, EventKind::kInfo, "b", "kept");
+  log.record(3.0, EventKind::kInfo, "c", "dropped");
+  log.record(4.0, EventKind::kInfo, "d", "dropped");
+  EXPECT_EQ(log.events().size(), 2u);
+  EXPECT_EQ(log.dropped(), 2u);
+  EXPECT_EQ(registry.counter("events.recorded_total")->value(), 2.0);
+  EXPECT_EQ(registry.counter("events.dropped_total")->value(), 2.0);
+  log.clear();
+  EXPECT_EQ(log.dropped(), 0u);
+}
+
+}  // namespace
+}  // namespace prepare

@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Validator for the observability JSONL trace (schema version 1).
+
+A trace file is one JSON object per line (see src/obs/trace_export.h):
+
+  line 1    {"record":"run","schema":1,"run_id":ID,"sim_time_end":T,...}
+  then      {"record":"event","run_id":ID,"t":T,"kind":K,"subject":S,
+             "detail":D}
+            {"record":"metric","run_id":ID,"t":T,"name":N,
+             "type":"counter"|"gauge","value":V}
+            {"record":"histogram","run_id":ID,"t":T,"name":N,"count":C,
+             "sum":S,"min":m,"max":M,"p50":...,"p90":...,"p99":...}
+
+Checked per record: required fields present, field types correct, flat
+values only (no nested objects/arrays), run_id matches the header, and
+histogram quantiles are ordered (min <= p50 <= p90 <= p99 <= max; a
+numeric field may be null = unavailable).
+
+Usage: check_obs_schema.py FILE.jsonl [--require-stages]
+
+--require-stages additionally demands one non-empty
+stage.<name>.seconds histogram per controller pipeline stage (the seven
+stages of src/obs/stage_profiler.h).
+
+Exits 0 when valid, 1 with one "FILE:line: message" per violation.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+PIPELINE_STAGES = [
+    "monitor_sample",
+    "discretize",
+    "markov_lookahead",
+    "tan_classify",
+    "alarm_filter",
+    "cause_inference",
+    "prevention",
+]
+
+SCHEMA_VERSION = 1
+
+# field -> required type(s); None in a numeric field means "unavailable".
+STR = (str,)
+NUM = (int, float)
+REQUIRED = {
+    "run": {"schema": NUM, "run_id": STR, "sim_time_end": NUM},
+    "event": {"run_id": STR, "t": NUM, "kind": STR, "subject": STR,
+              "detail": STR},
+    "metric": {"run_id": STR, "t": NUM, "name": STR, "type": STR,
+               "value": NUM},
+    "histogram": {"run_id": STR, "t": NUM, "name": STR, "count": NUM,
+                  "sum": NUM, "min": NUM, "max": NUM, "p50": NUM,
+                  "p90": NUM, "p99": NUM},
+}
+NULLABLE = {"sum", "min", "max", "p50", "p90", "p99", "value"}
+
+
+def check_record(obj: dict, lineno: int, errors: list[str],
+                 run_id: str | None) -> None:
+    record = obj.get("record")
+    if record not in REQUIRED:
+        errors.append(f"{lineno}: unknown record type {record!r}")
+        return
+    for field, types in REQUIRED[record].items():
+        if field not in obj:
+            errors.append(f"{lineno}: {record} record missing {field!r}")
+            continue
+        value = obj[field]
+        if value is None and field in NULLABLE:
+            continue
+        # bool is an int subclass but never a valid trace value.
+        if isinstance(value, bool) or not isinstance(value, types):
+            errors.append(
+                f"{lineno}: field {field!r} has type "
+                f"{type(value).__name__}, expected "
+                f"{'/'.join(t.__name__ for t in types)}")
+    for key, value in obj.items():
+        if isinstance(value, (dict, list)):
+            errors.append(f"{lineno}: field {key!r} is nested; "
+                          "records must be flat")
+    if record == "metric" and obj.get("type") not in ("counter", "gauge"):
+        errors.append(f"{lineno}: metric type {obj.get('type')!r} is not "
+                      "counter/gauge")
+    if record != "run" and run_id is not None and obj.get("run_id") != run_id:
+        errors.append(f"{lineno}: run_id {obj.get('run_id')!r} does not "
+                      f"match header {run_id!r}")
+    if record == "histogram":
+        ordered = [obj.get(f) for f in ("min", "p50", "p90", "p99", "max")]
+        numeric = [v for v in ordered if isinstance(v, NUM)
+                   and not isinstance(v, bool)]
+        if numeric != sorted(numeric):
+            errors.append(f"{lineno}: histogram quantiles out of order: "
+                          f"{ordered}")
+
+
+def validate(path: Path, require_stages: bool) -> list[str]:
+    errors: list[str] = []
+    run_id: str | None = None
+    stage_counts: dict[str, float] = {}
+    lines = path.read_text().splitlines()
+    if not lines:
+        return ["1: empty trace (expected a run header)"]
+    for lineno, line in enumerate(lines, start=1):
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as e:
+            errors.append(f"{lineno}: invalid JSON: {e}")
+            continue
+        if not isinstance(obj, dict):
+            errors.append(f"{lineno}: expected a JSON object")
+            continue
+        if lineno == 1:
+            if obj.get("record") != "run":
+                errors.append("1: first record must be the run header")
+            elif obj.get("schema") != SCHEMA_VERSION:
+                errors.append(f"1: schema {obj.get('schema')!r}, expected "
+                              f"{SCHEMA_VERSION}")
+            else:
+                run_id = obj.get("run_id")
+        elif obj.get("record") == "run":
+            errors.append(f"{lineno}: duplicate run header")
+        check_record(obj, lineno, errors, run_id)
+        if obj.get("record") == "histogram":
+            name = obj.get("name")
+            count = obj.get("count")
+            if isinstance(name, str) and isinstance(count, NUM):
+                stage_counts[name] = count
+    if require_stages:
+        for stage in PIPELINE_STAGES:
+            name = f"stage.{stage}.seconds"
+            if name not in stage_counts:
+                errors.append(f"trace has no {name} histogram")
+            elif stage_counts[name] <= 0:
+                errors.append(f"{name} histogram is empty")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    args = [a for a in argv[1:] if a != "--require-stages"]
+    require_stages = "--require-stages" in argv[1:]
+    if len(args) != 1:
+        print(__doc__.strip().splitlines()[0], file=sys.stderr)
+        print(f"usage: {argv[0]} FILE.jsonl [--require-stages]",
+              file=sys.stderr)
+        return 2
+    path = Path(args[0])
+    if not path.is_file():
+        print(f"{path}: no such file", file=sys.stderr)
+        return 1
+    errors = validate(path, require_stages)
+    for error in errors:
+        print(f"{path}:{error}")
+    if not errors:
+        print(f"{path}: OK")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
