@@ -5,6 +5,15 @@
 // PREPARE itself never looks inside an Application — it only sees the
 // per-VM system metrics (via the monitor) and the SLO violation flag (via
 // the SLO tracker), exactly matching the paper's black-box assumption.
+//
+// Threading contract: the whole simulation layer (applications, VMs,
+// hypervisor, clock) is confined to the single driver thread — step()
+// and the accessors are never called concurrently, and implementations
+// hold plain unguarded state (audited: no threads/atomics in
+// web_app.cpp or stream_app.cpp). The controller's parallel per-VM
+// prediction fan-out never reaches down here; workers only read const
+// predictor state and record into the thread-safe obs:: instruments
+// (see DESIGN.md "Concurrency model & locking discipline").
 #pragma once
 
 #include <string>

@@ -5,6 +5,10 @@
 
 #include "common/check.h"
 
+// Driver-thread confined (see apps/application.h): all PE state is
+// plain members with no locks or atomics, which is correct exactly as
+// long as step()/accessors stay on the simulation thread.
+
 namespace prepare {
 
 namespace {

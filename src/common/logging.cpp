@@ -22,6 +22,25 @@ LogLevel parse_log_level(const char* name, LogLevel fallback) {
 std::atomic<LogLevel> Logger::level_{
     parse_log_level(std::getenv("PREPARE_LOG_LEVEL"), LogLevel::kWarn)};
 
-std::atomic<std::ostream*> Logger::sink_{&std::cerr};
+Mutex Logger::sink_mu_;
+std::ostream* Logger::sink_ = &std::cerr;
+
+std::ostream* Logger::sink() {
+  MutexLock lock(&sink_mu_);
+  return sink_;
+}
+
+void Logger::set_sink(std::ostream* sink) {
+  MutexLock lock(&sink_mu_);
+  sink_ = sink == nullptr ? &std::cerr : sink;
+}
+
+void Logger::emit(const std::string& text) {
+  // Read the sink and write the record under one critical section:
+  // a sink swapped out mid-emission could otherwise be destroyed (test
+  // capture buffers) between the load and the write.
+  MutexLock lock(&sink_mu_);
+  *sink_ << text;
+}
 
 }  // namespace prepare

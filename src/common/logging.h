@@ -9,6 +9,8 @@
 #include <sstream>
 #include <string>
 
+#include "common/mutex.h"
+
 namespace prepare {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
@@ -17,31 +19,36 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 /// case-insensitive); returns `fallback` for null/unknown input.
 LogLevel parse_log_level(const char* name, LogLevel fallback);
 
-/// Process-wide log configuration. Level and sink are atomics, so
-/// concurrent record emission and reconfiguration are safe; each record
-/// is written to the sink as a single insertion.
+/// Process-wide log configuration, safe for concurrent use: records may
+/// be emitted from worker threads while another thread reconfigures the
+/// level or sink.
 ///
 /// The initial level comes from the PREPARE_LOG_LEVEL environment
 /// variable (read once at startup; default "warn"). The sink defaults
 /// to std::cerr and can be redirected, e.g. into a file or a test
 /// capture buffer; the sink object must outlive every record emitted
-/// through it.
+/// through it. Each record is written to the sink as one insertion
+/// under the emission mutex, so records never interleave and a custom
+/// sink (an ostringstream is not internally synchronized) needs no
+/// locking of its own.
 class Logger {
  public:
+  // Lock-free level gate: the level is a single word with no invariant
+  // coupling it to other state, and it is read on every (mostly
+  // disabled) log site — a relaxed atomic load keeps that check at a
+  // couple of instructions instead of a lock acquisition.
   static LogLevel level() { return level_.load(std::memory_order_relaxed); }
   static void set_level(LogLevel level) {
     level_.store(level, std::memory_order_relaxed);
   }
 
-  static std::ostream* sink() {
-    return sink_.load(std::memory_order_acquire);
-  }
+  static std::ostream* sink();
   /// Routes subsequent records to `sink` (never null; pass &std::cerr
   /// to restore the default).
-  static void set_sink(std::ostream* sink) {
-    sink_.store(sink == nullptr ? &std::cerr : sink,
-                std::memory_order_release);
-  }
+  static void set_sink(std::ostream* sink);
+
+  /// Writes one formatted record to the sink under the emission mutex.
+  static void emit(const std::string& text);
 
   /// Sink for one formatted record; flushes on destruction.
   class Record {
@@ -52,7 +59,7 @@ class Logger {
     ~Record() {
       if (enabled_) {
         os_ << "\n";
-        *Logger::sink() << os_.str();
+        Logger::emit(os_.str());
       }
     }
     Record(const Record&) = delete;
@@ -80,7 +87,8 @@ class Logger {
 
  private:
   static std::atomic<LogLevel> level_;
-  static std::atomic<std::ostream*> sink_;
+  static Mutex sink_mu_;
+  static std::ostream* sink_ PREPARE_GUARDED_BY(sink_mu_);
 };
 
 }  // namespace prepare

@@ -1,0 +1,65 @@
+// Clang thread-safety-analysis annotations.
+//
+// These macros turn a Clang build with -Wthread-safety into a
+// compile-time race detector: members carry PREPARE_GUARDED_BY(mu),
+// private helpers carry PREPARE_REQUIRES(mu), and the analysis proves
+// every access happens under the right lock. On compilers without the
+// attribute (GCC) every macro expands to nothing, so annotated code
+// builds everywhere; CI runs the Clang pass (tools/lint.sh
+// thread-safety) so violations still block merges.
+//
+// Vocabulary (see DESIGN.md "Concurrency model & locking discipline"):
+//
+//   PREPARE_CAPABILITY(name)      type is a lock ("capability")
+//   PREPARE_SCOPED_CAPABILITY     RAII type that acquires in its ctor
+//   PREPARE_GUARDED_BY(mu)        member readable/writable only under mu
+//   PREPARE_PT_GUARDED_BY(mu)     pointee guarded by mu (pointer itself not)
+//   PREPARE_REQUIRES(mu)          caller must already hold mu
+//   PREPARE_ACQUIRE(mu)           function acquires mu and does not release
+//   PREPARE_RELEASE(mu)           function releases mu
+//   PREPARE_TRY_ACQUIRE(ok, mu)   acquires mu iff it returns `ok`
+//   PREPARE_EXCLUDES(mu)          caller must NOT hold mu (non-reentrancy)
+//   PREPARE_NO_THREAD_SAFETY_ANALYSIS
+//                                 opt a function out (quiescent read paths;
+//                                 always pair with a comment saying why)
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define PREPARE_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef PREPARE_THREAD_ANNOTATION
+#define PREPARE_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+#define PREPARE_CAPABILITY(x) PREPARE_THREAD_ANNOTATION(capability(x))
+#define PREPARE_SCOPED_CAPABILITY PREPARE_THREAD_ANNOTATION(scoped_lockable)
+#define PREPARE_GUARDED_BY(x) PREPARE_THREAD_ANNOTATION(guarded_by(x))
+#define PREPARE_PT_GUARDED_BY(x) PREPARE_THREAD_ANNOTATION(pt_guarded_by(x))
+#define PREPARE_ACQUIRED_BEFORE(...) \
+  PREPARE_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define PREPARE_ACQUIRED_AFTER(...) \
+  PREPARE_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define PREPARE_REQUIRES(...) \
+  PREPARE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define PREPARE_REQUIRES_SHARED(...) \
+  PREPARE_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define PREPARE_ACQUIRE(...) \
+  PREPARE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define PREPARE_ACQUIRE_SHARED(...) \
+  PREPARE_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define PREPARE_RELEASE(...) \
+  PREPARE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define PREPARE_RELEASE_SHARED(...) \
+  PREPARE_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define PREPARE_TRY_ACQUIRE(...) \
+  PREPARE_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define PREPARE_EXCLUDES(...) \
+  PREPARE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define PREPARE_ASSERT_CAPABILITY(x) \
+  PREPARE_THREAD_ANNOTATION(assert_capability(x))
+#define PREPARE_RETURN_CAPABILITY(x) \
+  PREPARE_THREAD_ANNOTATION(lock_returned(x))
+#define PREPARE_NO_THREAD_SAFETY_ANALYSIS \
+  PREPARE_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -1,0 +1,89 @@
+#include "common/thread_pool.h"
+
+#include <exception>
+#include <utility>
+
+#include "common/check.h"
+
+namespace prepare {
+
+namespace {
+
+/// Completion latch for one parallel_for fan-out. Lives on the caller's
+/// stack: parallel_for blocks until remaining hits zero, so references
+/// captured by queued tasks never dangle.
+struct Join {
+  explicit Join(std::size_t count) : remaining(count) {}
+
+  Mutex mu;
+  std::condition_variable_any cv;  ///< signals remaining == 0
+  std::size_t remaining PREPARE_GUARDED_BY(mu);
+  std::exception_ptr error PREPARE_GUARDED_BY(mu);
+};
+
+void run_task(Join* join, const std::function<void(std::size_t)>& fn,
+              std::size_t index) {
+  std::exception_ptr error;
+  try {
+    fn(index);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  join->mu.lock();
+  if (error != nullptr && join->error == nullptr) join->error = error;
+  // Notify while still holding the mutex: parallel_for destroys the
+  // Join as soon as it observes remaining == 0, so signalling after
+  // unlock would race the caller's teardown of cv itself.
+  if (--join->remaining == 0) join->cv.notify_all();
+  join->mu.unlock();
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  PREPARE_CHECK_MSG(threads >= 1, "thread pool needs at least one worker");
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  mu_.lock();
+  stop_ = true;
+  mu_.unlock();
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  mu_.lock();
+  for (;;) {
+    while (!stop_ && queue_.empty()) cv_.wait(mu_);
+    if (queue_.empty()) break;  // stop requested and nothing left to drain
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    mu_.unlock();
+    task();
+    mu_.lock();
+  }
+  mu_.unlock();
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  Join join(count);
+  mu_.lock();
+  for (std::size_t i = 0; i < count; ++i)
+    queue_.push_back([&join, &fn, i] { run_task(&join, fn, i); });
+  mu_.unlock();
+  cv_.notify_all();
+
+  join.mu.lock();
+  while (join.remaining > 0) join.cv.wait(join.mu);
+  std::exception_ptr error = join.error;
+  join.mu.unlock();
+  if (error != nullptr) std::rethrow_exception(error);
+}
+
+}  // namespace prepare

@@ -1,0 +1,61 @@
+// Fixed-size worker pool for fanning per-VM work out across cores.
+//
+// PREPARE keeps one independent model per VM (paper Section III), so
+// the predict → classify step of a management round is embarrassingly
+// parallel across VMs. The pool runs such fan-outs via parallel_for():
+// the caller blocks until every index has been processed, which keeps
+// the surrounding control flow (apply alerts in deterministic VM order)
+// strictly sequential — parallel runs stay bit-identical to serial
+// ones.
+//
+// Threading contract:
+//  * parallel_for() may be called from one driver thread at a time and
+//    must not be re-entered from inside a task (a worker waiting on a
+//    nested fan-out would deadlock the pool).
+//  * Tasks for one fan-out must touch disjoint state (or only the
+//    thread-safe obs:: instruments); the pool provides no ordering
+//    between them.
+//  * A task that needs randomness must draw from its own per-index
+//    stream (Rng::fork one stream per VM before fanning out) — sharing
+//    one engine across workers is both a data race and a determinism
+//    bug.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+
+namespace prepare {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (>= 1).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Runs fn(0) .. fn(count - 1) across the workers and returns when
+  /// all have completed. If any task throws, the first exception (in
+  /// completion order) is rethrown here after the fan-out has drained.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  Mutex mu_;
+  std::condition_variable_any cv_;  ///< signals queue_ growth / stop_
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_ PREPARE_GUARDED_BY(mu_);
+  bool stop_ PREPARE_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace prepare

@@ -81,7 +81,9 @@ PrepareController::PrepareController(ControllerContext ctx,
       inference_(vm_names(), config.inference),
       actuator_(ctx.hypervisor, ctx.cluster, ctx.store, ctx.log,
                 config.prevention, ctx.metrics),
-      profiler_(ctx.metrics) {
+      profiler_(ctx.metrics),
+      pool_(ctx.num_threads > 1 ? std::make_unique<ThreadPool>(ctx.num_threads)
+                                : nullptr) {
   const auto names = attribute_feature_names();
   for (const auto& vm : vm_names()) {
     auto [it, inserted] =
@@ -144,12 +146,36 @@ void PrepareController::on_sample(double now) {
   }
   if (!trained_) return;
 
-  // 2. Per-VM prediction and false-alarm filtering.
+  // 2. Per-VM prediction and false-alarm filtering. The models are
+  //    independent per VM (paper Section III) and predict() only reads
+  //    predictor state, so the Markov look-ahead + TAN classification
+  //    fan out across the worker pool; the only shared state they touch
+  //    is the thread-safe obs:: instruments. The fan-out stage draws no
+  //    randomness — a future stochastic stage must fork one Rng stream
+  //    per VM (Rng::fork) before fanning out, never share an engine.
+  //    Alerts, filter pushes, and log records are then applied serially
+  //    below in deterministic (map) VM order, so a parallel run is
+  //    bit-identical to a sequential one.
+  std::vector<std::pair<const std::string*, const AnomalyPredictor*>> active;
+  active.reserve(predictors_.size());
+  for (const auto& [vm, predictor] : predictors_)
+    if (predictor.ready() && predictor.discriminative())
+      active.emplace_back(&vm, &predictor);
+  std::vector<AnomalyPredictor::Result> results(active.size());
+  const auto predict_one = [&](std::size_t i) {
+    results[i] = active[i].second->predict(lookahead_steps_);
+  };
+  if (pool_ != nullptr) {
+    pool_->parallel_for(active.size(), predict_one);
+  } else {
+    for (std::size_t i = 0; i < active.size(); ++i) predict_one(i);
+  }
+
   std::map<std::string, Classification> confirmed;
   std::set<std::string> unhealthy;
-  for (auto& [vm, predictor] : predictors_) {
-    if (!predictor.ready() || !predictor.discriminative()) continue;
-    const auto result = predictor.predict(lookahead_steps_);
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    const std::string& vm = *active[i].first;
+    const auto& result = results[i];
     const bool raw = result.classification.abnormal &&
                      top_impact(result.classification) >=
                          config_.alert_min_top_impact;

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "apps/application.h"
+#include "common/thread_pool.h"
 #include "core/alarm_filter.h"
 #include "core/anomaly_predictor.h"
 #include "core/cause_inference.h"
@@ -46,6 +47,12 @@ struct ControllerContext {
   /// every pipeline stage into stage.* histograms and counts alerts /
   /// fallbacks / preventions (must outlive the controller).
   obs::MetricsRegistry* metrics = nullptr;
+  /// Worker threads for the per-VM prediction fan-out (PREPARE keeps
+  /// one independent model per VM, so the Markov look-ahead + TAN
+  /// classification parallelize across VMs). 1 (default) runs fully
+  /// sequentially with no pool; results are bit-identical either way
+  /// because alerts are applied serially in VM order.
+  std::size_t num_threads = 1;
 };
 
 /// Full PREPARE configuration (paper defaults).
@@ -130,6 +137,8 @@ class PrepareController : public AnomalyManager {
   CauseInference inference_;
   PreventionActuator actuator_;
   obs::StageProfiler profiler_;
+  /// Workers for the per-VM fan-out; null when num_threads <= 1.
+  std::unique_ptr<ThreadPool> pool_;
 
   std::size_t raw_alerts_ = 0;
   std::size_t confirmed_alerts_ = 0;

@@ -203,6 +203,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   ctx.slo = &result.slo;
   ctx.log = &bed->events;
   ctx.metrics = config.metrics;
+  ctx.num_threads = config.num_threads;
 
   PrepareConfig pcfg = config.prepare;
   pcfg.sampling_interval_s = config.sampling_interval_s;

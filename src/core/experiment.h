@@ -70,6 +70,11 @@ struct ScenarioConfig {
   /// vs. migration, i.e. Fig. 6/7 vs. Fig. 8/9).
   PrepareConfig prepare;
 
+  /// Worker threads for the controller's per-VM prediction fan-out
+  /// (ControllerContext::num_threads). Results are bit-identical for
+  /// any thread count; only wall-clock stage histograms differ.
+  std::size_t num_threads = 1;
+
   /// Optional observability registry. When set, the run publishes
   /// run.* / sim.* / controller.* / prevention.* metrics and times all
   /// seven pipeline stages into stage.<name>.seconds histograms; when

@@ -60,6 +60,7 @@ double Histogram::bucket_upper(std::size_t index) const {
 void Histogram::record(double value) {
   PREPARE_DCHECK(std::isfinite(value)) << "histogram fed " << value;
   const std::size_t index = bucket_index(value);
+  MutexLock lock(&mu_);
   if (index >= buckets_.size()) buckets_.resize(index + 1, 0);
   ++buckets_[index];
   if (count_ == 0) {
@@ -75,6 +76,11 @@ void Histogram::record(double value) {
 
 double Histogram::quantile(double q) const {
   PREPARE_CHECK(q >= 0.0 && q <= 1.0);
+  MutexLock lock(&mu_);
+  return quantile_locked(q);
+}
+
+double Histogram::quantile_locked(double q) const {
   if (count_ == 0) return 0.0;
   const auto rank = static_cast<std::uint64_t>(std::max(
       1.0, std::ceil(q * static_cast<double>(count_))));
@@ -102,6 +108,7 @@ double Histogram::quantile(double q) const {
 }
 
 void Histogram::reset() {
+  MutexLock lock(&mu_);
   std::fill(buckets_.begin(), buckets_.end(), 0);
   count_ = 0;
   sum_ = 0.0;
@@ -109,8 +116,8 @@ void Histogram::reset() {
   max_ = 0.0;
 }
 
-void MetricsRegistry::check_unregistered(const std::string& name,
-                                         const char* kind) const {
+void MetricsRegistry::check_unregistered_locked(const std::string& name,
+                                                const char* kind) const {
   PREPARE_CHECK_MSG(counters_.count(name) == 0 && gauges_.count(name) == 0 &&
                         histograms_.count(name) == 0,
                     "metric '" + name + "' already registered with a "
@@ -118,29 +125,36 @@ void MetricsRegistry::check_unregistered(const std::string& name,
 }
 
 Counter* MetricsRegistry::counter(const std::string& name) {
+  MutexLock lock(&mu_);
   auto it = counters_.find(name);
   if (it != counters_.end()) return &it->second;
-  check_unregistered(name, "counter");
+  check_unregistered_locked(name, "counter");
   return &counters_[name];
 }
 
 Gauge* MetricsRegistry::gauge(const std::string& name) {
+  MutexLock lock(&mu_);
   auto it = gauges_.find(name);
   if (it != gauges_.end()) return &it->second;
-  check_unregistered(name, "gauge");
+  check_unregistered_locked(name, "gauge");
   return &gauges_[name];
 }
 
 Histogram* MetricsRegistry::histogram(const std::string& name,
                                       double min_bound, double growth) {
+  MutexLock lock(&mu_);
   auto it = histograms_.find(name);
   if (it != histograms_.end()) return &it->second;
-  check_unregistered(name, "histogram");
-  return &histograms_.emplace(name, Histogram(min_bound, growth))
-              .first->second;
+  check_unregistered_locked(name, "histogram");
+  // try_emplace: Histogram is non-movable (it owns a mutex), so it must
+  // be constructed in place; map nodes keep its address stable.
+  return &histograms_.try_emplace(name, min_bound, growth).first->second;
 }
 
 void MetricsRegistry::reset() {
+  // Lock order: registry mutex, then each histogram's own mutex (inside
+  // Histogram::reset). Nothing locks in the other direction.
+  MutexLock lock(&mu_);
   for (auto& [name, metric] : counters_) metric.reset();
   for (auto& [name, metric] : gauges_) metric.reset();
   for (auto& [name, metric] : histograms_) metric.reset();

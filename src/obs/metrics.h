@@ -18,39 +18,65 @@
 // Pointers stay valid for the registry's lifetime (reset() clears
 // values, not registrations).
 //
+// Thread safety: recording is safe from any number of threads — the
+// parallel per-VM prediction driver hammers stage histograms and
+// controller counters concurrently (see DESIGN.md "Concurrency model &
+// locking discipline"). Counters and gauges are lock-free atomics;
+// histograms and registration serialize on internal prepare::Mutexes.
+// The whole-map read accessors (counters()/gauges()/histograms()) are
+// the one exception: they are for exporters and require quiescence (no
+// concurrent registration).
+//
 // Everything is nullable by convention: instrumented code paths hold
 // `Counter*`/`Histogram*` that are nullptr when observability is off,
 // and record through the null-safe helpers at the bottom. A run without
 // a registry pays only a pointer test per instrumentation point.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+
 namespace prepare {
 namespace obs {
 
 class Counter {
  public:
-  void inc(double delta = 1.0) { value_ += delta; }
-  double value() const { return value_; }
-  void reset() { value_ = 0.0; }
+  /// Lock-free: concurrent inc() from any number of threads is safe.
+  /// Accumulation uses a CAS loop on an atomic double; the usual deltas
+  /// (+1.0 and other small integers) are exactly representable, so the
+  /// total is independent of the interleaving — parallel runs produce
+  /// bit-identical counter values.
+  void inc(double delta = 1.0) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  // Atomic (not mutex-guarded): inc/value/reset are single-word
+  // operations with no cross-field invariant to protect.
+  std::atomic<double> value_{0.0};
 };
 
 class Gauge {
  public:
-  void set(double value) { value_ = value; }
-  double value() const { return value_; }
-  void reset() { value_ = 0.0; }
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  // Atomic (not mutex-guarded): last-writer-wins is the gauge contract,
+  // so a plain relaxed store is all the synchronization needed.
+  std::atomic<double> value_{0.0};
 };
 
 /// Log-bucketed histogram over non-negative values.
@@ -60,9 +86,16 @@ class Gauge {
 /// Exact count/sum/min/max are tracked alongside, and quantile()
 /// results are clamped into [min, max] — so a one-sample histogram
 /// answers every quantile exactly.
+///
+/// record() and the statistics queries are thread-safe (internal mutex;
+/// count/sum/min/max and the bucket array move together, so atomics
+/// cannot express the invariant). Bucket geometry is immutable after
+/// construction and readable without the lock.
 class Histogram {
  public:
   explicit Histogram(double min_bound = 1e-9, double growth = 1.1);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
 
   void record(double value);
 
@@ -70,18 +103,32 @@ class Histogram {
   /// empty. Error is bounded by one bucket width (a factor of growth).
   double quantile(double q) const;
 
-  std::size_t count() const { return count_; }
-  double sum() const { return sum_; }
-  double min() const { return count_ == 0 ? 0.0 : min_; }
-  double max() const { return count_ == 0 ? 0.0 : max_; }
+  std::size_t count() const {
+    MutexLock lock(&mu_);
+    return count_;
+  }
+  double sum() const {
+    MutexLock lock(&mu_);
+    return sum_;
+  }
+  double min() const {
+    MutexLock lock(&mu_);
+    return count_ == 0 ? 0.0 : min_;
+  }
+  double max() const {
+    MutexLock lock(&mu_);
+    return count_ == 0 ? 0.0 : max_;
+  }
   double mean() const {
+    MutexLock lock(&mu_);
     return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
   }
 
   double min_bound() const { return min_bound_; }
   double growth() const { return growth_; }
 
-  /// Bucket geometry, exposed for tests and exporters.
+  /// Bucket geometry, exposed for tests and exporters. Immutable after
+  /// construction, so lock-free.
   std::size_t bucket_index(double value) const;
   double bucket_lower(std::size_t index) const;
   double bucket_upper(std::size_t index) const;
@@ -90,23 +137,31 @@ class Histogram {
   void reset();
 
  private:
+  double quantile_locked(double q) const PREPARE_REQUIRES(mu_);
+
+  // Geometry: fixed at construction, never written again.
   double min_bound_;
   double growth_;
   double inv_log_growth_;
   /// bounds_[i] is the lower bound of bucket i+1 (== upper bound of
   /// bucket i); precomputed so bucket edges are bit-exact.
   std::vector<double> bounds_;
-  std::vector<std::uint64_t> buckets_;  ///< sized lazily up to bounds_+1
 
-  std::size_t count_ = 0;
-  double sum_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
+  mutable Mutex mu_;
+  std::vector<std::uint64_t> buckets_
+      PREPARE_GUARDED_BY(mu_);  ///< sized lazily up to bounds_+1
+  std::size_t count_ PREPARE_GUARDED_BY(mu_) = 0;
+  double sum_ PREPARE_GUARDED_BY(mu_) = 0.0;
+  double min_ PREPARE_GUARDED_BY(mu_) = 0.0;
+  double max_ PREPARE_GUARDED_BY(mu_) = 0.0;
 };
 
 /// Name → metric registry. Metric names must be unique across kinds
 /// (registering "x" as both a counter and a gauge throws CheckFailure).
 /// Element addresses are stable: maps are never erased, only reset.
+///
+/// Registration (counter()/gauge()/histogram()) is thread-safe; the
+/// whole-map accessors are export-time reads that require quiescence.
 class MetricsRegistry {
  public:
   Counter* counter(const std::string& name);
@@ -114,10 +169,21 @@ class MetricsRegistry {
   Histogram* histogram(const std::string& name, double min_bound = 1e-9,
                        double growth = 1.1);
 
-  /// Sorted-by-name views for exporters.
-  const std::map<std::string, Counter>& counters() const { return counters_; }
-  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
-  const std::map<std::string, Histogram>& histograms() const {
+  /// Sorted-by-name views for exporters. Quiescent-only: callers must
+  /// ensure no thread registers concurrently (exporters and tests read
+  /// after the run's workers have joined). Recording through already
+  /// registered instruments is fine — elements are individually
+  /// thread-safe and their addresses are stable.
+  const std::map<std::string, Counter>& counters() const
+      PREPARE_NO_THREAD_SAFETY_ANALYSIS {
+    return counters_;
+  }
+  const std::map<std::string, Gauge>& gauges() const
+      PREPARE_NO_THREAD_SAFETY_ANALYSIS {
+    return gauges_;
+  }
+  const std::map<std::string, Histogram>& histograms() const
+      PREPARE_NO_THREAD_SAFETY_ANALYSIS {
     return histograms_;
   }
 
@@ -126,11 +192,14 @@ class MetricsRegistry {
   void reset();
 
  private:
-  void check_unregistered(const std::string& name, const char* kind) const;
+  void check_unregistered_locked(const std::string& name,
+                                 const char* kind) const
+      PREPARE_REQUIRES(mu_);
 
-  std::map<std::string, Counter> counters_;
-  std::map<std::string, Gauge> gauges_;
-  std::map<std::string, Histogram> histograms_;
+  mutable Mutex mu_;
+  std::map<std::string, Counter> counters_ PREPARE_GUARDED_BY(mu_);
+  std::map<std::string, Gauge> gauges_ PREPARE_GUARDED_BY(mu_);
+  std::map<std::string, Histogram> histograms_ PREPARE_GUARDED_BY(mu_);
 };
 
 // Null-safe recording helpers: instrumented code holds nullptr handles

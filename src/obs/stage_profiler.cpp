@@ -32,8 +32,11 @@ std::string stage_metric_name(const std::string& stage) {
 
 Histogram* StageProfiler::stage(const std::string& name) {
   if (registry_ == nullptr) return nullptr;
+  MutexLock lock(&mu_);
   for (const auto& [known, histogram] : stages_)
     if (known == name) return histogram;
+  // Lock order: profiler mutex, then the registry's (inside
+  // histogram()). Nothing locks in the other direction.
   Histogram* histogram = registry_->histogram(stage_metric_name(name));
   stages_.emplace_back(name, histogram);
   return histogram;

@@ -78,6 +78,11 @@ class ScopedTimer {
 /// and remembers registration order for reporting. Disabled (every
 /// stage() is nullptr, every timer a no-op) when built with a null
 /// registry.
+///
+/// stage() is thread-safe; recording through the returned histograms is
+/// thread-safe too (the parallel per-VM driver times worker-side stages
+/// into the same histograms). stages() is an export-time read requiring
+/// quiescence.
 class StageProfiler {
  public:
   explicit StageProfiler(MetricsRegistry* registry) : registry_(registry) {}
@@ -93,14 +98,18 @@ class StageProfiler {
     return ScopedTimer(stage(name));
   }
 
-  /// Stages in first-use order.
-  const std::vector<std::pair<std::string, Histogram*>>& stages() const {
+  /// Stages in first-use order. Quiescent-only: callers must ensure no
+  /// concurrent stage() registration (reports run after workers join).
+  const std::vector<std::pair<std::string, Histogram*>>& stages() const
+      PREPARE_NO_THREAD_SAFETY_ANALYSIS {
     return stages_;
   }
 
  private:
   MetricsRegistry* registry_;
-  std::vector<std::pair<std::string, Histogram*>> stages_;
+  mutable Mutex mu_;
+  std::vector<std::pair<std::string, Histogram*>> stages_
+      PREPARE_GUARDED_BY(mu_);
 };
 
 /// Table-1-style overhead report: one row per `stage.*.seconds`

@@ -1,5 +1,7 @@
 #include "sim/event_log.h"
 
+#include <utility>
+
 #include "obs/json.h"
 
 namespace prepare {
@@ -19,18 +21,61 @@ const char* event_kind_name(EventKind kind) {
   return "?";
 }
 
+EventLog::EventLog(const EventLog& other) {
+  MutexLock lock(&other.mu_);
+  events_ = other.events_;
+  capacity_ = other.capacity_;
+  dropped_ = other.dropped_;
+  recorded_counter_ = other.recorded_counter_;
+  dropped_counter_ = other.dropped_counter_;
+}
+
+EventLog& EventLog::operator=(const EventLog& other) {
+  if (this == &other) return *this;
+  // Snapshot the source, then install under our own lock: sequential
+  // lock scopes, so no ordering constraint between two log mutexes.
+  std::vector<Event> events;
+  std::size_t capacity = kDefaultCapacity;
+  std::size_t dropped = 0;
+  obs::Counter* recorded_counter = nullptr;
+  obs::Counter* dropped_counter = nullptr;
+  {
+    MutexLock lock(&other.mu_);
+    events = other.events_;
+    capacity = other.capacity_;
+    dropped = other.dropped_;
+    recorded_counter = other.recorded_counter_;
+    dropped_counter = other.dropped_counter_;
+  }
+  MutexLock lock(&mu_);
+  events_ = std::move(events);
+  capacity_ = capacity;
+  dropped_ = dropped;
+  recorded_counter_ = recorded_counter;
+  dropped_counter_ = dropped_counter;
+  return *this;
+}
+
 void EventLog::record(double time, EventKind kind, std::string subject,
                       std::string detail) {
-  if (events_.size() >= capacity_) {
-    ++dropped_;
-    obs::inc(dropped_counter_);
-    return;
+  obs::Counter* bump = nullptr;
+  {
+    MutexLock lock(&mu_);
+    if (events_.size() >= capacity_) {
+      ++dropped_;
+      bump = dropped_counter_;
+    } else {
+      events_.push_back({time, kind, std::move(subject), std::move(detail)});
+      bump = recorded_counter_;
+    }
   }
-  events_.push_back({time, kind, std::move(subject), std::move(detail)});
-  obs::inc(recorded_counter_);
+  // Counters are internally thread-safe; bump outside the lock to keep
+  // the critical section to the log's own state.
+  obs::inc(bump);
 }
 
 std::vector<Event> EventLog::events_of(EventKind kind) const {
+  MutexLock lock(&mu_);
   std::vector<Event> out;
   for (const auto& e : events_)
     if (e.kind == kind) out.push_back(e);
@@ -38,6 +83,7 @@ std::vector<Event> EventLog::events_of(EventKind kind) const {
 }
 
 std::size_t EventLog::count_of(EventKind kind) const {
+  MutexLock lock(&mu_);
   std::size_t n = 0;
   for (const auto& e : events_)
     if (e.kind == kind) ++n;
@@ -45,11 +91,13 @@ std::size_t EventLog::count_of(EventKind kind) const {
 }
 
 void EventLog::set_metrics(obs::MetricsRegistry* registry) {
+  MutexLock lock(&mu_);
   recorded_counter_ = obs::counter(registry, "events.recorded_total");
   dropped_counter_ = obs::counter(registry, "events.dropped_total");
 }
 
 void EventLog::to_jsonl(std::ostream& os, const std::string& run_id) const {
+  MutexLock lock(&mu_);
   for (const auto& e : events_) {
     obs::JsonObject(os)
         .field("record", "event")

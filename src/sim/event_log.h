@@ -1,6 +1,11 @@
 // Append-only log of management actions taken during a run (scalings,
 // migrations, alerts). Benches and tests read it to verify what happened
 // and when; the trace benches print it alongside the SLO metric series.
+//
+// record() is thread-safe (the capacity guard and the event vector move
+// together under one mutex), so parallel pipeline stages may log
+// concurrently. The by-reference events() accessor is the quiescent
+// exception; the counting/serializing readers take the lock.
 #pragma once
 
 #include <cstddef>
@@ -8,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "obs/metrics.h"
 
 namespace prepare {
@@ -41,21 +47,43 @@ class EventLog {
   /// metric).
   static constexpr std::size_t kDefaultCapacity = 262144;
 
+  EventLog() = default;
+  /// Copies snapshot the source under its lock; they exist for
+  /// end-of-run result plumbing (ScenarioResult), not for copying a log
+  /// that other threads keep appending to.
+  EventLog(const EventLog& other);
+  EventLog& operator=(const EventLog& other);
+
   void record(double time, EventKind kind, std::string subject,
               std::string detail);
 
-  const std::vector<Event>& events() const { return events_; }
+  /// Quiescent-only: callers must ensure no concurrent record() while
+  /// holding the reference (tests and benches read after the run).
+  const std::vector<Event>& events() const
+      PREPARE_NO_THREAD_SAFETY_ANALYSIS {
+    return events_;
+  }
   std::vector<Event> events_of(EventKind kind) const;
   std::size_t count_of(EventKind kind) const;
   void clear() {
+    MutexLock lock(&mu_);
     events_.clear();
     dropped_ = 0;
   }
 
-  void set_capacity(std::size_t capacity) { capacity_ = capacity; }
-  std::size_t capacity() const { return capacity_; }
+  void set_capacity(std::size_t capacity) {
+    MutexLock lock(&mu_);
+    capacity_ = capacity;
+  }
+  std::size_t capacity() const {
+    MutexLock lock(&mu_);
+    return capacity_;
+  }
   /// Events discarded by the capacity guard since the last clear().
-  std::size_t dropped() const { return dropped_; }
+  std::size_t dropped() const {
+    MutexLock lock(&mu_);
+    return dropped_;
+  }
 
   /// Attaches observability counters (events.recorded_total,
   /// events.dropped_total). The registry must outlive every subsequent
@@ -67,11 +95,14 @@ class EventLog {
   void to_jsonl(std::ostream& os, const std::string& run_id = "") const;
 
  private:
-  std::vector<Event> events_;
-  std::size_t capacity_ = kDefaultCapacity;
-  std::size_t dropped_ = 0;
-  obs::Counter* recorded_counter_ = nullptr;
-  obs::Counter* dropped_counter_ = nullptr;
+  mutable Mutex mu_;
+  std::vector<Event> events_ PREPARE_GUARDED_BY(mu_);
+  std::size_t capacity_ PREPARE_GUARDED_BY(mu_) = kDefaultCapacity;
+  std::size_t dropped_ PREPARE_GUARDED_BY(mu_) = 0;
+  // Counter pointers are set before the run (set_metrics) and read-only
+  // afterwards; the counters themselves are internally thread-safe.
+  obs::Counter* recorded_counter_ PREPARE_GUARDED_BY(mu_) = nullptr;
+  obs::Counter* dropped_counter_ PREPARE_GUARDED_BY(mu_) = nullptr;
 };
 
 }  // namespace prepare

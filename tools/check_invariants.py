@@ -14,6 +14,19 @@ Enforced rules (each maps to a real bug class we care about):
                        header is proven self-contained by every build.
   R4  pragma-once      every header starts its preprocessor life with
                        `#pragma once` (first directive line).
+  R5  annotated-mutex  bare std::mutex / std::shared_mutex (and friends)
+                       outside src/common/mutex.h. Lockable members must be
+                       prepare::Mutex so Clang's -Wthread-safety analysis
+                       sees the capability (src/common/thread_annotations.h).
+  R6  no-thread-detach std::thread::detach() leaks a running thread past
+                       the owner's lifetime; every thread in this tree is
+                       joined (see ThreadPool).
+  R7  no-sleep-sync    sleep_for/sleep_until inside tests/ — sleeping to
+                       "wait for" another thread is a flaky race, not a
+                       synchronisation; use joins/latches/condvars.
+  R8  locked-requires  a `..._locked(` helper declared in a header must
+                       carry PREPARE_REQUIRES(mu) so the analysis checks
+                       its callers actually hold the lock.
 
 Usage: check_invariants.py [PATHS...]   (default: src)
 Exits 0 when clean, 1 with one "path:line: [rule] message" per violation.
@@ -37,6 +50,17 @@ DIRECTIVE_RE = re.compile(r"^\s*#\s*(\w+)")
 COMMENT_LINE_RE = re.compile(r"^\s*(//|\*|/\*)")
 
 RAW_RAND_ALLOWED_SUFFIX = "src/common/rng.h"
+
+BARE_MUTEX_RE = re.compile(
+    r"\bstd::(?:recursive_|shared_|timed_|recursive_timed_)?mutex\b")
+BARE_MUTEX_ALLOWED_SUFFIX = "src/common/mutex.h"
+THREAD_DETACH_RE = re.compile(r"\.\s*detach\s*\(")
+SLEEP_SYNC_RE = re.compile(r"\bsleep_(?:for|until)\s*\(")
+LOCKED_HELPER_RE = re.compile(r"\b\w+_locked\s*\(")
+# A `_locked(` occurrence is a *call* (not a declaration) when an
+# expression context immediately precedes it: return / assignment /
+# member access / nesting inside another call's argument list.
+LOCKED_CALL_PREFIX_RE = re.compile(r"(?:\breturn|=|\.|->|\(|,)\s*$")
 
 
 def strip_line_comment(line: str) -> str:
@@ -102,6 +126,45 @@ def check_file(path: Path) -> list[tuple[Path, int, str, str]]:
                 (rel, lineno, "no-using-std",
                  "`using namespace std;` in a header pollutes every "
                  "includer"))
+
+        if (not str(path).endswith(BARE_MUTEX_ALLOWED_SUFFIX)
+                and BARE_MUTEX_RE.search(code)):
+            findings.append(
+                (rel, lineno, "annotated-mutex",
+                 "bare std::mutex has no capability annotation; use "
+                 "prepare::Mutex (src/common/mutex.h) so -Wthread-safety "
+                 "can check its guarded members"))
+
+        if THREAD_DETACH_RE.search(code):
+            findings.append(
+                (rel, lineno, "no-thread-detach",
+                 "detached threads outlive their owner's state; keep the "
+                 "handle and join() (see prepare::ThreadPool)"))
+
+        if "tests/" in str(rel).replace("\\", "/") and \
+                SLEEP_SYNC_RE.search(code):
+            findings.append(
+                (rel, lineno, "no-sleep-sync",
+                 "sleeping is not synchronisation — a slow machine turns "
+                 "this test flaky; join the thread or wait on a condition"))
+
+        if path.suffix == ".h" and (m := LOCKED_HELPER_RE.search(code)):
+            prefix = code[:m.start()]
+            if not LOCKED_CALL_PREFIX_RE.search(prefix):
+                # Declaration: the annotation must appear before the
+                # declarator ends (same line or a continuation line).
+                decl = code
+                probe = lineno
+                while ";" not in decl and "{" not in decl and \
+                        probe < len(lines):
+                    decl += " " + strip_line_comment(lines[probe])
+                    probe += 1
+                if "PREPARE_REQUIRES" not in decl:
+                    findings.append(
+                        (rel, lineno, "locked-requires",
+                         f"`{m.group(0).rstrip('(').rstrip()}` helper must "
+                         "declare PREPARE_REQUIRES(mu) so callers are "
+                         "checked to hold the lock"))
 
     if path.suffix == ".h":
         has_pragma_once = first_directive == "pragma" and "#pragma once" in text

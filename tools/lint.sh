@@ -1,14 +1,35 @@
 #!/usr/bin/env bash
-# Repo lint runner: custom invariant lint + clang-tidy (when available).
+# Repo lint runner: custom invariant lint, Clang thread-safety analysis,
+# and clang-tidy.
 #
 # Usage: tools/lint.sh [PATHS...]
 #   PATHS default to src. clang-tidy needs a compilation database; point
 #   PREPARE_BUILD_DIR at a configured build tree (default: build) — the
 #   top-level CMakeLists exports compile_commands.json automatically.
 #
-# Exits non-zero if any enabled linter reports a finding. clang-tidy is
-# skipped with a notice when the binary is not installed (the custom lint
-# always runs), so CI hosts without LLVM still get invariant coverage.
+# Passes (each skippable, each individually requirable):
+#   invariants     python3 tools/check_invariants.py  (always available)
+#   thread-safety  clang++ -fsyntax-only -Wthread-safety -Werror over the
+#                  .cpp files under PATHS — the compile-time race detector
+#   clang-tidy     full clang-tidy with .clang-tidy config
+#
+# Environment:
+#   PREPARE_LINT_SKIP     comma/space list of passes to skip outright
+#                         (e.g. PREPARE_LINT_SKIP=clang-tidy,thread-safety
+#                         for a quick local run).
+#   PREPARE_LINT_REQUIRE  comma/space list of passes that must RUN: a
+#                         required pass whose tool is missing fails the
+#                         script instead of being skipped with a notice.
+#                         CI sets this so "clang not found" can never turn
+#                         into a silently green lint job.
+#   PREPARE_CLANG         clang++ binary for the thread-safety pass
+#                         (default: clang++; set clang++-18 on pinned CI).
+#   PREPARE_CLANG_TIDY    clang-tidy binary (default: clang-tidy).
+#   PREPARE_BUILD_DIR     build tree holding compile_commands.json
+#                         (default: build).
+#
+# Exits non-zero if any pass that ran reported a finding, or if a
+# required pass could not run.
 set -u -o pipefail
 
 cd "$(dirname "$0")/.."
@@ -18,28 +39,75 @@ if [ ${#PATHS[@]} -eq 0 ]; then
   PATHS=(src)
 fi
 
+CLANG_BIN="${PREPARE_CLANG:-clang++}"
+CLANG_TIDY_BIN="${PREPARE_CLANG_TIDY:-clang-tidy}"
+build_dir="${PREPARE_BUILD_DIR:-build}"
+
+# has_word LIST WORD — true if WORD appears in the comma/space list.
+has_word() {
+  case ",${1//[ ,]/,}," in
+    *",$2,"*) return 0 ;;
+    *) return 1 ;;
+  esac
+}
+
+skip_pass() { has_word "${PREPARE_LINT_SKIP:-}" "$1"; }
+require_pass() { has_word "${PREPARE_LINT_REQUIRE:-}" "$1"; }
+
 status=0
 
-echo "== check_invariants.py ${PATHS[*]}"
-if ! python3 tools/check_invariants.py "${PATHS[@]}"; then
-  status=1
-fi
-
-if command -v clang-tidy > /dev/null 2>&1; then
-  build_dir="${PREPARE_BUILD_DIR:-build}"
-  if [ ! -f "$build_dir/compile_commands.json" ]; then
-    echo "lint.sh: no $build_dir/compile_commands.json — configure first:" >&2
-    echo "  cmake -B $build_dir -S .    (exports the compilation database)" >&2
-    exit 1
+# Pass could not run (tool/config missing): fatal when required,
+# a notice otherwise.
+unavailable() {  # unavailable PASS REASON
+  if require_pass "$1"; then
+    echo "lint.sh: required pass '$1' cannot run: $2" >&2
+    status=1
+  else
+    echo "== $1 skipped: $2"
   fi
-  mapfile -t tidy_files < <(find "${PATHS[@]}" -name '*.cpp' | sort)
-  echo "== clang-tidy (${#tidy_files[@]} files, config .clang-tidy)"
-  if ! clang-tidy -p "$build_dir" --quiet --warnings-as-errors='*' \
-      "${tidy_files[@]}"; then
+}
+
+if skip_pass invariants; then
+  echo "== invariants skipped (PREPARE_LINT_SKIP)"
+else
+  echo "== check_invariants.py ${PATHS[*]}"
+  if ! python3 tools/check_invariants.py "${PATHS[@]}"; then
     status=1
   fi
+fi
+
+mapfile -t cpp_files < <(find "${PATHS[@]}" -name '*.cpp' | sort)
+
+if skip_pass thread-safety; then
+  echo "== thread-safety skipped (PREPARE_LINT_SKIP)"
+elif ! command -v "$CLANG_BIN" > /dev/null 2>&1; then
+  unavailable thread-safety "$CLANG_BIN not installed"
 else
-  echo "== clang-tidy not installed — skipped (custom lint still enforced)"
+  echo "== thread-safety ($CLANG_BIN -Wthread-safety, ${#cpp_files[@]} files)"
+  ts_status=0
+  for f in "${cpp_files[@]}"; do
+    if ! "$CLANG_BIN" -fsyntax-only -std=c++20 -Isrc \
+        -Wthread-safety -Werror=thread-safety "$f"; then
+      ts_status=1
+    fi
+  done
+  if [ $ts_status -ne 0 ]; then
+    status=1
+  fi
+fi
+
+if skip_pass clang-tidy; then
+  echo "== clang-tidy skipped (PREPARE_LINT_SKIP)"
+elif ! command -v "$CLANG_TIDY_BIN" > /dev/null 2>&1; then
+  unavailable clang-tidy "$CLANG_TIDY_BIN not installed"
+elif [ ! -f "$build_dir/compile_commands.json" ]; then
+  unavailable clang-tidy "no $build_dir/compile_commands.json (run: cmake -B $build_dir -S .)"
+else
+  echo "== clang-tidy ($CLANG_TIDY_BIN, ${#cpp_files[@]} files, config .clang-tidy)"
+  if ! "$CLANG_TIDY_BIN" -p "$build_dir" --quiet --warnings-as-errors='*' \
+      "${cpp_files[@]}"; then
+    status=1
+  fi
 fi
 
 exit $status
