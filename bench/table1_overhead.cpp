@@ -23,12 +23,14 @@
 
 #include <chrono>
 #include <cstdio>
+#include <optional>
 #include <sstream>
 #include <vector>
 
 #include "common/rng.h"
 #include "core/anomaly_predictor.h"
 #include "core/experiment.h"
+#include "obs/span_tracer.h"
 #include "obs/stage_profiler.h"
 #include "models/markov.h"
 #include "models/markov2.h"
@@ -225,11 +227,18 @@ void BM_LiveMigration512MB(benchmark::State& state) {
 BENCHMARK(BM_LiveMigration512MB);
 
 /// Wall time of one full default scenario (System S, memory leak,
-/// PREPARE scheme); `registry` null = uninstrumented build path.
-double timed_scenario_run(obs::MetricsRegistry* registry) {
+/// PREPARE scheme). `registry` null = uninstrumented build path;
+/// `with_spans` additionally attaches a fresh SpanTracer (the full
+/// alert-lifecycle layer on top of the metrics instruments).
+double timed_scenario_run(obs::MetricsRegistry* registry, bool with_spans) {
   ScenarioConfig config;
   config.seed = 11;
   config.metrics = registry;
+  std::optional<obs::SpanTracer> tracer;
+  if (with_spans) {
+    tracer.emplace(registry);
+    config.tracer = &*tracer;
+  }
   const auto start = std::chrono::steady_clock::now();
   const auto result = run_scenario(config);
   const auto end = std::chrono::steady_clock::now();
@@ -240,30 +249,34 @@ double timed_scenario_run(obs::MetricsRegistry* registry) {
 /// End-to-end stage profile (the runtime complement of the
 /// microbenchmarks above): runs the default scenario with the
 /// StageProfiler attached and prints per-stage p50/p90/p99 — plus the
-/// same scenario bare, to measure what the instrumentation itself
-/// costs. The acceptance bar is < 5% overhead.
+/// same scenario bare and with span tracing on top, to measure what
+/// each instrumentation layer costs. The acceptance bar is < 5%
+/// overhead for the full stack (metrics + spans) over bare.
 void report_pipeline_stage_profile() {
-  constexpr int kReps = 3;
+  constexpr int kReps = 5;
   obs::MetricsRegistry registry;
-  timed_scenario_run(nullptr);  // warm-up (allocator, code paths)
-  double with_obs = 0.0;
-  double without_obs = 0.0;
+  timed_scenario_run(nullptr, false);  // warm-up (allocator, code paths)
+  double bare = 0.0;
+  double with_metrics = 0.0;
+  double with_spans = 0.0;
   for (int r = 0; r < kReps; ++r) {
-    without_obs += timed_scenario_run(nullptr);
-    with_obs += timed_scenario_run(&registry);  // histograms accumulate
+    bare += timed_scenario_run(nullptr, false);
+    with_metrics += timed_scenario_run(&registry, false);  // accumulates
+    with_spans += timed_scenario_run(&registry, true);
   }
   std::printf("\n-- controller pipeline stage profile (%d scenario runs) --\n",
               kReps);
   std::ostringstream table;
   obs::write_stage_report(registry, table);
   std::fputs(table.str().c_str(), stdout);
-  const double overhead =
-      without_obs <= 0.0 ? 0.0
-                         : (with_obs - without_obs) / without_obs * 100.0;
+  const auto overhead = [bare](double instrumented) {
+    return bare <= 0.0 ? 0.0 : (instrumented - bare) / bare * 100.0;
+  };
   std::printf(
-      "scenario wall time: %.3f s instrumented vs %.3f s bare "
-      "(observability overhead %+.2f%%)\n",
-      with_obs / kReps, without_obs / kReps, overhead);
+      "scenario wall time: %.3f s bare, %.3f s metrics (%+.2f%%), "
+      "%.3f s metrics+spans (%+.2f%%)\n",
+      bare / kReps, with_metrics / kReps, overhead(with_metrics),
+      with_spans / kReps, overhead(with_spans));
 }
 
 }  // namespace

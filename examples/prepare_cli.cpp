@@ -6,18 +6,23 @@
 // Prints the SLO violation time (mean +/- std over --repeats seeded
 // runs) and, with --export, writes the last run's metric and SLO traces
 // as CSV for offline analysis / replay through the accuracy harness.
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "common/stats.h"
 #include "core/experiment.h"
 #include "core/replay.h"
 #include "monitor/trace_io.h"
 #include "obs/metrics.h"
+#include "obs/metrics_http.h"
+#include "obs/span_tracer.h"
 #include "obs/stage_profiler.h"
 #include "obs/trace_export.h"
 #include "report/report.h"
@@ -51,7 +56,14 @@ namespace {
       "trace:\n                                 run header, events, metric/"
       "histogram snapshots)\n"
       "  --obs-summary                 (print the per-stage overhead table, "
-      "Table 1 style)\n",
+      "Table 1 style)\n"
+      "  --serve-metrics PORT          (serve GET /metrics + /healthz on "
+      "127.0.0.1:PORT\n                                 during the run, "
+      "Prometheus text format; 0 picks\n                                 a "
+      "free port)\n"
+      "  --serve-hold-s SEC            (keep serving SEC seconds after the "
+      "runs finish;\n                                 SIGINT/SIGTERM ends the "
+      "hold early)\n",
       argv0);
   std::exit(2);
 }
@@ -69,6 +81,10 @@ FaultKind parse_fault(const std::string& s, const char* argv0) {
   usage(argv0);
 }
 
+volatile std::sig_atomic_t g_interrupted = 0;
+
+void on_signal(int /*signum*/) { g_interrupted = 1; }
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -79,6 +95,8 @@ int main(int argc, char** argv) {
   std::optional<std::string> report_path;
   std::optional<std::string> obs_out;
   bool obs_summary = false;
+  std::optional<int> serve_port;
+  double serve_hold_s = 0.0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -127,6 +145,11 @@ int main(int argc, char** argv) {
       obs_out = value();
     } else if (arg == "--obs-summary") {
       obs_summary = true;
+    } else if (arg == "--serve-metrics") {
+      serve_port = std::stoi(value());
+      if (*serve_port < 0 || *serve_port > 65535) usage(argv[0]);
+    } else if (arg == "--serve-hold-s") {
+      serve_hold_s = std::stod(value());
     } else {
       usage(argv[0]);
     }
@@ -160,10 +183,26 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(config.seed), repeats);
 
   obs::MetricsRegistry registry;
-  const bool observe = obs_out.has_value() || obs_summary;
+  const bool observe =
+      obs_out.has_value() || obs_summary || serve_port.has_value();
+
+  obs::MetricsHttpServer server(&registry);
+  if (serve_port) {
+    // Start before the runs so a scraper sees the pipeline live; a
+    // signal ends the post-run hold (and a hung scrape session) early.
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    if (!server.start(*serve_port)) {
+      std::fprintf(stderr, "cannot serve metrics on port %d\n", *serve_port);
+      return 1;
+    }
+    std::printf("serving metrics on port %d\n", server.port());
+    std::fflush(stdout);
+  }
 
   std::vector<double> runs;
   ScenarioResult last;
+  std::optional<obs::SpanTracer> tracer;
   std::uint64_t last_seed = config.seed;
   for (std::size_t r = 0; r < repeats; ++r) {
     ScenarioConfig c = config;
@@ -172,6 +211,8 @@ int main(int argc, char** argv) {
     if (observe) {
       registry.reset();  // the exported trace covers the last run only
       c.metrics = &registry;
+      tracer.emplace(&registry);  // episodes are per-run
+      c.tracer = &*tracer;
     }
     last = run_scenario(c);
     runs.push_back(last.violation_time);
@@ -220,15 +261,37 @@ int main(int argc, char** argv) {
                    {"seed", std::to_string(last_seed)}};
     obs::write_run_header(os, info);
     last.events.to_jsonl(os, run_id);
+    if (tracer) tracer->write_spans_jsonl(os, run_id);
     obs::write_metrics_jsonl(os, registry, run_id, config.run_end);
     std::printf("structured trace written to %s (run_id %s)\n",
                 obs_out->c_str(), run_id.c_str());
+  }
+  if (tracer) {
+    const auto& ledger = tracer->ledger();
+    std::printf(
+        "alert outcomes (last run): %zu prevented, %zu false alarms, "
+        "%zu escalated, %zu expired, %zu missed, %zu suppressed\n",
+        ledger.prevented, ledger.false_alarm, ledger.escalated,
+        ledger.expired, ledger.missed, ledger.suppressed);
   }
   if (obs_summary) {
     std::printf("\nper-stage overhead (last run):\n");
     std::ostringstream table;
     obs::write_stage_report(registry, table);
     std::fputs(table.str().c_str(), stdout);
+  }
+  if (serve_port) {
+    if (serve_hold_s > 0.0 && g_interrupted == 0) {
+      std::printf("holding metrics endpoint for %.0f s (Ctrl-C to stop)\n",
+                  serve_hold_s);
+      std::fflush(stdout);
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::duration<double>(serve_hold_s);
+      while (g_interrupted == 0 &&
+             std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    server.stop();
   }
   return 0;
 }

@@ -53,6 +53,7 @@ Diagnosis CauseInference::diagnose(
       // Only keep attributes that actually push toward "abnormal".
       if (cls.impacts[order[i]] <= 0.0) break;
       faulty.ranked.push_back(static_cast<Attribute>(order[i]));
+      faulty.impacts.push_back(cls.impacts[order[i]]);
     }
     out.faulty.push_back(std::move(faulty));
   }

@@ -23,6 +23,7 @@ struct Diagnosis {
     std::string vm;
     double score = 0.0;               ///< classifier log-odds
     std::vector<Attribute> ranked;    ///< metrics, most relevant first
+    std::vector<double> impacts;      ///< L_i per ranked metric (parallel)
   };
   std::vector<FaultyVm> faulty;       ///< sorted by score, descending
   bool workload_change = false;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <set>
 #include <sstream>
+#include <utility>
 
 #include "common/check.h"
 #include "common/logging.h"
@@ -28,6 +29,18 @@ double top_impact(const Classification& cls) {
   double best = 0.0;
   for (double impact : cls.impacts) best = std::max(best, impact);
   return best;
+}
+
+/// (attribute name, impact strength L_i) pairs for a cause_inferred
+/// span, highest-ranked first.
+std::vector<std::pair<std::string, double>> top_metric_attrs(
+    const Diagnosis::FaultyVm& faulty) {
+  std::vector<std::pair<std::string, double>> top;
+  const std::size_t take = std::min<std::size_t>(3, faulty.ranked.size());
+  top.reserve(take);
+  for (std::size_t i = 0; i < take; ++i)
+    top.emplace_back(attribute_name(faulty.ranked[i]), faulty.impacts[i]);
+  return top;
 }
 
 }  // namespace
@@ -80,7 +93,7 @@ PrepareController::PrepareController(ControllerContext ctx,
           std::round(config.lookahead_s / config.sampling_interval_s)))),
       inference_(vm_names(), config.inference),
       actuator_(ctx.hypervisor, ctx.cluster, ctx.store, ctx.log,
-                config.prevention, ctx.metrics),
+                config.prevention, ctx.metrics, ctx.tracer),
       profiler_(ctx.metrics),
       pool_(ctx.num_threads > 1 ? std::make_unique<ThreadPool>(ctx.num_threads)
                                 : nullptr) {
@@ -146,6 +159,15 @@ void PrepareController::on_sample(double now) {
   }
   if (!trained_) return;
 
+  // Episode bookkeeping: SLO edge detection (lead times / misses) and
+  // stale-episode expiry, before this round's alerts open new episodes
+  // — a confirmation in the same round as the violation onset has zero
+  // lead and must not count as a prediction.
+  if (ctx_.tracer != nullptr) {
+    ctx_.tracer->observe_slo(now, ctx_.slo->currently_violated());
+    ctx_.tracer->tick(now);
+  }
+
   // 2. Per-VM prediction and false-alarm filtering. The models are
   //    independent per VM (paper Section III) and predict() only reads
   //    predictor state, so the Markov look-ahead + TAN classification
@@ -183,6 +205,7 @@ void PrepareController::on_sample(double now) {
       ++raw_alerts_;
       obs::inc(raw_alerts_counter_);
       ctx_.log->record(now, EventKind::kAlert, vm, "predicted anomaly");
+      if (ctx_.tracer != nullptr) ctx_.tracer->raw_alert(vm, now);
     }
     bool vm_confirmed;
     {
@@ -198,6 +221,7 @@ void PrepareController::on_sample(double now) {
                               << " at t=" << now;
       ctx_.log->record(now, EventKind::kAlertConfirmed, vm,
                        "k-of-W confirmed");
+      if (ctx_.tracer != nullptr) ctx_.tracer->confirmed(vm, now);
     }
   }
 
@@ -232,6 +256,9 @@ void PrepareController::on_sample(double now) {
       reactive.emplace(best_vm, best);
       unhealthy.insert(best_vm);
     }
+    if (ctx_.tracer != nullptr)
+      for (const auto& [vm, cls] : reactive)
+        ctx_.tracer->reactive_alert(vm, now);
   }
 
   // A violated SLO also keeps the acted VMs "unhealthy" for validation.
@@ -264,6 +291,19 @@ void PrepareController::on_sample(double now) {
                      "change points on all components: workload change "
                      "suspected");
   }
+  if (ctx_.tracer != nullptr) {
+    if (diagnosis.workload_change) {
+      // Not a VM fault: the episodes are dropped from the trace. The
+      // actuation below still runs unchanged — suppression is an
+      // observability decision, not a behavior change.
+      for (const auto& faulty : diagnosis.faulty)
+        ctx_.tracer->workload_change_suppressed(faulty.vm, now);
+    } else {
+      for (const auto& faulty : diagnosis.faulty)
+        ctx_.tracer->cause_inferred(faulty.vm, now,
+                                    top_metric_attrs(faulty));
+    }
+  }
   {
     obs::ScopedTimer timer(stage_prevention_);
     for (const auto& faulty : diagnosis.faulty) actuator_.actuate(faulty, now);
@@ -278,7 +318,7 @@ ReactiveController::ReactiveController(ControllerContext ctx,
       config_(config),
       inference_(vm_names(), config.inference),
       actuator_(ctx.hypervisor, ctx.cluster, ctx.store, ctx.log,
-                config.prevention, ctx.metrics),
+                config.prevention, ctx.metrics, ctx.tracer),
       profiler_(ctx.metrics) {
   const auto names = attribute_feature_names();
   for (const auto& vm : vm_names()) {
@@ -319,6 +359,11 @@ void ReactiveController::on_sample(double now) {
   }
   if (!trained_) return;
 
+  if (ctx_.tracer != nullptr) {
+    ctx_.tracer->observe_slo(now, ctx_.slo->currently_violated());
+    ctx_.tracer->tick(now);
+  }
+
   // Diagnose every abnormal-classifying VM with attribution evidence;
   // fall back to the single most suspicious VM (see PrepareController's
   // reactive path for the rationale).
@@ -344,6 +389,9 @@ void ReactiveController::on_sample(double now) {
     }
     if (alerting.empty() && !best_vm.empty()) alerting.emplace(best_vm, best);
     for (const auto& [vm, cls] : alerting) unhealthy.insert(vm);
+    if (ctx_.tracer != nullptr)
+      for (const auto& [vm, cls] : alerting)
+        ctx_.tracer->reactive_alert(vm, now);
   }
 
   {
@@ -356,6 +404,9 @@ void ReactiveController::on_sample(double now) {
     obs::ScopedTimer timer(stage_cause_inference_);
     diagnosis = inference_.diagnose(alerting);
   }
+  if (ctx_.tracer != nullptr)
+    for (const auto& faulty : diagnosis.faulty)
+      ctx_.tracer->cause_inferred(faulty.vm, now, top_metric_attrs(faulty));
   {
     obs::ScopedTimer timer(stage_prevention_);
     for (const auto& faulty : diagnosis.faulty) actuator_.actuate(faulty, now);

@@ -28,6 +28,7 @@
 #include "monitor/labeler.h"
 #include "monitor/metric_store.h"
 #include "monitor/slo_log.h"
+#include "obs/span_tracer.h"
 #include "obs/stage_profiler.h"
 #include "sim/cluster.h"
 #include "sim/event_log.h"
@@ -47,6 +48,12 @@ struct ControllerContext {
   /// every pipeline stage into stage.* histograms and counts alerts /
   /// fallbacks / preventions (must outlive the controller).
   obs::MetricsRegistry* metrics = nullptr;
+  /// Optional alert-lifecycle span tracer (must outlive the
+  /// controller). The controller drives it only from the serial
+  /// sections of a management round — never from the per-VM prediction
+  /// fan-out — so it needs no locking and a parallel run produces a
+  /// bit-identical span set (DESIGN.md section 10).
+  obs::SpanTracer* tracer = nullptr;
   /// Worker threads for the per-VM prediction fan-out (PREPARE keeps
   /// one independent model per VM, so the Markov look-ahead + TAN
   /// classification parallelize across VMs). 1 (default) runs fully

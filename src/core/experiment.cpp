@@ -203,6 +203,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   ctx.slo = &result.slo;
   ctx.log = &bed->events;
   ctx.metrics = config.metrics;
+  ctx.tracer = config.tracer;
   ctx.num_threads = config.num_threads;
 
   PrepareConfig pcfg = config.prepare;
@@ -259,6 +260,9 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     ++tick;
   }
   obs::set(sim_time_gauge, bed->clock.now());
+  // Run over: an episode confirmed in the final round has no chance to
+  // validate — close everything still open as expired.
+  if (config.tracer != nullptr) config.tracer->finish(bed->clock.now());
 
   // Clamp: a second injection scheduled past the run end (e.g. the
   // quiet-trace configuration) leaves an empty measurement window.

@@ -82,6 +82,11 @@ struct ScenarioConfig {
   /// the run; pass a freshly reset() registry per repeat to keep runs
   /// separable.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Optional alert-lifecycle span tracer (obs/span_tracer.h). The run
+  /// drives it through the controller and closes every still-open
+  /// episode (finish) when the simulation ends. Must outlive the run;
+  /// pass a fresh tracer per repeat — episodes are per-run.
+  obs::SpanTracer* tracer = nullptr;
 };
 
 struct ScenarioResult {

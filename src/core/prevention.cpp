@@ -14,12 +14,14 @@ PreventionActuator::PreventionActuator(Hypervisor* hypervisor,
                                        const MetricStore* store,
                                        EventLog* log,
                                        PreventionConfig config,
-                                       obs::MetricsRegistry* metrics)
+                                       obs::MetricsRegistry* metrics,
+                                       obs::SpanTracer* tracer)
     : hypervisor_(hypervisor),
       cluster_(cluster),
       store_(store),
       log_(log),
       config_(config),
+      tracer_(tracer),
       actions_counter_(obs::counter(metrics, "prevention.actions_total")),
       validations_failed_counter_(
           obs::counter(metrics, "prevention.validations_failed_total")),
@@ -150,6 +152,8 @@ bool PreventionActuator::actuate(const Diagnosis::FaultyVm& faulty,
     std::ostringstream detail;
     detail << "acted on " << attribute_name(a) << " (rank " << i << ")";
     log_->record(now, EventKind::kPrevention, faulty.vm, detail.str());
+    if (tracer_ != nullptr)
+      tracer_->prevention_issued(faulty.vm, now, detail.str());
     PendingValidation pv;
     pv.action_time = now;
     pv.acted = a;
@@ -174,6 +178,10 @@ bool PreventionActuator::actuate(const Diagnosis::FaultyVm& faulty,
           log_->record(now, EventKind::kPrevention, faulty.vm,
                        "companion action on " +
                            attribute_name(faulty.ranked[j]));
+          if (tracer_ != nullptr)
+            tracer_->prevention_issued(
+                faulty.vm, now,
+                "companion action on " + attribute_name(faulty.ranked[j]));
           pv.next_index = j + 1;
         }
         break;
@@ -188,6 +196,8 @@ bool PreventionActuator::actuate(const Diagnosis::FaultyVm& faulty,
   PREPARE_WARN("prevention")
       << "no applicable action for " << faulty.vm << " at t=" << now
       << " (every ranked metric exhausted)";
+  if (tracer_ != nullptr)
+    tracer_->escalated(faulty.vm, now, "no applicable prevention action");
   return false;
 }
 
@@ -209,6 +219,7 @@ void PreventionActuator::on_sample(double now,
     if (unhealthy.count(vm_name) == 0) {
       log_->record(now, EventKind::kValidation, vm_name,
                    "prevention effective: alerts cleared");
+      if (tracer_ != nullptr) tracer_->validated(vm_name, now);
       it = pending_.erase(it);
       continue;
     }
@@ -242,6 +253,9 @@ void PreventionActuator::on_sample(double now,
         obs::inc(actions_counter_);
         log_->record(now, EventKind::kPrevention, vm_name,
                      "fallback action on " + attribute_name(next));
+        if (tracer_ != nullptr)
+          tracer_->prevention_issued(
+              vm_name, now, "fallback action on " + attribute_name(next));
         pv.action_time = now;
         pv.acted = next;
         pv.lookback_mean = lookback_mean(vm_name, next, now);
@@ -256,6 +270,8 @@ void PreventionActuator::on_sample(double now,
       // Ranking exhausted: close the record so a later confirmed alert
       // can retry from the top (e.g. scale further as a leak keeps
       // growing).
+      if (tracer_ != nullptr)
+        tracer_->escalated(vm_name, now, "ranking exhausted");
       it = pending_.erase(it);
     }
   }

@@ -29,6 +29,7 @@
 #include "monitor/attributes.h"
 #include "monitor/metric_store.h"
 #include "obs/metrics.h"
+#include "obs/span_tracer.h"
 #include "sim/event_log.h"
 #include "sim/hypervisor.h"
 
@@ -86,12 +87,15 @@ struct PreventionConfig {
 
 class PreventionActuator {
  public:
-  /// `metrics` (optional) receives prevention.* counters; it must
-  /// outlive the actuator.
+  /// `metrics` (optional) receives prevention.* counters; `tracer`
+  /// (optional) receives the prevention-side episode transitions
+  /// (prevention_issued / validated / escalated). Both must outlive the
+  /// actuator.
   PreventionActuator(Hypervisor* hypervisor, Cluster* cluster,
                      const MetricStore* store, EventLog* log,
                      PreventionConfig config = PreventionConfig(),
-                     obs::MetricsRegistry* metrics = nullptr);
+                     obs::MetricsRegistry* metrics = nullptr,
+                     obs::SpanTracer* tracer = nullptr);
 
   /// Triggers a prevention for one diagnosed faulty VM. Returns true if
   /// an action was fired. No-op while a validation for that VM is open.
@@ -141,6 +145,7 @@ class PreventionActuator {
   const MetricStore* store_;
   EventLog* log_;
   PreventionConfig config_;
+  obs::SpanTracer* tracer_;  ///< not owned; may be null
 
   std::map<std::string, PendingValidation> pending_;
   /// Baseline allocations (cpu cores, mem MB) snapshotted at construction.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <utility>
 
 #include "common/check.h"
 #include "core/alarm_filter.h"
@@ -43,9 +44,15 @@ ReplayReport replay_trace(const MetricStore& store, const SloLog& slo,
   // Replay.
   ReplayReport report;
   const std::size_t total = store.sample_count(vm_names[0]);
+  double last_time = config.train_end;
   for (std::size_t i = 0; i < total; ++i) {
     const double t = store.sample_time(vm_names[0], i);
     if (t <= config.train_end) continue;
+    last_time = t;
+    if (config.tracer != nullptr) {
+      config.tracer->observe_slo(t, slo.violated_at(t));
+      config.tracer->tick(t);
+    }
     for (const auto& vm : vm_names) {
       auto& predictor = predictors.at(vm);
       const auto values = store.sample(vm, i);
@@ -75,9 +82,23 @@ ReplayReport replay_trace(const MetricStore& store, const SloLog& slo,
         ++report.confirmed_alerts;
         if (report.first_confirmed < 0.0) report.first_confirmed = t;
       }
+      if (config.tracer != nullptr) {
+        if (raw) config.tracer->raw_alert(vm, t);
+        if (confirmed) {
+          config.tracer->confirmed(vm, t);
+          std::vector<std::pair<std::string, double>> top;
+          for (std::size_t k = 0; k < alert.top_metrics.size(); ++k)
+            top.emplace_back(
+                attribute_name(alert.top_metrics[k]),
+                result.classification.impacts[static_cast<std::size_t>(
+                    alert.top_metrics[k])]);
+          config.tracer->cause_inferred(vm, t, top);
+        }
+      }
       report.alerts.push_back(std::move(alert));
     }
   }
+  if (config.tracer != nullptr) config.tracer->finish(last_time);
   return report;
 }
 

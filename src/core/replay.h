@@ -15,6 +15,7 @@
 #include "monitor/attributes.h"
 #include "monitor/metric_store.h"
 #include "monitor/slo_log.h"
+#include "obs/span_tracer.h"
 
 namespace prepare {
 
@@ -28,6 +29,11 @@ struct ReplayConfig {
   /// Samples up to this time train the models (with SLO-log labels);
   /// everything after is replayed.
   double train_end = 700.0;
+  /// Optional alert-lifecycle tracer (must outlive the call). Replay
+  /// has no actuator, so episodes only reach raw_alert / confirmed /
+  /// cause_inferred before replay_trace() closes them at the end of the
+  /// trace — still enough for post-mortem lead-time analysis.
+  obs::SpanTracer* tracer = nullptr;
 };
 
 struct ReplayAlert {

@@ -151,6 +151,29 @@ Histogram* MetricsRegistry::histogram(const std::string& name,
   return &histograms_.try_emplace(name, min_bound, growth).first->second;
 }
 
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  // Lock order: registry mutex, then each histogram's own mutex (inside
+  // the stats accessors) — same order as reset(), never reversed.
+  Snapshot snap;
+  MutexLock lock(&mu_);
+  for (const auto& [name, metric] : counters_)
+    snap.counters[name] = metric.value();
+  for (const auto& [name, metric] : gauges_)
+    snap.gauges[name] = metric.value();
+  for (const auto& [name, metric] : histograms_) {
+    Snapshot::HistogramStats stats;
+    stats.count = metric.count();
+    stats.sum = metric.sum();
+    stats.min = metric.min();
+    stats.max = metric.max();
+    stats.p50 = metric.quantile(0.5);
+    stats.p90 = metric.quantile(0.9);
+    stats.p99 = metric.quantile(0.99);
+    snap.histograms[name] = stats;
+  }
+  return snap;
+}
+
 void MetricsRegistry::reset() {
   // Lock order: registry mutex, then each histogram's own mutex (inside
   // Histogram::reset). Nothing locks in the other direction.

@@ -187,6 +187,26 @@ class MetricsRegistry {
     return histograms_;
   }
 
+  /// Point-in-time copy of every metric's value, safe to take while
+  /// other threads register and record (unlike the whole-map accessors
+  /// above). This is what live exporters — the metrics HTTP endpoint —
+  /// scrape mid-run.
+  struct Snapshot {
+    struct HistogramStats {
+      std::size_t count = 0;
+      double sum = 0.0;
+      double min = 0.0;
+      double max = 0.0;
+      double p50 = 0.0;
+      double p90 = 0.0;
+      double p99 = 0.0;
+    };
+    std::map<std::string, double> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, HistogramStats> histograms;
+  };
+  Snapshot snapshot() const;
+
   /// Zeroes every metric in place. Registrations (and thus cached
   /// pointers) survive — use between repeated runs sharing a registry.
   void reset();

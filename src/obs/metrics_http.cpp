@@ -1,0 +1,171 @@
+#include "obs/metrics_http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.h"
+#include "obs/prom_export.h"
+
+namespace prepare {
+namespace obs {
+
+namespace {
+
+constexpr int kPollIntervalMs = 100;
+constexpr std::size_t kMaxRequestBytes = 4096;
+
+/// Writes the whole buffer, retrying short writes. MSG_NOSIGNAL so a
+/// peer that hung up yields EPIPE instead of killing the process.
+void send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // peer gone; nothing useful to do
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+std::string http_response(const char* status, const char* content_type,
+                          const std::string& body) {
+  std::ostringstream os;
+  os << "HTTP/1.1 " << status << "\r\n"
+     << "Content-Type: " << content_type << "\r\n"
+     << "Content-Length: " << body.size() << "\r\n"
+     << "Connection: close\r\n"
+     << "\r\n"
+     << body;
+  return os.str();
+}
+
+}  // namespace
+
+MetricsHttpServer::MetricsHttpServer(MetricsRegistry* registry)
+    : registry_(registry) {}
+
+MetricsHttpServer::~MetricsHttpServer() { stop(); }
+
+bool MetricsHttpServer::start(int port) {
+  if (running_.load(std::memory_order_acquire)) return true;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    PREPARE_WARN("metrics_http") << "socket() failed: "
+                                 << std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    PREPARE_WARN("metrics_http") << "bind(127.0.0.1:" << port
+                                 << ") failed: " << std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  if (::listen(fd, 16) < 0) {
+    PREPARE_WARN("metrics_http") << "listen() failed: "
+                                 << std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  // Resolve the bound port before the thread starts, so callers that
+  // passed port 0 can read the real one as soon as start() returns.
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0)
+    port_.store(static_cast<int>(ntohs(bound.sin_port)),
+                std::memory_order_release);
+
+  listen_fd_ = fd;
+  stop_requested_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { serve_loop(); });
+  return true;
+}
+
+void MetricsHttpServer::stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stop_requested_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  running_.store(false, std::memory_order_release);
+  port_.store(0, std::memory_order_release);
+}
+
+void MetricsHttpServer::serve_loop() {
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, kPollIntervalMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      PREPARE_WARN("metrics_http") << "poll() failed: "
+                                   << std::strerror(errno);
+      break;
+    }
+    if (ready == 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    handle_connection(conn);
+    ::close(conn);
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void MetricsHttpServer::handle_connection(int fd) {
+  // One short read is enough: we only route on the request line, and a
+  // plain GET from curl or a scraper fits in the first segment.
+  char buf[kMaxRequestBytes];
+  const ssize_t n = ::recv(fd, buf, sizeof(buf) - 1, 0);
+  if (n <= 0) return;
+  buf[n] = '\0';
+  std::string head(buf);
+  const std::size_t eol = head.find("\r\n");
+  if (eol != std::string::npos) head.resize(eol);
+  send_all(fd, render_response(head));
+  requests_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string MetricsHttpServer::render_response(
+    const std::string& request_head) const {
+  const bool is_get = request_head.rfind("GET ", 0) == 0;
+  std::string target;
+  if (is_get) {
+    const std::size_t end = request_head.find(' ', 4);
+    target = request_head.substr(4, end == std::string::npos
+                                        ? std::string::npos
+                                        : end - 4);
+  }
+  if (!is_get)
+    return http_response("405 Method Not Allowed", "text/plain",
+                         "method not allowed\n");
+  if (target == "/healthz")
+    return http_response("200 OK", "text/plain", "ok\n");
+  if (target == "/metrics") {
+    std::ostringstream body;
+    write_prom_text(body, registry_->snapshot());
+    return http_response("200 OK",
+                         "text/plain; version=0.0.4; charset=utf-8",
+                         body.str());
+  }
+  return http_response("404 Not Found", "text/plain", "not found\n");
+}
+
+}  // namespace obs
+}  // namespace prepare

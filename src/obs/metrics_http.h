@@ -1,0 +1,75 @@
+// Live metrics exposition endpoint: GET /metrics over HTTP/1.1.
+//
+// A long scenario run is opaque until it exits — this server makes the
+// MetricsRegistry scrapeable while the run is in flight, in the
+// Prometheus text format (obs/prom_export.h):
+//
+//   prepare_cli --scenario memleak --serve-metrics 9464 &
+//   curl http://127.0.0.1:9464/metrics
+//
+// The server is deliberately minimal: one background thread, a
+// single-threaded accept loop (poll with a 100 ms tick so stop() is
+// prompt), one request per connection, GET only. Routes: `/metrics`
+// (text exposition of a fresh registry snapshot) and `/healthz`
+// ("ok\n"); everything else is 404. That is exactly enough for a
+// scraper and a liveness probe, and nothing more — this is not a web
+// framework.
+//
+// Threading: start() binds and listens on the *caller's* thread — when
+// it returns true the port is accepting connections — then hands the
+// socket to the background thread. The scrape path touches shared state
+// only through MetricsRegistry::snapshot(), which is thread-safe by
+// design. stop() joins the thread; the destructor calls stop().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace prepare {
+namespace obs {
+
+class MetricsHttpServer {
+ public:
+  /// `registry` must outlive the server.
+  explicit MetricsHttpServer(MetricsRegistry* registry);
+  ~MetricsHttpServer();
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral), starts listening, and
+  /// spawns the accept thread. Returns false (with a PREPARE_WARN) if
+  /// the socket cannot be set up; true means the endpoint is live.
+  bool start(int port);
+
+  /// Signals the accept loop and joins the thread. Idempotent.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The bound port (resolves ephemeral port 0); 0 when not running.
+  int port() const { return port_.load(std::memory_order_acquire); }
+
+  std::uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void serve_loop();
+  void handle_connection(int fd);
+  std::string render_response(const std::string& request_head) const;
+
+  MetricsRegistry* registry_;  ///< not owned
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<int> port_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  int listen_fd_ = -1;  ///< owned by the accept thread once started
+};
+
+}  // namespace obs
+}  // namespace prepare

@@ -1,0 +1,74 @@
+#include "obs/prom_export.h"
+
+#include <cctype>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace prepare {
+namespace obs {
+
+namespace {
+
+/// Formats a sample value. Prometheus accepts Go-style float literals,
+/// including "NaN" and "+Inf" (unlike JSON).
+std::string prom_value(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << value;
+  return os.str();
+}
+
+bool valid_head(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool valid_tail(char c) {
+  return valid_head(c) || std::isdigit(static_cast<unsigned char>(c));
+}
+
+void type_line(std::ostream& os, const std::string& name, const char* type) {
+  os << "# TYPE " << name << " " << type << "\n";
+}
+
+}  // namespace
+
+std::string prom_metric_name(const std::string& name) {
+  std::string out;
+  if (name.rfind("prepare_", 0) != 0) out = "prepare_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) out.push_back(valid_tail(c) ? c : '_');
+  if (out.empty() || !valid_head(out[0])) out.insert(out.begin(), '_');
+  return out;
+}
+
+void write_prom_text(std::ostream& os,
+                     const MetricsRegistry::Snapshot& snapshot) {
+  for (const auto& [name, value] : snapshot.counters) {
+    std::string prom = prom_metric_name(name);
+    // Prometheus convention: cumulative counters end in _total.
+    if (prom.size() < 6 || prom.compare(prom.size() - 6, 6, "_total") != 0)
+      prom += "_total";
+    type_line(os, prom, "counter");
+    os << prom << " " << prom_value(value) << "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = prom_metric_name(name);
+    type_line(os, prom, "gauge");
+    os << prom << " " << prom_value(value) << "\n";
+  }
+  for (const auto& [name, stats] : snapshot.histograms) {
+    const std::string prom = prom_metric_name(name);
+    type_line(os, prom, "summary");
+    os << prom << "{quantile=\"0.5\"} " << prom_value(stats.p50) << "\n";
+    os << prom << "{quantile=\"0.9\"} " << prom_value(stats.p90) << "\n";
+    os << prom << "{quantile=\"0.99\"} " << prom_value(stats.p99) << "\n";
+    os << prom << "_sum " << prom_value(stats.sum) << "\n";
+    os << prom << "_count " << stats.count << "\n";
+  }
+}
+
+}  // namespace obs
+}  // namespace prepare

@@ -1,0 +1,41 @@
+// Prometheus/OpenMetrics text exposition for the MetricsRegistry.
+//
+// Renders a MetricsRegistry::Snapshot in the Prometheus text format
+// (version 0.0.4), the lingua franca every scrape-based collector
+// understands:
+//
+//   * counters  -> `# TYPE <name> counter` with a `_total`-suffixed name;
+//   * gauges    -> `# TYPE <name> gauge`;
+//   * histograms-> `# TYPE <name> summary` with quantile samples
+//                  (0.5/0.9/0.99) plus `_sum` and `_count` — summaries,
+//                  not Prometheus histograms, because our log-bucketed
+//                  layout already answers quantiles and exposing raw
+//                  bucket edges would leak an implementation detail.
+//
+// Registry names are dot-separated ("controller.alerts_raw"); the
+// exporter maps them to the prom grammar: dots and other invalid
+// characters become underscores and everything gains a `prepare_`
+// namespace prefix, e.g. `prepare_controller_alerts_raw_total`.
+//
+// tools/check_prom_text.py validates the output grammar in CI.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace prepare {
+namespace obs {
+
+/// Maps a registry metric name onto the prom identifier grammar
+/// ([a-zA-Z_:][a-zA-Z0-9_:]*): invalid characters become '_' and the
+/// "prepare_" prefix is prepended (unless already present).
+std::string prom_metric_name(const std::string& name);
+
+/// Writes the snapshot in Prometheus text exposition format 0.0.4.
+void write_prom_text(std::ostream& os,
+                     const MetricsRegistry::Snapshot& snapshot);
+
+}  // namespace obs
+}  // namespace prepare

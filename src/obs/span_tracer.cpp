@@ -1,0 +1,406 @@
+#include "obs/span_tracer.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "obs/json.h"
+
+namespace prepare {
+namespace obs {
+
+namespace {
+
+/// Sets (or replaces) one numeric attribute on a span.
+void set_num_attr(Span* span, const std::string& key, double value) {
+  for (auto& attr : span->attrs) {
+    if (attr.key == key) {
+      attr.number = value;
+      attr.numeric = true;
+      return;
+    }
+  }
+  span->attrs.push_back(SpanAttr::num(key, value));
+}
+
+}  // namespace
+
+const char* span_stage_name(SpanStage stage) {
+  switch (stage) {
+    case SpanStage::kRawAlert: return "raw_alert";
+    case SpanStage::kConfirmed: return "confirmed";
+    case SpanStage::kCauseInferred: return "cause_inferred";
+    case SpanStage::kPreventionIssued: return "prevention_issued";
+    case SpanStage::kValidated: return "validated";
+    case SpanStage::kEscalated: return "escalated";
+    case SpanStage::kExpired: return "expired";
+  }
+  return "?";
+}
+
+bool span_stage_terminal(SpanStage stage) {
+  return stage == SpanStage::kValidated || stage == SpanStage::kEscalated ||
+         stage == SpanStage::kExpired;
+}
+
+const char* episode_outcome_name(EpisodeOutcome outcome) {
+  switch (outcome) {
+    case EpisodeOutcome::kPrevented: return "prevented";
+    case EpisodeOutcome::kFalseAlarm: return "false_alarm";
+    case EpisodeOutcome::kEscalated: return "escalated";
+    case EpisodeOutcome::kExpired: return "expired";
+  }
+  return "?";
+}
+
+SpanTracer::SpanTracer(MetricsRegistry* metrics, SpanTracerConfig config)
+    : config_(config),
+      prevented_counter_(counter(metrics, "alert.outcome.prevented")),
+      false_alarm_counter_(counter(metrics, "alert.outcome.false_alarm")),
+      missed_counter_(counter(metrics, "alert.outcome.missed")),
+      escalated_counter_(counter(metrics, "alert.outcome.escalated")),
+      expired_counter_(counter(metrics, "alert.outcome.expired")),
+      suppressed_counter_(counter(metrics, "alert.suppressed_total")),
+      episodes_counter_(counter(metrics, "alert.episodes_total")),
+      dropped_counter_(counter(metrics, "alert.episodes_dropped_total")),
+      lead_time_hist_(histogram(metrics, "alert.lead_time.seconds")),
+      precision_gauge_(gauge(metrics, "alert.precision")),
+      recall_gauge_(gauge(metrics, "alert.recall")),
+      effectiveness_gauge_(gauge(metrics, "alert.prevention_effectiveness")) {
+  PREPARE_CHECK(config_.raw_expiry_s > 0.0);
+  PREPARE_CHECK(config_.idle_expiry_s > 0.0);
+  PREPARE_CHECK(config_.max_episodes > 0);
+}
+
+SpanTracer::OpenState* SpanTracer::open_episode(const std::string& vm,
+                                                double now,
+                                                const char* source) {
+  if (episodes_.size() >= config_.max_episodes) {
+    inc(dropped_counter_);
+    if (!warned_dropped_) {
+      warned_dropped_ = true;
+      PREPARE_WARN("span_tracer")
+          << "episode capacity (" << config_.max_episodes
+          << ") reached at t=" << now << ": episode for " << vm
+          << " (and any further ones) is dropped from the trace";
+    }
+    return nullptr;
+  }
+  const std::size_t seq = ++next_seq_[vm];
+  Episode episode;
+  episode.trace_id = vm + "#" + std::to_string(seq);
+  episode.vm = vm;
+  Span root;
+  root.span_id = episode.trace_id + ":0";
+  root.stage = SpanStage::kRawAlert;
+  root.t_start = now;
+  root.t_end = now;
+  root.attrs.push_back(SpanAttr::str("source", source));
+  episode.spans.push_back(std::move(root));
+  episodes_.push_back(std::move(episode));
+  inc(episodes_counter_);
+
+  OpenState state;
+  state.index = episodes_.size() - 1;
+  state.last_activity = now;
+  state.last_raw = now;
+  state.raw_alerts = 1;
+  set_num_attr(&episodes_.back().spans.back(), "raw_alerts", 1.0);
+  auto [it, inserted] = open_.insert_or_assign(vm, state);
+  PREPARE_DCHECK(inserted);
+  return &it->second;
+}
+
+Span& SpanTracer::push_span(Episode* episode, SpanStage stage, double now) {
+  PREPARE_DCHECK(!episode->spans.empty());
+  Span& prev = episode->spans.back();
+  PREPARE_DCHECK(!span_stage_terminal(prev.stage));
+  prev.t_end = now;
+  Span next;
+  next.span_id =
+      episode->trace_id + ":" + std::to_string(episode->spans.size());
+  next.parent_id = prev.span_id;
+  next.stage = stage;
+  next.t_start = now;
+  next.t_end = now;
+  episode->spans.push_back(std::move(next));
+  return episode->spans.back();
+}
+
+void SpanTracer::raw_alert(const std::string& vm, double now) {
+  auto it = open_.find(vm);
+  if (it == open_.end()) {
+    open_episode(vm, now, "predicted");
+    return;
+  }
+  OpenState& state = it->second;
+  state.last_activity = now;
+  state.last_raw = now;
+  ++state.raw_alerts;
+  Episode& episode = episodes_[state.index];
+  set_num_attr(&episode.spans.front(), "raw_alerts",
+               static_cast<double>(state.raw_alerts));
+}
+
+void SpanTracer::reactive_alert(const std::string& vm, double now) {
+  auto it = open_.find(vm);
+  if (it == open_.end()) {
+    open_episode(vm, now, "reactive");
+    return;
+  }
+  it->second.last_activity = now;
+  it->second.last_raw = now;
+}
+
+void SpanTracer::confirmed(const std::string& vm, double now) {
+  auto it = open_.find(vm);
+  OpenState* state =
+      it != open_.end() ? &it->second : open_episode(vm, now, "predicted");
+  if (state == nullptr) return;
+  Episode& episode = episodes_[state->index];
+  state->last_activity = now;
+  if (state->has_confirmed) {
+    // Re-alert while the episode is already confirmed (typically during
+    // an open prevention validation): refresh, don't re-transition.
+    ++state->re_alerts;
+    for (auto& span : episode.spans) {
+      if (span.stage == SpanStage::kConfirmed) {
+        set_num_attr(&span, "re_alerts",
+                     static_cast<double>(state->re_alerts));
+        break;
+      }
+    }
+    return;
+  }
+  state->has_confirmed = true;
+  state->confirmed_at = now;
+  push_span(&episode, SpanStage::kConfirmed, now);
+}
+
+void SpanTracer::cause_inferred(
+    const std::string& vm, double now,
+    const std::vector<std::pair<std::string, double>>& top_metrics) {
+  auto it = open_.find(vm);
+  if (it == open_.end()) return;
+  OpenState& state = it->second;
+  state.last_activity = now;
+  if (state.has_cause) return;  // re-diagnosis of a live episode
+  state.has_cause = true;
+  Span& span = push_span(&episodes_[state.index], SpanStage::kCauseInferred,
+                         now);
+  const std::size_t take = std::min<std::size_t>(3, top_metrics.size());
+  for (std::size_t i = 0; i < take; ++i) {
+    const std::string rank = std::to_string(i + 1);
+    span.attrs.push_back(
+        SpanAttr::str("top_metric_" + rank, top_metrics[i].first));
+    span.attrs.push_back(
+        SpanAttr::num("impact_" + rank, top_metrics[i].second));
+  }
+}
+
+void SpanTracer::prevention_issued(const std::string& vm, double now,
+                                   const std::string& action) {
+  auto it = open_.find(vm);
+  if (it == open_.end()) return;
+  OpenState& state = it->second;
+  state.last_activity = now;
+  state.has_prevention = true;
+  Span& span = push_span(&episodes_[state.index],
+                         SpanStage::kPreventionIssued, now);
+  span.attrs.push_back(SpanAttr::str("action", action));
+}
+
+void SpanTracer::validated(const std::string& vm, double now) {
+  auto it = open_.find(vm);
+  if (it == open_.end()) return;
+  close_episode(vm, &it->second, SpanStage::kValidated, now, "",
+                EpisodeOutcome::kPrevented);
+}
+
+void SpanTracer::escalated(const std::string& vm, double now,
+                           const std::string& reason) {
+  auto it = open_.find(vm);
+  if (it == open_.end()) return;
+  close_episode(vm, &it->second, SpanStage::kEscalated, now, reason,
+                EpisodeOutcome::kEscalated);
+}
+
+void SpanTracer::workload_change_suppressed(const std::string& vm,
+                                            double /*now*/) {
+  auto it = open_.find(vm);
+  if (it == open_.end()) return;
+  episodes_[it->second.index].suppressed = true;
+  open_.erase(it);
+  ++ledger_.suppressed;
+  inc(suppressed_counter_);
+}
+
+void SpanTracer::observe_slo(double now, bool violated) {
+  const bool rising = violated && !slo_violated_;
+  slo_violated_ = violated;
+  if (!rising) return;
+  bool any_confirmed = false;
+  for (auto& [vm, state] : open_) {
+    if (!state.has_confirmed) continue;
+    any_confirmed = true;
+    if (state.lead_time_s >= 0.0) continue;  // first violation only
+    const double lead = now - state.confirmed_at;
+    if (lead < 0.0) continue;
+    state.lead_time_s = lead;
+    observe(lead_time_hist_, lead);
+    ++ledger_.lead_time_samples;
+    Episode& episode = episodes_[state.index];
+    for (auto& span : episode.spans) {
+      if (span.stage == SpanStage::kConfirmed) {
+        set_num_attr(&span, "lead_time_s", lead);
+        break;
+      }
+    }
+  }
+  if (any_confirmed) {
+    ++ledger_.predicted_violations;
+  } else {
+    ++ledger_.missed;
+    inc(missed_counter_);
+  }
+  update_gauges();
+}
+
+void SpanTracer::tick(double now) {
+  // Collect first: close_episode erases from open_.
+  std::vector<std::string> stale_raw;
+  std::vector<std::string> stale_idle;
+  for (const auto& [vm, state] : open_) {
+    if (!state.has_confirmed) {
+      if (now - state.last_raw > config_.raw_expiry_s)
+        stale_raw.push_back(vm);
+    } else if (now - state.last_activity > config_.idle_expiry_s) {
+      stale_idle.push_back(vm);
+    }
+  }
+  for (const auto& vm : stale_raw)
+    close_episode(vm, &open_.at(vm), SpanStage::kExpired, now,
+                  "not_confirmed", EpisodeOutcome::kFalseAlarm);
+  for (const auto& vm : stale_idle) {
+    OpenState& state = open_.at(vm);
+    // A confirmed episode that was never acted on and simply went quiet
+    // cried wolf; one that died mid-prevention is merely truncated.
+    const EpisodeOutcome outcome = state.has_prevention
+                                       ? EpisodeOutcome::kExpired
+                                       : EpisodeOutcome::kFalseAlarm;
+    close_episode(vm, &state, SpanStage::kExpired, now, "stalled", outcome);
+  }
+}
+
+void SpanTracer::finish(double now) {
+  std::vector<std::string> vms;
+  vms.reserve(open_.size());
+  for (const auto& [vm, state] : open_) vms.push_back(vm);
+  for (const auto& vm : vms) {
+    OpenState& state = open_.at(vm);
+    const EpisodeOutcome outcome = state.has_confirmed
+                                       ? EpisodeOutcome::kExpired
+                                       : EpisodeOutcome::kFalseAlarm;
+    close_episode(vm, &state, SpanStage::kExpired, now, "run_end", outcome);
+  }
+  update_gauges();
+}
+
+void SpanTracer::close_episode(const std::string& vm, OpenState* state,
+                               SpanStage terminal, double now,
+                               const std::string& reason,
+                               EpisodeOutcome outcome) {
+  PREPARE_DCHECK(span_stage_terminal(terminal));
+  Episode& episode = episodes_[state->index];
+  Span& span = push_span(&episode, terminal, now);
+  if (!reason.empty()) span.attrs.push_back(SpanAttr::str("reason", reason));
+  if (terminal == SpanStage::kValidated)
+    span.attrs.push_back(SpanAttr::str("verdict", "effective"));
+  span.attrs.push_back(
+      SpanAttr::str("outcome", episode_outcome_name(outcome)));
+  if (state->lead_time_s >= 0.0)
+    set_num_attr(&span, "lead_time_s", state->lead_time_s);
+  episode.closed = true;
+  episode.outcome = outcome;
+  open_.erase(vm);
+  fold_outcome(outcome);
+  update_gauges();
+}
+
+void SpanTracer::fold_outcome(EpisodeOutcome outcome) {
+  switch (outcome) {
+    case EpisodeOutcome::kPrevented:
+      ++ledger_.prevented;
+      inc(prevented_counter_);
+      break;
+    case EpisodeOutcome::kFalseAlarm:
+      ++ledger_.false_alarm;
+      inc(false_alarm_counter_);
+      break;
+    case EpisodeOutcome::kEscalated:
+      ++ledger_.escalated;
+      inc(escalated_counter_);
+      break;
+    case EpisodeOutcome::kExpired:
+      ++ledger_.expired;
+      inc(expired_counter_);
+      break;
+  }
+}
+
+void SpanTracer::update_gauges() {
+  const double genuine =
+      static_cast<double>(ledger_.prevented + ledger_.escalated);
+  const double resolved =
+      genuine + static_cast<double>(ledger_.false_alarm);
+  if (resolved > 0.0) set(precision_gauge_, genuine / resolved);
+  const double onsets = static_cast<double>(ledger_.predicted_violations +
+                                            ledger_.missed);
+  if (onsets > 0.0)
+    set(recall_gauge_,
+        static_cast<double>(ledger_.predicted_violations) / onsets);
+  if (genuine > 0.0)
+    set(effectiveness_gauge_,
+        static_cast<double>(ledger_.prevented) / genuine);
+}
+
+bool SpanTracer::episode_open(const std::string& vm) const {
+  return open_.count(vm) != 0;
+}
+
+std::vector<const Episode*> SpanTracer::episodes() const {
+  std::vector<const Episode*> out;
+  out.reserve(episodes_.size());
+  for (const auto& episode : episodes_)
+    if (!episode.suppressed) out.push_back(&episode);
+  return out;
+}
+
+void SpanTracer::write_spans_jsonl(std::ostream& os,
+                                   const std::string& run_id) const {
+  for (const auto& episode : episodes_) {
+    if (episode.suppressed) continue;
+    for (const auto& span : episode.spans) {
+      JsonObject record(os);
+      record.field("record", "span")
+          .field("run_id", run_id)
+          .field("trace_id", episode.trace_id)
+          .field("span_id", span.span_id)
+          .field("parent_id", span.parent_id)
+          .field("vm", episode.vm)
+          .field("stage", span_stage_name(span.stage))
+          .field("t_start", span.t_start)
+          .field("t_end", span.t_end);
+      for (const auto& attr : span.attrs) {
+        if (attr.numeric) {
+          record.field(attr.key, attr.number);
+        } else {
+          record.field(attr.key, attr.text);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace obs
+}  // namespace prepare

@@ -15,6 +15,21 @@
 //    "gauge","value":V}
 //   {"record":"histogram","run_id":ID,"t":T,"name":N,"count":C,"sum":S,
 //    "min":m,"max":M,"p50":…,"p90":…,"p99":…}
+//
+// Schema v2 adds the alert-lifecycle `span` record (see
+// obs/span_tracer.h; emitted between the event and metric sections):
+//
+//   {"record":"span","run_id":ID,"trace_id":TR,"span_id":SP,
+//    "parent_id":P,"vm":VM,"stage":STAGE,"t_start":T0,"t_end":T1,
+//    <attributes...>}
+//
+// where `parent_id` is "" at the episode root, `stage` is one of
+// raw_alert|confirmed|cause_inferred|prevention_issued|validated|
+// escalated|expired (the last three terminal), and attributes are
+// flat string/number pairs (source, action, reason, outcome,
+// top_metric_N/impact_N, raw_alerts, re_alerts, lead_time_s, …).
+// v1 records are unchanged, so v1 consumers can ignore span records;
+// tools/check_obs_schema.py validates both versions.
 #pragma once
 
 #include <ostream>
@@ -27,7 +42,7 @@
 namespace prepare {
 namespace obs {
 
-inline constexpr int kObsSchemaVersion = 1;
+inline constexpr int kObsSchemaVersion = 2;
 
 /// Run identity and context for the header record. `labels` are extra
 /// string fields merged into the header (app, fault, scheme, seed, …);

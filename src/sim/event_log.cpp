@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/logging.h"
 #include "obs/json.h"
 
 namespace prepare {
@@ -26,6 +27,7 @@ EventLog::EventLog(const EventLog& other) {
   events_ = other.events_;
   capacity_ = other.capacity_;
   dropped_ = other.dropped_;
+  warned_dropped_ = other.warned_dropped_;
   recorded_counter_ = other.recorded_counter_;
   dropped_counter_ = other.dropped_counter_;
 }
@@ -37,6 +39,7 @@ EventLog& EventLog::operator=(const EventLog& other) {
   std::vector<Event> events;
   std::size_t capacity = kDefaultCapacity;
   std::size_t dropped = 0;
+  bool warned_dropped = false;
   obs::Counter* recorded_counter = nullptr;
   obs::Counter* dropped_counter = nullptr;
   {
@@ -44,6 +47,7 @@ EventLog& EventLog::operator=(const EventLog& other) {
     events = other.events_;
     capacity = other.capacity_;
     dropped = other.dropped_;
+    warned_dropped = other.warned_dropped_;
     recorded_counter = other.recorded_counter_;
     dropped_counter = other.dropped_counter_;
   }
@@ -51,6 +55,7 @@ EventLog& EventLog::operator=(const EventLog& other) {
   events_ = std::move(events);
   capacity_ = capacity;
   dropped_ = dropped;
+  warned_dropped_ = warned_dropped;
   recorded_counter_ = recorded_counter;
   dropped_counter_ = dropped_counter;
   return *this;
@@ -59,18 +64,32 @@ EventLog& EventLog::operator=(const EventLog& other) {
 void EventLog::record(double time, EventKind kind, std::string subject,
                       std::string detail) {
   obs::Counter* bump = nullptr;
+  bool first_drop = false;
+  std::size_t capacity = 0;
   {
     MutexLock lock(&mu_);
     if (events_.size() >= capacity_) {
       ++dropped_;
       bump = dropped_counter_;
+      if (!warned_dropped_) {
+        warned_dropped_ = true;
+        first_drop = true;
+        capacity = capacity_;
+      }
     } else {
       events_.push_back({time, kind, std::move(subject), std::move(detail)});
       bump = recorded_counter_;
     }
   }
   // Counters are internally thread-safe; bump outside the lock to keep
-  // the critical section to the log's own state.
+  // the critical section to the log's own state. Same for the one-time
+  // truncation warning — it names the first dropped record's kind so an
+  // operator reading a truncated trace knows what went missing.
+  if (first_drop)
+    PREPARE_WARN("event_log")
+        << "event log at capacity (" << capacity << "): dropped a '"
+        << event_kind_name(kind) << "' record at t=" << time
+        << "; further drops are silent (see events.dropped_total)";
   obs::inc(bump);
 }
 

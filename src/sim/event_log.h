@@ -69,6 +69,7 @@ class EventLog {
     MutexLock lock(&mu_);
     events_.clear();
     dropped_ = 0;
+    warned_dropped_ = false;
   }
 
   void set_capacity(std::size_t capacity) {
@@ -99,6 +100,9 @@ class EventLog {
   std::vector<Event> events_ PREPARE_GUARDED_BY(mu_);
   std::size_t capacity_ PREPARE_GUARDED_BY(mu_) = kDefaultCapacity;
   std::size_t dropped_ PREPARE_GUARDED_BY(mu_) = 0;
+  /// Truncation is loud exactly once: the first dropped record emits a
+  /// PREPARE_WARN naming its kind; further drops only count.
+  bool warned_dropped_ PREPARE_GUARDED_BY(mu_) = false;
   // Counter pointers are set before the run (set_metrics) and read-only
   // afterwards; the counters themselves are internally thread-safe.
   obs::Counter* recorded_counter_ PREPARE_GUARDED_BY(mu_) = nullptr;

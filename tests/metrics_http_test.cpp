@@ -1,0 +1,142 @@
+#include "obs/metrics_http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace prepare {
+namespace {
+
+/// Minimal blocking HTTP client: one request, reads to EOF (the server
+/// closes the connection after each response).
+std::string http_request(int port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    ADD_FAILURE() << "connect to 127.0.0.1:" << port << " failed: "
+                  << std::strerror(errno);
+    return "";
+  }
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string http_get(int port, const std::string& path) {
+  return http_request(port, "GET " + path +
+                                " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                                "Connection: close\r\n\r\n");
+}
+
+TEST(MetricsHttp, ServesHealthzAndMetricsOnEphemeralPort) {
+  obs::MetricsRegistry registry;
+  registry.counter("alert.episodes_total")->inc(3.0);
+  registry.gauge("alert.precision")->set(0.75);
+  registry.histogram("alert.lead_time.seconds")->record(12.5);
+
+  obs::MetricsHttpServer server(&registry);
+  ASSERT_TRUE(server.start(0));
+  EXPECT_TRUE(server.running());
+  EXPECT_GT(server.port(), 0);
+
+  const std::string health = http_get(server.port(), "/healthz");
+  EXPECT_NE(health.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(health.find("ok\n"), std::string::npos);
+
+  const std::string metrics = http_get(server.port(), "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.find("# TYPE prepare_alert_episodes_total counter"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("prepare_alert_episodes_total 3"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("prepare_alert_precision 0.75"), std::string::npos);
+  EXPECT_NE(metrics.find("prepare_alert_lead_time_seconds_count 1"),
+            std::string::npos);
+
+  EXPECT_EQ(server.requests_served(), 2u);
+  server.stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(MetricsHttp, ScrapeSeesLiveUpdates) {
+  obs::MetricsRegistry registry;
+  auto* counter = registry.counter("ticks_total");
+  obs::MetricsHttpServer server(&registry);
+  ASSERT_TRUE(server.start(0));
+  counter->inc(1.0);
+  EXPECT_NE(http_get(server.port(), "/metrics").find("prepare_ticks_total 1"),
+            std::string::npos);
+  counter->inc(41.0);
+  EXPECT_NE(http_get(server.port(), "/metrics").find("prepare_ticks_total 42"),
+            std::string::npos);
+  server.stop();
+}
+
+TEST(MetricsHttp, UnknownPathIs404AndNonGetIs405) {
+  obs::MetricsRegistry registry;
+  obs::MetricsHttpServer server(&registry);
+  ASSERT_TRUE(server.start(0));
+  EXPECT_NE(http_get(server.port(), "/nope").find("HTTP/1.1 404"),
+            std::string::npos);
+  const std::string post = http_request(
+      server.port(),
+      "POST /metrics HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n");
+  EXPECT_NE(post.find("HTTP/1.1 405"), std::string::npos);
+  server.stop();
+}
+
+TEST(MetricsHttp, StartFailsWhenPortIsTaken) {
+  obs::MetricsRegistry registry;
+  obs::MetricsHttpServer first(&registry);
+  ASSERT_TRUE(first.start(0));
+  obs::MetricsHttpServer second(&registry);
+  EXPECT_FALSE(second.start(first.port()));
+  EXPECT_FALSE(second.running());
+  first.stop();
+}
+
+TEST(MetricsHttp, StopIsIdempotentAndDestructorStops) {
+  obs::MetricsRegistry registry;
+  {
+    obs::MetricsHttpServer server(&registry);
+    ASSERT_TRUE(server.start(0));
+    server.stop();
+    server.stop();  // no-op
+    EXPECT_FALSE(server.running());
+  }  // destructor on a stopped server is clean
+  {
+    obs::MetricsHttpServer server(&registry);
+    ASSERT_TRUE(server.start(0));
+  }  // destructor stops a running server
+}
+
+}  // namespace
+}  // namespace prepare

@@ -1,0 +1,290 @@
+#include "obs/span_tracer.h"
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace prepare {
+namespace {
+
+using obs::EpisodeOutcome;
+using obs::Span;
+using obs::SpanStage;
+using obs::SpanTracer;
+using obs::SpanTracerConfig;
+
+const obs::SpanAttr* find_attr(const Span& span, const std::string& key) {
+  for (const auto& attr : span.attrs)
+    if (attr.key == key) return &attr;
+  return nullptr;
+}
+
+std::string attr_text(const Span& span, const std::string& key) {
+  const auto* attr = find_attr(span, key);
+  return attr == nullptr ? "" : attr->text;
+}
+
+double attr_num(const Span& span, const std::string& key) {
+  const auto* attr = find_attr(span, key);
+  return (attr == nullptr || !attr->numeric) ? -1.0 : attr->number;
+}
+
+TEST(SpanTracer, HappyPathBuildsCausalChainAndCountsPrevented) {
+  SpanTracer tracer;
+  tracer.raw_alert("vm-1", 10.0);
+  tracer.raw_alert("vm-1", 15.0);
+  tracer.confirmed("vm-1", 20.0);
+  tracer.cause_inferred("vm-1", 20.0, {{"mem_util", 3.5}, {"cpu_util", 1.2}});
+  tracer.prevention_issued("vm-1", 25.0, "acted on mem_util (rank 0)");
+  tracer.validated("vm-1", 40.0);
+
+  const auto episodes = tracer.episodes();
+  ASSERT_EQ(episodes.size(), 1u);
+  const auto& e = *episodes[0];
+  EXPECT_EQ(e.trace_id, "vm-1#1");
+  EXPECT_TRUE(e.closed);
+  EXPECT_EQ(e.outcome, EpisodeOutcome::kPrevented);
+  ASSERT_EQ(e.spans.size(), 5u);
+
+  // Root: raw_alert with the refresh folded into its attrs.
+  EXPECT_EQ(e.spans[0].span_id, "vm-1#1:0");
+  EXPECT_EQ(e.spans[0].parent_id, "");
+  EXPECT_EQ(e.spans[0].stage, SpanStage::kRawAlert);
+  EXPECT_EQ(attr_text(e.spans[0], "source"), "predicted");
+  EXPECT_EQ(attr_num(e.spans[0], "raw_alerts"), 2.0);
+
+  // Each span is the child of the previous one, timestamps chain.
+  for (std::size_t i = 1; i < e.spans.size(); ++i) {
+    EXPECT_EQ(e.spans[i].parent_id, e.spans[i - 1].span_id);
+    EXPECT_EQ(e.spans[i].t_start, e.spans[i - 1].t_end);
+    EXPECT_GE(e.spans[i].t_end, e.spans[i].t_start);
+  }
+  EXPECT_EQ(e.spans[1].stage, SpanStage::kConfirmed);
+  EXPECT_EQ(e.spans[2].stage, SpanStage::kCauseInferred);
+  EXPECT_EQ(attr_text(e.spans[2], "top_metric_1"), "mem_util");
+  EXPECT_EQ(attr_num(e.spans[2], "impact_1"), 3.5);
+  EXPECT_EQ(attr_text(e.spans[2], "top_metric_2"), "cpu_util");
+  EXPECT_EQ(e.spans[3].stage, SpanStage::kPreventionIssued);
+  EXPECT_EQ(attr_text(e.spans[3], "action"), "acted on mem_util (rank 0)");
+  EXPECT_EQ(e.spans[4].stage, SpanStage::kValidated);
+  EXPECT_EQ(attr_text(e.spans[4], "verdict"), "effective");
+  EXPECT_EQ(attr_text(e.spans[4], "outcome"), "prevented");
+
+  EXPECT_EQ(tracer.ledger().prevented, 1u);
+  EXPECT_FALSE(tracer.episode_open("vm-1"));
+}
+
+TEST(SpanTracer, TraceIdsAreDeterministicPerVmSequences) {
+  SpanTracer tracer;
+  tracer.raw_alert("vm-a", 1.0);
+  tracer.validated("vm-b", 2.0);  // no episode: ignored
+  tracer.confirmed("vm-a", 3.0);
+  tracer.validated("vm-a", 4.0);  // confirmed-but-unacted still closes
+  tracer.raw_alert("vm-a", 10.0);
+  tracer.raw_alert("vm-b", 11.0);
+  const auto episodes = tracer.episodes();
+  ASSERT_EQ(episodes.size(), 3u);
+  EXPECT_EQ(episodes[0]->trace_id, "vm-a#1");
+  EXPECT_EQ(episodes[1]->trace_id, "vm-a#2");
+  EXPECT_EQ(episodes[2]->trace_id, "vm-b#1");
+}
+
+// Satellite edge case: an alert confirmed in the very last tick never
+// gets a verdict — finish() must close it as expired (not false alarm:
+// it did confirm).
+TEST(SpanTracer, ConfirmedInFinalTickExpiresAtRunEnd) {
+  SpanTracer tracer;
+  tracer.raw_alert("vm-1", 100.0);
+  tracer.confirmed("vm-1", 100.0);
+  tracer.finish(100.0);
+  const auto episodes = tracer.episodes();
+  ASSERT_EQ(episodes.size(), 1u);
+  const auto& e = *episodes[0];
+  EXPECT_TRUE(e.closed);
+  EXPECT_EQ(e.outcome, EpisodeOutcome::kExpired);
+  ASSERT_EQ(e.spans.size(), 3u);
+  EXPECT_EQ(e.spans.back().stage, SpanStage::kExpired);
+  EXPECT_EQ(attr_text(e.spans.back(), "reason"), "run_end");
+  EXPECT_EQ(tracer.ledger().expired, 1u);
+}
+
+TEST(SpanTracer, UnconfirmedAtRunEndIsAFalseAlarm) {
+  SpanTracer tracer;
+  tracer.raw_alert("vm-1", 100.0);
+  tracer.finish(110.0);
+  ASSERT_EQ(tracer.episodes().size(), 1u);
+  EXPECT_EQ(tracer.episodes()[0]->outcome, EpisodeOutcome::kFalseAlarm);
+  EXPECT_EQ(tracer.ledger().false_alarm, 1u);
+}
+
+// Satellite edge case: a re-alert while a prevention validation is
+// open must not fork a second episode or a second confirmed span — it
+// bumps the confirmed span's re_alerts attribute.
+TEST(SpanTracer, ReAlertDuringValidationFoldsIntoOpenEpisode) {
+  SpanTracer tracer;
+  tracer.raw_alert("vm-1", 10.0);
+  tracer.confirmed("vm-1", 15.0);
+  tracer.cause_inferred("vm-1", 15.0, {{"cpu_util", 2.0}});
+  tracer.prevention_issued("vm-1", 20.0, "acted on cpu_util (rank 0)");
+  tracer.raw_alert("vm-1", 25.0);   // still unhealthy while validating
+  tracer.confirmed("vm-1", 30.0);   // re-confirmation
+  tracer.prevention_issued("vm-1", 30.0, "fallback action on mem_util");
+  tracer.validated("vm-1", 45.0);
+
+  const auto episodes = tracer.episodes();
+  ASSERT_EQ(episodes.size(), 1u);
+  const auto& e = *episodes[0];
+  std::size_t confirmed_spans = 0;
+  for (const auto& span : e.spans)
+    if (span.stage == SpanStage::kConfirmed) ++confirmed_spans;
+  EXPECT_EQ(confirmed_spans, 1u);
+  EXPECT_EQ(attr_num(e.spans[1], "re_alerts"), 1.0);
+  ASSERT_EQ(e.spans.size(), 6u);  // raw, confirmed, cause, 2x prevention,
+                                  // validated
+  EXPECT_EQ(e.outcome, EpisodeOutcome::kPrevented);
+  EXPECT_EQ(tracer.ledger().prevented, 1u);
+}
+
+// Satellite edge case: a workload change is not a VM fault — the whole
+// episode is suppressed, leaving no exported spans and no outcome.
+TEST(SpanTracer, WorkloadChangeSuppressionLeavesNoEpisode) {
+  obs::MetricsRegistry registry;
+  SpanTracer tracer(&registry);
+  tracer.raw_alert("vm-1", 10.0);
+  tracer.confirmed("vm-1", 15.0);
+  tracer.workload_change_suppressed("vm-1", 15.0);
+  EXPECT_TRUE(tracer.episodes().empty());
+  EXPECT_FALSE(tracer.episode_open("vm-1"));
+  EXPECT_EQ(tracer.ledger().suppressed, 1u);
+  EXPECT_EQ(registry.counter("alert.suppressed_total")->value(), 1.0);
+  std::ostringstream os;
+  tracer.write_spans_jsonl(os, "r1");
+  EXPECT_EQ(os.str(), "");
+  // The VM can alert again afterwards; it starts a fresh trace id.
+  tracer.raw_alert("vm-1", 50.0);
+  ASSERT_EQ(tracer.episodes().size(), 1u);
+  EXPECT_EQ(tracer.episodes()[0]->trace_id, "vm-1#2");
+}
+
+TEST(SpanTracer, TickExpiresStaleEpisodes) {
+  SpanTracerConfig config;
+  config.raw_expiry_s = 30.0;
+  config.idle_expiry_s = 60.0;
+  SpanTracer tracer(nullptr, config);
+  tracer.raw_alert("vm-raw", 0.0);       // never confirms
+  tracer.raw_alert("vm-idle", 0.0);
+  tracer.confirmed("vm-idle", 5.0);      // confirms, then goes quiet
+  tracer.tick(20.0);
+  EXPECT_TRUE(tracer.episode_open("vm-raw"));
+  tracer.tick(31.0);  // past raw expiry
+  EXPECT_FALSE(tracer.episode_open("vm-raw"));
+  EXPECT_TRUE(tracer.episode_open("vm-idle"));
+  tracer.tick(66.0);  // past idle expiry from t=5
+  EXPECT_FALSE(tracer.episode_open("vm-idle"));
+  EXPECT_EQ(tracer.ledger().false_alarm, 2u);  // neither was acted on
+  const auto episodes = tracer.episodes();
+  ASSERT_EQ(episodes.size(), 2u);
+  EXPECT_EQ(attr_text(episodes[0]->spans.back(), "reason"), "not_confirmed");
+  EXPECT_EQ(attr_text(episodes[1]->spans.back(), "reason"), "stalled");
+}
+
+TEST(SpanTracer, ObserveSloRecordsLeadTimeOnRisingEdge) {
+  obs::MetricsRegistry registry;
+  SpanTracer tracer(&registry);
+  tracer.raw_alert("vm-1", 10.0);
+  tracer.confirmed("vm-1", 20.0);
+  tracer.observe_slo(50.0, false);
+  tracer.observe_slo(55.0, true);   // rising edge: lead = 55 - 20
+  tracer.observe_slo(60.0, true);   // still violated: no double count
+  const auto episodes = tracer.episodes();
+  ASSERT_EQ(episodes.size(), 1u);
+  EXPECT_EQ(attr_num(episodes[0]->spans[1], "lead_time_s"), 35.0);
+  EXPECT_EQ(tracer.ledger().predicted_violations, 1u);
+  EXPECT_EQ(tracer.ledger().lead_time_samples, 1u);
+  EXPECT_EQ(registry.histogram("alert.lead_time.seconds")->count(), 1u);
+  EXPECT_EQ(tracer.ledger().missed, 0u);
+}
+
+TEST(SpanTracer, ViolationWithoutConfirmedEpisodeCountsMissed) {
+  obs::MetricsRegistry registry;
+  SpanTracer tracer(&registry);
+  tracer.raw_alert("vm-1", 10.0);    // open but never confirmed
+  tracer.observe_slo(20.0, true);
+  EXPECT_EQ(tracer.ledger().missed, 1u);
+  EXPECT_EQ(tracer.ledger().predicted_violations, 0u);
+  EXPECT_EQ(registry.counter("alert.outcome.missed")->value(), 1.0);
+  // Falling then rising again is a second onset.
+  tracer.observe_slo(30.0, false);
+  tracer.observe_slo(40.0, true);
+  EXPECT_EQ(tracer.ledger().missed, 2u);
+}
+
+TEST(SpanTracer, CapacityGuardDropsExcessEpisodes) {
+  obs::MetricsRegistry registry;
+  SpanTracerConfig config;
+  config.max_episodes = 1;
+  SpanTracer tracer(&registry, config);
+  tracer.raw_alert("vm-1", 1.0);
+  tracer.raw_alert("vm-2", 2.0);  // dropped by the guard
+  EXPECT_TRUE(tracer.episode_open("vm-1"));
+  EXPECT_FALSE(tracer.episode_open("vm-2"));
+  EXPECT_EQ(tracer.episodes().size(), 1u);
+  EXPECT_EQ(registry.counter("alert.episodes_dropped_total")->value(), 1.0);
+  // Lifecycle calls for the dropped VM are safely ignored.
+  tracer.confirmed("vm-2", 3.0);
+  EXPECT_FALSE(tracer.episode_open("vm-2"));
+}
+
+TEST(SpanTracer, LedgerGaugesTrackPrecisionRecallEffectiveness) {
+  obs::MetricsRegistry registry;
+  SpanTracer tracer(&registry);
+  // prevented:
+  tracer.raw_alert("vm-1", 0.0);
+  tracer.confirmed("vm-1", 1.0);
+  tracer.prevention_issued("vm-1", 2.0, "a");
+  tracer.validated("vm-1", 3.0);
+  // escalated:
+  tracer.raw_alert("vm-2", 0.0);
+  tracer.confirmed("vm-2", 1.0);
+  tracer.escalated("vm-2", 2.0, "ranking exhausted");
+  // false alarm:
+  tracer.raw_alert("vm-3", 0.0);
+  tracer.finish(100.0);
+  // missed violation before anything confirmed:
+  tracer.observe_slo(101.0, true);
+  EXPECT_DOUBLE_EQ(registry.gauge("alert.precision")->value(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(registry.gauge("alert.recall")->value(), 0.0);
+  EXPECT_DOUBLE_EQ(registry.gauge("alert.prevention_effectiveness")->value(),
+                   0.5);
+  EXPECT_EQ(registry.counter("alert.episodes_total")->value(), 3.0);
+}
+
+TEST(SpanTracer, WriteSpansJsonlEmitsSchemaV2Records) {
+  SpanTracer tracer;
+  tracer.raw_alert("vm-1", 10.0);
+  tracer.confirmed("vm-1", 15.0);
+  tracer.validated("vm-1", 20.0);
+  std::ostringstream os;
+  tracer.write_spans_jsonl(os, "run-7");
+  std::istringstream is(os.str());
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(is, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[0].find("\"record\":\"span\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"run_id\":\"run-7\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"trace_id\":\"vm-1#1\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"span_id\":\"vm-1#1:0\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"parent_id\":\"\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"stage\":\"raw_alert\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"parent_id\":\"vm-1#1:0\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"stage\":\"validated\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"outcome\":\"prevented\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace prepare

@@ -68,7 +68,9 @@ TEST(TraceExport, RunHeaderCarriesSchemaIdAndLabels) {
   const auto lines = lines_of(os.str());
   ASSERT_EQ(lines.size(), 1u);
   EXPECT_NE(lines[0].find("\"record\":\"run\""), std::string::npos);
-  EXPECT_NE(lines[0].find("\"schema\":1"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"schema\":" +
+                          std::to_string(obs::kObsSchemaVersion)),
+            std::string::npos);
   EXPECT_NE(lines[0].find("\"run_id\":\"system_s-memory_leak-prepare-seed11\""),
             std::string::npos);
   EXPECT_NE(lines[0].find("\"sim_time_end\":1350"), std::string::npos);

@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
-"""Validator for the observability JSONL trace (schema version 1).
+"""Validator for the observability JSONL trace (schema versions 1-2).
 
 A trace file is one JSON object per line (see src/obs/trace_export.h):
 
-  line 1    {"record":"run","schema":1,"run_id":ID,"sim_time_end":T,...}
+  line 1    {"record":"run","schema":1|2,"run_id":ID,"sim_time_end":T,...}
   then      {"record":"event","run_id":ID,"t":T,"kind":K,"subject":S,
              "detail":D}
             {"record":"metric","run_id":ID,"t":T,"name":N,
@@ -11,16 +11,34 @@ A trace file is one JSON object per line (see src/obs/trace_export.h):
             {"record":"histogram","run_id":ID,"t":T,"name":N,"count":C,
              "sum":S,"min":m,"max":M,"p50":...,"p90":...,"p99":...}
 
+Schema v2 adds alert-lifecycle span records (src/obs/span_tracer.h):
+
+            {"record":"span","run_id":ID,"trace_id":TR,"span_id":SP,
+             "parent_id":P,"vm":VM,"stage":STAGE,"t_start":T0,
+             "t_end":T1,<flat attributes...>}
+
 Checked per record: required fields present, field types correct, flat
 values only (no nested objects/arrays), run_id matches the header, and
 histogram quantiles are ordered (min <= p50 <= p90 <= p99 <= max; a
 numeric field may be null = unavailable).
 
+Checked per span chain (v2): span_id uniqueness, parent linkage (every
+parent_id resolves to an earlier span of the same trace_id; exactly one
+root per trace), monotone timestamps (t_end >= t_start, child t_start >=
+parent t_start), and terminal state (each trace closes with exactly one
+terminal span — validated/escalated/expired — as its last span).
+
 Usage: check_obs_schema.py FILE.jsonl [--require-stages]
+                                      [--require-outcomes]
 
 --require-stages additionally demands one non-empty
 stage.<name>.seconds histogram per controller pipeline stage (the seven
 stages of src/obs/stage_profiler.h).
+
+--require-outcomes (v2 traces) additionally demands span records plus
+the outcome-ledger counters (alert.outcome.*), and cross-checks the
+prevented / false_alarm / escalated / expired counters against the
+outcomes derived from the terminal spans.
 
 Exits 0 when valid, 1 with one "FILE:line: message" per violation.
 """
@@ -41,7 +59,24 @@ PIPELINE_STAGES = [
     "prevention",
 ]
 
-SCHEMA_VERSION = 1
+SUPPORTED_SCHEMAS = (1, 2)
+
+SPAN_STAGES = {
+    "raw_alert",
+    "confirmed",
+    "cause_inferred",
+    "prevention_issued",
+    "validated",
+    "escalated",
+    "expired",
+}
+TERMINAL_STAGES = {"validated", "escalated", "expired"}
+
+# Ledger counters derivable from terminal-span `outcome` attributes.
+SPAN_DERIVED_OUTCOMES = ("prevented", "false_alarm", "escalated", "expired")
+# Ledger counters that exist without a span (a violation nothing
+# predicted leaves no episode).
+EXTRA_OUTCOME_METRICS = ("alert.outcome.missed", "alert.suppressed_total")
 
 # field -> required type(s); None in a numeric field means "unavailable".
 STR = (str,)
@@ -55,6 +90,9 @@ REQUIRED = {
     "histogram": {"run_id": STR, "t": NUM, "name": STR, "count": NUM,
                   "sum": NUM, "min": NUM, "max": NUM, "p50": NUM,
                   "p90": NUM, "p99": NUM},
+    "span": {"run_id": STR, "trace_id": STR, "span_id": STR,
+             "parent_id": STR, "vm": STR, "stage": STR, "t_start": NUM,
+             "t_end": NUM},
 }
 NULLABLE = {"sum", "min", "max", "p50", "p90", "p99", "value"}
 
@@ -95,12 +133,111 @@ def check_record(obj: dict, lineno: int, errors: list[str],
         if numeric != sorted(numeric):
             errors.append(f"{lineno}: histogram quantiles out of order: "
                           f"{ordered}")
+    if record == "span" and obj.get("stage") not in SPAN_STAGES:
+        errors.append(f"{lineno}: unknown span stage {obj.get('stage')!r}")
 
 
-def validate(path: Path, require_stages: bool) -> list[str]:
+def check_spans(spans: list[tuple[int, dict]], errors: list[str]) -> None:
+    """Chain-level span checks: ids, linkage, timestamps, terminals."""
+    by_id: dict[str, tuple[int, dict]] = {}
+    for lineno, span in spans:
+        span_id = span.get("span_id")
+        if not isinstance(span_id, str):
+            continue
+        if span_id in by_id:
+            errors.append(f"{lineno}: duplicate span_id {span_id!r} "
+                          f"(first at line {by_id[span_id][0]})")
+        else:
+            by_id[span_id] = (lineno, span)
+
+    traces: dict[str, list[tuple[int, dict]]] = {}
+    for lineno, span in spans:
+        trace_id = span.get("trace_id")
+        if isinstance(trace_id, str):
+            traces.setdefault(trace_id, []).append((lineno, span))
+
+    for lineno, span in spans:
+        t_start, t_end = span.get("t_start"), span.get("t_end")
+        if (isinstance(t_start, NUM) and isinstance(t_end, NUM)
+                and t_end < t_start):
+            errors.append(f"{lineno}: span {span.get('span_id')!r} has "
+                          f"t_end {t_end} < t_start {t_start}")
+        parent_id = span.get("parent_id")
+        if not isinstance(parent_id, str) or parent_id == "":
+            continue  # root (or already reported as a type error)
+        parent = by_id.get(parent_id)
+        if parent is None:
+            errors.append(f"{lineno}: span {span.get('span_id')!r} parent "
+                          f"{parent_id!r} not found")
+            continue
+        parent_lineno, parent_span = parent
+        if parent_lineno >= lineno:
+            errors.append(f"{lineno}: span {span.get('span_id')!r} appears "
+                          f"before its parent (line {parent_lineno})")
+        if parent_span.get("trace_id") != span.get("trace_id"):
+            errors.append(f"{lineno}: span {span.get('span_id')!r} parent "
+                          f"belongs to trace "
+                          f"{parent_span.get('trace_id')!r}")
+        parent_start = parent_span.get("t_start")
+        if (isinstance(t_start, NUM) and isinstance(parent_start, NUM)
+                and t_start < parent_start):
+            errors.append(f"{lineno}: span {span.get('span_id')!r} starts "
+                          f"at {t_start}, before its parent "
+                          f"({parent_start})")
+
+    for trace_id, members in traces.items():
+        roots = [s for _, s in members if s.get("parent_id") == ""]
+        if len(roots) != 1:
+            errors.append(f"trace {trace_id!r} has {len(roots)} root spans, "
+                          "expected exactly 1")
+        last_lineno, last = members[-1]
+        for lineno, span in members:
+            terminal = span.get("stage") in TERMINAL_STAGES
+            if terminal and lineno != last_lineno:
+                errors.append(f"{lineno}: terminal span "
+                              f"{span.get('span_id')!r} is not the last "
+                              f"span of trace {trace_id!r}")
+        if last.get("stage") not in TERMINAL_STAGES:
+            errors.append(f"trace {trace_id!r} does not end in a terminal "
+                          f"span (last stage {last.get('stage')!r} at line "
+                          f"{last_lineno})")
+
+
+def check_outcomes(spans: list[tuple[int, dict]],
+                   counters: dict[str, float],
+                   errors: list[str]) -> None:
+    if not spans:
+        errors.append("--require-outcomes: trace has no span records")
+    derived = {name: 0 for name in SPAN_DERIVED_OUTCOMES}
+    for _, span in spans:
+        if span.get("stage") in TERMINAL_STAGES:
+            outcome = span.get("outcome")
+            if outcome not in derived:
+                errors.append(f"terminal span {span.get('span_id')!r} has "
+                              f"invalid outcome {outcome!r}")
+            else:
+                derived[outcome] += 1
+    for name, expected in derived.items():
+        metric = f"alert.outcome.{name}"
+        actual = counters.get(metric)
+        if actual is None:
+            errors.append(f"--require-outcomes: missing {metric} counter")
+        elif actual != expected:
+            errors.append(f"{metric} counter is {actual}, but the spans "
+                          f"derive {expected}")
+    for metric in EXTRA_OUTCOME_METRICS:
+        if metric not in counters:
+            errors.append(f"--require-outcomes: missing {metric} counter")
+
+
+def validate(path: Path, require_stages: bool,
+             require_outcomes: bool) -> list[str]:
     errors: list[str] = []
     run_id: str | None = None
+    schema: int | None = None
     stage_counts: dict[str, float] = {}
+    counters: dict[str, float] = {}
+    spans: list[tuple[int, dict]] = []
     lines = path.read_text().splitlines()
     if not lines:
         return ["1: empty trace (expected a run header)"]
@@ -116,19 +253,30 @@ def validate(path: Path, require_stages: bool) -> list[str]:
         if lineno == 1:
             if obj.get("record") != "run":
                 errors.append("1: first record must be the run header")
-            elif obj.get("schema") != SCHEMA_VERSION:
+            elif obj.get("schema") not in SUPPORTED_SCHEMAS:
                 errors.append(f"1: schema {obj.get('schema')!r}, expected "
-                              f"{SCHEMA_VERSION}")
+                              f"one of {SUPPORTED_SCHEMAS}")
             else:
                 run_id = obj.get("run_id")
+                schema = obj.get("schema")
         elif obj.get("record") == "run":
             errors.append(f"{lineno}: duplicate run header")
         check_record(obj, lineno, errors, run_id)
+        if obj.get("record") == "span":
+            if schema == 1:
+                errors.append(f"{lineno}: span record in a schema-1 trace")
+            spans.append((lineno, obj))
         if obj.get("record") == "histogram":
             name = obj.get("name")
             count = obj.get("count")
             if isinstance(name, str) and isinstance(count, NUM):
                 stage_counts[name] = count
+        if obj.get("record") == "metric" and obj.get("type") == "counter":
+            name = obj.get("name")
+            value = obj.get("value")
+            if isinstance(name, str) and isinstance(value, NUM):
+                counters[name] = value
+    check_spans(spans, errors)
     if require_stages:
         for stage in PIPELINE_STAGES:
             name = f"stage.{stage}.seconds"
@@ -136,22 +284,26 @@ def validate(path: Path, require_stages: bool) -> list[str]:
                 errors.append(f"trace has no {name} histogram")
             elif stage_counts[name] <= 0:
                 errors.append(f"{name} histogram is empty")
+    if require_outcomes:
+        check_outcomes(spans, counters, errors)
     return errors
 
 
 def main(argv: list[str]) -> int:
-    args = [a for a in argv[1:] if a != "--require-stages"]
+    flags = {"--require-stages", "--require-outcomes"}
+    args = [a for a in argv[1:] if a not in flags]
     require_stages = "--require-stages" in argv[1:]
+    require_outcomes = "--require-outcomes" in argv[1:]
     if len(args) != 1:
         print(__doc__.strip().splitlines()[0], file=sys.stderr)
-        print(f"usage: {argv[0]} FILE.jsonl [--require-stages]",
-              file=sys.stderr)
+        print(f"usage: {argv[0]} FILE.jsonl [--require-stages] "
+              "[--require-outcomes]", file=sys.stderr)
         return 2
     path = Path(args[0])
     if not path.is_file():
         print(f"{path}: no such file", file=sys.stderr)
         return 1
-    errors = validate(path, require_stages)
+    errors = validate(path, require_stages, require_outcomes)
     for error in errors:
         print(f"{path}:{error}")
     if not errors:

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Validator for Prometheus text exposition format 0.0.4.
+
+Checks the output of the /metrics endpoint (src/obs/prom_export.cpp):
+
+  - every line is a `# TYPE`/`# HELP` comment or a sample
+    `name[{labels}] value [timestamp]`
+  - metric names match [a-zA-Z_:][a-zA-Z0-9_:]* and label names
+    [a-zA-Z_][a-zA-Z0-9_]*
+  - each family is TYPE-declared exactly once, before its samples, with
+    a known type (counter/gauge/summary/histogram/untyped)
+  - every sample belongs to a declared family (summary samples may be
+    the family name with a quantile label, or <family>_sum/_count)
+  - counter families end in _total
+  - summary families carry their quantile samples plus _sum and _count
+  - values parse as Go floats (NaN/+Inf/-Inf literals allowed)
+
+Usage: check_prom_text.py FILE   (or `-` for stdin)
+
+Exits 0 when valid, 1 with one "line N: message" per violation.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+
+METRIC_NAME = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+LABEL_NAME = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*\Z")
+# Label value: escaped \" \\ \n only; no raw " or newline.
+LABELS = re.compile(r"\{\s*(?:[a-zA-Z_][a-zA-Z0-9_]*\s*=\s*"
+                    r'"(?:[^"\\\n]|\\[\\"n])*"\s*(?:,\s*)?)*\}\Z')
+VALUE = re.compile(r"[+-]?(?:\d+(?:\.\d*)?|\.\d+)(?:[eE][+-]?\d+)?\Z")
+TYPES = {"counter", "gauge", "summary", "histogram", "untyped"}
+
+
+def parse_value(token: str) -> bool:
+    return token in ("NaN", "+Inf", "-Inf", "Inf") or bool(VALUE.match(token))
+
+
+def base_family(name: str, families: dict[str, str]) -> str | None:
+    """Resolves a sample name to its declared family, if any."""
+    if name in families:
+        return name
+    for suffix in ("_sum", "_count", "_bucket"):
+        if name.endswith(suffix):
+            stem = name[: -len(suffix)]
+            if families.get(stem) in ("summary", "histogram"):
+                return stem
+    return None
+
+
+def validate(lines: list[str]) -> list[str]:
+    errors: list[str] = []
+    families: dict[str, str] = {}          # family -> type
+    samples: dict[str, list[dict[str, str]]] = {}  # family -> label sets
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.rstrip("\n")
+        if line == "":
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 2 or parts[1] not in ("TYPE", "HELP"):
+                continue  # other comments are legal and ignored
+            if parts[1] == "HELP":
+                continue
+            if len(parts) != 4:
+                errors.append(f"line {lineno}: malformed TYPE comment")
+                continue
+            _, _, name, mtype = parts
+            if not METRIC_NAME.match(name):
+                errors.append(f"line {lineno}: invalid metric name {name!r}")
+            if mtype not in TYPES:
+                errors.append(f"line {lineno}: unknown type {mtype!r}")
+            if name in families:
+                errors.append(f"line {lineno}: duplicate TYPE for {name!r}")
+            families[name] = mtype
+            continue
+        # Sample: name[{labels}] value [timestamp]
+        match = re.match(r"([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)"
+                         r"(?:\s+(-?\d+))?\s*\Z", line)
+        if not match:
+            errors.append(f"line {lineno}: unparsable sample: {line!r}")
+            continue
+        name, labels, value = match.group(1), match.group(2), match.group(3)
+        if labels is not None and not LABELS.match(labels):
+            errors.append(f"line {lineno}: malformed labels {labels!r}")
+        if not parse_value(value):
+            errors.append(f"line {lineno}: invalid value {value!r}")
+        family = base_family(name, families)
+        if family is None:
+            errors.append(f"line {lineno}: sample {name!r} has no preceding "
+                          "# TYPE declaration")
+            continue
+        label_map: dict[str, str] = {}
+        if labels is not None:
+            for lmatch in re.finditer(r'([a-zA-Z_][a-zA-Z0-9_]*)\s*=\s*'
+                                      r'"((?:[^"\\\n]|\\[\\"n])*)"', labels):
+                label_map[lmatch.group(1)] = lmatch.group(2)
+        label_map["__name__"] = name
+        samples.setdefault(family, []).append(label_map)
+    for family, mtype in families.items():
+        if mtype == "counter" and not family.endswith("_total"):
+            errors.append(f"counter {family!r} does not end in _total")
+        members = samples.get(family, [])
+        if not members:
+            errors.append(f"family {family!r} declared but has no samples")
+            continue
+        if mtype == "summary":
+            names = {m["__name__"] for m in members}
+            if f"{family}_sum" not in names:
+                errors.append(f"summary {family!r} is missing _sum")
+            if f"{family}_count" not in names:
+                errors.append(f"summary {family!r} is missing _count")
+            quantiles = [m for m in members
+                         if m["__name__"] == family]
+            if not quantiles:
+                errors.append(f"summary {family!r} has no quantile samples")
+            for m in quantiles:
+                if "quantile" not in m:
+                    errors.append(f"summary {family!r} sample lacks a "
+                                  "quantile label")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(f"usage: {argv[0]} FILE|-", file=sys.stderr)
+        return 2
+    if argv[1] == "-":
+        lines = sys.stdin.readlines()
+    else:
+        try:
+            with open(argv[1], encoding="utf-8") as f:
+                lines = f.readlines()
+        except OSError as e:
+            print(f"{argv[1]}: {e}", file=sys.stderr)
+            return 1
+    if not lines:
+        print(f"{argv[1]}: empty exposition", file=sys.stderr)
+        return 1
+    errors = validate(lines)
+    for error in errors:
+        print(f"{argv[1]}: {error}")
+    if not errors:
+        families = sum(1 for line in lines if line.startswith("# TYPE"))
+        print(f"{argv[1]}: OK ({families} families)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# CI smoke test for the live metrics endpoint: run a fault-injection
+# scenario with --serve-metrics, scrape /metrics and /healthz while the
+# post-run hold keeps the endpoint up, and validate the exposition with
+# tools/check_prom_text.py. Usage:
+#
+#   tools/ci_serve_metrics_check.sh BUILD_DIR
+#
+# Exits non-zero if the endpoint never comes up, a scrape fails, the
+# exposition is malformed, or the CLI exits uncleanly.
+set -euo pipefail
+
+build_dir=${1:?usage: ci_serve_metrics_check.sh BUILD_DIR}
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+cli="$build_dir/examples/prepare_cli"
+[[ -x "$cli" ]] || { echo "missing $cli (build first)" >&2; exit 1; }
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+log="$workdir/cli.log"
+
+"$cli" --fault memory_leak --scheme prepare --seed 11 \
+       --serve-metrics 0 --serve-hold-s 30 >"$log" 2>&1 &
+cli_pid=$!
+
+# The CLI prints the resolved port once the listener is live (port 0 =
+# kernel-assigned). Poll the log rather than sleeping a fixed amount.
+port=""
+for _ in $(seq 1 100); do
+  port=$(sed -n 's/^serving metrics on port \([0-9]*\)$/\1/p' "$log" || true)
+  [[ -n "$port" ]] && break
+  if ! kill -0 "$cli_pid" 2>/dev/null; then
+    echo "prepare_cli exited before serving metrics:" >&2
+    cat "$log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+[[ -n "$port" ]] || { echo "endpoint never came up:" >&2; cat "$log" >&2; exit 1; }
+echo "metrics endpoint live on port $port"
+
+curl -fsS "http://127.0.0.1:$port/healthz" | grep -qx "ok" \
+  || { echo "/healthz did not answer ok" >&2; exit 1; }
+curl -fsS "http://127.0.0.1:$port/metrics" >"$workdir/metrics.txt"
+python3 "$repo_root/tools/check_prom_text.py" "$workdir/metrics.txt"
+
+# The scrape must carry the outcome ledger and pipeline counters.
+for family in prepare_alert_episodes_total prepare_alert_outcome_prevented_total \
+              prepare_alert_precision; do
+  grep -q "^$family\b" "$workdir/metrics.txt" \
+    || { echo "scrape is missing $family" >&2; exit 1; }
+done
+
+# SIGTERM ends the hold early; the CLI must still exit 0.
+kill -TERM "$cli_pid"
+wait "$cli_pid" || { echo "prepare_cli exited non-zero after SIGTERM" >&2; exit 1; }
+echo "serve-metrics check passed"
