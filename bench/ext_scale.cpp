@@ -127,7 +127,7 @@ ScaleResult run_consolidated(std::size_t k, bool managed) {
                            .count();
       ++rounds;
     }
-    clock.advance(kDt);
+    clock.advance(Seconds{kDt});
   }
 
   ScaleResult result;

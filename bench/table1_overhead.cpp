@@ -160,7 +160,7 @@ void BM_AnomalyPrediction(benchmark::State& state) {
   AnomalyPredictor predictor(names);
   predictor.train(data.rows, data.abnormal);
   for (auto _ : state) {
-    const auto result = predictor.predict(6);
+    const auto result = predictor.predict(TickIndex{6});
     benchmark::DoNotOptimize(
         Classifier::ranked_attributes(result.classification));
   }
@@ -181,7 +181,7 @@ void BM_CpuScalingIssue(benchmark::State& state) {
   double target = 1.1;
   for (auto _ : state) {
     hypervisor.scale_cpu(vm, target);
-    clock.advance(1.0);
+    clock.advance(Seconds{1.0});
     target = target > 1.4 ? 1.1 : target + 0.1;
   }
   state.counters["modeled_latency_s"] =
@@ -199,7 +199,7 @@ void BM_MemoryScalingIssue(benchmark::State& state) {
   double target = 600.0;
   for (auto _ : state) {
     hypervisor.scale_memory(vm, target);
-    clock.advance(1.0);
+    clock.advance(Seconds{1.0});
     target = target > 1000.0 ? 600.0 : target + 64.0;
   }
   state.counters["modeled_latency_s"] =
@@ -219,7 +219,7 @@ void BM_LiveMigration512MB(benchmark::State& state) {
   Host* source = a;
   for (auto _ : state) {
     hypervisor.migrate(vm, target);
-    clock.advance(hypervisor.migration_duration(512.0) + 1.0);
+    clock.advance(Seconds{hypervisor.migration_duration(512.0) + 1.0});
     std::swap(source, target);
   }
   state.counters["modeled_latency_s"] = hypervisor.migration_duration(512.0);

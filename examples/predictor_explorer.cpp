@@ -54,12 +54,12 @@ int main() {
     predictor.observe(std::vector<double>(sample.begin(), sample.end()));
     if (!predictor.ready() || static_cast<long>(t) % 25 != 0) continue;
     if (t > 1120.0) break;
-    const auto result = predictor.predict(24);  // 120 s at 5 s sampling
+    const auto result = predictor.predict(TickIndex{24});  // 120 s at 5 s sampling
     const auto order =
         Classifier::ranked_attributes(result.classification);
     std::printf("%7.0f %10.0f %12.0f %8.2f %7s  ", t, sample[kFreeMem],
                 result.predicted_values[kFreeMem],
-                result.classification.score,
+                result.classification.score.value(),
                 result.classification.abnormal ? "ALARM" : "-");
     for (std::size_t k = 0; k < 3; ++k) {
       const std::size_t a = order[k];

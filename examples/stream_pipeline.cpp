@@ -89,7 +89,7 @@ int main() {
         printed_events = events.events().size();
       }
     }
-    clock.advance(kDt);
+    clock.advance(Seconds{kDt});
   }
 
   std::printf("\nsummary\n");

@@ -83,7 +83,7 @@ void StreamApp::step(double now, double dt) {
     vm.set_app_cpu_demand(std::min(cpu_demand, 8.0));
     vm.set_app_mem_demand(pe.spec.base_mem_mb +
                           pe.backlog / 1000.0 * config_.mem_per_ktuple_mb);
-    vm.finalize_tick(dt);
+    vm.finalize_tick(Seconds{dt});
 
     pe.last_efficiency = vm.efficiency();
     const double capacity =

@@ -58,7 +58,7 @@ double WebApp::step_tier(Tier& tier, double arrival_rate, double dt) {
       work_rate * cpu_per_req / std::max(0.7, tier.last_efficiency), 8.0));
   vm.set_app_mem_demand(tier.spec.base_mem_mb +
                         tier.backlog * tier.spec.mem_per_request_mb);
-  vm.finalize_tick(dt);
+  vm.finalize_tick(Seconds{dt});
 
   tier.last_efficiency = vm.efficiency();
   const double capacity =

@@ -1,8 +1,9 @@
 // Annotated mutex wrappers.
 //
 // All lockable members in the tree use prepare::Mutex instead of a bare
-// std::mutex (enforced by tools/check_invariants.py, rule
-// annotated-mutex): the PREPARE_CAPABILITY annotation is what lets
+// std::mutex (enforced by tools/prepare_analyze.py, rule mutex-type,
+// which matches canonical types so an alias cannot hide one): the
+// PREPARE_CAPABILITY annotation is what lets
 // Clang's -Wthread-safety analysis connect PREPARE_GUARDED_BY members
 // to the lock that protects them, turning missing-lock bugs into
 // compile errors instead of TSan reports.

@@ -99,7 +99,7 @@ AccuracyResult evaluate_accuracy(const MetricStore& store, const SloLog& slo,
       if (!predictors[m].ready()) continue;
       if (config.require_discriminative && !predictors[m].discriminative())
         continue;
-      const auto cls = predictors[m].predict(steps).classification;
+      const auto cls = predictors[m].predict(TickIndex{steps}).classification;
       double top = 0.0;
       for (double impact : cls.impacts) top = std::max(top, impact);
       if (cls.abnormal && top >= config.alert_min_top_impact) {

@@ -144,7 +144,7 @@ void AnomalyPredictor::observe(const std::vector<double>& row) {
   last_row_.resize(row.size());
   for (std::size_t i = 0; i < row.size(); ++i) {
     last_row_[i] = discretizers_[i].discretize(row[i]);
-    predictors_[i]->observe(last_row_[i], config_.online_learning);
+    predictors_[i]->observe(BinIndex{last_row_[i]}, config_.online_learning);
   }
   has_observation_ = true;
 }
@@ -156,9 +156,9 @@ bool AnomalyPredictor::ready() const {
   return true;
 }
 
-AnomalyPredictor::Result AnomalyPredictor::predict(std::size_t steps) const {
+AnomalyPredictor::Result AnomalyPredictor::predict(TickIndex steps) const {
   PREPARE_CHECK_MSG(ready(), "predict() before the model is ready");
-  PREPARE_CHECK(steps >= 1);
+  PREPARE_CHECK(steps.value() >= 1);
   std::vector<Distribution> dists;
   dists.reserve(predictors_.size());
   {

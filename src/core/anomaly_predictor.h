@@ -99,7 +99,7 @@ class AnomalyPredictor {
   };
 
   /// Classifies the state `steps` sampling intervals ahead.
-  Result predict(std::size_t steps) const;
+  Result predict(TickIndex steps) const;
 
   /// Classifies the most recently observed sample (used by the reactive
   /// path and for diagnosis once an anomaly has already manifested).

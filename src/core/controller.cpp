@@ -88,9 +88,9 @@ PrepareController::PrepareController(ControllerContext ctx,
                                      PrepareConfig config)
     : AnomalyManager(ctx),
       config_(config),
-      lookahead_steps_(static_cast<std::size_t>(std::max(
+      lookahead_steps_(TickIndex{static_cast<std::size_t>(std::max(
           1.0,
-          std::round(config.lookahead_s / config.sampling_interval_s)))),
+          std::round(config.lookahead_s / config.sampling_interval_s)))}),
       inference_(vm_names(), config.inference),
       actuator_(ctx.hypervisor, ctx.cluster, ctx.store, ctx.log,
                 config.prevention, ctx.metrics, ctx.tracer),

@@ -136,7 +136,7 @@ class PrepareController : public AnomalyManager {
 
  private:
   PrepareConfig config_;
-  std::size_t lookahead_steps_;
+  TickIndex lookahead_steps_;
   bool trained_ = false;
 
   std::map<std::string, AnomalyPredictor> predictors_;

@@ -256,7 +256,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
       manager->on_sample(now);
     }
 
-    bed->clock.advance(config.dt);
+    bed->clock.advance(Seconds{config.dt});
     ++tick;
   }
   obs::set(sim_time_gauge, bed->clock.now());

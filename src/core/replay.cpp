@@ -58,7 +58,7 @@ ReplayReport replay_trace(const MetricStore& store, const SloLog& slo,
       const auto values = store.sample(vm, i);
       predictor.observe(std::vector<double>(values.begin(), values.end()));
       if (!predictor.ready() || !predictor.discriminative()) continue;
-      const auto result = predictor.predict(steps);
+      const auto result = predictor.predict(TickIndex{steps});
       double top = 0.0;
       for (double impact : result.classification.impacts)
         top = std::max(top, impact);

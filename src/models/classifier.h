@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/units.h"
 #include "models/dataset.h"
 #include "models/distribution.h"
 
@@ -17,9 +18,13 @@ namespace prepare {
 
 struct Classification {
   bool abnormal = false;
-  /// Log-odds score: prior term + sum of impacts. > 0 means abnormal.
-  double score = 0.0;
-  /// Per-attribute impact strengths L_i (Eq. 2).
+  /// Log-odds score of Eq. (1): prior term + sum of impacts. > 0 means
+  /// abnormal. Strongly typed — reads out as double, but can only be
+  /// (re)built explicitly from a log-odds computation.
+  LogOdds score;
+  /// Per-attribute impact strengths L_i (Eq. 2), each itself a
+  /// log-odds; kept as raw doubles because they flow straight into
+  /// expectation/sort arithmetic.
   std::vector<double> impacts;
 };
 

@@ -116,10 +116,10 @@ std::vector<std::size_t> Discretizer::discretize(
   return out;
 }
 
-double Discretizer::bin_center(std::size_t bin) const {
+double Discretizer::bin_center(BinIndex bin) const {
   PREPARE_CHECK(fitted_);
-  PREPARE_CHECK_LT(bin, centers_.size()) << "bin index out of range";
-  return centers_[bin];
+  PREPARE_CHECK_LT(bin.value(), centers_.size()) << "bin index out of range";
+  return centers_[bin.value()];
 }
 
 std::vector<double> Discretizer::bin_centers() const {

@@ -18,6 +18,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/units.h"
+
 namespace prepare {
 
 enum class DiscretizerKind { kEqualWidth, kQuantile };
@@ -43,7 +45,7 @@ class Discretizer {
 
   /// Representative (center) value of a bin — used to turn predicted
   /// symbol distributions back into metric values for reporting.
-  double bin_center(std::size_t bin) const;
+  double bin_center(BinIndex bin) const;
   std::vector<double> bin_centers() const;
 
   /// Effective number of bins (== requested for equal-width; possibly

@@ -7,10 +7,10 @@
 
 namespace prepare {
 
-Distribution Distribution::delta(std::size_t size, std::size_t symbol) {
-  PREPARE_CHECK(symbol < size);
+Distribution Distribution::delta(std::size_t size, BinIndex symbol) {
+  PREPARE_CHECK(symbol.value() < size);
   Distribution d(size);
-  d.p_[symbol] = 1.0;
+  d.p_[symbol.value()] = 1.0;
   return d;
 }
 

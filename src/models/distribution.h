@@ -7,6 +7,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/units.h"
+
 namespace prepare {
 
 class Distribution {
@@ -16,7 +18,7 @@ class Distribution {
   explicit Distribution(std::vector<double> p) : p_(std::move(p)) {}
 
   /// Point mass on `symbol`.
-  static Distribution delta(std::size_t size, std::size_t symbol);
+  static Distribution delta(std::size_t size, BinIndex symbol);
   /// Uniform over `size` symbols.
   static Distribution uniform(std::size_t size);
 

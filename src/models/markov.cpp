@@ -15,37 +15,38 @@ MarkovChain::MarkovChain(std::size_t alphabet, double alpha)
 void MarkovChain::train(const std::vector<std::size_t>& sequence) {
   std::fill(counts_.begin(), counts_.end(), 0.0);
   has_context_ = false;
-  for (std::size_t s : sequence) observe(s, /*learn=*/true);
+  for (std::size_t s : sequence) observe(BinIndex{s}, /*learn=*/true);
 }
 
-void MarkovChain::observe(std::size_t symbol, bool learn) {
-  PREPARE_CHECK(symbol < alphabet_);
-  if (has_context_ && learn) counts_[context_ * alphabet_ + symbol] += 1.0;
-  context_ = symbol;
+void MarkovChain::observe(BinIndex symbol, bool learn) {
+  const std::size_t s = symbol.value();
+  PREPARE_CHECK(s < alphabet_);
+  if (has_context_ && learn) counts_[context_ * alphabet_ + s] += 1.0;
+  context_ = s;
   has_context_ = true;
 }
 
-double MarkovChain::transition(std::size_t from, std::size_t to) const {
-  PREPARE_CHECK(from < alphabet_ && to < alphabet_);
+Probability MarkovChain::transition(BinIndex from, BinIndex to) const {
+  PREPARE_CHECK(from.value() < alphabet_ && to.value() < alphabet_);
   double row_total = 0.0;
   for (std::size_t j = 0; j < alphabet_; ++j)
-    row_total += counts_[from * alphabet_ + j];
-  return (counts_[from * alphabet_ + to] + alpha_) /
-         (row_total + alpha_ * static_cast<double>(alphabet_));
+    row_total += counts_[from.value() * alphabet_ + j];
+  return Probability{(counts_[from.value() * alphabet_ + to.value()] + alpha_) /
+                     (row_total + alpha_ * static_cast<double>(alphabet_))};
 }
 
-Distribution MarkovChain::predict(std::size_t steps) const {
+Distribution MarkovChain::predict(TickIndex steps) const {
   PREPARE_CHECK_MSG(has_context_, "predict() before any observation");
-  PREPARE_CHECK(steps >= 1);
+  PREPARE_CHECK(steps.value() >= 1);
   std::vector<double> v(alphabet_, 0.0);
   v[context_] = 1.0;
   std::vector<double> next(alphabet_, 0.0);
-  for (std::size_t s = 0; s < steps; ++s) {
+  for (std::size_t s = 0; s < steps.value(); ++s) {
     std::fill(next.begin(), next.end(), 0.0);
     for (std::size_t i = 0; i < alphabet_; ++i) {
       if (v[i] <= 0.0) continue;
       for (std::size_t j = 0; j < alphabet_; ++j)
-        next[j] += v[i] * transition(i, j);
+        next[j] += v[i] * transition(BinIndex{i}, BinIndex{j});
     }
     std::swap(v, next);
   }

@@ -20,13 +20,13 @@ class MarkovChain : public ValuePredictor {
   explicit MarkovChain(std::size_t alphabet, double alpha = 0.5);
 
   void train(const std::vector<std::size_t>& sequence) override;
-  void observe(std::size_t symbol, bool learn) override;
-  Distribution predict(std::size_t steps) const override;
+  void observe(BinIndex symbol, bool learn) override;
+  Distribution predict(TickIndex steps) const override;
   bool ready() const override { return has_context_; }
   std::size_t alphabet() const override { return alphabet_; }
 
   /// Smoothed transition probability P(to | from).
-  double transition(std::size_t from, std::size_t to) const;
+  Probability transition(BinIndex from, BinIndex to) const;
 
  private:
   std::size_t alphabet_;

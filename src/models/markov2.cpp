@@ -17,43 +17,46 @@ TwoDependentMarkov::TwoDependentMarkov(std::size_t alphabet, double alpha)
 void TwoDependentMarkov::train(const std::vector<std::size_t>& sequence) {
   std::fill(counts_.begin(), counts_.end(), 0.0);
   seen_ = 0;
-  for (std::size_t s : sequence) observe(s, /*learn=*/true);
+  for (std::size_t s : sequence) observe(BinIndex{s}, /*learn=*/true);
 }
 
-void TwoDependentMarkov::observe(std::size_t symbol, bool learn) {
-  PREPARE_CHECK(symbol < alphabet_);
+void TwoDependentMarkov::observe(BinIndex symbol, bool learn) {
+  const std::size_t s = symbol.value();
+  PREPARE_CHECK(s < alphabet_);
   if (seen_ >= 2 && learn)
-    counts_[pair_index(prev_, cur_) * alphabet_ + symbol] += 1.0;
+    counts_[pair_index(prev_, cur_) * alphabet_ + s] += 1.0;
   prev_ = cur_;
-  cur_ = symbol;
+  cur_ = s;
   if (seen_ < 2) ++seen_;
 }
 
-double TwoDependentMarkov::transition(std::size_t prev, std::size_t cur,
-                                      std::size_t next) const {
-  PREPARE_CHECK(prev < alphabet_ && cur < alphabet_ && next < alphabet_);
-  const std::size_t base = pair_index(prev, cur) * alphabet_;
+Probability TwoDependentMarkov::transition(BinIndex prev, BinIndex cur,
+                                           BinIndex next) const {
+  PREPARE_CHECK(prev.value() < alphabet_ && cur.value() < alphabet_ &&
+                next.value() < alphabet_);
+  const std::size_t base = pair_index(prev.value(), cur.value()) * alphabet_;
   double row_total = 0.0;
   for (std::size_t j = 0; j < alphabet_; ++j) row_total += counts_[base + j];
-  return (counts_[base + next] + alpha_) /
-         (row_total + alpha_ * static_cast<double>(alphabet_));
+  return Probability{(counts_[base + next.value()] + alpha_) /
+                     (row_total + alpha_ * static_cast<double>(alphabet_))};
 }
 
-Distribution TwoDependentMarkov::predict(std::size_t steps) const {
+Distribution TwoDependentMarkov::predict(TickIndex steps) const {
   PREPARE_CHECK_MSG(ready(), "predict() needs at least two observations");
-  PREPARE_CHECK(steps >= 1);
+  PREPARE_CHECK(steps.value() >= 1);
   const std::size_t pairs = alphabet_ * alphabet_;
   std::vector<double> v(pairs, 0.0);
   v[pair_index(prev_, cur_)] = 1.0;
   std::vector<double> next(pairs, 0.0);
-  for (std::size_t s = 0; s < steps; ++s) {
+  for (std::size_t s = 0; s < steps.value(); ++s) {
     std::fill(next.begin(), next.end(), 0.0);
     for (std::size_t a = 0; a < alphabet_; ++a) {
       for (std::size_t b = 0; b < alphabet_; ++b) {
         const double mass = v[pair_index(a, b)];
         if (mass <= 0.0) continue;
         for (std::size_t c = 0; c < alphabet_; ++c)
-          next[pair_index(b, c)] += mass * transition(a, b, c);
+          next[pair_index(b, c)] +=
+              mass * transition(BinIndex{a}, BinIndex{b}, BinIndex{c});
       }
     }
     std::swap(v, next);

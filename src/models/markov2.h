@@ -21,14 +21,13 @@ class TwoDependentMarkov : public ValuePredictor {
   explicit TwoDependentMarkov(std::size_t alphabet, double alpha = 0.5);
 
   void train(const std::vector<std::size_t>& sequence) override;
-  void observe(std::size_t symbol, bool learn) override;
-  Distribution predict(std::size_t steps) const override;
+  void observe(BinIndex symbol, bool learn) override;
+  Distribution predict(TickIndex steps) const override;
   bool ready() const override { return seen_ >= 2; }
   std::size_t alphabet() const override { return alphabet_; }
 
   /// Smoothed P(next | prev, cur).
-  double transition(std::size_t prev, std::size_t cur,
-                    std::size_t next) const;
+  Probability transition(BinIndex prev, BinIndex cur, BinIndex next) const;
 
  private:
   std::size_t pair_index(std::size_t prev, std::size_t cur) const {

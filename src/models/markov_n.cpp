@@ -38,22 +38,23 @@ std::size_t NDependentMarkov::shifted_index(std::size_t ctx_index,
 void NDependentMarkov::train(const std::vector<std::size_t>& sequence) {
   std::fill(counts_.begin(), counts_.end(), 0.0);
   context_.clear();
-  for (std::size_t s : sequence) observe(s, /*learn=*/true);
+  for (std::size_t s : sequence) observe(BinIndex{s}, /*learn=*/true);
 }
 
-void NDependentMarkov::observe(std::size_t symbol, bool learn) {
-  PREPARE_CHECK(symbol < alphabet_);
+void NDependentMarkov::observe(BinIndex symbol, bool learn) {
+  const std::size_t s = symbol.value();
+  PREPARE_CHECK(s < alphabet_);
   if (context_.size() == order_) {
-    if (learn) counts_[context_index(context_) * alphabet_ + symbol] += 1.0;
+    if (learn) counts_[context_index(context_) * alphabet_ + s] += 1.0;
     context_.pop_front();
   }
-  context_.push_back(symbol);
+  context_.push_back(s);
 }
 
-double NDependentMarkov::transition(
-    const std::vector<std::size_t>& context, std::size_t next) const {
+Probability NDependentMarkov::transition(
+    const std::vector<std::size_t>& context, BinIndex next) const {
   PREPARE_CHECK(context.size() == order_);
-  PREPARE_CHECK(next < alphabet_);
+  PREPARE_CHECK(next.value() < alphabet_);
   std::size_t index = 0;
   for (std::size_t s : context) {
     PREPARE_CHECK(s < alphabet_);
@@ -62,17 +63,17 @@ double NDependentMarkov::transition(
   const std::size_t base = index * alphabet_;
   double row_total = 0.0;
   for (std::size_t j = 0; j < alphabet_; ++j) row_total += counts_[base + j];
-  return (counts_[base + next] + alpha_) /
-         (row_total + alpha_ * static_cast<double>(alphabet_));
+  return Probability{(counts_[base + next.value()] + alpha_) /
+                     (row_total + alpha_ * static_cast<double>(alphabet_))};
 }
 
-Distribution NDependentMarkov::predict(std::size_t steps) const {
+Distribution NDependentMarkov::predict(TickIndex steps) const {
   PREPARE_CHECK_MSG(ready(), "predict() before enough observations");
-  PREPARE_CHECK(steps >= 1);
+  PREPARE_CHECK(steps.value() >= 1);
   std::vector<double> v(states_, 0.0);
   v[context_index(context_)] = 1.0;
   std::vector<double> next(states_, 0.0);
-  for (std::size_t s = 0; s < steps; ++s) {
+  for (std::size_t s = 0; s < steps.value(); ++s) {
     std::fill(next.begin(), next.end(), 0.0);
     for (std::size_t ctx = 0; ctx < states_; ++ctx) {
       const double mass = v[ctx];

@@ -24,15 +24,15 @@ class NDependentMarkov : public ValuePredictor {
                    double alpha = 0.5);
 
   void train(const std::vector<std::size_t>& sequence) override;
-  void observe(std::size_t symbol, bool learn) override;
-  Distribution predict(std::size_t steps) const override;
+  void observe(BinIndex symbol, bool learn) override;
+  Distribution predict(TickIndex steps) const override;
   bool ready() const override { return context_.size() == order_; }
   std::size_t alphabet() const override { return alphabet_; }
   std::size_t order() const { return order_; }
 
   /// Smoothed P(next | context); `context` must have `order` symbols.
-  double transition(const std::vector<std::size_t>& context,
-                    std::size_t next) const;
+  Probability transition(const std::vector<std::size_t>& context,
+                         BinIndex next) const;
 
  private:
   /// Row-major index of a context tuple.

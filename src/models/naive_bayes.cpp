@@ -34,29 +34,30 @@ void NaiveBayesClassifier::train(const LabeledDataset& data) {
   trained_ = true;
 }
 
-double NaiveBayesClassifier::likelihood(std::size_t attribute,
-                                        std::size_t value,
-                                        bool abnormal) const {
+Probability NaiveBayesClassifier::likelihood(std::size_t attribute,
+                                             BinIndex value,
+                                             bool abnormal) const {
   PREPARE_CHECK(trained_);
   const int c = abnormal ? 1 : 0;
   PREPARE_CHECK(attribute < alphabet_.size());
-  PREPARE_CHECK(value < alphabet_[attribute]);
-  return (counts_[c][attribute][value] + alpha_) /
-         (class_counts_[c] +
-          alpha_ * static_cast<double>(alphabet_[attribute]));
+  PREPARE_CHECK(value.value() < alphabet_[attribute]);
+  return Probability{(counts_[c][attribute][value.value()] + alpha_) /
+                     (class_counts_[c] +
+                      alpha_ * static_cast<double>(alphabet_[attribute]))};
 }
 
-double NaiveBayesClassifier::prior(bool abnormal) const {
+Probability NaiveBayesClassifier::prior(bool abnormal) const {
   PREPARE_CHECK(trained_);
   const int c = abnormal ? 1 : 0;
   const double total = class_counts_[0] + class_counts_[1];
-  return (class_counts_[c] + alpha_) / (total + 2.0 * alpha_);
+  return Probability{(class_counts_[c] + alpha_) / (total + 2.0 * alpha_)};
 }
 
 double NaiveBayesClassifier::log_impact(std::size_t attribute,
                                         std::size_t value) const {
-  return std::log(likelihood(attribute, value, true) /
-                  likelihood(attribute, value, false));
+  const BinIndex v{value};
+  return std::log(likelihood(attribute, v, true) /
+                  likelihood(attribute, v, false));
 }
 
 Classification NaiveBayesClassifier::classify(
@@ -65,7 +66,7 @@ Classification NaiveBayesClassifier::classify(
   PREPARE_CHECK(row.size() == alphabet_.size());
   Classification out;
   out.impacts.resize(row.size());
-  out.score = std::log(prior(true) / prior(false));
+  out.score = LogOdds{std::log(prior(true) / prior(false))};
   for (std::size_t i = 0; i < row.size(); ++i) {
     out.impacts[i] = log_impact(i, row[i]);
     out.score += out.impacts[i];
@@ -80,7 +81,7 @@ Classification NaiveBayesClassifier::classify_expected(
   PREPARE_CHECK(dists.size() == alphabet_.size());
   Classification out;
   out.impacts.resize(dists.size());
-  out.score = std::log(prior(true) / prior(false));
+  out.score = LogOdds{std::log(prior(true) / prior(false))};
   for (std::size_t i = 0; i < dists.size(); ++i) {
     PREPARE_CHECK(dists[i].size() == alphabet_[i]);
     double e = 0.0;

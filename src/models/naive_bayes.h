@@ -22,10 +22,10 @@ class NaiveBayesClassifier : public Classifier {
       const std::vector<Distribution>& dists) const override;
 
   /// Smoothed P(attribute i = v | class c).
-  double likelihood(std::size_t attribute, std::size_t value,
-                    bool abnormal) const;
+  Probability likelihood(std::size_t attribute, BinIndex value,
+                         bool abnormal) const;
   /// Smoothed class prior P(abnormal = c).
-  double prior(bool abnormal) const;
+  Probability prior(bool abnormal) const;
 
  private:
   double log_impact(std::size_t attribute, std::size_t value) const;

@@ -167,7 +167,7 @@ Classification OutlierClassifier::classify(
     out.impacts[i] = s - baseline_[i];
     total += s;
   }
-  out.score = total - threshold_;
+  out.score = LogOdds{total - threshold_};
   out.abnormal = out.score > 0.0;
   return out;
 }
@@ -190,7 +190,7 @@ Classification OutlierClassifier::classify_expected(
     out.impacts[i] = expected - baseline_[i];
     total += expected;
   }
-  out.score = total - threshold_;
+  out.score = LogOdds{total - threshold_};
   out.abnormal = out.score > 0.0;
   return out;
 }

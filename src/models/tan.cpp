@@ -137,31 +137,32 @@ void TanClassifier::learn_cpts(const LabeledDataset& data) {
       << "class counts do not cover the training set";
 }
 
-double TanClassifier::likelihood(std::size_t attribute, std::size_t value,
-                                 std::size_t parent_value,
-                                 bool abnormal) const {
+Probability TanClassifier::likelihood(std::size_t attribute, BinIndex value,
+                                      BinIndex parent_value,
+                                      bool abnormal) const {
   PREPARE_CHECK(trained_);
   PREPARE_CHECK(attribute < alphabet_.size());
-  PREPARE_CHECK(value < alphabet_[attribute]);
+  PREPARE_CHECK(value.value() < alphabet_[attribute]);
   const int c = abnormal ? 1 : 0;
-  const std::size_t pv = parents_[attribute] == kNoParent ? 0 : parent_value;
+  const std::size_t pv =
+      parents_[attribute] == kNoParent ? 0 : parent_value.value();
   const std::size_t k = alphabet_[attribute];
   const auto& table = cpt_[c][attribute];
   const std::size_t base = pv * k;
   PREPARE_CHECK(base + k <= table.size());
   double row_total = 0.0;
   for (std::size_t v = 0; v < k; ++v) row_total += table[base + v];
-  return (table[base + value] + alpha_) /
-         (row_total + alpha_ * static_cast<double>(k));
+  return Probability{(table[base + value.value()] + alpha_) /
+                     (row_total + alpha_ * static_cast<double>(k))};
 }
 
-double TanClassifier::prior(bool abnormal) const {
+Probability TanClassifier::prior(bool abnormal) const {
   PREPARE_CHECK(trained_);
   const int c = abnormal ? 1 : 0;
   const double total = class_counts_[0] + class_counts_[1];
   const double p = (class_counts_[c] + alpha_) / (total + 2.0 * alpha_);
   PREPARE_DCHECK(p > 0.0 && p < 1.0) << "degenerate class prior " << p;
-  return p;
+  return Probability{p};
 }
 
 double TanClassifier::conditional_mutual_information(std::size_t i,
@@ -173,8 +174,9 @@ double TanClassifier::conditional_mutual_information(std::size_t i,
 
 double TanClassifier::log_impact(std::size_t attribute, std::size_t value,
                                  std::size_t parent_value) const {
-  return std::log(likelihood(attribute, value, parent_value, true) /
-                  likelihood(attribute, value, parent_value, false));
+  const BinIndex v{value}, pv{parent_value};
+  return std::log(likelihood(attribute, v, pv, true) /
+                  likelihood(attribute, v, pv, false));
 }
 
 Classification TanClassifier::classify(
@@ -183,7 +185,7 @@ Classification TanClassifier::classify(
   PREPARE_CHECK(row.size() == alphabet_.size());
   Classification out;
   out.impacts.resize(row.size());
-  out.score = std::log(prior(true) / prior(false));
+  out.score = LogOdds{std::log(prior(true) / prior(false))};
   for (std::size_t i = 0; i < row.size(); ++i) {
     const std::size_t pv =
         parents_[i] == kNoParent ? 0 : row[parents_[i]];
@@ -200,7 +202,7 @@ Classification TanClassifier::classify_expected(
   PREPARE_CHECK(dists.size() == alphabet_.size());
   Classification out;
   out.impacts.resize(dists.size());
-  out.score = std::log(prior(true) / prior(false));
+  out.score = LogOdds{std::log(prior(true) / prior(false))};
   for (std::size_t i = 0; i < dists.size(); ++i) {
     PREPARE_CHECK_EQ(dists[i].size(), alphabet_[i])
         << "predicted distribution for attribute " << i

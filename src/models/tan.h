@@ -39,9 +39,9 @@ class TanClassifier : public Classifier {
   const std::vector<std::size_t>& parents() const { return parents_; }
 
   /// Smoothed P(a_i = v | a_pi = pv, C = c); for the root, pv is ignored.
-  double likelihood(std::size_t attribute, std::size_t value,
-                    std::size_t parent_value, bool abnormal) const;
-  double prior(bool abnormal) const;
+  Probability likelihood(std::size_t attribute, BinIndex value,
+                         BinIndex parent_value, bool abnormal) const;
+  Probability prior(bool abnormal) const;
 
   /// Class-conditional mutual information I(A_i; A_j | C) from the last
   /// training set (exposed for tests; symmetric).

@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/units.h"
 #include "models/distribution.h"
 
 namespace prepare {
@@ -24,11 +25,11 @@ class ValuePredictor {
   /// Feeds one runtime observation. With `learn` true the transition
   /// counts are updated too (the paper's periodic model update); with
   /// false only the prediction context advances.
-  virtual void observe(std::size_t symbol, bool learn) = 0;
+  virtual void observe(BinIndex symbol, bool learn) = 0;
 
   /// Distribution of the attribute value `steps` intervals ahead
   /// (steps >= 1). Requires ready().
-  virtual Distribution predict(std::size_t steps) const = 0;
+  virtual Distribution predict(TickIndex steps) const = 0;
 
   /// Whether enough context has been seen to predict.
   virtual bool ready() const = 0;

@@ -4,14 +4,14 @@
 
 namespace prepare {
 
-void SimClock::schedule_in(double delay, std::function<void()> fn) {
-  PREPARE_CHECK(delay >= 0.0);
-  queue_.push({now_ + delay, next_seq_++, std::move(fn)});
+void SimClock::schedule_in(Seconds delay, std::function<void()> fn) {
+  PREPARE_CHECK(delay.value() >= 0.0);
+  queue_.push({now_ + delay.value(), next_seq_++, std::move(fn)});
 }
 
-void SimClock::advance(double dt) {
-  PREPARE_CHECK(dt > 0.0);
-  const double target = now_ + dt;
+void SimClock::advance(Seconds dt) {
+  PREPARE_CHECK(dt.value() > 0.0);
+  const double target = now_ + dt.value();
   while (!queue_.empty() && queue_.top().due <= target) {
     // Copy out before pop: the callback may push new events.
     Event ev = queue_.top();

@@ -12,6 +12,8 @@
 #include <queue>
 #include <vector>
 
+#include "common/units.h"
+
 namespace prepare {
 
 class SimClock {
@@ -22,11 +24,11 @@ class SimClock {
 
   /// Schedules `fn` to run when the clock reaches now() + delay.
   /// Events scheduled for the same instant fire in scheduling order.
-  void schedule_in(double delay, std::function<void()> fn);
+  void schedule_in(Seconds delay, std::function<void()> fn);
 
   /// Advances time by dt, firing due events in order. An event callback may
   /// schedule further events; those fire too if they fall within the step.
-  void advance(double dt);
+  void advance(Seconds dt);
 
   /// Number of pending (not yet fired) events.
   std::size_t pending() const { return queue_.size(); }

@@ -24,6 +24,7 @@ Vm* Cluster::add_vm(std::string name, double cpu_alloc, double mem_alloc,
   PREPARE_CHECK_MSG(find_vm(name) == nullptr, "duplicate VM name");
   vms_.push_back(std::make_unique<Vm>(std::move(name), cpu_alloc, mem_alloc));
   Vm* vm = vms_.back().get();
+  vm->set_id(VmId{static_cast<std::uint32_t>(vms_.size())});
   host->place(vm);
   dcheck_placement();
   obs::inc(placements_counter_);
@@ -41,6 +42,13 @@ Vm* Cluster::find_vm(const std::string& name) const {
   for (const auto& vm : vms_)
     if (vm->name() == name) return vm.get();
   return nullptr;
+}
+
+Vm* Cluster::vm_by_id(VmId id) const {
+  if (id == kUnassignedVmId || id.value() > vms_.size()) return nullptr;
+  Vm* vm = vms_[id.value() - 1].get();
+  PREPARE_DCHECK(vm->id() == id) << "VM id/slot mismatch";
+  return vm;
 }
 
 Host* Cluster::find_host(const std::string& name) const {

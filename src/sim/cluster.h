@@ -25,7 +25,8 @@ class Cluster {
   Host* add_host(std::string name, Host::Capacity capacity = Host::Capacity());
 
   /// Creates a VM and places it on `host`. Throws CheckFailure if the
-  /// host cannot fit the allocation.
+  /// host cannot fit the allocation. The VM is assigned the next VmId
+  /// (1-based creation order; VmId{0} stays kUnassignedVmId).
   Vm* add_vm(std::string name, double cpu_alloc, double mem_alloc,
              Host* host);
 
@@ -34,6 +35,9 @@ class Cluster {
 
   Host* host_of(const Vm& vm) const;
   Vm* find_vm(const std::string& name) const;
+  /// VM by cluster-assigned id; nullptr for kUnassignedVmId or an id
+  /// this cluster never handed out.
+  Vm* vm_by_id(VmId id) const;
   Host* find_host(const std::string& name) const;
 
   /// First host (excluding `exclude`) that can fit the given allocation;

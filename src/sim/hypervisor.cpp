@@ -31,7 +31,7 @@ bool Hypervisor::scale_cpu(Vm* vm, double target_cores) {
   std::ostringstream detail;
   detail << vm->cpu_alloc() << " -> " << target_cores << " cores";
   log_->record(clock_->now(), EventKind::kCpuScale, vm->name(), detail.str());
-  clock_->schedule_in(config_.cpu_scale_latency_s,
+  clock_->schedule_in(Seconds{config_.cpu_scale_latency_s},
                       [vm, target_cores] { vm->set_cpu_alloc(target_cores); });
   return true;
 }
@@ -50,7 +50,7 @@ bool Hypervisor::scale_memory(Vm* vm, double target_mb) {
   std::ostringstream detail;
   detail << vm->mem_alloc() << " -> " << target_mb << " MB";
   log_->record(clock_->now(), EventKind::kMemScale, vm->name(), detail.str());
-  clock_->schedule_in(config_.mem_scale_latency_s,
+  clock_->schedule_in(Seconds{config_.mem_scale_latency_s},
                       [vm, target_mb] { vm->set_mem_alloc(target_mb); });
   return true;
 }
@@ -95,7 +95,8 @@ bool Hypervisor::migrate(Vm* vm, Host* target, double new_cpu_alloc,
   EventLog* log = log_;
   SimClock* clock = clock_;
   clock_->schedule_in(
-      duration, [vm, target, cpu_after, mem_after, cluster, log, clock] {
+      Seconds{duration},
+      [vm, target, cpu_after, mem_after, cluster, log, clock] {
         target->release(cpu_after, mem_after);
         cluster->move_vm_with_alloc(vm, target, cpu_after, mem_after);
         vm->end_migration();

@@ -65,8 +65,8 @@ void Vm::set_app_parallelism(double threads) {
   app_parallelism_ = threads;
 }
 
-void Vm::finalize_tick(double dt) {
-  PREPARE_CHECK(dt > 0.0);
+void Vm::finalize_tick(Seconds dt) {
+  PREPARE_CHECK(dt.value() > 0.0);
   const double total_cpu = app_cpu_demand_ + fault_cpu_demand_;
   if (total_cpu <= cpu_alloc_) {
     app_cpu_granted_ = app_cpu_demand_;

@@ -22,6 +22,8 @@
 
 #include <string>
 
+#include "common/units.h"
+
 namespace prepare {
 
 class Vm {
@@ -29,6 +31,11 @@ class Vm {
   Vm(std::string name, double cpu_alloc_cores, double mem_alloc_mb);
 
   const std::string& name() const { return name_; }
+
+  /// Cluster-assigned identity (creation order, see Cluster::add_vm);
+  /// kUnassignedVmId until a cluster adopts the VM.
+  VmId id() const { return id_; }
+  void set_id(VmId id) { id_ = id; }
 
   // --- allocation (set by the hypervisor) ---
   double cpu_alloc() const { return cpu_alloc_; }
@@ -59,7 +66,7 @@ class Vm {
   /// Resolves contention for this tick. Must be called after all demands
   /// are registered and before any granted/usage getter is read.
   /// `dt` drives the efficiency-recovery inertia.
-  void finalize_tick(double dt = 1.0);
+  void finalize_tick(Seconds dt = Seconds{1.0});
 
   // --- resolved state (valid after finalize_tick) ---
   /// CPU cores actually granted to the application this tick.
@@ -103,6 +110,7 @@ class Vm {
 
  private:
   std::string name_;
+  VmId id_;
   double cpu_alloc_;
   double mem_alloc_;
   double app_parallelism_ = 1.0;

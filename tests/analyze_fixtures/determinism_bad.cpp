@@ -1,0 +1,17 @@
+// prepare-analyze-fixture: as=src/core/determinism_bad.cpp
+// This TU reaches trace output (includes obs/trace_export.h), so the
+// unordered walk is flagged; std::rand is banned everywhere.
+#include <cstdlib>
+#include <unordered_map>
+
+#include "obs/trace_export.h"
+
+namespace prepare {
+
+double fixture_sum(const std::unordered_map<int, double>& m) {
+  double total = 0.0;
+  for (const auto& [key, value] : m) total += value + key;
+  return total + std::rand();
+}
+
+}  // namespace prepare

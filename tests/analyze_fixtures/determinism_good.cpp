@@ -1,0 +1,14 @@
+// prepare-analyze-fixture: as=src/core/determinism_good.cpp
+// Unordered iteration is fine in a TU that never reaches trace/span/
+// event output — the determinism rule is gated on output reachability.
+#include <unordered_map>
+
+namespace prepare {
+
+double fixture_sum(const std::unordered_map<int, double>& m) {
+  double total = 0.0;
+  for (const auto& [key, value] : m) total += value + key;
+  return total;
+}
+
+}  // namespace prepare

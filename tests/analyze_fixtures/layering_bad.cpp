@@ -1,0 +1,9 @@
+// prepare-analyze-fixture: as=src/models/layering_bad.cpp
+// models/ reaching sideways into sim/: the DAG forbids this edge.
+#include "sim/vm.h"
+
+namespace prepare {
+
+double fixture_use(const Vm& vm) { return vm.cpu_alloc(); }
+
+}  // namespace prepare

@@ -1,0 +1,9 @@
+// prepare-analyze-fixture: as=src/models/layering_good.cpp
+// A models/ TU including only layers below it (common/): clean.
+#include "common/units.h"
+
+namespace prepare {
+
+std::size_t fixture_use(BinIndex bin) { return bin.value(); }
+
+}  // namespace prepare

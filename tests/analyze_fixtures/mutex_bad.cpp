@@ -1,0 +1,22 @@
+// prepare-analyze-fixture: as=src/core/mutex_bad.cpp
+// std:: locking vocabulary outside common/mutex.h. The rule matches on
+// canonical types, so hiding std::mutex behind an alias does not help.
+#include <mutex>
+
+namespace prepare {
+
+using HiddenMutex = std::mutex;
+
+class FixtureCounter {
+ public:
+  void bump() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++count_;
+  }
+
+ private:
+  HiddenMutex mu_;
+  int count_ = 0;
+};
+
+}  // namespace prepare

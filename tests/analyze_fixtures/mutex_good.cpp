@@ -1,0 +1,20 @@
+// prepare-analyze-fixture: as=src/core/mutex_good.cpp
+// prepare::Mutex + prepare::MutexLock carry -Wthread-safety capability
+// annotations; the analyzer accepts them anywhere.
+#include "common/mutex.h"
+
+namespace prepare {
+
+class FixtureCounter {
+ public:
+  void bump() {
+    MutexLock lock(&mu_);
+    ++count_;
+  }
+
+ private:
+  Mutex mu_;
+  int count_ PREPARE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace prepare

@@ -1,0 +1,22 @@
+// prepare-analyze-fixture: as=src/models/strong_type_bad.h
+// Raw scalars in id/index/probability/duration roles on a public model
+// boundary. Private members are exempt: the rule polices the API edge.
+#pragma once
+
+#include <cstddef>
+
+namespace prepare {
+
+class FixtureModel {
+ public:
+  void observe(std::size_t symbol,
+               bool learn);
+  double mix(double prob,
+             double dt);
+  void look_ahead(std::size_t steps);
+
+ private:
+  void helper(std::size_t symbol);  // private: not policed
+};
+
+}  // namespace prepare

@@ -1,0 +1,19 @@
+// prepare-analyze-fixture: as=src/models/strong_type_good.h
+// Public model API using the common/units.h strong typedefs: clean.
+#pragma once
+
+#include "common/units.h"
+
+namespace prepare {
+
+class FixtureModel {
+ public:
+  void observe(BinIndex symbol, bool learn);
+  Probability transition(BinIndex from, BinIndex to) const;
+  void advance(Seconds dt);
+  // `value` and `size` are not role names; raw scalars are fine here.
+  std::size_t discretize(double value) const;
+  explicit FixtureModel(std::size_t size);
+};
+
+}  // namespace prepare

@@ -1,0 +1,15 @@
+// prepare-analyze-fixture: as=src/core/suppression_bad.cpp
+// An allow() without a justification is itself a diagnostic.
+#include <unordered_map>
+
+#include "obs/trace_export.h"
+
+namespace prepare {
+
+double fixture_sum(const std::unordered_map<int, double>& m) {
+  double total = 0.0;
+  for (const auto& [key, value] : m) total += value + key;  // prepare-analyze: allow(determinism)
+  return total;
+}
+
+}  // namespace prepare

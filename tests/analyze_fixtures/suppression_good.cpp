@@ -1,0 +1,15 @@
+// prepare-analyze-fixture: as=src/core/suppression_good.cpp
+// A justified allow() comment silences the diagnostic on its line.
+#include <unordered_map>
+
+#include "obs/trace_export.h"
+
+namespace prepare {
+
+double fixture_sum(const std::unordered_map<int, double>& m) {
+  double total = 0.0;
+  for (const auto& [key, value] : m) total += value + key;  // prepare-analyze: allow(determinism): order-independent sum
+  return total;
+}
+
+}  // namespace prepare

@@ -49,7 +49,7 @@ TEST(AnomalyPredictor, LifecycleChecks) {
   AnomalyPredictor p(names());
   EXPECT_FALSE(p.trained());
   EXPECT_THROW(p.observe({1.0, 2.0, 3.0}), CheckFailure);
-  EXPECT_THROW(p.predict(1), CheckFailure);
+  EXPECT_THROW(p.predict(TickIndex{1}), CheckFailure);
   EXPECT_THROW(p.classify_current(), CheckFailure);
 }
 
@@ -80,7 +80,7 @@ TEST(AnomalyPredictor, PredictsAnomalyDuringDecline) {
                20.0 + 0.8 * i + rng.gaussian(0.0, 1.0),
                rng.uniform(0.0, 10.0)});
     if (!p.ready()) continue;
-    const auto result = p.predict(10);
+    const auto result = p.predict(TickIndex{10});
     if (result.classification.abnormal && free_mem > 80.0)
       alarmed_early = true;
   }
@@ -96,7 +96,7 @@ TEST(AnomalyPredictor, PredictedValuesFollowTrend) {
   Rng rng(5);
   for (int i = 0; i < 15; ++i)
     p.observe({300.0 - 8.0 * i, 20.0 + 0.8 * i, rng.uniform(0.0, 10.0)});
-  const auto result = p.predict(8);
+  const auto result = p.predict(TickIndex{8});
   EXPECT_LT(result.predicted_values[0], 300.0 - 8.0 * 14);
 }
 
@@ -153,7 +153,7 @@ TEST(AnomalyPredictor, SimpleMarkovBackendWorks) {
   const auto trace = leak_trace(9);
   p.train(trace.rows, trace.abnormal);
   p.observe({300.0, 20.0, 5.0});
-  EXPECT_NO_THROW(p.predict(6));
+  EXPECT_NO_THROW(p.predict(TickIndex{6}));
 }
 
 TEST(AnomalyPredictor, MismatchedRowSizesThrow) {

@@ -11,7 +11,7 @@ namespace {
 Classification make_classification(double score,
                                    std::vector<double> impacts) {
   Classification c;
-  c.score = score;
+  c.score = LogOdds{score};
   c.abnormal = score > 0.0;
   c.impacts = std::move(impacts);
   return c;

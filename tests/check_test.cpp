@@ -187,8 +187,8 @@ TEST(CheckInvariants, DiscretizerRejectsNonFiniteTrainingData) {
 TEST(CheckInvariants, DiscretizerBinCenterOutOfRangeThrows) {
   Discretizer disc(3);
   disc.fit({1.0, 2.0, 3.0, 4.0, 5.0, 6.0});
-  EXPECT_THROW(disc.bin_center(disc.bins()), CheckFailure);
-  EXPECT_THROW(disc.bin_center(999), CheckFailure);
+  EXPECT_THROW(disc.bin_center(BinIndex{disc.bins()}), CheckFailure);
+  EXPECT_THROW(disc.bin_center(BinIndex{999}), CheckFailure);
 }
 
 TEST(CheckInvariants, DiscretizerUseBeforeFitThrows) {

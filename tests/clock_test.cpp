@@ -12,25 +12,25 @@ namespace {
 TEST(SimClock, AdvancesTime) {
   SimClock clock;
   EXPECT_DOUBLE_EQ(clock.now(), 0.0);
-  clock.advance(1.5);
+  clock.advance(Seconds{1.5});
   EXPECT_DOUBLE_EQ(clock.now(), 1.5);
 }
 
 TEST(SimClock, RejectsNonPositiveAdvance) {
   SimClock clock;
-  EXPECT_THROW(clock.advance(0.0), CheckFailure);
-  EXPECT_THROW(clock.advance(-1.0), CheckFailure);
+  EXPECT_THROW(clock.advance(Seconds{0.0}), CheckFailure);
+  EXPECT_THROW(clock.advance(Seconds{-1.0}), CheckFailure);
 }
 
 TEST(SimClock, FiresDueEventsInOrder) {
   SimClock clock;
   std::vector<int> fired;
-  clock.schedule_in(2.0, [&] { fired.push_back(2); });
-  clock.schedule_in(1.0, [&] { fired.push_back(1); });
-  clock.schedule_in(3.0, [&] { fired.push_back(3); });
-  clock.advance(2.5);
+  clock.schedule_in(Seconds{2.0}, [&] { fired.push_back(2); });
+  clock.schedule_in(Seconds{1.0}, [&] { fired.push_back(1); });
+  clock.schedule_in(Seconds{3.0}, [&] { fired.push_back(3); });
+  clock.advance(Seconds{2.5});
   EXPECT_EQ(fired, (std::vector<int>{1, 2}));
-  clock.advance(1.0);
+  clock.advance(Seconds{1.0});
   EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
 }
 
@@ -38,16 +38,16 @@ TEST(SimClock, SameTimeEventsKeepFifoOrder) {
   SimClock clock;
   std::vector<int> fired;
   for (int i = 0; i < 5; ++i)
-    clock.schedule_in(1.0, [&fired, i] { fired.push_back(i); });
-  clock.advance(2.0);
+    clock.schedule_in(Seconds{1.0}, [&fired, i] { fired.push_back(i); });
+  clock.advance(Seconds{2.0});
   EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
 }
 
 TEST(SimClock, EventSeesItsDueTime) {
   SimClock clock;
   double seen = -1.0;
-  clock.schedule_in(0.75, [&] { seen = clock.now(); });
-  clock.advance(1.0);
+  clock.schedule_in(Seconds{0.75}, [&] { seen = clock.now(); });
+  clock.advance(Seconds{1.0});
   EXPECT_DOUBLE_EQ(seen, 0.75);
   EXPECT_DOUBLE_EQ(clock.now(), 1.0);
 }
@@ -55,11 +55,11 @@ TEST(SimClock, EventSeesItsDueTime) {
 TEST(SimClock, EventsCanScheduleEvents) {
   SimClock clock;
   std::vector<double> fired;
-  clock.schedule_in(1.0, [&] {
+  clock.schedule_in(Seconds{1.0}, [&] {
     fired.push_back(clock.now());
-    clock.schedule_in(0.5, [&] { fired.push_back(clock.now()); });
+    clock.schedule_in(Seconds{0.5}, [&] { fired.push_back(clock.now()); });
   });
-  clock.advance(2.0);
+  clock.advance(Seconds{2.0});
   ASSERT_EQ(fired.size(), 2u);
   EXPECT_DOUBLE_EQ(fired[0], 1.0);
   EXPECT_DOUBLE_EQ(fired[1], 1.5);
@@ -68,28 +68,28 @@ TEST(SimClock, EventsCanScheduleEvents) {
 TEST(SimClock, ChainedEventBeyondStepWaits) {
   SimClock clock;
   int count = 0;
-  clock.schedule_in(1.0, [&] {
+  clock.schedule_in(Seconds{1.0}, [&] {
     ++count;
-    clock.schedule_in(5.0, [&] { ++count; });
+    clock.schedule_in(Seconds{5.0}, [&] { ++count; });
   });
-  clock.advance(2.0);
+  clock.advance(Seconds{2.0});
   EXPECT_EQ(count, 1);
   EXPECT_EQ(clock.pending(), 1u);
-  clock.advance(10.0);
+  clock.advance(Seconds{10.0});
   EXPECT_EQ(count, 2);
 }
 
 TEST(SimClock, ZeroDelayFiresOnNextAdvance) {
   SimClock clock;
   bool fired = false;
-  clock.schedule_in(0.0, [&] { fired = true; });
-  clock.advance(0.001);
+  clock.schedule_in(Seconds{0.0}, [&] { fired = true; });
+  clock.advance(Seconds{0.001});
   EXPECT_TRUE(fired);
 }
 
 TEST(SimClock, NegativeDelayRejected) {
   SimClock clock;
-  EXPECT_THROW(clock.schedule_in(-0.1, [] {}), CheckFailure);
+  EXPECT_THROW(clock.schedule_in(Seconds{-0.1}, [] {}), CheckFailure);
 }
 
 }  // namespace

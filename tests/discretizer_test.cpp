@@ -17,7 +17,7 @@ TEST(Discretizer, UseBeforeFitThrows) {
   Discretizer d(4);
   EXPECT_THROW(d.discretize(1.0), CheckFailure);
   EXPECT_THROW(d.bins(), CheckFailure);
-  EXPECT_THROW(d.bin_center(0), CheckFailure);
+  EXPECT_THROW(d.bin_center(BinIndex{0}), CheckFailure);
 }
 
 TEST(Discretizer, FitOnEmptyThrows) {

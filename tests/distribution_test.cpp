@@ -10,7 +10,7 @@ namespace prepare {
 namespace {
 
 TEST(Distribution, DeltaIsPointMass) {
-  const auto d = Distribution::delta(5, 2);
+  const auto d = Distribution::delta(5, BinIndex{2});
   EXPECT_DOUBLE_EQ(d[2], 1.0);
   EXPECT_DOUBLE_EQ(d[0], 0.0);
   EXPECT_EQ(d.mode(), 2u);
@@ -18,7 +18,7 @@ TEST(Distribution, DeltaIsPointMass) {
 }
 
 TEST(Distribution, DeltaOutOfRangeThrows) {
-  EXPECT_THROW(Distribution::delta(3, 3), CheckFailure);
+  EXPECT_THROW(Distribution::delta(3, BinIndex{3}), CheckFailure);
 }
 
 TEST(Distribution, UniformProperties) {

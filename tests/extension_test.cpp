@@ -153,7 +153,7 @@ TEST(OutlierPipeline, PredictorWithOutlierBackendAlarmsOnLeak) {
   for (int i = 0; i < 6; ++i)
     predictor.observe({40.0 - 2.0 * i, 85.0 + i});
   EXPECT_TRUE(predictor.classify_current().abnormal);
-  EXPECT_TRUE(predictor.predict(4).classification.abnormal);
+  EXPECT_TRUE(predictor.predict(TickIndex{4}).classification.abnormal);
 }
 
 TEST(OutlierPipeline, SupervisedBackendStaysSilentWithoutAbnormalLabels) {
@@ -168,7 +168,7 @@ TEST(OutlierPipeline, SupervisedBackendStaysSilentWithoutAbnormalLabels) {
   predictor.observe({40.0, 85.0});
   predictor.observe({30.0, 88.0});
   EXPECT_FALSE(predictor.classify_current().abnormal);
-  EXPECT_FALSE(predictor.predict(4).classification.abnormal);
+  EXPECT_FALSE(predictor.predict(TickIndex{4}).classification.abnormal);
 }
 
 }  // namespace

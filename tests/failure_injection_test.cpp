@@ -105,7 +105,7 @@ TEST(FailureInjection, NoMigrationTargetFallsBackToLocalScaling) {
       }
       controller.on_sample(now);
     }
-    clock.advance(1.0);
+    clock.advance(Seconds{1.0});
   }
   EXPECT_EQ(events.count_of(EventKind::kMigrationStart), 0u);
   EXPECT_GT(events.count_of(EventKind::kMemScale) +

@@ -100,6 +100,22 @@ TEST(Cluster, AddAndFind) {
   EXPECT_EQ(cluster.host_of(*vm), h1);
 }
 
+TEST(Cluster, AssignsVmIdsInCreationOrder) {
+  Cluster cluster;
+  Host* h1 = cluster.add_host("h1");
+  Vm loose("loose", 1.0, 512.0);
+  EXPECT_EQ(loose.id(), kUnassignedVmId);
+
+  Vm* a = cluster.add_vm("a", 0.5, 256.0, h1);
+  Vm* b = cluster.add_vm("b", 0.5, 256.0, h1);
+  EXPECT_EQ(a->id(), VmId{1});
+  EXPECT_EQ(b->id(), VmId{2});
+  EXPECT_EQ(cluster.vm_by_id(a->id()), a);
+  EXPECT_EQ(cluster.vm_by_id(b->id()), b);
+  EXPECT_EQ(cluster.vm_by_id(kUnassignedVmId), nullptr);
+  EXPECT_EQ(cluster.vm_by_id(VmId{99}), nullptr);
+}
+
 TEST(Cluster, DuplicateNamesRejected) {
   Cluster cluster;
   Host* h1 = cluster.add_host("h1");

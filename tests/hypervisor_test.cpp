@@ -30,16 +30,16 @@ class HypervisorTest : public ::testing::Test {
 TEST_F(HypervisorTest, CpuScaleAppliesAfterLatency) {
   ASSERT_TRUE(hypervisor_.scale_cpu(vm_, 1.5));
   EXPECT_DOUBLE_EQ(vm_->cpu_alloc(), 1.0);  // not yet
-  clock_.advance(0.05);
+  clock_.advance(Seconds{0.05});
   EXPECT_DOUBLE_EQ(vm_->cpu_alloc(), 1.0);  // latency is 107 ms
-  clock_.advance(0.10);
+  clock_.advance(Seconds{0.10});
   EXPECT_DOUBLE_EQ(vm_->cpu_alloc(), 1.5);
   EXPECT_EQ(log_.count_of(EventKind::kCpuScale), 1u);
 }
 
 TEST_F(HypervisorTest, MemScaleAppliesAfterLatency) {
   ASSERT_TRUE(hypervisor_.scale_memory(vm_, 1024.0));
-  clock_.advance(0.2);
+  clock_.advance(Seconds{0.2});
   EXPECT_DOUBLE_EQ(vm_->mem_alloc(), 1024.0);
   EXPECT_EQ(log_.count_of(EventKind::kMemScale), 1u);
 }
@@ -47,7 +47,7 @@ TEST_F(HypervisorTest, MemScaleAppliesAfterLatency) {
 TEST_F(HypervisorTest, ScaleDownAlwaysAllowed) {
   EXPECT_TRUE(hypervisor_.scale_cpu(vm_, 0.5));
   EXPECT_TRUE(hypervisor_.scale_memory(vm_, 256.0));
-  clock_.advance(1.0);
+  clock_.advance(Seconds{1.0});
   EXPECT_DOUBLE_EQ(vm_->cpu_alloc(), 0.5);
   EXPECT_DOUBLE_EQ(vm_->mem_alloc(), 256.0);
 }
@@ -55,7 +55,7 @@ TEST_F(HypervisorTest, ScaleDownAlwaysAllowed) {
 TEST_F(HypervisorTest, ScaleBeyondHeadroomRejected) {
   EXPECT_FALSE(hypervisor_.scale_cpu(vm_, 2.0));  // guest cap is 1.8
   EXPECT_FALSE(hypervisor_.scale_memory(vm_, 4000.0));
-  clock_.advance(1.0);
+  clock_.advance(Seconds{1.0});
   EXPECT_DOUBLE_EQ(vm_->cpu_alloc(), 1.0);
   EXPECT_EQ(log_.count_of(EventKind::kCpuScale), 0u);
 }
@@ -72,7 +72,7 @@ TEST_F(HypervisorTest, MigrationMovesVmAndAppliesLanding) {
   ASSERT_TRUE(hypervisor_.migrate(vm_, h2_, 1.5, 1024.0));
   EXPECT_TRUE(vm_->migrating());
   EXPECT_EQ(cluster_.host_of(*vm_), h1_);  // still on source mid pre-copy
-  clock_.advance(hypervisor_.migration_duration(512.0) + 0.1);
+  clock_.advance(Seconds{hypervisor_.migration_duration(512.0) + 0.1});
   EXPECT_FALSE(vm_->migrating());
   EXPECT_EQ(cluster_.host_of(*vm_), h2_);
   EXPECT_DOUBLE_EQ(vm_->cpu_alloc(), 1.5);
@@ -85,7 +85,7 @@ TEST_F(HypervisorTest, MigrationMovesVmAndAppliesLanding) {
 
 TEST_F(HypervisorTest, MigrationDefaultKeepsAllocation) {
   ASSERT_TRUE(hypervisor_.migrate(vm_, h2_));
-  clock_.advance(10.0);
+  clock_.advance(Seconds{10.0});
   EXPECT_DOUBLE_EQ(vm_->cpu_alloc(), 1.0);
   EXPECT_DOUBLE_EQ(vm_->mem_alloc(), 512.0);
 }
@@ -104,7 +104,7 @@ TEST_F(HypervisorTest, ConcurrentMigrationsCannotOversubscribeTarget) {
   ASSERT_TRUE(hypervisor_.migrate(vm_, h2_, 1.5, 1024.0));
   // Second migration wants 1.5 cores too: 3.0 > h2's 1.8 guest cores.
   EXPECT_FALSE(hypervisor_.migrate(other, h2_, 1.5, 1024.0));
-  clock_.advance(20.0);
+  clock_.advance(Seconds{20.0});
   EXPECT_EQ(cluster_.host_of(*vm_), h2_);
   EXPECT_EQ(cluster_.host_of(*other), h1_);
 }

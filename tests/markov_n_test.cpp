@@ -34,8 +34,8 @@ TEST(NDependentMarkov, Order1MatchesSimpleChain) {
   general.train(seq);
   simple.train(seq);
   for (std::size_t steps : {1u, 3u, 7u}) {
-    const auto a = general.predict(steps);
-    const auto b = simple.predict(steps);
+    const auto a = general.predict(TickIndex{steps});
+    const auto b = simple.predict(TickIndex{steps});
     for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(a[i], b[i], 1e-9);
   }
 }
@@ -47,8 +47,8 @@ TEST(NDependentMarkov, Order2MatchesTwoDependent) {
   general.train(seq);
   two.train(seq);
   for (std::size_t steps : {1u, 2u, 5u, 12u}) {
-    const auto a = general.predict(steps);
-    const auto b = two.predict(steps);
+    const auto a = general.predict(TickIndex{steps});
+    const auto b = two.predict(TickIndex{steps});
     for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(a[i], b[i], 1e-9);
   }
 }
@@ -61,20 +61,20 @@ TEST(NDependentMarkov, TransitionRowsAreDistributions) {
     for (ctx[1] = 0; ctx[1] < 3; ++ctx[1])
       for (ctx[2] = 0; ctx[2] < 3; ++ctx[2]) {
         double total = 0.0;
-        for (std::size_t n = 0; n < 3; ++n) total += m.transition(ctx, n);
+        for (std::size_t n = 0; n < 3; ++n) total += m.transition(ctx, BinIndex{n});
         EXPECT_NEAR(total, 1.0, 1e-9);
       }
 }
 
 TEST(NDependentMarkov, ReadyNeedsOrderObservations) {
   NDependentMarkov m(3, 4);
-  m.observe(0, true);
-  m.observe(1, true);
+  m.observe(BinIndex{0}, true);
+  m.observe(BinIndex{1}, true);
   EXPECT_FALSE(m.ready());
-  EXPECT_THROW(m.predict(1), CheckFailure);
-  m.observe(2, true);
+  EXPECT_THROW(m.predict(TickIndex{1}), CheckFailure);
+  m.observe(BinIndex{2}, true);
   EXPECT_TRUE(m.ready());
-  EXPECT_NO_THROW(m.predict(2));
+  EXPECT_NO_THROW(m.predict(TickIndex{2}));
 }
 
 TEST(NDependentMarkov, Order3DisambiguatesWhereOrder2CanNot) {
@@ -89,15 +89,15 @@ TEST(NDependentMarkov, Order3DisambiguatesWhereOrder2CanNot) {
   three.train(seq);
   two.train(seq);
   // Sequence ends ... 2 1 1: next must be 0.
-  EXPECT_GT(three.predict(1)[0], 0.95);
-  EXPECT_LT(two.predict(1)[0], 0.65);  // order-2 is torn between 0 and 2
+  EXPECT_GT(three.predict(TickIndex{1})[0], 0.95);
+  EXPECT_LT(two.predict(TickIndex{1})[0], 0.65);  // order-2 is torn between 0 and 2
 }
 
 TEST(NDependentMarkov, PredictionsAreValidDistributions) {
   NDependentMarkov m(3, 4, 0.2);
   m.train(random_sequence(500, 4, 5));
   for (std::size_t steps : {1u, 4u, 24u}) {
-    const auto d = m.predict(steps);
+    const auto d = m.predict(TickIndex{steps});
     EXPECT_NEAR(d.sum(), 1.0, 1e-9);
     for (std::size_t i = 0; i < d.size(); ++i) EXPECT_GE(d[i], 0.0);
   }
@@ -114,9 +114,9 @@ TEST_P(MarkovOrderSweep, LearnsCycle) {
   NDependentMarkov m(order, 4, 0.05);
   m.train(seq);
   // Sequence ends at 3; one step ahead is 0, two ahead 1, ...
-  EXPECT_EQ(m.predict(1).mode(), 0u);
-  EXPECT_EQ(m.predict(2).mode(), 1u);
-  EXPECT_EQ(m.predict(6).mode(), 1u);
+  EXPECT_EQ(m.predict(TickIndex{1}).mode(), 0u);
+  EXPECT_EQ(m.predict(TickIndex{2}).mode(), 1u);
+  EXPECT_EQ(m.predict(TickIndex{6}).mode(), 1u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Orders, MarkovOrderSweep,

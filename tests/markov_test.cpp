@@ -18,9 +18,9 @@ TEST(MarkovChain, RejectsBadConstruction) {
 
 TEST(MarkovChain, PredictBeforeContextThrows) {
   MarkovChain m(3);
-  EXPECT_THROW(m.predict(1), CheckFailure);
-  m.observe(0, true);
-  EXPECT_NO_THROW(m.predict(1));
+  EXPECT_THROW(m.predict(TickIndex{1}), CheckFailure);
+  m.observe(BinIndex{0}, true);
+  EXPECT_NO_THROW(m.predict(TickIndex{1}));
 }
 
 TEST(MarkovChain, TransitionRowsAreDistributions) {
@@ -32,7 +32,7 @@ TEST(MarkovChain, TransitionRowsAreDistributions) {
   m.train(seq);
   for (std::size_t from = 0; from < 4; ++from) {
     double total = 0.0;
-    for (std::size_t to = 0; to < 4; ++to) total += m.transition(from, to);
+    for (std::size_t to = 0; to < 4; ++to) total += m.transition(BinIndex{from}, BinIndex{to});
     EXPECT_NEAR(total, 1.0, 1e-9);
   }
 }
@@ -43,9 +43,9 @@ TEST(MarkovChain, LearnsDeterministicCycle) {
   for (int i = 0; i < 300; ++i) seq.push_back(i % 3);
   m.train(seq);
   // Last symbol is 2; one step ahead must be 0, two steps 1, three 2.
-  EXPECT_EQ(m.predict(1).mode(), 0u);
-  EXPECT_EQ(m.predict(2).mode(), 1u);
-  EXPECT_EQ(m.predict(3).mode(), 2u);
+  EXPECT_EQ(m.predict(TickIndex{1}).mode(), 0u);
+  EXPECT_EQ(m.predict(TickIndex{2}).mode(), 1u);
+  EXPECT_EQ(m.predict(TickIndex{3}).mode(), 2u);
 }
 
 TEST(MarkovChain, MultiStepIsChapmanKolmogorov) {
@@ -56,11 +56,11 @@ TEST(MarkovChain, MultiStepIsChapmanKolmogorov) {
     seq.push_back(static_cast<std::size_t>(rng.uniform_int(0, 2)));
   m.train(seq);
   // P2[j] = sum_i P1[i] * T[i][j]
-  const auto p1 = m.predict(1);
-  const auto p2 = m.predict(2);
+  const auto p1 = m.predict(TickIndex{1});
+  const auto p2 = m.predict(TickIndex{2});
   for (std::size_t j = 0; j < 3; ++j) {
     double expect = 0.0;
-    for (std::size_t i = 0; i < 3; ++i) expect += p1[i] * m.transition(i, j);
+    for (std::size_t i = 0; i < 3; ++i) expect += p1[i] * m.transition(BinIndex{i}, BinIndex{j});
     EXPECT_NEAR(p2[j], expect, 1e-9);
   }
 }
@@ -70,12 +70,12 @@ TEST(MarkovChain, ObserveWithoutLearnOnlyMovesContext) {
   std::vector<std::size_t> seq;
   for (int i = 0; i < 300; ++i) seq.push_back(i % 3);
   learner.train(seq);
-  const double before = learner.transition(0, 1);
-  learner.observe(0, /*learn=*/false);
-  learner.observe(0, /*learn=*/false);  // a 0->0 transition, not learned
-  EXPECT_DOUBLE_EQ(learner.transition(0, 1), before);
-  learner.observe(0, /*learn=*/true);   // now learned
-  EXPECT_NE(learner.transition(0, 0), 0.0);
+  const double before = learner.transition(BinIndex{0}, BinIndex{1});
+  learner.observe(BinIndex{0}, /*learn=*/false);
+  learner.observe(BinIndex{0}, /*learn=*/false);  // a 0->0 transition, not learned
+  EXPECT_DOUBLE_EQ(learner.transition(BinIndex{0}, BinIndex{1}), before);
+  learner.observe(BinIndex{0}, /*learn=*/true);   // now learned
+  EXPECT_NE(learner.transition(BinIndex{0}, BinIndex{0}), 0.0);
 }
 
 TEST(TwoDependentMarkov, RejectsBadConstruction) {
@@ -86,12 +86,12 @@ TEST(TwoDependentMarkov, RejectsBadConstruction) {
 TEST(TwoDependentMarkov, NeedsTwoObservations) {
   TwoDependentMarkov m(3);
   EXPECT_FALSE(m.ready());
-  m.observe(0, true);
+  m.observe(BinIndex{0}, true);
   EXPECT_FALSE(m.ready());
-  EXPECT_THROW(m.predict(1), CheckFailure);
-  m.observe(1, true);
+  EXPECT_THROW(m.predict(TickIndex{1}), CheckFailure);
+  m.observe(BinIndex{1}, true);
   EXPECT_TRUE(m.ready());
-  EXPECT_NO_THROW(m.predict(1));
+  EXPECT_NO_THROW(m.predict(TickIndex{1}));
 }
 
 TEST(TwoDependentMarkov, TransitionRowsAreDistributions) {
@@ -104,7 +104,7 @@ TEST(TwoDependentMarkov, TransitionRowsAreDistributions) {
   for (std::size_t a = 0; a < 3; ++a) {
     for (std::size_t b = 0; b < 3; ++b) {
       double total = 0.0;
-      for (std::size_t c = 0; c < 3; ++c) total += m.transition(a, b, c);
+      for (std::size_t c = 0; c < 3; ++c) total += m.transition(BinIndex{a}, BinIndex{b}, BinIndex{c});
       EXPECT_NEAR(total, 1.0, 1e-9);
     }
   }
@@ -118,7 +118,7 @@ TEST(TwoDependentMarkov, PredictionSumsToOne) {
     seq.push_back(static_cast<std::size_t>(rng.uniform_int(0, 3)));
   m.train(seq);
   for (std::size_t steps : {1u, 2u, 5u, 24u})
-    EXPECT_NEAR(m.predict(steps).sum(), 1.0, 1e-9);
+    EXPECT_NEAR(m.predict(TickIndex{steps}).sum(), 1.0, 1e-9);
 }
 
 // The paper's motivating case (Section II-B): a triangle-wave attribute.
@@ -141,11 +141,11 @@ TEST(TwoDependentMarkov, TracksTriangleWaveSlope) {
   MarkovChain one(5, 0.05);
   one.train(seq);
   // The sequence ends ... 3 2 1 (descending at 1): next is 0.
-  EXPECT_EQ(two.predict(1).mode(), 0u);
+  EXPECT_EQ(two.predict(TickIndex{1}).mode(), 0u);
   // The simple chain at state 1 is torn between 0 (down) and 2 (up);
   // measure probability mass instead of the tie-dependent mode.
-  EXPECT_GT(two.predict(1)[0], 0.9);
-  EXPECT_LT(one.predict(1)[0], 0.7);
+  EXPECT_GT(two.predict(TickIndex{1})[0], 0.9);
+  EXPECT_LT(one.predict(TickIndex{1})[0], 0.7);
 }
 
 TEST(TwoDependentMarkov, OutperformsSimpleOnRampForecast) {
@@ -161,15 +161,15 @@ TEST(TwoDependentMarkov, OutperformsSimpleOnRampForecast) {
   two.train(train);
   one.train(train);
   // Context is ... 1 2 (ascending): three steps ahead should be 5.
-  const auto p_two = two.predict(3);
-  const auto p_one = one.predict(3);
+  const auto p_two = two.predict(TickIndex{3});
+  const auto p_one = one.predict(TickIndex{3});
   EXPECT_GT(p_two[5], p_one[5]);
   EXPECT_EQ(p_two.mode(), 5u);
 }
 
 TEST(TwoDependentMarkov, SymbolOutOfRangeThrows) {
   TwoDependentMarkov m(3);
-  EXPECT_THROW(m.observe(3, true), CheckFailure);
+  EXPECT_THROW(m.observe(BinIndex{3}, true), CheckFailure);
 }
 
 // Property sweep: predictions are valid distributions for any horizon.
@@ -184,7 +184,7 @@ TEST_P(MarkovHorizonSweep, ValidDistributionAtAnyHorizon) {
   TwoDependentMarkov two(5);
   one.train(seq);
   two.train(seq);
-  for (const auto& p : {one.predict(GetParam()), two.predict(GetParam())}) {
+  for (const auto& p : {one.predict(TickIndex{GetParam()}), two.predict(TickIndex{GetParam()})}) {
     EXPECT_NEAR(p.sum(), 1.0, 1e-9);
     for (std::size_t i = 0; i < p.size(); ++i) {
       EXPECT_GE(p[i], 0.0);

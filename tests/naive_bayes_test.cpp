@@ -66,7 +66,7 @@ TEST(NaiveBayes, LikelihoodsAreDistributions) {
   for (bool c : {false, true}) {
     for (std::size_t a = 0; a < 2; ++a) {
       double total = 0.0;
-      for (std::size_t v = 0; v < 3; ++v) total += nb.likelihood(a, v, c);
+      for (std::size_t v = 0; v < 3; ++v) total += nb.likelihood(a, BinIndex{v}, c);
       EXPECT_NEAR(total, 1.0, 1e-9);
     }
   }
@@ -82,8 +82,8 @@ TEST(NaiveBayes, ExpectedClassificationMatchesDeltaInputs) {
   NaiveBayesClassifier nb;
   nb.train(planted_dataset(300, 6));
   const std::vector<std::size_t> row = {2, 1};
-  std::vector<Distribution> dists = {Distribution::delta(3, 2),
-                                     Distribution::delta(3, 1)};
+  std::vector<Distribution> dists = {Distribution::delta(3, BinIndex{2}),
+                                     Distribution::delta(3, BinIndex{1})};
   const auto hard = nb.classify(row);
   const auto soft = nb.classify_expected(dists);
   EXPECT_NEAR(hard.score, soft.score, 1e-9);

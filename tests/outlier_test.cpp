@@ -92,9 +92,9 @@ TEST(Outlier, ExpectedClassificationMatchesDeltaInputs) {
   OutlierClassifier model(0.99);
   model.train(normal_population(300, 7));
   const std::vector<std::size_t> row = {1, 1, 0};
-  std::vector<Distribution> dists = {Distribution::delta(3, 1),
-                                     Distribution::delta(3, 1),
-                                     Distribution::delta(3, 0)};
+  std::vector<Distribution> dists = {Distribution::delta(3, BinIndex{1}),
+                                     Distribution::delta(3, BinIndex{1}),
+                                     Distribution::delta(3, BinIndex{0})};
   EXPECT_NEAR(model.classify(row).score,
               model.classify_expected(dists).score, 1e-9);
 }

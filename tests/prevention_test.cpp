@@ -60,7 +60,7 @@ class ScalingPreventionTest : public PreventionTest {
 TEST_F(ScalingPreventionTest, MemoryMetricTriggersMemoryScaling) {
   record(0.0, 10.0);
   EXPECT_TRUE(actuator_->actuate(faulty({Attribute::kFreeMem}), 0.0));
-  clock_.advance(1.0);
+  clock_.advance(Seconds{1.0});
   EXPECT_GT(vm_->mem_alloc(), 512.0);
   EXPECT_DOUBLE_EQ(vm_->cpu_alloc(), 1.0);
   EXPECT_EQ(log_.count_of(EventKind::kPrevention), 1u);
@@ -69,7 +69,7 @@ TEST_F(ScalingPreventionTest, MemoryMetricTriggersMemoryScaling) {
 TEST_F(ScalingPreventionTest, CpuMetricTriggersCpuScaling) {
   record(0.0, 10.0);
   EXPECT_TRUE(actuator_->actuate(faulty({Attribute::kCpuUtil}), 0.0));
-  clock_.advance(1.0);
+  clock_.advance(Seconds{1.0});
   EXPECT_GT(vm_->cpu_alloc(), 1.0);
 }
 
@@ -78,7 +78,7 @@ TEST_F(ScalingPreventionTest, CompanionActionCoversOtherResourceKind) {
   // CPU ranked first, memory second: both should scale in one shot.
   EXPECT_TRUE(actuator_->actuate(
       faulty({Attribute::kCpuUtil, Attribute::kFreeMem}), 0.0));
-  clock_.advance(1.0);
+  clock_.advance(Seconds{1.0});
   EXPECT_GT(vm_->cpu_alloc(), 1.0);
   EXPECT_GT(vm_->mem_alloc(), 512.0);
 }
@@ -87,7 +87,7 @@ TEST_F(ScalingPreventionTest, NonActionableMetricsSkipped) {
   record(0.0, 10.0);
   EXPECT_TRUE(actuator_->actuate(
       faulty({Attribute::kNetIn, Attribute::kFreeMem}), 0.0));
-  clock_.advance(1.0);
+  clock_.advance(Seconds{1.0});
   EXPECT_GT(vm_->mem_alloc(), 512.0);
 }
 
@@ -121,14 +121,14 @@ TEST_F(ScalingPreventionTest, FailedValidationTriesNextMetric) {
               Attribute::kCpuUtil}),
       0.0);
   const double mem_after_first = 512.0 * 2.0;
-  clock_.advance(1.0);
+  clock_.advance(Seconds{1.0});
   EXPECT_DOUBLE_EQ(vm_->mem_alloc(), mem_after_first);
   // Still unhealthy after the validation delay: the actuator must fall
   // through disk_read (not actionable) to cpu_util.
   record(10.0, 10.0);
   record(21.0, 10.0);
   actuator_->on_sample(21.0, {"vm"});
-  clock_.advance(1.0);
+  clock_.advance(Seconds{1.0});
   EXPECT_GT(actuator_->validations_failed(), 0u);
   EXPECT_GT(vm_->cpu_alloc(), 1.0);
 }
@@ -149,7 +149,7 @@ TEST_F(ScalingPreventionTest, ScalingClampedByHostHeadroom) {
   cluster_.add_vm("neighbor", 0.5, 2800.0, host_);
   record(0.0, 10.0);
   EXPECT_TRUE(actuator_->actuate(faulty({Attribute::kFreeMem}), 0.0));
-  clock_.advance(1.0);
+  clock_.advance(Seconds{1.0});
   EXPECT_LE(vm_->mem_alloc(), 512.0 + 3584.0);
   EXPECT_GT(vm_->mem_alloc(), 512.0);
 }
@@ -169,7 +169,7 @@ TEST_F(MigrationPreventionTest, MigratesToSpareWithGrownAllocation) {
   record(0.0, 10.0);
   EXPECT_TRUE(actuator_->actuate(faulty({Attribute::kFreeMem}), 0.0));
   EXPECT_TRUE(vm_->migrating());
-  clock_.advance(30.0);
+  clock_.advance(Seconds{30.0});
   EXPECT_EQ(cluster_.host_of(*vm_), spare_);
   EXPECT_GT(vm_->mem_alloc(), 512.0);
   EXPECT_GT(vm_->cpu_alloc(), 1.0);
@@ -178,14 +178,14 @@ TEST_F(MigrationPreventionTest, MigratesToSpareWithGrownAllocation) {
 TEST_F(MigrationPreventionTest, CooldownFallsBackToScaling) {
   record(0.0, 10.0);
   actuator_->actuate(faulty({Attribute::kFreeMem}), 0.0);
-  clock_.advance(30.0);
+  clock_.advance(Seconds{30.0});
   // Close the open validation as healthy, then trigger again within the
   // migration cooldown: the actuator should scale on the current host.
   record(25.0, 10.0);
   actuator_->on_sample(25.0, {});
   const double mem_before = vm_->mem_alloc();
   EXPECT_TRUE(actuator_->actuate(faulty({Attribute::kFreeMem}), 40.0));
-  clock_.advance(1.0);
+  clock_.advance(Seconds{1.0});
   EXPECT_EQ(cluster_.host_of(*vm_), spare_);  // no second migration
   EXPECT_GT(vm_->mem_alloc(), mem_before);
 }
@@ -196,7 +196,7 @@ TEST_F(MigrationPreventionTest, NoTargetHostNoAction) {
   // Migration impossible and (in kMigrationOnly) scaling fallback still
   // applies on the local host.
   EXPECT_TRUE(actuator_->actuate(faulty({Attribute::kFreeMem}), 0.0));
-  clock_.advance(1.0);
+  clock_.advance(Seconds{1.0});
   EXPECT_EQ(cluster_.host_of(*vm_), host_);
   EXPECT_GT(vm_->mem_alloc(), 512.0);
 }
@@ -219,14 +219,14 @@ TEST_F(ReclaimTest, IdleOverProvisionedVmShrinksTowardBaseline) {
   // Sustained low utilization samples.
   for (double t = 0.0; t <= 60.0; t += 5.0) record(t, 10.0);
   actuator_->on_sample(60.0, {});
-  clock_.advance(1.0);
+  clock_.advance(Seconds{1.0});
   EXPECT_LT(vm_->cpu_alloc(), 1.8);
   EXPECT_LT(vm_->mem_alloc(), 1024.0);
   // Repeated reclaim converges to the baseline, never below.
   for (double t = 65.0; t <= 600.0; t += 5.0) {
     record(t, 10.0);
     actuator_->on_sample(t, {});
-    clock_.advance(5.0);
+    clock_.advance(Seconds{5.0});
   }
   EXPECT_DOUBLE_EQ(vm_->cpu_alloc(), 1.0);
   EXPECT_DOUBLE_EQ(vm_->mem_alloc(), 512.0);
@@ -236,7 +236,7 @@ TEST_F(ReclaimTest, BusyVmNotReclaimed) {
   vm_->set_cpu_alloc(1.8);
   for (double t = 0.0; t <= 60.0; t += 5.0) record(t, 90.0);  // hot
   actuator_->on_sample(60.0, {});
-  clock_.advance(1.0);
+  clock_.advance(Seconds{1.0});
   EXPECT_DOUBLE_EQ(vm_->cpu_alloc(), 1.8);
 }
 
@@ -244,14 +244,14 @@ TEST_F(ReclaimTest, UnhealthyVmNotReclaimed) {
   vm_->set_cpu_alloc(1.8);
   for (double t = 0.0; t <= 60.0; t += 5.0) record(t, 10.0);
   actuator_->on_sample(60.0, {"vm"});
-  clock_.advance(1.0);
+  clock_.advance(Seconds{1.0});
   EXPECT_DOUBLE_EQ(vm_->cpu_alloc(), 1.8);
 }
 
 TEST_F(ReclaimTest, BaselineVmUntouched) {
   for (double t = 0.0; t <= 60.0; t += 5.0) record(t, 10.0);
   actuator_->on_sample(60.0, {});
-  clock_.advance(1.0);
+  clock_.advance(Seconds{1.0});
   EXPECT_DOUBLE_EQ(vm_->cpu_alloc(), 1.0);
   EXPECT_DOUBLE_EQ(vm_->mem_alloc(), 512.0);
 }

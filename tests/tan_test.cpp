@@ -110,8 +110,8 @@ TEST(Tan, ImpactsMatchLikelihoodRatios) {
   for (std::size_t i = 0; i < row.size(); ++i) {
     const std::size_t p = tan.parents()[i];
     const std::size_t pv = p == TanClassifier::kNoParent ? 0 : row[p];
-    const double expected = std::log(tan.likelihood(i, row[i], pv, true) /
-                                     tan.likelihood(i, row[i], pv, false));
+    const double expected = std::log(tan.likelihood(i, BinIndex{row[i]}, BinIndex{pv}, true) /
+                                     tan.likelihood(i, BinIndex{row[i]}, BinIndex{pv}, false));
     EXPECT_NEAR(result.impacts[i], expected, 1e-12);
   }
 }
@@ -133,7 +133,7 @@ TEST(Tan, LikelihoodRowsAreDistributions) {
       for (std::size_t pv = 0; pv < 3; ++pv) {
         double total = 0.0;
         for (std::size_t v = 0; v < 3; ++v)
-          total += tan.likelihood(a, v, pv, c);
+          total += tan.likelihood(a, BinIndex{v}, BinIndex{pv}, c);
         EXPECT_NEAR(total, 1.0, 1e-9);
       }
     }
@@ -144,9 +144,9 @@ TEST(Tan, ExpectedClassificationMatchesDeltaInputs) {
   TanClassifier tan;
   tan.train(correlated_dataset(400, 9));
   const std::vector<std::size_t> row = {2, 2, 1};
-  std::vector<Distribution> dists = {Distribution::delta(3, 2),
-                                     Distribution::delta(3, 2),
-                                     Distribution::delta(3, 1)};
+  std::vector<Distribution> dists = {Distribution::delta(3, BinIndex{2}),
+                                     Distribution::delta(3, BinIndex{2}),
+                                     Distribution::delta(3, BinIndex{1})};
   const auto hard = tan.classify(row);
   const auto soft = tan.classify_expected(dists);
   EXPECT_NEAR(hard.score, soft.score, 1e-9);

@@ -1,0 +1,94 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <type_traits>
+
+#include "common/check.h"
+
+namespace prepare {
+namespace {
+
+// --- ordinal family -------------------------------------------------------
+
+TEST(Units, OrdinalsAreExplicitAndDistinct) {
+  // Construction requires the explicit wrap; no conversion back out.
+  static_assert(!std::is_convertible_v<std::size_t, BinIndex>);
+  static_assert(!std::is_convertible_v<std::size_t, TickIndex>);
+  static_assert(!std::is_convertible_v<std::uint32_t, VmId>);
+  static_assert(!std::is_convertible_v<BinIndex, std::size_t>);
+  static_assert(!std::is_convertible_v<TickIndex, std::size_t>);
+  // The tag type keeps two ordinals with the same storage incompatible.
+  static_assert(!std::is_convertible_v<BinIndex, TickIndex>);
+  static_assert(!std::is_convertible_v<TickIndex, BinIndex>);
+  static_assert(!std::is_constructible_v<BinIndex, TickIndex>);
+}
+
+TEST(Units, OrdinalValueRoundTrips) {
+  EXPECT_EQ(BinIndex{7}.value(), 7u);
+  EXPECT_EQ(TickIndex{12}.value(), 12u);
+  EXPECT_EQ(VmId{3}.value(), 3u);
+}
+
+TEST(Units, OrdinalComparisons) {
+  EXPECT_EQ(BinIndex{2}, BinIndex{2});
+  EXPECT_NE(BinIndex{2}, BinIndex{3});
+  EXPECT_LT(TickIndex{1}, TickIndex{2});
+  EXPECT_LE(TickIndex{2}, TickIndex{2});
+  EXPECT_GT(VmId{5}, VmId{4});
+  EXPECT_GE(VmId{5}, VmId{5});
+}
+
+TEST(Units, DefaultVmIdIsUnassigned) {
+  EXPECT_EQ(VmId{}, kUnassignedVmId);
+  EXPECT_EQ(kUnassignedVmId.value(), 0u);
+  EXPECT_NE(VmId{1}, kUnassignedVmId);
+}
+
+// --- quantity family ------------------------------------------------------
+
+TEST(Units, QuantitiesAreExplicitInImplicitOut) {
+  static_assert(!std::is_convertible_v<double, Probability>);
+  static_assert(!std::is_convertible_v<double, LogOdds>);
+  static_assert(!std::is_convertible_v<double, Seconds>);
+  static_assert(std::is_convertible_v<Probability, double>);
+  static_assert(std::is_convertible_v<LogOdds, double>);
+  static_assert(std::is_convertible_v<Seconds, double>);
+  // The implicit read-out must not chain into a different unit's
+  // explicit constructor: Probability -/-> Seconds, etc.
+  static_assert(!std::is_convertible_v<Probability, Seconds>);
+  static_assert(!std::is_convertible_v<Seconds, Probability>);
+  static_assert(!std::is_convertible_v<LogOdds, Probability>);
+}
+
+TEST(Units, QuantityReadOutIsFrictionless) {
+  const Probability p{0.25};
+  EXPECT_DOUBLE_EQ(p * 4.0, 1.0);
+  const Seconds dt{1.5};
+  EXPECT_DOUBLE_EQ(dt / 3.0, 0.5);
+  LogOdds score{1.0};
+  score += 0.5;
+  EXPECT_DOUBLE_EQ(score.value(), 1.5);
+  EXPECT_GT(score, 0.0);
+}
+
+#if PREPARE_DCHECK_IS_ON
+TEST(Units, ProbabilityRangeIsChecked) {
+  EXPECT_THROW(Probability{-0.01}, CheckFailure);
+  EXPECT_THROW(Probability{1.01}, CheckFailure);
+  EXPECT_NO_THROW(Probability{0.0});
+  EXPECT_NO_THROW(Probability{1.0});
+  // Count-ratio rounding slack: 1 + 1e-10 passes.
+  EXPECT_NO_THROW(Probability{1.0 + 1e-10});
+}
+
+TEST(Units, SecondsMustBeFinite) {
+  EXPECT_THROW(Seconds{std::numeric_limits<double>::infinity()}, CheckFailure);
+  EXPECT_THROW(Seconds{std::numeric_limits<double>::quiet_NaN()}, CheckFailure);
+  EXPECT_NO_THROW(Seconds{-1.0});  // sign is the call site's business
+}
+#endif
+
+}  // namespace
+}  // namespace prepare

@@ -120,20 +120,20 @@ TEST(Vm, DegradationIsImmediateRecoveryIsGradual) {
   // Degrade hard in one tick.
   vm.begin_tick();
   vm.set_app_mem_demand(512.0 * 2.0);
-  vm.finalize_tick(1.0);
+  vm.finalize_tick(Seconds{1.0});
   const double degraded = vm.efficiency();
   EXPECT_NEAR(degraded, vm.memory_model().min_efficiency, 1e-12);
   // Demand drops; one tick later efficiency has only partially healed.
   vm.begin_tick();
   vm.set_app_mem_demand(100.0);
-  vm.finalize_tick(1.0);
+  vm.finalize_tick(Seconds{1.0});
   EXPECT_GT(vm.efficiency(), degraded);
   EXPECT_LT(vm.efficiency(), 1.0);
   // After many recovery time constants it is healthy again.
   for (int i = 0; i < 100; ++i) {
     vm.begin_tick();
     vm.set_app_mem_demand(100.0);
-    vm.finalize_tick(1.0);
+    vm.finalize_tick(Seconds{1.0});
   }
   EXPECT_NEAR(vm.efficiency(), 1.0, 1e-3);
 }

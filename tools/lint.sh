@@ -1,17 +1,24 @@
 #!/usr/bin/env bash
 # Repo lint runner: custom invariant lint, Clang thread-safety analysis,
-# and clang-tidy.
+# clang-tidy, and the project AST rules.
 #
 # Usage: tools/lint.sh [PATHS...]
-#   PATHS default to src. clang-tidy needs a compilation database; point
-#   PREPARE_BUILD_DIR at a configured build tree (default: build) — the
-#   top-level CMakeLists exports compile_commands.json automatically.
+#   PATHS default to src. clang-tidy and analyze need a compilation
+#   database; point PREPARE_BUILD_DIR at a configured build tree
+#   (default: build) — the top-level CMakeLists exports
+#   compile_commands.json automatically. When that build dir has no
+#   database, lint.sh configures a throwaway one into .lint-build/
+#   (gitignored) so a fresh checkout can lint without building first.
 #
 # Passes (each skippable, each individually requirable):
 #   invariants     python3 tools/check_invariants.py  (always available)
 #   thread-safety  clang++ -fsyntax-only -Wthread-safety -Werror over the
 #                  .cpp files under PATHS — the compile-time race detector
 #   clang-tidy     full clang-tidy with .clang-tidy config
+#   analyze        python3 tools/prepare_analyze.py — AST-grounded project
+#                  rules (layering DAG, determinism, strong-type
+#                  boundaries, mutex discipline); needs libclang + the
+#                  python clang bindings, skips with a notice otherwise
 #
 # Environment:
 #   PREPARE_LINT_SKIP     comma/space list of passes to skip outright
@@ -42,6 +49,20 @@ fi
 CLANG_BIN="${PREPARE_CLANG:-clang++}"
 CLANG_TIDY_BIN="${PREPARE_CLANG_TIDY:-clang-tidy}"
 build_dir="${PREPARE_BUILD_DIR:-build}"
+
+# clang-tidy and analyze consume compile_commands.json. If the chosen
+# build dir has none, configure a minimal throwaway tree so linting a
+# fresh checkout needs no manual cmake step.
+if [ ! -f "$build_dir/compile_commands.json" ] \
+    && command -v cmake > /dev/null 2>&1; then
+  echo "== no $build_dir/compile_commands.json; configuring .lint-build/"
+  mkdir -p .lint-build
+  if cmake -B .lint-build -S . > .lint-build/configure.log 2>&1; then
+    build_dir=.lint-build
+  else
+    echo "lint.sh: configure failed (see .lint-build/configure.log)" >&2
+  fi
+fi
 
 # has_word LIST WORD — true if WORD appears in the comma/space list.
 has_word() {
@@ -106,6 +127,21 @@ else
   echo "== clang-tidy ($CLANG_TIDY_BIN, ${#cpp_files[@]} files, config .clang-tidy)"
   if ! "$CLANG_TIDY_BIN" -p "$build_dir" --quiet --warnings-as-errors='*' \
       "${cpp_files[@]}"; then
+    status=1
+  fi
+fi
+
+if skip_pass analyze; then
+  echo "== analyze skipped (PREPARE_LINT_SKIP)"
+elif [ ! -f "$build_dir/compile_commands.json" ]; then
+  unavailable analyze "no $build_dir/compile_commands.json (run: cmake -B $build_dir -S .)"
+else
+  echo "== prepare_analyze.py ${PATHS[*]}"
+  python3 tools/prepare_analyze.py --build-dir "$build_dir" "${PATHS[@]}"
+  analyze_rc=$?
+  if [ $analyze_rc -eq 77 ]; then
+    unavailable analyze "clang python bindings / libclang not installed"
+  elif [ $analyze_rc -ne 0 ]; then
     status=1
   fi
 fi

@@ -1,0 +1,637 @@
+#!/usr/bin/env python3
+"""prepare_analyze: AST-grounded project rules for the PREPARE tree.
+
+Complements the regex pass (check_invariants.py) and the generic
+clang-tidy pass with rules that need real type and scope information,
+computed from Clang's AST via the python `clang.cindex` bindings over
+the build's exported compile_commands.json.
+
+Rule catalog (v1):
+
+  layering      Includes must follow the dependency DAG between the
+                top-level directories under src/ (see ALLOWED_EDGES).
+                No upward or sideways edges: e.g. models/ must not
+                include core/, sim/ must not include monitor/.
+  determinism   (a) Range-for or iterator walks over
+                std::unordered_{map,set} are flagged in any TU whose
+                include closure reaches trace/span/event/metrics
+                output — unordered iteration order would leak
+                nondeterminism into artifacts that CI diffs across
+                thread counts. (b) Wall-clock and libc randomness
+                (std::rand/srand, time(), system_clock,
+                high_resolution_clock) are banned everywhere except
+                src/sim/clock.* and src/obs/stage_profiler.*.
+  strong-type   Public functions in src/models/*.h, src/sim/*.h and
+                the controller/predictor headers may not take raw
+                int/size_t/double parameters whose names denote an
+                id/index/probability/duration role — use the strong
+                typedefs from common/units.h (VmId, TickIndex,
+                BinIndex, Probability, LogOdds, Seconds).
+  mutex-type    Only prepare::Mutex / prepare::MutexLock may be used
+                for locking; any std:: mutex or lock type outside
+                src/common/mutex.h is flagged. AST-based: a typedef or
+                alias of std::mutex cannot dodge it.
+
+Suppression: append a trailing comment to the flagged line:
+
+    // prepare-analyze: allow(RULE): reason
+
+The reason is mandatory; an allow() without one is itself a
+diagnostic. Diagnostics print as `file:line: [rule] message` and the
+exit status is 1 when any survive, 0 on a clean tree.
+
+Usage:
+    prepare_analyze.py [--build-dir DIR] [PATH...]   # default: src
+    prepare_analyze.py --fixtures [DIR]              # self-test mode
+
+The build dir (default $PREPARE_BUILD_DIR or ./build) must contain
+compile_commands.json (configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON;
+tools/lint.sh does this automatically). libclang is located via
+$PREPARE_LIBCLANG, or by globbing the usual LLVM install paths. When
+the clang python bindings or libclang are unavailable the script exits
+77 (the ctest skip code) so local runs without LLVM degrade to a skip
+while CI — which pins LLVM 18 — still enforces the pass.
+
+Fixture mode parses each tests/analyze_fixtures/*.{h,cpp} standalone
+(-std=c++20 -Isrc), scopes rules by the fixture's declared `as=` path,
+and compares diagnostics against the matching *.expected golden file.
+"""
+
+import argparse
+import glob
+import json
+import os
+import re
+import shlex
+import sys
+
+EXIT_CLEAN = 0
+EXIT_DIAGNOSTICS = 1
+EXIT_ERROR = 2
+EXIT_UNAVAILABLE = 77  # matches ctest SKIP_RETURN_CODE
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# --- rule configuration ----------------------------------------------------
+
+# Directory layering under src/: maps each top-level dir to the set of
+# dirs it may #include from (itself is always allowed). This is the
+# measured dependency DAG of the tree; growing a new legitimate edge
+# means updating this table in the same PR that adds the include.
+ALLOWED_EDGES = {
+    "common": set(),
+    "obs": {"common"},
+    "timeseries": {"common"},
+    "workload": {"common"},
+    "models": {"common"},
+    "sim": {"common", "obs"},
+    "faults": {"common", "sim"},
+    "monitor": {"common", "sim", "timeseries"},
+    "apps": {"common", "sim", "workload"},
+    "core": {"apps", "common", "faults", "models", "monitor", "obs", "sim",
+             "timeseries", "workload"},
+    "report": {"common", "core", "monitor", "sim"},
+}
+
+# TUs whose include closure reaches one of these headers write (or can
+# write) trace/span/event/metrics artifacts that CI byte-diffs across
+# thread counts; unordered iteration there is a determinism bug.
+OUTPUT_HEADERS = {
+    "src/obs/span_tracer.h",
+    "src/obs/trace_export.h",
+    "src/obs/metrics.h",
+    "src/obs/prom_export.h",
+    "src/sim/event_log.h",
+}
+
+# Wall-clock / libc-randomness symbols (qualified names) banned outside
+# TIME_ALLOWED_FILES. steady_clock is deliberately NOT here: it is
+# monotonic and only used for profiler stopwatches.
+BANNED_TIME_REFS = {
+    "std::rand": "std::rand",
+    "rand": "rand",
+    "std::srand": "std::srand",
+    "srand": "srand",
+    "std::time": "time()",
+    "time": "time()",
+    "std::chrono::system_clock": "std::chrono::system_clock",
+    "std::chrono::high_resolution_clock": "std::chrono::high_resolution_clock",
+}
+TIME_ALLOWED_FILES = (
+    "src/sim/clock.h", "src/sim/clock.cpp",
+    "src/obs/stage_profiler.h", "src/obs/stage_profiler.cpp",
+)
+
+# strong-type scope: public API headers of the predict->diagnose->
+# prevent chain. Rule fires on public (or free) function parameters of
+# raw builtin scalar type whose name matches a role below.
+STRONG_TYPE_SCOPE = re.compile(
+    r"^src/(models/[^/]+\.h|sim/[^/]+\.h|core/controller\.h|"
+    r"core/anomaly_predictor\.h)$")
+
+SCALAR_TYPES = {
+    "int", "unsigned int", "short", "unsigned short", "long",
+    "unsigned long", "long long", "unsigned long long", "float", "double",
+}
+
+ROLE_RULES = [
+    (re.compile(r"^(vm_id|vmid|vm_index)$"), "VmId"),
+    (re.compile(r"^(tick|ticks|tick_index|step|steps|lookahead_steps)$"),
+     "TickIndex"),
+    (re.compile(r"^(bin|bin_index|bin_idx|symbol)$"), "BinIndex"),
+    (re.compile(r"^(p|prob|probability)$|_prob(ability)?$"), "Probability"),
+    (re.compile(r"^(log_odds|logodds|l_i)$"), "LogOdds"),
+    (re.compile(r"^(dt|delay)$|_(s|seconds)$"), "Seconds"),
+]
+
+# std locking vocabulary banned outside MUTEX_ALLOWED_FILE (matched on
+# canonical types, so `using M = std::mutex;` cannot dodge it).
+BANNED_MUTEX_TYPES = (
+    "std::mutex", "std::timed_mutex", "std::recursive_mutex",
+    "std::recursive_timed_mutex", "std::shared_mutex",
+    "std::shared_timed_mutex", "std::lock_guard", "std::unique_lock",
+    "std::scoped_lock", "std::shared_lock",
+)
+MUTEX_ALLOWED_FILE = "src/common/mutex.h"
+
+SUPPRESS_RE = re.compile(
+    r"//\s*prepare-analyze:\s*allow\(([a-z-]+)\)\s*(?::\s*(\S.*))?")
+
+# --- libclang bootstrap ----------------------------------------------------
+
+
+def load_cindex():
+    """Returns the clang.cindex module with libclang configured, or None."""
+    try:
+        import clang.cindex as ci
+    except ImportError:
+        return None
+    override = os.environ.get("PREPARE_LIBCLANG")
+    candidates = [override] if override else []
+    if not override:
+        for pattern in (
+                "/usr/lib/llvm-*/lib/libclang.so*",
+                "/usr/lib/llvm-*/lib/libclang-*.so*",
+                "/usr/lib/x86_64-linux-gnu/libclang-*.so*",
+                "/usr/lib/x86_64-linux-gnu/libclang.so*",
+                "/usr/local/lib/libclang*.so*",
+        ):
+            candidates.extend(sorted(glob.glob(pattern), reverse=True))
+    for path in candidates:
+        if not path or not os.path.exists(path):
+            continue
+        try:
+            ci.Config.set_library_file(path)
+            ci.Index.create()
+            return ci
+        except Exception:  # try the next candidate
+            ci.Config.loaded = False
+            continue
+    try:  # maybe the bindings know their own library
+        ci.Index.create()
+        return ci
+    except Exception:
+        return None
+
+
+# --- helpers ---------------------------------------------------------------
+
+
+def rel(path):
+    return os.path.relpath(os.path.abspath(path), REPO)
+
+
+# First-party source roots. Build trees live inside the repo (and pull
+# in _deps/ gtest etc.), so "under the repo root" alone is not enough.
+SOURCE_ROOTS = ("src", "tests", "bench", "examples", "tools")
+
+
+def in_repo(path):
+    relpath = rel(path)
+    return (not relpath.startswith("..")
+            and relpath.split(os.sep, 1)[0] in SOURCE_ROOTS)
+
+
+def src_layer(relpath):
+    """Top-level dir under src/ for a repo-relative path, else None."""
+    parts = relpath.split(os.sep)
+    if len(parts) >= 2 and parts[0] == "src":
+        return parts[1] if parts[1] in ALLOWED_EDGES else None
+    return None
+
+
+RESERVED_NS_RE = re.compile(r"^_[_A-Z0-9]")  # __1, _V2, ... (inline nss)
+
+
+def qualified_name(cursor):
+    parts = []
+    cur = cursor
+    while cur is not None and cur.kind.name != "TRANSLATION_UNIT":
+        if cur.spelling and not RESERVED_NS_RE.match(cur.spelling):
+            parts.append(cur.spelling)
+        cur = cur.semantic_parent
+    return "::".join(reversed(parts))
+
+
+class SourceCache:
+    def __init__(self):
+        self._lines = {}
+
+    def line(self, path, number):
+        if path not in self._lines:
+            try:
+                with open(path, encoding="utf-8", errors="replace") as f:
+                    self._lines[path] = f.readlines()
+            except OSError:
+                self._lines[path] = []
+        lines = self._lines[path]
+        return lines[number - 1] if 0 < number <= len(lines) else ""
+
+
+class Diagnostics:
+    """Dedups across TUs and applies line-comment suppressions."""
+
+    def __init__(self):
+        self._seen = set()
+        self.items = []  # (file, line, rule, message)
+        self._sources = SourceCache()
+
+    def add(self, path, line, rule, message, real_path=None):
+        key = (path, line, rule)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        text = self._sources.line(real_path or path, line)
+        m = SUPPRESS_RE.search(text)
+        if m and m.group(1) == rule:
+            if m.group(2):
+                return  # suppressed with a justification
+            message = ("allow(%s) needs a justification: "
+                       "`// prepare-analyze: allow(%s): reason`" % (rule, rule))
+            rule = "suppression"
+        self.items.append((path, line, rule, message))
+
+    def report(self, out=sys.stdout):
+        for path, line, rule, message in sorted(self.items):
+            out.write("%s:%d: [%s] %s\n" % (path, line, rule, message))
+
+
+# --- the analysis proper ---------------------------------------------------
+
+
+class Analyzer:
+    def __init__(self, ci, diags):
+        self.ci = ci
+        self.diags = diags
+
+    def analyze_tu(self, tu, main_as, real_main, restrict_to_main):
+        """Runs every rule over one translation unit.
+
+        main_as:          repo-relative path the main file is scoped as
+                          (differs from the real path in fixture mode).
+        real_main:        real filesystem path of the main file.
+        restrict_to_main: only diagnose the main file (fixture mode).
+        """
+        included = self.check_layering(tu, main_as, real_main,
+                                       restrict_to_main)
+        reaches_output = main_as in OUTPUT_HEADERS or bool(
+            included & OUTPUT_HEADERS)
+        for cursor in tu.cursor.get_children():
+            loc_file = cursor.location.file
+            if loc_file is None:
+                continue
+            real = os.path.abspath(loc_file.name)
+            if restrict_to_main:
+                if real != os.path.abspath(real_main):
+                    continue
+                scoped = main_as
+            else:
+                if not in_repo(real):
+                    continue
+                scoped = rel(real)
+            self.walk(cursor, scoped, real, reaches_output)
+
+    # -- layering --
+
+    def check_layering(self, tu, main_as, real_main, restrict_to_main):
+        """Checks include edges; returns the repo-relative include set."""
+        included = set()
+        for inc in tu.get_includes():
+            target = os.path.abspath(inc.include.name)
+            if not in_repo(target):
+                continue
+            target_rel = rel(target)
+            included.add(target_rel)
+            source_file = inc.location.file
+            if source_file is None:
+                continue
+            source_real = os.path.abspath(source_file.name)
+            if source_real == os.path.abspath(real_main):
+                source_rel = main_as
+            elif restrict_to_main or not in_repo(source_real):
+                continue
+            else:
+                source_rel = rel(source_real)
+            src = src_layer(source_rel)
+            dst = src_layer(target_rel)
+            if src is None or dst is None or src == dst:
+                continue  # outside src/, or an intra-layer include
+            if dst not in ALLOWED_EDGES[src]:
+                self.diags.add(
+                    source_rel, inc.location.line, "layering",
+                    "%s/ must not include %s/ (%s): allowed from %s/ are {%s}"
+                    % (src, dst, target_rel, src,
+                       ", ".join(sorted(ALLOWED_EDGES[src])) or "none"),
+                    real_path=source_real)
+        return included
+
+    # -- recursive cursor walk for determinism / strong-type / mutex-type --
+
+    def walk(self, cursor, scoped, real, reaches_output):
+        kind = cursor.kind.name
+        if kind in ("FUNCTION_DECL", "CXX_METHOD", "CONSTRUCTOR",
+                    "FUNCTION_TEMPLATE"):
+            self.check_strong_type(cursor, scoped, real)
+        if kind == "CXX_FOR_RANGE_STMT" and reaches_output:
+            self.check_unordered_walk(cursor, scoped, real)
+        if kind in ("VAR_DECL", "FIELD_DECL"):
+            self.check_mutex_type(cursor, scoped, real)
+            if reaches_output:
+                self.check_unordered_iterator(cursor, scoped, real)
+        if kind in ("DECL_REF_EXPR", "TYPE_REF"):
+            self.check_time_ref(cursor, scoped, real)
+        for child in cursor.get_children():
+            self.walk(child, scoped, real, reaches_output)
+
+    def check_strong_type(self, cursor, scoped, real):
+        if not STRONG_TYPE_SCOPE.match(scoped):
+            return
+        access = cursor.access_specifier.name
+        if access in ("PROTECTED", "PRIVATE"):
+            return  # only the public boundary is policed
+        for child in cursor.get_children():
+            if child.kind.name != "PARM_DECL":
+                continue
+            canonical = child.type.get_canonical().spelling
+            if canonical.startswith("const "):
+                canonical = canonical[len("const "):]
+            if canonical not in SCALAR_TYPES:
+                continue
+            name = child.spelling
+            if not name:
+                continue
+            for pattern, strong in ROLE_RULES:
+                if pattern.search(name):
+                    self.diags.add(
+                        scoped, child.location.line, "strong-type",
+                        "public parameter '%s %s' of %s() plays the %s role; "
+                        "take prepare::%s (common/units.h) instead"
+                        % (canonical, name, cursor.spelling, strong, strong),
+                        real_path=real)
+                    break
+
+    def check_unordered_walk(self, cursor, scoped, real):
+        for child in cursor.get_children():
+            if child.kind.name == "VAR_DECL":
+                continue  # the loop variable
+            canonical = child.type.get_canonical().spelling
+            if "unordered_map<" in canonical or "unordered_set<" in canonical:
+                self.diags.add(
+                    scoped, cursor.location.line, "determinism",
+                    "range-for over %s in a TU that reaches trace/span/event "
+                    "output: iteration order is nondeterministic; use an "
+                    "ordered container or sort first"
+                    % canonical.split("<")[0], real_path=real)
+                return
+
+    def check_unordered_iterator(self, cursor, scoped, real):
+        canonical = cursor.type.get_canonical().spelling
+        if "_Node_iterator" in canonical or "_Node_const_iterator" in canonical:
+            self.diags.add(
+                scoped, cursor.location.line, "determinism",
+                "iterator into an unordered container in a TU that reaches "
+                "trace/span/event output: iteration order is "
+                "nondeterministic", real_path=real)
+
+    def check_mutex_type(self, cursor, scoped, real):
+        if scoped == MUTEX_ALLOWED_FILE:
+            return
+        canonical = cursor.type.get_canonical().spelling
+        for banned in BANNED_MUTEX_TYPES:
+            if canonical == banned or canonical.startswith(banned + "<"):
+                self.diags.add(
+                    scoped, cursor.location.line, "mutex-type",
+                    "'%s' declared as %s: use prepare::Mutex / "
+                    "prepare::MutexLock (common/mutex.h) so -Wthread-safety "
+                    "sees the capability" % (cursor.spelling, banned),
+                    real_path=real)
+                return
+
+    def check_time_ref(self, cursor, scoped, real):
+        if scoped in TIME_ALLOWED_FILES:
+            return
+        ref = cursor.referenced
+        if ref is None:
+            return
+        qname = qualified_name(ref)
+        label = BANNED_TIME_REFS.get(qname)
+        if label is None:
+            return
+        self.diags.add(
+            scoped, cursor.location.line, "determinism",
+            "reference to %s: wall-clock time and libc randomness are "
+            "banned outside sim/clock and obs/stage_profiler (use SimClock "
+            "/ prepare::Rng)" % label, real_path=real)
+
+
+# --- compile_commands driving ---------------------------------------------
+
+KEEP_PREFIX = ("-I", "-D", "-std=")
+KEEP_WITH_VALUE = ("-isystem", "-include", "-iquote")
+
+
+def parse_args_from_entry(entry):
+    if "arguments" in entry:
+        tokens = list(entry["arguments"])
+    else:
+        tokens = shlex.split(entry["command"])
+    directory = entry.get("directory", REPO)
+    out = []
+    i = 1  # skip the compiler itself
+    while i < len(tokens):
+        tok = tokens[i]
+        if tok in KEEP_WITH_VALUE and i + 1 < len(tokens):
+            out.extend([tok, absolutize(tokens[i + 1], directory)])
+            i += 2
+            continue
+        if tok.startswith("-I"):
+            out.append("-I" + absolutize(tok[2:], directory))
+        elif any(tok.startswith(p) for p in KEEP_PREFIX):
+            out.append(tok)
+        i += 1
+    return out
+
+
+def absolutize(path, directory):
+    return path if os.path.isabs(path) else os.path.join(directory, path)
+
+
+def run_tree(ci, build_dir, paths):
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(db_path):
+        sys.stderr.write("prepare_analyze: %s not found (configure with "
+                         "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON)\n" % db_path)
+        return EXIT_ERROR
+    with open(db_path, encoding="utf-8") as f:
+        entries = json.load(f)
+
+    wanted = [os.path.abspath(os.path.join(REPO, p)) for p in paths]
+    diags = Diagnostics()
+    analyzer = Analyzer(ci, diags)
+    index = ci.Index.create()
+    analyzed = 0
+    for entry in entries:
+        source = absolutize(entry["file"], entry.get("directory", REPO))
+        source = os.path.abspath(source)
+        if not any(source == w or source.startswith(w + os.sep)
+                   for w in wanted):
+            continue
+        args = parse_args_from_entry(entry) + ["-x", "c++"]
+        try:
+            tu = index.parse(
+                source, args=args,
+                options=ci.TranslationUnit.PARSE_DETAILED_PROCESSING_RECORD)
+        except ci.TranslationUnitLoadError as err:
+            sys.stderr.write("prepare_analyze: cannot parse %s: %s\n"
+                             % (rel(source), err))
+            return EXIT_ERROR
+        fatal = [d for d in tu.diagnostics if d.severity >= d.Fatal]
+        if fatal:
+            sys.stderr.write("prepare_analyze: %s: %s\n"
+                             % (rel(source), fatal[0].spelling))
+            return EXIT_ERROR
+        analyzer.analyze_tu(tu, rel(source), source, restrict_to_main=False)
+        analyzed += 1
+
+    if analyzed == 0:
+        sys.stderr.write("prepare_analyze: no translation units under: %s\n"
+                         % " ".join(paths))
+        return EXIT_ERROR
+    diags.report()
+    if diags.items:
+        sys.stderr.write("prepare_analyze: %d diagnostic(s) in %d TU(s)\n"
+                         % (len(diags.items), analyzed))
+        return EXIT_DIAGNOSTICS
+    print("prepare_analyze: %d TU(s) clean" % analyzed)
+    return EXIT_CLEAN
+
+
+# --- fixture (self-test) mode ----------------------------------------------
+
+FIXTURE_AS_RE = re.compile(r"//\s*prepare-analyze-fixture:\s*as=(\S+)")
+
+
+def run_fixtures(ci, fixture_dir):
+    fixtures = sorted(
+        glob.glob(os.path.join(fixture_dir, "*.cpp")) +
+        glob.glob(os.path.join(fixture_dir, "*.h")))
+    if not fixtures:
+        sys.stderr.write("prepare_analyze: no fixtures in %s\n" % fixture_dir)
+        return EXIT_ERROR
+
+    index = ci.Index.create()
+    failures = 0
+    for path in fixtures:
+        with open(path, encoding="utf-8") as f:
+            first = f.readline()
+        m = FIXTURE_AS_RE.search(first)
+        if not m:
+            sys.stderr.write("%s: missing `// prepare-analyze-fixture: "
+                             "as=src/...` directive on line 1\n" % path)
+            failures += 1
+            continue
+        main_as = m.group(1)
+        expected_path = os.path.splitext(path)[0] + ".expected"
+        if not os.path.exists(expected_path):
+            sys.stderr.write("%s: missing golden file %s\n"
+                             % (path, expected_path))
+            failures += 1
+            continue
+        expected = set()
+        with open(expected_path, encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if line and not line.startswith("#"):
+                    lineno, rule = line.split(":", 1)
+                    expected.add((int(lineno), rule.strip()))
+
+        diags = Diagnostics()
+        analyzer = Analyzer(ci, diags)
+        args = ["-x", "c++", "-std=c++20", "-I" + os.path.join(REPO, "src")]
+        tu = index.parse(
+            path, args=args,
+            options=ci.TranslationUnit.PARSE_DETAILED_PROCESSING_RECORD)
+        fatal = [d for d in tu.diagnostics if d.severity >= d.Error]
+        if fatal:
+            sys.stderr.write("%s: fixture does not parse: %s\n"
+                             % (path, fatal[0].spelling))
+            failures += 1
+            continue
+        analyzer.analyze_tu(tu, main_as, path, restrict_to_main=True)
+        actual = set((line, rule) for _, line, rule, _ in diags.items)
+        if actual != expected:
+            failures += 1
+            sys.stderr.write("FAIL %s (as %s)\n" % (os.path.basename(path),
+                                                    main_as))
+            for line, rule in sorted(expected - actual):
+                sys.stderr.write("  missing expected %d:%s\n" % (line, rule))
+            for line, rule in sorted(actual - expected):
+                sys.stderr.write("  unexpected %d:%s\n" % (line, rule))
+            for item in sorted(diags.items):
+                sys.stderr.write("  got %s:%d: [%s] %s\n" % item)
+        else:
+            print("ok %s (%d diagnostic(s) as expected)"
+                  % (os.path.basename(path), len(expected)))
+
+    if failures:
+        sys.stderr.write("prepare_analyze: %d fixture failure(s)\n" % failures)
+        return EXIT_DIAGNOSTICS
+    print("prepare_analyze: all %d fixtures pass" % len(fixtures))
+    return EXIT_CLEAN
+
+
+# --- entry point -----------------------------------------------------------
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="AST-grounded PREPARE project rules (see module "
+                    "docstring for the rule catalog)")
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="repo-relative dirs/files to analyze "
+                             "(default: src)")
+    parser.add_argument("--build-dir",
+                        default=os.environ.get("PREPARE_BUILD_DIR", "build"),
+                        help="build dir containing compile_commands.json")
+    parser.add_argument("--fixtures", nargs="?", const="tests/analyze_fixtures",
+                        default=None, metavar="DIR",
+                        help="run the self-test fixtures instead of the tree")
+    opts = parser.parse_args()
+
+    sys.setrecursionlimit(10000)  # the cursor walk recurses per AST node
+    ci = load_cindex()
+    if ci is None:
+        sys.stderr.write(
+            "prepare_analyze: clang python bindings / libclang unavailable; "
+            "skipping (install python3-clang + libclang, or set "
+            "PREPARE_LIBCLANG)\n")
+        return EXIT_UNAVAILABLE
+
+    os.chdir(REPO)
+    if opts.fixtures is not None:
+        return run_fixtures(ci, opts.fixtures)
+    return run_tree(ci, opts.build_dir, opts.paths or ["src"])
+
+
+if __name__ == "__main__":
+    sys.exit(main())
