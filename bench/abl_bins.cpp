@@ -30,6 +30,7 @@ int main() {
     curves.push_back(std::move(curve));
   }
   emit_curves("abl_bins", "Memory leak (System S)", curves, &csv);
+  global_meter.report("abl_bins");
   std::printf("-> %s\n", csv_path("abl_bins").c_str());
   return 0;
 }

@@ -43,6 +43,7 @@ int main() {
     emit_curves("abl_classification", panel.label, {mode, expectation},
                 &csv);
   }
+  global_meter.report("abl_classification");
   std::printf("-> %s\n", csv_path("abl_classification").c_str());
   return 0;
 }

@@ -33,6 +33,7 @@ int main() {
         config.graybox_memory = graybox;
         config.prepare.prevention.mode = PreventionMode::kScalingOnly;
         const auto result = run_repeated(config, 5);
+        global_meter.add_vm_ticks(result.vm_ticks);
         std::printf("   %8.1f +/- %4.1f", result.mean, result.stddev);
         csv.row(std::vector<std::string>{
             app_kind_name(app), scheme_name(scheme),
@@ -45,6 +46,7 @@ int main() {
   std::printf("\n(expected: gray-box costs PREPARE part of its lead time "
               "on the leak — memory\n decline below the paging onset is "
               "invisible from outside the guest)\n");
+  global_meter.report("abl_graybox");
   std::printf("-> %s\n", csv_path("abl_graybox").c_str());
   return 0;
 }

@@ -43,6 +43,7 @@ int main() {
       config.prepare.lookahead_s = horizon;
       config.prepare.prevention.mode = PreventionMode::kScalingOnly;
       const auto result = run_repeated(config, 5);
+      global_meter.add_vm_ticks(result.vm_ticks);
       std::printf(" %7.1f  ", result.mean);
       csv.row(std::vector<std::string>{
           app_kind_name(c.app), fault_kind_name(c.fault),
@@ -51,6 +52,7 @@ int main() {
     }
     std::printf("\n");
   }
+  global_meter.report("abl_lookahead");
   std::printf("\n-> %s\n", csv_path("abl_lookahead").c_str());
   return 0;
 }

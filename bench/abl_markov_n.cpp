@@ -32,6 +32,7 @@ int main() {
     curves.push_back(std::move(curve));
   }
   emit_curves("abl_markov_n", "Memory leak (System S)", curves, &csv);
+  global_meter.report("abl_markov_n");
   std::printf("-> %s\n", csv_path("abl_markov_n").c_str());
   return 0;
 }

@@ -118,6 +118,7 @@ int main() {
   std::printf("\n(expected: comparable classification accuracy, but TAN "
               "attribution pinpoints\n the fault's resource kind more "
               "often — the reason the paper adopts TAN)\n");
+  global_meter.report("abl_tan_vs_nb");
   std::printf("-> %s\n", csv_path("abl_tan_vs_nb").c_str());
   return 0;
 }

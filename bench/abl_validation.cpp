@@ -41,6 +41,7 @@ int main() {
         config.prepare.prevention.companion_scaling = companion;
         config.prepare.prevention.validation_enabled = validation;
         const auto result = run_repeated(config, 5);
+        global_meter.add_vm_ticks(result.vm_ticks);
         std::printf("  %7.1f +/- %4.1f", result.mean, result.stddev);
         csv.row(std::vector<std::string>{
             app_kind_name(app), fault_kind_name(fault),
@@ -50,6 +51,7 @@ int main() {
       std::printf("\n");
     }
   }
+  global_meter.report("abl_validation");
   std::printf("\n-> %s\n", csv_path("abl_validation").c_str());
   return 0;
 }

@@ -27,7 +27,9 @@ inline ScenarioResult record_trace(AppKind app, FaultKind fault,
   config.scheme = Scheme::kNoIntervention;
   config.seed = seed;
   config.sampling_interval_s = sampling_interval_s;
-  return run_scenario(config);
+  ScenarioResult result = run_scenario(config);
+  global_meter.add_vm_ticks(result.vm_count * result.ticks);
+  return result;
 }
 
 struct Curve {

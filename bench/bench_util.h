@@ -2,27 +2,170 @@
 //
 // Each bench binary regenerates one table or figure of the paper: it
 // prints the same rows/series the paper reports and writes a CSV next to
-// it (./bench_results/<name>.csv) for plotting.
+// it for plotting, plus (where wired) a machine-readable
+// BENCH_<name>.json rate/percentile report (schema: prepare-bench-v1,
+// validated by tools/check_bench_json.py).
+//
+// Output routing: with PREPARE_BENCH_OUT_DIR set, files go there under
+// their stable names (CI points each job at its own directory and then
+// knows exactly where to look). Without it, files land in
+// ./bench_results/ tagged with the pid — two benches running
+// concurrently in one working directory must not clobber each other
+// (same race tests/temp_path.h solves for the test suite).
 #pragma once
 
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/check.h"
 #include "common/csv.h"
 #include "core/experiment.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
 
 namespace prepare::bench {
 
+/// True when CI (or the user) pinned the output directory — stable file
+/// names are then wanted so the consumer can find them.
+inline bool out_dir_pinned() {
+  const char* dir = std::getenv("PREPARE_BENCH_OUT_DIR");
+  return dir != nullptr && dir[0] != '\0';
+}
+
 inline std::string results_dir() {
-  const std::string dir = "bench_results";
+  const char* env = std::getenv("PREPARE_BENCH_OUT_DIR");
+  const std::string dir =
+      (env != nullptr && env[0] != '\0') ? env : "bench_results";
   std::filesystem::create_directories(dir);
   return dir;
 }
 
+/// Per-process unique output path: `<results_dir>/<stem><ext>` when the
+/// out dir is pinned, `<results_dir>/<stem>.<pid><ext>` otherwise.
+inline std::string output_path(const std::string& stem,
+                               const std::string& ext) {
+  if (out_dir_pinned()) return results_dir() + "/" + stem + ext;
+  return results_dir() + "/" + stem + "." + std::to_string(::getpid()) + ext;
+}
+
 inline std::string csv_path(const std::string& name) {
-  return results_dir() + "/" + name + ".csv";
+  return output_path(name, ".csv");
+}
+
+inline std::string bench_json_path(const std::string& name) {
+  return output_path("BENCH_" + name, ".json");
+}
+
+/// stress-ng-style throughput accounting: benches count simulated work
+/// in VM-ticks (one VM advanced by one simulation step) and report a
+/// single comparable rate line at the end:
+///
+///   bogo-rate: ext_scale: 140400 VM-ticks in 2.31 s (60878.31 VM-ticks/sec)
+///
+/// Wall time is steady_clock — fine here because bench TUs never feed
+/// the deterministic trace (tools/prepare_analyze.py enforces that
+/// split).
+class ThroughputMeter {
+ public:
+  ThroughputMeter() : start_(std::chrono::steady_clock::now()) {}
+
+  void add_vm_ticks(std::size_t n) { vm_ticks_ += n; }
+  std::size_t vm_ticks() const { return vm_ticks_; }
+
+  double elapsed_s() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  double rate() const {
+    const double s = elapsed_s();
+    return s > 0.0 ? static_cast<double>(vm_ticks_) / s : 0.0;
+  }
+
+  /// Prints the rate line. Call once, after the timed work.
+  void report(const std::string& bench) const {
+    std::printf("bogo-rate: %s: %zu VM-ticks in %.2f s (%.2f "
+                "VM-ticks/sec)\n",
+                bench.c_str(), vm_ticks_, elapsed_s(), rate());
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+  std::size_t vm_ticks_ = 0;
+};
+
+/// Process-wide meter (clock starts at program startup) for benches
+/// whose scenario runs are spread across helpers: the helpers add
+/// VM-ticks as results come back and main() calls
+/// `global_meter.report(<bench>)` once before exiting.
+inline ThroughputMeter global_meter;
+
+/// Machine-readable bench report (schema prepare-bench-v1):
+///
+///   {"schema": "prepare-bench-v1", "bench": "<name>",
+///    "config": {...}, "vm_ticks": N, "elapsed_s": S,
+///    "rate_vm_ticks_per_sec": R,
+///    "stages": [{"stage": "tan_classify", "count": N,
+///                "p50_s": ..., "p90_s": ..., "p99_s": ...}, ...]}
+///
+/// `config` carries the knobs that shaped the run (numbers only);
+/// `stages` holds one row per stage.<name>.seconds histogram found in
+/// `registry` (empty list when registry is null or uninstrumented).
+/// Returns the path written. obs/json.h only writes flat single-line
+/// objects, so the nesting is hand-assembled from its escape/number
+/// primitives.
+inline std::string write_bench_json(
+    const std::string& name,
+    const std::vector<std::pair<std::string, double>>& config,
+    const ThroughputMeter& meter, const obs::MetricsRegistry* registry) {
+  const std::string path = bench_json_path(name);
+  std::ofstream os(path);
+  PREPARE_CHECK_MSG(os.good(), "cannot open bench json for writing");
+  os << "{\"schema\": \"prepare-bench-v1\", \"bench\": \""
+     << obs::json_escape(name) << "\", \"config\": {";
+  bool first = true;
+  for (const auto& [key, value] : config) {
+    if (!first) os << ", ";
+    first = false;
+    os << "\"" << obs::json_escape(key) << "\": " << obs::json_number(value);
+  }
+  os << "}, \"vm_ticks\": " << meter.vm_ticks()
+     << ", \"elapsed_s\": " << obs::json_number(meter.elapsed_s())
+     << ", \"rate_vm_ticks_per_sec\": " << obs::json_number(meter.rate())
+     << ", \"stages\": [";
+  first = true;
+  if (registry != nullptr) {
+    const auto snapshot = registry->snapshot();
+    const std::string prefix = "stage.", suffix = ".seconds";
+    for (const auto& [metric, stats] : snapshot.histograms) {
+      if (metric.size() <= prefix.size() + suffix.size() ||
+          metric.compare(0, prefix.size(), prefix) != 0 ||
+          metric.compare(metric.size() - suffix.size(), suffix.size(),
+                         suffix) != 0)
+        continue;
+      const std::string stage = metric.substr(
+          prefix.size(), metric.size() - prefix.size() - suffix.size());
+      if (!first) os << ", ";
+      first = false;
+      os << "{\"stage\": \"" << obs::json_escape(stage)
+         << "\", \"count\": " << stats.count
+         << ", \"p50_s\": " << obs::json_number(stats.p50)
+         << ", \"p90_s\": " << obs::json_number(stats.p90)
+         << ", \"p99_s\": " << obs::json_number(stats.p99) << "}";
+    }
+  }
+  os << "]}\n";
+  PREPARE_CHECK_MSG(os.good(), "bench json write failed");
+  return path;
 }
 
 /// Violation-time comparison (Figs. 6 and 8): one row per app x fault,
@@ -41,6 +184,7 @@ inline void run_violation_comparison(const std::string& figure,
 
   CsvWriter csv(csv_path(figure),
                 {"app", "fault", "scheme", "mean_s", "std_s"});
+  ThroughputMeter meter;
   for (AppKind app : {AppKind::kSystemS, AppKind::kRubis}) {
     for (FaultKind fault : {FaultKind::kMemoryLeak, FaultKind::kCpuHog,
                             FaultKind::kBottleneck}) {
@@ -56,6 +200,7 @@ inline void run_violation_comparison(const std::string& figure,
         config.seed = 1;
         config.prepare.prevention.mode = mode;
         per_scheme[s] = run_repeated(config, repeats);
+        meter.add_vm_ticks(per_scheme[s].vm_ticks);
         std::printf(" %12.1f +/- %5.1f", per_scheme[s].mean,
                     per_scheme[s].stddev);
         csv.row(std::vector<std::string>{
@@ -70,6 +215,7 @@ inline void run_violation_comparison(const std::string& figure,
       std::printf("   (PREPARE cuts %.0f%% vs none)\n", vs_none);
     }
   }
+  meter.report(figure);
   std::printf("-> %s\n\n", csv_path(figure).c_str());
 }
 
@@ -93,6 +239,7 @@ inline void run_trace_panels(const std::string& figure, PreventionMode mode) {
               mode == PreventionMode::kScalingOnly ? "scaling" : "migration");
   CsvWriter csv(csv_path(figure),
                 {"panel", "scheme", "time_s", "slo_metric"});
+  ThroughputMeter meter;
   for (const Panel& panel : panels) {
     std::printf("%s — %s\n", panel.label,
                 panel.app == AppKind::kSystemS
@@ -112,6 +259,7 @@ inline void run_trace_panels(const std::string& figure, PreventionMode mode) {
       config.seed = 1;
       config.prepare.prevention.mode = mode;
       const auto result = run_scenario(config);
+      meter.add_vm_ticks(result.vm_count * result.ticks);
       fault2 = config.fault2_start;
       std::vector<double> values;
       for (double t = fault2 - 60.0; t <= fault2 + 240.0; t += 10.0) {
@@ -136,6 +284,7 @@ inline void run_trace_panels(const std::string& figure, PreventionMode mode) {
       std::printf("\n");
     }
   }
+  meter.report(figure);
   std::printf("-> %s\n\n", csv_path(figure).c_str());
 }
 

@@ -16,9 +16,11 @@
 #include <thread>
 #include <vector>
 
+#include "bench_util.h"
 #include "core/experiment.h"
 
 using namespace prepare;
+using prepare::bench::global_meter;
 
 namespace {
 
@@ -46,6 +48,7 @@ ThreadResult run_with_threads(std::size_t threads) {
   result.threads = threads;
   const auto start = std::chrono::steady_clock::now();
   const ScenarioResult run = run_scenario(config);
+  global_meter.add_vm_ticks(run.vm_count * run.ticks);
   const auto end = std::chrono::steady_clock::now();
   result.wall_s = std::chrono::duration<double>(end - start).count();
   result.violation_s = run.violation_time;
@@ -86,5 +89,6 @@ int main() {
                  "ext_parallel: FAIL — parallel run diverged from serial\n");
     return EXIT_FAILURE;
   }
+  global_meter.report("ext_parallel");
   return EXIT_SUCCESS;
 }

@@ -45,9 +45,11 @@ struct ScaleResult {
   double total_violation_s = 0.0;
   double none_violation_s = 0.0;  // same faults, no management
   double mean_round_us = 0.0;     // controller cost per sampling round
+  std::size_t vm_ticks = 0;       // simulated work (VMs x ticks)
 };
 
-ScaleResult run_consolidated(std::size_t k, bool managed) {
+ScaleResult run_consolidated(std::size_t k, bool managed,
+                             obs::MetricsRegistry* metrics) {
   SimClock clock;
   Cluster cluster;
   EventLog events;
@@ -91,6 +93,7 @@ ScaleResult run_consolidated(std::size_t k, bool managed) {
     if (managed) {
       ControllerContext ctx{instance->app.get(), &cluster, &hypervisor,
                             &instance->store, &instance->slo, &events};
+      ctx.metrics = metrics;
       instance->controller = std::make_unique<PrepareController>(ctx);
     }
     apps.push_back(std::move(instance));
@@ -100,7 +103,8 @@ ScaleResult run_consolidated(std::size_t k, bool managed) {
   const double kEnd = 1350.0, kDt = 1.0, kSample = 5.0;
   double round_time_us = 0.0;
   std::size_t rounds = 0;
-  for (std::size_t tick = 0; clock.now() < kEnd; ++tick) {
+  std::size_t ticks = 0;
+  for (std::size_t tick = 0; clock.now() < kEnd; ++tick, ++ticks) {
     const double now = clock.now();
     for (auto& instance : apps) {
       for (Vm* vm : instance->vms) vm->begin_tick();
@@ -134,12 +138,48 @@ ScaleResult run_consolidated(std::size_t k, bool managed) {
   for (auto& instance : apps)
     result.total_violation_s += instance->slo.violation_time(850.0, kEnd);
   result.mean_round_us = rounds > 0 ? round_time_us / rounds : 0.0;
+  result.vm_ticks = 4 * k * ticks;
   return result;
+}
+
+/// Parses "1,2,4" into app counts; exits loudly on garbage.
+std::vector<std::size_t> parse_apps_list(const std::string& arg) {
+  std::vector<std::size_t> out;
+  std::size_t pos = 0;
+  while (pos < arg.size()) {
+    std::size_t end = arg.find(',', pos);
+    if (end == std::string::npos) end = arg.size();
+    const std::string token = arg.substr(pos, end - pos);
+    const unsigned long k = std::strtoul(token.c_str(), nullptr, 10);
+    if (k == 0) {
+      std::fprintf(stderr, "ext_scale: bad --apps value '%s'\n",
+                   token.c_str());
+      std::exit(2);
+    }
+    out.push_back(static_cast<std::size_t>(k));
+    pos = end + 1;
+  }
+  return out;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Default sweep reproduces the scalability table; CI's perf-smoke job
+  // passes --apps=1 for a seconds-long run that still exercises the
+  // whole pipeline and emits the JSON report.
+  std::vector<std::size_t> app_counts = {1, 2, 4, 6};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string prefix = "--apps=";
+    if (arg.compare(0, prefix.size(), prefix) == 0) {
+      app_counts = parse_apps_list(arg.substr(prefix.size()));
+    } else {
+      std::fprintf(stderr, "usage: ext_scale [--apps=K1,K2,...]\n");
+      return 2;
+    }
+  }
+
   std::printf("extension: K consolidated applications, one PREPARE "
               "controller per app\n\n");
   CsvWriter csv(csv_path("ext_scale"),
@@ -148,9 +188,12 @@ int main() {
   std::printf("%5s %5s %22s %22s %18s\n", "apps", "VMs",
               "violation (PREPARE, s)", "violation (none, s)",
               "round cost (us)");
-  for (std::size_t k : {1u, 2u, 4u, 6u}) {
-    const auto managed = run_consolidated(k, true);
-    const auto none = run_consolidated(k, false);
+  obs::MetricsRegistry registry;
+  ThroughputMeter meter;
+  for (std::size_t k : app_counts) {
+    const auto managed = run_consolidated(k, true, &registry);
+    const auto none = run_consolidated(k, false, nullptr);
+    meter.add_vm_ticks(managed.vm_ticks + none.vm_ticks);
     std::printf("%5zu %5zu %22.1f %22.1f %18.1f\n", k, 4 * k,
                 managed.total_violation_s, none.total_violation_s,
                 managed.mean_round_us);
@@ -163,6 +206,12 @@ int main() {
   std::printf("\n(expected: protection holds for every application and "
               "the per-round management\n cost grows ~linearly with the "
               "VM count — per-VM models do not interact)\n");
-  std::printf("-> %s\n", csv_path("ext_scale").c_str());
+  meter.report("ext_scale");
+  const std::string json = write_bench_json(
+      "ext_scale",
+      {{"apps_max", static_cast<double>(app_counts.back())},
+       {"configs", static_cast<double>(app_counts.size())}},
+      meter, &registry);
+  std::printf("-> %s\n-> %s\n", csv_path("ext_scale").c_str(), json.c_str());
   return 0;
 }

@@ -39,6 +39,7 @@ int main() {
     }
     emit_curves("fig10", panel.label, {per, mono}, &csv);
   }
+  global_meter.report("fig10");
   std::printf("-> %s\n", csv_path("fig10").c_str());
   return 0;
 }

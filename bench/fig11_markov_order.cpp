@@ -38,6 +38,7 @@ int main() {
     }
     emit_curves("fig11", panel.label, {two, one}, &csv);
   }
+  global_meter.report("fig11");
   std::printf("-> %s\n", csv_path("fig11").c_str());
   return 0;
 }

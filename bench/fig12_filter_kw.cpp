@@ -28,6 +28,7 @@ int main() {
     curves.push_back(std::move(curve));
   }
   emit_curves("fig12", "Bottleneck (RUBiS)", curves, &csv);
+  global_meter.report("fig12");
   std::printf("-> %s\n", csv_path("fig12").c_str());
   return 0;
 }

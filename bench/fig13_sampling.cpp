@@ -30,6 +30,7 @@ int main() {
     curves.push_back(std::move(curve));
   }
   emit_curves("fig13", "Bottleneck (RUBiS)", curves, &csv);
+  global_meter.report("fig13");
   std::printf("-> %s\n", csv_path("fig13").c_str());
   return 0;
 }

@@ -27,6 +27,7 @@
 #include <sstream>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/rng.h"
 #include "core/anomaly_predictor.h"
 #include "core/experiment.h"
@@ -230,7 +231,8 @@ BENCHMARK(BM_LiveMigration512MB);
 /// PREPARE scheme). `registry` null = uninstrumented build path;
 /// `with_spans` additionally attaches a fresh SpanTracer (the full
 /// alert-lifecycle layer on top of the metrics instruments).
-double timed_scenario_run(obs::MetricsRegistry* registry, bool with_spans) {
+double timed_scenario_run(obs::MetricsRegistry* registry, bool with_spans,
+                          bench::ThroughputMeter* meter) {
   ScenarioConfig config;
   config.seed = 11;
   config.metrics = registry;
@@ -243,6 +245,7 @@ double timed_scenario_run(obs::MetricsRegistry* registry, bool with_spans) {
   const auto result = run_scenario(config);
   const auto end = std::chrono::steady_clock::now();
   benchmark::DoNotOptimize(result.violation_time);
+  if (meter != nullptr) meter->add_vm_ticks(result.vm_count * result.ticks);
   return std::chrono::duration<double>(end - start).count();
 }
 
@@ -255,14 +258,15 @@ double timed_scenario_run(obs::MetricsRegistry* registry, bool with_spans) {
 void report_pipeline_stage_profile() {
   constexpr int kReps = 5;
   obs::MetricsRegistry registry;
-  timed_scenario_run(nullptr, false);  // warm-up (allocator, code paths)
+  timed_scenario_run(nullptr, false, nullptr);  // warm-up
   double bare = 0.0;
   double with_metrics = 0.0;
   double with_spans = 0.0;
+  bench::ThroughputMeter meter;
   for (int r = 0; r < kReps; ++r) {
-    bare += timed_scenario_run(nullptr, false);
-    with_metrics += timed_scenario_run(&registry, false);  // accumulates
-    with_spans += timed_scenario_run(&registry, true);
+    bare += timed_scenario_run(nullptr, false, &meter);
+    with_metrics += timed_scenario_run(&registry, false, &meter);
+    with_spans += timed_scenario_run(&registry, true, &meter);
   }
   std::printf("\n-- controller pipeline stage profile (%d scenario runs) --\n",
               kReps);
@@ -277,6 +281,11 @@ void report_pipeline_stage_profile() {
       "%.3f s metrics+spans (%+.2f%%)\n",
       bare / kReps, with_metrics / kReps, overhead(with_metrics),
       with_spans / kReps, overhead(with_spans));
+  meter.report("table1");
+  const std::string json = bench::write_bench_json(
+      "table1", {{"scenario_runs", static_cast<double>(kReps * 3)}}, meter,
+      &registry);
+  std::printf("-> %s\n", json.c_str());
 }
 
 }  // namespace

@@ -159,17 +159,19 @@ bool AnomalyPredictor::ready() const {
 AnomalyPredictor::Result AnomalyPredictor::predict(TickIndex steps) const {
   PREPARE_CHECK_MSG(ready(), "predict() before the model is ready");
   PREPARE_CHECK(steps.value() >= 1);
-  std::vector<Distribution> dists;
-  dists.reserve(predictors_.size());
+  auto& dists = scratch_dists_;
+  dists.resize(predictors_.size());
   {
     obs::ScopedTimer timer(stage_lookahead_);
-    for (const auto& p : predictors_) dists.push_back(p->predict(steps));
+    for (std::size_t i = 0; i < predictors_.size(); ++i)
+      predictors_[i]->predict_into(steps, &dists[i]);
   }
 
   Result out;
   obs::ScopedTimer classify_timer(stage_classify_);
   if (config_.classify_mode) {
-    std::vector<std::size_t> row(dists.size());
+    auto& row = scratch_row_;
+    row.resize(dists.size());
     for (std::size_t i = 0; i < dists.size(); ++i) row[i] = dists[i].mode();
     out.classification = classifier_->classify(row);
   } else {

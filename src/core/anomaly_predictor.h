@@ -146,6 +146,14 @@ class AnomalyPredictor {
   obs::Histogram* stage_discretize_ = nullptr;
   obs::Histogram* stage_lookahead_ = nullptr;
   obs::Histogram* stage_classify_ = nullptr;
+
+  // Per-predict transient buffers, reused across ticks so the steady
+  // state allocates nothing. Safe despite `mutable`: a predictor is
+  // confined to its VM's worker thread (the parallel driver shards by
+  // VM), matching the thread-safety story of the scratch buffers inside
+  // the Markov models themselves.
+  mutable std::vector<Distribution> scratch_dists_;
+  mutable std::vector<std::size_t> scratch_row_;
 };
 
 }  // namespace prepare

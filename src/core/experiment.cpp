@@ -260,6 +260,8 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     ++tick;
   }
   obs::set(sim_time_gauge, bed->clock.now());
+  result.vm_count = vms.size();
+  result.ticks = tick;
   // Run over: an episode confirmed in the final round has no chance to
   // validate — close everything still open as expired.
   if (config.tracer != nullptr) config.tracer->finish(bed->clock.now());
@@ -280,7 +282,9 @@ RepeatedResult run_repeated(ScenarioConfig config, std::size_t repeats) {
   RepeatedResult out;
   for (std::size_t r = 0; r < repeats; ++r) {
     config.seed = config.seed + (r == 0 ? 0 : 1);
-    out.runs.push_back(run_scenario(config).violation_time);
+    const ScenarioResult result = run_scenario(config);
+    out.vm_ticks += result.vm_count * result.ticks;
+    out.runs.push_back(result.violation_time);
   }
   out.mean = mean_of(out.runs);
   out.stddev = stddev_of(out.runs);

@@ -96,6 +96,10 @@ struct ScenarioResult {
   double violation_time_total = 0.0;
   double measure_start = 0.0;
   double measure_end = 0.0;
+  /// Work accounting for bench throughput rates: the run simulated
+  /// `ticks` steps of `vm_count` VMs, i.e. vm_count * ticks VM-ticks.
+  std::size_t vm_count = 0;
+  std::size_t ticks = 0;
   std::string faulty_vm;  ///< ground truth
   SloLog slo;
   MetricStore store;
@@ -110,6 +114,9 @@ ScenarioResult run_scenario(const ScenarioConfig& config);
 struct RepeatedResult {
   double mean = 0.0;
   double stddev = 0.0;
+  /// Total simulated work across all repeats (sum of per-run
+  /// vm_count * ticks), for bench VM-ticks/sec rates.
+  std::size_t vm_ticks = 0;
   std::vector<double> runs;
 };
 RepeatedResult run_repeated(ScenarioConfig config, std::size_t repeats);

@@ -28,6 +28,7 @@ void Discretizer::fit(const std::vector<double>& values) {
   const double hi = sorted.back();
 
   cuts_.clear();
+  uniform_grid_ = false;
   if (kind_ == DiscretizerKind::kEqualWidth) {
     double span = hi - lo;
     double xlo = lo, xhi = hi;
@@ -42,6 +43,13 @@ void Discretizer::fit(const std::vector<double>& values) {
     const double width = (xhi - xlo) / static_cast<double>(requested_bins_);
     for (std::size_t b = 1; b < requested_bins_; ++b)
       cuts_.push_back(xlo + width * static_cast<double>(b));
+    // Guard cuts break the uniform spacing, so only the plain grid gets
+    // the direct-index fast path.
+    if (!guard_bins_ && width > 0.0) {
+      uniform_grid_ = true;
+      grid_lo_ = xlo;
+      grid_inv_width_ = 1.0 / width;
+    }
   } else {
     // Quantile cuts; duplicates (tied data) are merged.
     for (std::size_t b = 1; b < requested_bins_; ++b) {
@@ -73,20 +81,46 @@ void Discretizer::fit(const std::vector<double>& values) {
     cuts_.push_back(hi + pad);
   }
 
-  // Representative value per bin: midpoint of the bin's data span.
+  // Representative value per bin, derived from the actual cut geometry.
+  // Interior bins are the midpoint of their two cuts. Edge bins are
+  // half-open: when the data extreme lies inside the bin (the normal
+  // case) the center is the midpoint of the extreme and the cut; with
+  // guard bins the guard cut sits *beyond* the data extreme, so the
+  // midpoint formula would invert — the guard bin instead mirrors half
+  // the adjacent bin's width past its cut, keeping centers strictly
+  // increasing in bin index.
   const std::size_t n_bins = cuts_.size() + 1;
   centers_.assign(n_bins, 0.0);
-  for (std::size_t b = 0; b < n_bins; ++b) {
-    const double bin_lo = b == 0 ? lo : cuts_[b - 1];
-    const double bin_hi = b == n_bins - 1 ? hi : cuts_[b];
-    centers_[b] = 0.5 * (bin_lo + std::max(bin_lo, bin_hi));
-  }
+  for (std::size_t b = 1; b + 1 < n_bins; ++b)
+    centers_[b] = 0.5 * (cuts_[b - 1] + cuts_[b]);
+  const double edge_width =
+      cuts_.size() >= 2 ? cuts_[1] - cuts_[0]
+                        : std::max(1.0, std::abs(cuts_.front())) * 0.02;
+  centers_.front() = lo <= cuts_.front()
+                         ? 0.5 * (lo + cuts_.front())
+                         : cuts_.front() - 0.5 * edge_width;
+  const double top_width =
+      cuts_.size() >= 2 ? cuts_[cuts_.size() - 1] - cuts_[cuts_.size() - 2]
+                        : edge_width;
+  // Strict: the top bin covers (cuts.back(), inf), so a maximum exactly
+  // on the cut belongs to the bin below — the midpoint formula would
+  // park the top center *on* the cut (and collapse onto the bottom
+  // center when the data is constant).
+  centers_.back() = hi > cuts_.back() ? 0.5 * (cuts_.back() + hi)
+                                      : cuts_.back() + 0.5 * top_width;
 #if PREPARE_DCHECK_IS_ON
   // Bin bounds invariant: interior cuts strictly ascending, so
   // lower_bound in discretize() maps each value to exactly one bin.
   for (std::size_t b = 1; b < cuts_.size(); ++b)
     PREPARE_DCHECK_LT(cuts_[b - 1], cuts_[b])
         << "cut points not strictly ascending at index " << b;
+  // bin_center() must be strictly increasing in bin index — predicted
+  // symbol distributions turn back into metric values through these, so
+  // an inversion (the old guard-bin collapse) silently corrupts every
+  // predicted_values readout.
+  for (std::size_t b = 1; b < centers_.size(); ++b)
+    PREPARE_DCHECK_LT(centers_[b - 1], centers_[b])
+        << "bin centers not strictly increasing at bin " << b;
 #endif
   fitted_ = true;
 }
@@ -102,8 +136,23 @@ std::size_t Discretizer::discretize(double value) const {
       << "cannot discretize non-finite value " << value;
   // Bin i covers (cuts[i-1], cuts[i]]; values above the last cut land in
   // the top bin.
-  const auto it = std::lower_bound(cuts_.begin(), cuts_.end(), value);
-  const auto bin = static_cast<std::size_t>(it - cuts_.begin());
+  const std::size_t m = cuts_.size();
+  std::size_t bin;
+  if (uniform_grid_) {
+    // Direct index into the uniform grid. The raw index can be off by
+    // one at a cut boundary (cuts_[b] = xlo + width*b does not divide
+    // back exactly), so a bounded fix-up restores the exact lower_bound
+    // answer; each loop runs at most a step or two.
+    const double raw = (value - grid_lo_) * grid_inv_width_;
+    bin = raw <= 0.0
+              ? 0
+              : static_cast<std::size_t>(std::min(raw, static_cast<double>(m)));
+    while (bin < m && cuts_[bin] < value) ++bin;
+    while (bin > 0 && cuts_[bin - 1] >= value) --bin;
+  } else {
+    const auto it = std::lower_bound(cuts_.begin(), cuts_.end(), value);
+    bin = static_cast<std::size_t>(it - cuts_.begin());
+  }
   PREPARE_DCHECK_LT(bin, centers_.size()) << "bin index escaped the range";
   return bin;
 }

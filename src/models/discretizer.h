@@ -40,6 +40,13 @@ class Discretizer {
   void fit(const std::vector<double>& values);
 
   /// Maps a value to its bin, clamping outliers to the edge bins.
+  ///
+  /// Hot path: for a plain equal-width grid (no guard bins) the bin is
+  /// computed directly from the grid origin and width — one multiply
+  /// plus a clamp — instead of a binary search. A local fix-up step
+  /// keeps the result exactly equal to the `lower_bound` answer even
+  /// when `value` sits on a cut, so both paths are bit-identical;
+  /// quantile and guard grids take the general search.
   std::size_t discretize(double value) const;
   std::vector<std::size_t> discretize(const std::vector<double>& xs) const;
 
@@ -65,6 +72,12 @@ class Discretizer {
   bool fitted_ = false;
   std::vector<double> cuts_;     ///< interior boundaries, ascending
   std::vector<double> centers_;  ///< representative value per bin
+
+  /// Equal-width fast path: when the cut grid is uniform, bin lookup is
+  /// (value - grid_lo_) * grid_inv_width_ with a clamp + exact fix-up.
+  bool uniform_grid_ = false;
+  double grid_lo_ = 0.0;
+  double grid_inv_width_ = 0.0;
 };
 
 }  // namespace prepare

@@ -27,6 +27,10 @@ class Distribution {
   double& operator[](std::size_t i) { return p_[i]; }
   const std::vector<double>& probabilities() const { return p_; }
 
+  /// Resets to `size` zero entries, reusing existing storage — the
+  /// per-tick fast path for predictors filling a caller-owned buffer.
+  void assign_zero(std::size_t size) { p_.assign(size, 0.0); }
+
   /// Rescales to sum 1 (uniform if the sum is zero). Throws CheckFailure
   /// if any entry is negative or non-finite — a corrupted model state
   /// that silent renormalization would otherwise mask.

@@ -7,13 +7,30 @@
 namespace prepare {
 
 MarkovChain::MarkovChain(std::size_t alphabet, double alpha)
-    : alphabet_(alphabet), alpha_(alpha), counts_(alphabet * alphabet, 0.0) {
+    : alphabet_(alphabet),
+      alpha_(alpha),
+      counts_(alphabet * alphabet, 0.0),
+      probs_(alphabet * alphabet, 0.0) {
   PREPARE_CHECK(alphabet >= 2);
   PREPARE_CHECK(alpha > 0.0);
+  for (std::size_t i = 0; i < alphabet_; ++i) rebuild_row(i);
+}
+
+void MarkovChain::rebuild_row(std::size_t from) {
+  // Same expression transition() historically evaluated per call:
+  // (count + alpha) / (row_total + alpha * alphabet), so cached rows are
+  // bit-identical to the on-the-fly probabilities.
+  const std::size_t base = from * alphabet_;
+  double row_total = 0.0;
+  for (std::size_t j = 0; j < alphabet_; ++j) row_total += counts_[base + j];
+  const double denom = row_total + alpha_ * static_cast<double>(alphabet_);
+  for (std::size_t j = 0; j < alphabet_; ++j)
+    probs_[base + j] = (counts_[base + j] + alpha_) / denom;
 }
 
 void MarkovChain::train(const std::vector<std::size_t>& sequence) {
   std::fill(counts_.begin(), counts_.end(), 0.0);
+  for (std::size_t i = 0; i < alphabet_; ++i) rebuild_row(i);
   has_context_ = false;
   for (std::size_t s : sequence) observe(BinIndex{s}, /*learn=*/true);
 }
@@ -21,39 +38,49 @@ void MarkovChain::train(const std::vector<std::size_t>& sequence) {
 void MarkovChain::observe(BinIndex symbol, bool learn) {
   const std::size_t s = symbol.value();
   PREPARE_CHECK(s < alphabet_);
-  if (has_context_ && learn) counts_[context_ * alphabet_ + s] += 1.0;
+  if (has_context_ && learn) {
+    counts_[context_ * alphabet_ + s] += 1.0;
+    rebuild_row(context_);
+  }
   context_ = s;
   has_context_ = true;
 }
 
 Probability MarkovChain::transition(BinIndex from, BinIndex to) const {
   PREPARE_CHECK(from.value() < alphabet_ && to.value() < alphabet_);
-  double row_total = 0.0;
-  for (std::size_t j = 0; j < alphabet_; ++j)
-    row_total += counts_[from.value() * alphabet_ + j];
-  return Probability{(counts_[from.value() * alphabet_ + to.value()] + alpha_) /
-                     (row_total + alpha_ * static_cast<double>(alphabet_))};
+  return Probability{probs_[from.value() * alphabet_ + to.value()]};
 }
 
 Distribution MarkovChain::predict(TickIndex steps) const {
+  Distribution d;
+  predict_into(steps, &d);
+  return d;
+}
+
+void MarkovChain::predict_into(TickIndex steps, Distribution* out) const {
   PREPARE_CHECK_MSG(has_context_, "predict() before any observation");
   PREPARE_CHECK(steps.value() >= 1);
-  std::vector<double> v(alphabet_, 0.0);
+  PREPARE_CHECK(out != nullptr);
+  auto& v = scratch_v_;
+  auto& next = scratch_next_;
+  v.assign(alphabet_, 0.0);
   v[context_] = 1.0;
-  std::vector<double> next(alphabet_, 0.0);
+  next.assign(alphabet_, 0.0);
   for (std::size_t s = 0; s < steps.value(); ++s) {
     std::fill(next.begin(), next.end(), 0.0);
     for (std::size_t i = 0; i < alphabet_; ++i) {
       if (v[i] <= 0.0) continue;
+      const std::size_t base = i * alphabet_;
       for (std::size_t j = 0; j < alphabet_; ++j)
-        next[j] += v[i] * transition(BinIndex{i}, BinIndex{j});
+        next[j] += v[i] * probs_[base + j];
     }
     std::swap(v, next);
   }
-  Distribution d(std::move(v));
-  d.normalize();
-  PREPARE_DCHECK(d.is_normalized(1e-9)) << "predict() output not a distribution";
-  return d;
+  out->assign_zero(alphabet_);
+  for (std::size_t j = 0; j < alphabet_; ++j) (*out)[j] = v[j];
+  out->normalize();
+  PREPARE_DCHECK(out->is_normalized(1e-9))
+      << "predict() output not a distribution";
 }
 
 }  // namespace prepare

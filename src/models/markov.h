@@ -22,6 +22,7 @@ class MarkovChain : public ValuePredictor {
   void train(const std::vector<std::size_t>& sequence) override;
   void observe(BinIndex symbol, bool learn) override;
   Distribution predict(TickIndex steps) const override;
+  void predict_into(TickIndex steps, Distribution* out) const override;
   bool ready() const override { return has_context_; }
   std::size_t alphabet() const override { return alphabet_; }
 
@@ -29,11 +30,21 @@ class MarkovChain : public ValuePredictor {
   Probability transition(BinIndex from, BinIndex to) const;
 
  private:
+  /// Recomputes the cached smoothed row P(· | from) from counts_.
+  void rebuild_row(std::size_t from);
+
   std::size_t alphabet_;
   double alpha_;
   std::vector<double> counts_;  // alphabet_ x alphabet_, row-major
-  std::size_t context_ = 0;     // last symbol seen
+  /// Smoothed transition probabilities, maintained incrementally: the
+  /// k-step look-ahead reads rows straight from this cache instead of
+  /// re-normalizing a count row per (step, state) pair. Only the row of
+  /// the current context changes per learning observation.
+  std::vector<double> probs_;
+  std::size_t context_ = 0;  // last symbol seen
   bool has_context_ = false;
+  /// Per-predict transient state distributions, reused across ticks.
+  mutable std::vector<double> scratch_v_, scratch_next_;
 };
 
 }  // namespace prepare

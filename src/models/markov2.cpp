@@ -9,13 +9,27 @@ namespace prepare {
 TwoDependentMarkov::TwoDependentMarkov(std::size_t alphabet, double alpha)
     : alphabet_(alphabet),
       alpha_(alpha),
-      counts_(alphabet * alphabet * alphabet, 0.0) {
+      counts_(alphabet * alphabet * alphabet, 0.0),
+      probs_(alphabet * alphabet * alphabet, 0.0) {
   PREPARE_CHECK(alphabet >= 2);
   PREPARE_CHECK(alpha > 0.0);
+  for (std::size_t p = 0; p < alphabet_ * alphabet_; ++p) rebuild_row(p);
+}
+
+void TwoDependentMarkov::rebuild_row(std::size_t pair) {
+  // Same expression transition() historically evaluated per call, so
+  // cached rows are bit-identical to the on-the-fly probabilities.
+  const std::size_t base = pair * alphabet_;
+  double row_total = 0.0;
+  for (std::size_t j = 0; j < alphabet_; ++j) row_total += counts_[base + j];
+  const double denom = row_total + alpha_ * static_cast<double>(alphabet_);
+  for (std::size_t j = 0; j < alphabet_; ++j)
+    probs_[base + j] = (counts_[base + j] + alpha_) / denom;
 }
 
 void TwoDependentMarkov::train(const std::vector<std::size_t>& sequence) {
   std::fill(counts_.begin(), counts_.end(), 0.0);
+  for (std::size_t p = 0; p < alphabet_ * alphabet_; ++p) rebuild_row(p);
   seen_ = 0;
   for (std::size_t s : sequence) observe(BinIndex{s}, /*learn=*/true);
 }
@@ -23,8 +37,11 @@ void TwoDependentMarkov::train(const std::vector<std::size_t>& sequence) {
 void TwoDependentMarkov::observe(BinIndex symbol, bool learn) {
   const std::size_t s = symbol.value();
   PREPARE_CHECK(s < alphabet_);
-  if (seen_ >= 2 && learn)
-    counts_[pair_index(prev_, cur_) * alphabet_ + s] += 1.0;
+  if (seen_ >= 2 && learn) {
+    const std::size_t pair = pair_index(prev_, cur_);
+    counts_[pair * alphabet_ + s] += 1.0;
+    rebuild_row(pair);
+  }
   prev_ = cur_;
   cur_ = s;
   if (seen_ < 2) ++seen_;
@@ -34,29 +51,39 @@ Probability TwoDependentMarkov::transition(BinIndex prev, BinIndex cur,
                                            BinIndex next) const {
   PREPARE_CHECK(prev.value() < alphabet_ && cur.value() < alphabet_ &&
                 next.value() < alphabet_);
-  const std::size_t base = pair_index(prev.value(), cur.value()) * alphabet_;
-  double row_total = 0.0;
-  for (std::size_t j = 0; j < alphabet_; ++j) row_total += counts_[base + j];
-  return Probability{(counts_[base + next.value()] + alpha_) /
-                     (row_total + alpha_ * static_cast<double>(alphabet_))};
+  return Probability{probs_[pair_index(prev.value(), cur.value()) * alphabet_ +
+                            next.value()]};
 }
 
 Distribution TwoDependentMarkov::predict(TickIndex steps) const {
+  Distribution d;
+  predict_into(steps, &d);
+  return d;
+}
+
+void TwoDependentMarkov::predict_into(TickIndex steps,
+                                      Distribution* out) const {
   PREPARE_CHECK_MSG(ready(), "predict() needs at least two observations");
   PREPARE_CHECK(steps.value() >= 1);
+  PREPARE_CHECK(out != nullptr);
   const std::size_t pairs = alphabet_ * alphabet_;
-  std::vector<double> v(pairs, 0.0);
+  auto& v = scratch_v_;
+  auto& next = scratch_next_;
+  v.assign(pairs, 0.0);
   v[pair_index(prev_, cur_)] = 1.0;
-  std::vector<double> next(pairs, 0.0);
+  next.assign(pairs, 0.0);
   for (std::size_t s = 0; s < steps.value(); ++s) {
     std::fill(next.begin(), next.end(), 0.0);
     for (std::size_t a = 0; a < alphabet_; ++a) {
       for (std::size_t b = 0; b < alphabet_; ++b) {
         const double mass = v[pair_index(a, b)];
         if (mass <= 0.0) continue;
+        // Each step maps (a, b) -> (b, c) with the cached P(c | a, b)
+        // row; the destination pairs (b, ·) are contiguous.
+        const std::size_t src = pair_index(a, b) * alphabet_;
+        const std::size_t dst = pair_index(b, 0);
         for (std::size_t c = 0; c < alphabet_; ++c)
-          next[pair_index(b, c)] +=
-              mass * transition(BinIndex{a}, BinIndex{b}, BinIndex{c});
+          next[dst + c] += mass * probs_[src + c];
       }
     }
     std::swap(v, next);
@@ -69,13 +96,13 @@ Distribution TwoDependentMarkov::predict(TickIndex steps) const {
 #endif
   }
   // Marginalize the pair distribution onto the current value.
-  Distribution d(alphabet_);
+  out->assign_zero(alphabet_);
   for (std::size_t a = 0; a < alphabet_; ++a)
     for (std::size_t b = 0; b < alphabet_; ++b)
-      d[b] += v[pair_index(a, b)];
-  d.normalize();
-  PREPARE_DCHECK(d.is_normalized(1e-9)) << "predict() output not a distribution";
-  return d;
+      (*out)[b] += v[pair_index(a, b)];
+  out->normalize();
+  PREPARE_DCHECK(out->is_normalized(1e-9))
+      << "predict() output not a distribution";
 }
 
 }  // namespace prepare

@@ -23,6 +23,7 @@ class TwoDependentMarkov : public ValuePredictor {
   void train(const std::vector<std::size_t>& sequence) override;
   void observe(BinIndex symbol, bool learn) override;
   Distribution predict(TickIndex steps) const override;
+  void predict_into(TickIndex steps, Distribution* out) const override;
   bool ready() const override { return seen_ >= 2; }
   std::size_t alphabet() const override { return alphabet_; }
 
@@ -33,13 +34,21 @@ class TwoDependentMarkov : public ValuePredictor {
   std::size_t pair_index(std::size_t prev, std::size_t cur) const {
     return prev * alphabet_ + cur;
   }
+  /// Recomputes one cached smoothed row P(· | pair) from counts_.
+  void rebuild_row(std::size_t pair);
 
   std::size_t alphabet_;
   double alpha_;
   /// counts_[pair_index(prev, cur) * alphabet_ + next]
   std::vector<double> counts_;
+  /// Smoothed transition rows mirroring counts_, maintained
+  /// incrementally so the k-step look-ahead is pure table lookups (one
+  /// row changes per learning observation).
+  std::vector<double> probs_;
   std::size_t prev_ = 0, cur_ = 0;
   std::size_t seen_ = 0;  // number of symbols observed (saturates at 2)
+  /// Per-predict transient pair-state distributions, reused across ticks.
+  mutable std::vector<double> scratch_v_, scratch_next_;
 };
 
 }  // namespace prepare

@@ -19,6 +19,19 @@ NDependentMarkov::NDependentMarkov(std::size_t order, std::size_t alphabet,
     states_ *= alphabet_;
   }
   counts_.assign(states_ * alphabet_, 0.0);
+  probs_.assign(states_ * alphabet_, 0.0);
+  for (std::size_t ctx = 0; ctx < states_; ++ctx) rebuild_row(ctx);
+}
+
+void NDependentMarkov::rebuild_row(std::size_t ctx_index) {
+  // Same expression transition() historically evaluated per call, so
+  // cached rows are bit-identical to the on-the-fly probabilities.
+  const std::size_t base = ctx_index * alphabet_;
+  double row_total = 0.0;
+  for (std::size_t j = 0; j < alphabet_; ++j) row_total += counts_[base + j];
+  const double denom = row_total + alpha_ * static_cast<double>(alphabet_);
+  for (std::size_t j = 0; j < alphabet_; ++j)
+    probs_[base + j] = (counts_[base + j] + alpha_) / denom;
 }
 
 std::size_t NDependentMarkov::context_index(
@@ -37,6 +50,7 @@ std::size_t NDependentMarkov::shifted_index(std::size_t ctx_index,
 
 void NDependentMarkov::train(const std::vector<std::size_t>& sequence) {
   std::fill(counts_.begin(), counts_.end(), 0.0);
+  for (std::size_t ctx = 0; ctx < states_; ++ctx) rebuild_row(ctx);
   context_.clear();
   for (std::size_t s : sequence) observe(BinIndex{s}, /*learn=*/true);
 }
@@ -45,7 +59,11 @@ void NDependentMarkov::observe(BinIndex symbol, bool learn) {
   const std::size_t s = symbol.value();
   PREPARE_CHECK(s < alphabet_);
   if (context_.size() == order_) {
-    if (learn) counts_[context_index(context_) * alphabet_ + s] += 1.0;
+    if (learn) {
+      const std::size_t ctx = context_index(context_);
+      counts_[ctx * alphabet_ + s] += 1.0;
+      rebuild_row(ctx);
+    }
     context_.pop_front();
   }
   context_.push_back(s);
@@ -60,33 +78,33 @@ Probability NDependentMarkov::transition(
     PREPARE_CHECK(s < alphabet_);
     index = index * alphabet_ + s;
   }
-  const std::size_t base = index * alphabet_;
-  double row_total = 0.0;
-  for (std::size_t j = 0; j < alphabet_; ++j) row_total += counts_[base + j];
-  return Probability{(counts_[base + next.value()] + alpha_) /
-                     (row_total + alpha_ * static_cast<double>(alphabet_))};
+  return Probability{probs_[index * alphabet_ + next.value()]};
 }
 
 Distribution NDependentMarkov::predict(TickIndex steps) const {
+  Distribution d;
+  predict_into(steps, &d);
+  return d;
+}
+
+void NDependentMarkov::predict_into(TickIndex steps,
+                                    Distribution* out) const {
   PREPARE_CHECK_MSG(ready(), "predict() before enough observations");
   PREPARE_CHECK(steps.value() >= 1);
-  std::vector<double> v(states_, 0.0);
+  PREPARE_CHECK(out != nullptr);
+  auto& v = scratch_v_;
+  auto& next = scratch_next_;
+  v.assign(states_, 0.0);
   v[context_index(context_)] = 1.0;
-  std::vector<double> next(states_, 0.0);
+  next.assign(states_, 0.0);
   for (std::size_t s = 0; s < steps.value(); ++s) {
     std::fill(next.begin(), next.end(), 0.0);
     for (std::size_t ctx = 0; ctx < states_; ++ctx) {
       const double mass = v[ctx];
       if (mass <= 0.0) continue;
       const std::size_t base = ctx * alphabet_;
-      double row_total = 0.0;
       for (std::size_t j = 0; j < alphabet_; ++j)
-        row_total += counts_[base + j];
-      const double denom =
-          row_total + alpha_ * static_cast<double>(alphabet_);
-      for (std::size_t j = 0; j < alphabet_; ++j)
-        next[shifted_index(ctx, j)] +=
-            mass * (counts_[base + j] + alpha_) / denom;
+        next[shifted_index(ctx, j)] += mass * probs_[base + j];
     }
     std::swap(v, next);
 #if PREPARE_DCHECK_IS_ON
@@ -98,12 +116,12 @@ Distribution NDependentMarkov::predict(TickIndex steps) const {
 #endif
   }
   // Marginalize onto the most recent symbol (the low digit).
-  Distribution d(alphabet_);
+  out->assign_zero(alphabet_);
   for (std::size_t ctx = 0; ctx < states_; ++ctx)
-    d[ctx % alphabet_] += v[ctx];
-  d.normalize();
-  PREPARE_DCHECK(d.is_normalized(1e-9)) << "predict() output not a distribution";
-  return d;
+    (*out)[ctx % alphabet_] += v[ctx];
+  out->normalize();
+  PREPARE_DCHECK(out->is_normalized(1e-9))
+      << "predict() output not a distribution";
 }
 
 }  // namespace prepare

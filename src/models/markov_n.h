@@ -26,6 +26,7 @@ class NDependentMarkov : public ValuePredictor {
   void train(const std::vector<std::size_t>& sequence) override;
   void observe(BinIndex symbol, bool learn) override;
   Distribution predict(TickIndex steps) const override;
+  void predict_into(TickIndex steps, Distribution* out) const override;
   bool ready() const override { return context_.size() == order_; }
   std::size_t alphabet() const override { return alphabet_; }
   std::size_t order() const { return order_; }
@@ -38,13 +39,22 @@ class NDependentMarkov : public ValuePredictor {
   /// Row-major index of a context tuple.
   std::size_t context_index(const std::deque<std::size_t>& ctx) const;
   std::size_t shifted_index(std::size_t ctx_index, std::size_t next) const;
+  /// Recomputes one cached smoothed row P(· | ctx) from counts_.
+  void rebuild_row(std::size_t ctx_index);
 
   std::size_t order_;
   std::size_t alphabet_;
   double alpha_;
   std::size_t states_;              ///< alphabet^order
   std::vector<double> counts_;      ///< states_ x alphabet_
+  /// Smoothed transition rows mirroring counts_ (same bound as counts_,
+  /// <= 1M entries), maintained incrementally so the k-step look-ahead
+  /// is pure table lookups.
+  std::vector<double> probs_;       ///< states_ x alphabet_
   std::deque<std::size_t> context_;
+  /// Per-predict transient context-state distributions, reused across
+  /// ticks.
+  mutable std::vector<double> scratch_v_, scratch_next_;
 };
 
 }  // namespace prepare

@@ -32,6 +32,7 @@ void NaiveBayesClassifier::train(const LabeledDataset& data) {
     }
   }
   trained_ = true;
+  build_impact_tables();
 }
 
 Probability NaiveBayesClassifier::likelihood(std::size_t attribute,
@@ -53,11 +54,33 @@ Probability NaiveBayesClassifier::prior(bool abnormal) const {
   return Probability{(class_counts_[c] + alpha_) / (total + 2.0 * alpha_)};
 }
 
-double NaiveBayesClassifier::log_impact(std::size_t attribute,
-                                        std::size_t value) const {
-  const BinIndex v{value};
-  return std::log(likelihood(attribute, v, true) /
-                  likelihood(attribute, v, false));
+void NaiveBayesClassifier::build_impact_tables() {
+  // Same precompute-and-fallback scheme as TanClassifier: the primary
+  // cell value reproduces the old per-call log(ratio) bit-for-bit; the
+  // log-difference form only replaces cells the ratio underflowed.
+  log_prior_odds_ = std::log(prior(true) / prior(false));
+  PREPARE_DCHECK(std::isfinite(log_prior_odds_))
+      << "non-finite class prior log-odds " << log_prior_odds_;
+  impact_table_.assign(alphabet_.size(), {});
+  for (std::size_t i = 0; i < alphabet_.size(); ++i) {
+    const std::size_t k = alphabet_[i];
+    impact_table_[i].assign(k, 0.0);
+    for (std::size_t v = 0; v < k; ++v) {
+      const BinIndex vi{v};
+      double cell = std::log(likelihood(i, vi, true) /
+                             likelihood(i, vi, false));
+      if (!std::isfinite(cell)) {
+        const double denom_k = alpha_ * static_cast<double>(k);
+        cell = (std::log(counts_[1][i][v] + alpha_) -
+                std::log(class_counts_[1] + denom_k)) -
+               (std::log(counts_[0][i][v] + alpha_) -
+                std::log(class_counts_[0] + denom_k));
+      }
+      PREPARE_DCHECK(std::isfinite(cell))
+          << "non-finite impact for attribute " << i << " value " << v;
+      impact_table_[i][v] = cell;
+    }
+  }
 }
 
 Classification NaiveBayesClassifier::classify(
@@ -66,11 +89,14 @@ Classification NaiveBayesClassifier::classify(
   PREPARE_CHECK(row.size() == alphabet_.size());
   Classification out;
   out.impacts.resize(row.size());
-  out.score = LogOdds{std::log(prior(true) / prior(false))};
+  out.score = LogOdds{log_prior_odds_};
   for (std::size_t i = 0; i < row.size(); ++i) {
+    PREPARE_DCHECK_LT(row[i], alphabet_[i]);
     out.impacts[i] = log_impact(i, row[i]);
     out.score += out.impacts[i];
   }
+  PREPARE_DCHECK(std::isfinite(out.score.value()))
+      << "non-finite classification score " << out.score.value();
   out.abnormal = out.score > 0.0;
   return out;
 }
@@ -81,7 +107,7 @@ Classification NaiveBayesClassifier::classify_expected(
   PREPARE_CHECK(dists.size() == alphabet_.size());
   Classification out;
   out.impacts.resize(dists.size());
-  out.score = LogOdds{std::log(prior(true) / prior(false))};
+  out.score = LogOdds{log_prior_odds_};
   for (std::size_t i = 0; i < dists.size(); ++i) {
     PREPARE_CHECK(dists[i].size() == alphabet_[i]);
     double e = 0.0;

@@ -28,7 +28,10 @@ class NaiveBayesClassifier : public Classifier {
   Probability prior(bool abnormal) const;
 
  private:
-  double log_impact(std::size_t attribute, std::size_t value) const;
+  void build_impact_tables();
+  double log_impact(std::size_t attribute, std::size_t value) const {
+    return impact_table_[attribute][value];
+  }
 
   double alpha_;
   bool trained_ = false;
@@ -36,6 +39,12 @@ class NaiveBayesClassifier : public Classifier {
   /// counts_[c][i][v]
   std::array<std::vector<std::vector<double>>, 2> counts_;
   std::array<double, 2> class_counts_ = {0.0, 0.0};
+
+  /// Precomputed log-likelihood-ratio tables (see TanClassifier): the
+  /// classify path is pure table lookups, and cells that would underflow
+  /// as a probability ratio are built as log-count differences instead.
+  std::vector<std::vector<double>> impact_table_;
+  double log_prior_odds_ = 0.0;
 };
 
 }  // namespace prepare

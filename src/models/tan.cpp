@@ -20,6 +20,7 @@ void TanClassifier::train(const LabeledDataset& data) {
   learn_structure(data);
   learn_cpts(data);
   trained_ = true;
+  build_impact_tables();
 }
 
 void TanClassifier::learn_structure(const LabeledDataset& data) {
@@ -172,11 +173,47 @@ double TanClassifier::conditional_mutual_information(std::size_t i,
   return cmi_[i][j];
 }
 
-double TanClassifier::log_impact(std::size_t attribute, std::size_t value,
-                                 std::size_t parent_value) const {
-  const BinIndex v{value}, pv{parent_value};
-  return std::log(likelihood(attribute, v, pv, true) /
-                  likelihood(attribute, v, pv, false));
+void TanClassifier::build_impact_tables() {
+  // Train-time precomputation of every runtime log. The primary form is
+  // exactly the expression the classify path used to evaluate per call —
+  // log(likelihood_true / likelihood_false) on the smoothed CPT rows —
+  // so table lookups are bit-identical to the old on-the-fly scores.
+  // When that ratio is non-finite (alpha so small the smoothed
+  // probability underflows to 0, giving 0/0 or 0/x), the cell is rebuilt
+  // as a difference of log-likelihoods computed from raw counts, which
+  // stays finite for any alpha > 0.
+  log_prior_odds_ = std::log(prior(true) / prior(false));
+  PREPARE_DCHECK(std::isfinite(log_prior_odds_))
+      << "non-finite class prior log-odds " << log_prior_odds_;
+  const std::size_t n = alphabet_.size();
+  impact_table_.assign(n, {});
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t k = alphabet_[i];
+    const std::size_t rows = parents_[i] == kNoParent ? 1 : alphabet_[parents_[i]];
+    impact_table_[i].assign(rows * k, 0.0);
+    for (std::size_t pv = 0; pv < rows; ++pv) {
+      std::array<double, 2> row_total = {0.0, 0.0};
+      for (int c = 0; c < 2; ++c)
+        for (std::size_t v = 0; v < k; ++v)
+          row_total[c] += cpt_[c][i][pv * k + v];
+      for (std::size_t v = 0; v < k; ++v) {
+        const BinIndex vi{v}, pvi{pv};
+        double cell = std::log(likelihood(i, vi, pvi, true) /
+                               likelihood(i, vi, pvi, false));
+        if (!std::isfinite(cell)) {
+          const double denom_k = alpha_ * static_cast<double>(k);
+          cell = (std::log(cpt_[1][i][pv * k + v] + alpha_) -
+                  std::log(row_total[1] + denom_k)) -
+                 (std::log(cpt_[0][i][pv * k + v] + alpha_) -
+                  std::log(row_total[0] + denom_k));
+        }
+        PREPARE_DCHECK(std::isfinite(cell))
+            << "non-finite impact for attribute " << i << " value " << v
+            << " parent value " << pv;
+        impact_table_[i][pv * k + v] = cell;
+      }
+    }
+  }
 }
 
 Classification TanClassifier::classify(
@@ -185,13 +222,16 @@ Classification TanClassifier::classify(
   PREPARE_CHECK(row.size() == alphabet_.size());
   Classification out;
   out.impacts.resize(row.size());
-  out.score = LogOdds{std::log(prior(true) / prior(false))};
+  out.score = LogOdds{log_prior_odds_};
   for (std::size_t i = 0; i < row.size(); ++i) {
+    PREPARE_DCHECK_LT(row[i], alphabet_[i]);
     const std::size_t pv =
         parents_[i] == kNoParent ? 0 : row[parents_[i]];
     out.impacts[i] = log_impact(i, row[i], pv);
     out.score += out.impacts[i];
   }
+  PREPARE_DCHECK(std::isfinite(out.score.value()))
+      << "non-finite classification score " << out.score.value();
   out.abnormal = out.score > 0.0;
   return out;
 }
@@ -202,7 +242,7 @@ Classification TanClassifier::classify_expected(
   PREPARE_CHECK(dists.size() == alphabet_.size());
   Classification out;
   out.impacts.resize(dists.size());
-  out.score = LogOdds{std::log(prior(true) / prior(false))};
+  out.score = LogOdds{log_prior_odds_};
   for (std::size_t i = 0; i < dists.size(); ++i) {
     PREPARE_CHECK_EQ(dists[i].size(), alphabet_[i])
         << "predicted distribution for attribute " << i
@@ -226,6 +266,8 @@ Classification TanClassifier::classify_expected(
     out.impacts[i] = e;
     out.score += e;
   }
+  PREPARE_DCHECK(std::isfinite(out.score.value()))
+      << "non-finite expected-classification score " << out.score.value();
   out.abnormal = out.score > 0.0;
   return out;
 }

@@ -50,8 +50,12 @@ class TanClassifier : public Classifier {
  private:
   void learn_structure(const LabeledDataset& data);
   void learn_cpts(const LabeledDataset& data);
+  void build_impact_tables();
   double log_impact(std::size_t attribute, std::size_t value,
-                    std::size_t parent_value) const;
+                    std::size_t parent_value) const {
+    return impact_table_[attribute]
+                        [parent_value * alphabet_[attribute] + value];
+  }
 
   double alpha_;
   bool trained_ = false;
@@ -63,6 +67,18 @@ class TanClassifier : public Classifier {
   /// (row-major; a single row of size alphabet[i] for the root).
   std::array<std::vector<std::vector<double>>, 2> cpt_;
   std::array<double, 2> class_counts_ = {0.0, 0.0};
+
+  /// Precomputed log-CPT fast path (built once per train): the score and
+  /// every per-attribute impact L_i reduce to summed table lookups, with
+  /// no std::log on the classify path.
+  ///
+  /// impact_table_[i] mirrors cpt_'s row-major layout and holds
+  /// L_i(v, pv) = log[P(v | pv, C=1) / P(v | pv, C=0)]; cells whose
+  /// smoothed-count ratio underflows (tiny alpha, rare bins) are rebuilt
+  /// as a difference of log-likelihoods, which cannot underflow, so
+  /// every table cell — and thus every emitted score/impact — is finite.
+  std::vector<std::vector<double>> impact_table_;
+  double log_prior_odds_ = 0.0;
 };
 
 }  // namespace prepare

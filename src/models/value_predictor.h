@@ -31,6 +31,14 @@ class ValuePredictor {
   /// (steps >= 1). Requires ready().
   virtual Distribution predict(TickIndex steps) const = 0;
 
+  /// Same result as predict(), written into `out` (non-null) so a
+  /// per-tick caller can reuse one buffer instead of allocating a fresh
+  /// distribution every prediction. The default forwards to predict();
+  /// the Markov models override it to fill in place.
+  virtual void predict_into(TickIndex steps, Distribution* out) const {
+    *out = predict(steps);
+  }
+
   /// Whether enough context has been seen to predict.
   virtual bool ready() const = 0;
 

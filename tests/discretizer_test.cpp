@@ -2,10 +2,21 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/check.h"
 
 namespace prepare {
 namespace {
+
+/// Reference bin assignment straight from the documented contract:
+/// bin i covers (cuts[i-1], cuts[i]], i.e. lower_bound over the cuts.
+std::size_t reference_bin(const Discretizer& d, double value) {
+  const auto& cuts = d.cuts();
+  return static_cast<std::size_t>(
+      std::lower_bound(cuts.begin(), cuts.end(), value) - cuts.begin());
+}
 
 TEST(Discretizer, RejectsBadConstruction) {
   EXPECT_THROW(Discretizer(1), CheckFailure);
@@ -110,6 +121,95 @@ TEST(Discretizer, VectorOverload) {
   ASSERT_EQ(bins.size(), 2u);
   EXPECT_EQ(bins[0], 0u);
   EXPECT_EQ(bins[1], 3u);
+}
+
+TEST(EqualWidth, ValueExactlyOnCutBelongsToLowerBin) {
+  // Bin i is (cuts[i-1], cuts[i]]: a value sitting exactly on a cut is
+  // the closed upper end of the lower bin. The uniform-grid fast path
+  // must agree even though the direct index computation rounds the
+  // other way.
+  Discretizer d(4, DiscretizerKind::kEqualWidth, 0.0);
+  d.fit({0.0, 100.0});
+  ASSERT_EQ(d.cuts().size(), 3u);
+  for (std::size_t c = 0; c < d.cuts().size(); ++c) {
+    const double cut = d.cuts()[c];
+    EXPECT_EQ(d.discretize(cut), c) << "on cut " << cut;
+    EXPECT_EQ(d.discretize(std::nextafter(cut, 1e18)), c + 1)
+        << "just above cut " << cut;
+    EXPECT_EQ(d.discretize(std::nextafter(cut, -1e18)), c)
+        << "just below cut " << cut;
+  }
+}
+
+TEST(EqualWidth, FastPathMatchesBinarySearch) {
+  // The direct-index fast path must be bit-identical to the general
+  // lower_bound answer everywhere, including at and around every cut
+  // and far outside the grid.
+  Discretizer d(7, DiscretizerKind::kEqualWidth);
+  d.fit({-3.0, 41.7});
+  std::vector<double> probes = {-1e9, -3.0, 0.0, 41.7, 1e9};
+  for (double x = -10.0; x <= 50.0; x += 0.037) probes.push_back(x);
+  for (double cut : d.cuts()) {
+    probes.push_back(cut);
+    probes.push_back(std::nextafter(cut, 1e18));
+    probes.push_back(std::nextafter(cut, -1e18));
+  }
+  for (double x : probes)
+    EXPECT_EQ(d.discretize(x), reference_bin(d, x)) << "at " << x;
+}
+
+TEST(GuardBins, RoundTripThroughCenters) {
+  // bin_center must land strictly inside its own bin for every bin —
+  // including the guard bins past the training range, where the old
+  // center formula collapsed onto the neighbouring bin.
+  for (auto kind : {DiscretizerKind::kEqualWidth, DiscretizerKind::kQuantile}) {
+    Discretizer d(5, kind, 0.05, /*guard_bins=*/true);
+    std::vector<double> xs;
+    for (int i = 0; i <= 100; ++i) xs.push_back(static_cast<double>(i));
+    d.fit(xs);
+    for (std::size_t b = 0; b < d.bins(); ++b)
+      EXPECT_EQ(d.discretize(d.bin_center(BinIndex{b})), b)
+          << "kind " << static_cast<int>(kind) << " bin " << b;
+  }
+}
+
+TEST(GuardBins, CentersAreStrictlyMonotone) {
+  Discretizer d(4, DiscretizerKind::kEqualWidth, 0.05, /*guard_bins=*/true);
+  d.fit({10.0, 20.0});
+  const auto centers = d.bin_centers();
+  ASSERT_EQ(centers.size(), d.bins());
+  for (std::size_t b = 1; b < centers.size(); ++b)
+    EXPECT_LT(centers[b - 1], centers[b]) << "at bin " << b;
+  // Guard bins only catch values beyond the training range.
+  EXPECT_EQ(d.discretize(10.0), 1u);
+  EXPECT_EQ(d.discretize(20.0), d.bins() - 2);
+  EXPECT_EQ(d.discretize(-1e6), 0u);
+  EXPECT_EQ(d.discretize(1e6), d.bins() - 1);
+}
+
+TEST(Quantile, TiedDataCentersStayMonotone) {
+  // Heavily tied training data merges quantile cuts; the centers of the
+  // surviving bins must still be strictly increasing (and round-trip).
+  std::vector<double> xs(100, 7.0);
+  xs.push_back(9.0);
+  xs.push_back(9.5);
+  Discretizer d(5, DiscretizerKind::kQuantile);
+  d.fit(xs);
+  const auto centers = d.bin_centers();
+  for (std::size_t b = 1; b < centers.size(); ++b)
+    EXPECT_LT(centers[b - 1], centers[b]) << "at bin " << b;
+  for (std::size_t b = 0; b < d.bins(); ++b)
+    EXPECT_EQ(d.discretize(d.bin_center(BinIndex{b})), b) << "bin " << b;
+}
+
+TEST(EqualWidth, ConstantDataCentersStayMonotone) {
+  // Constant data pads an artificial range; the degenerate-but-legal
+  // geometry must still produce strictly increasing centers.
+  Discretizer d(4, DiscretizerKind::kEqualWidth);
+  d.fit({5.0, 5.0, 5.0});
+  const auto centers = d.bin_centers();
+  for (std::size_t b = 1; b < centers.size(); ++b)
+    EXPECT_LT(centers[b - 1], centers[b]) << "at bin " << b;
 }
 
 // Property sweep: every value maps to a valid bin and bin assignment is

@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Validator for the machine-readable bench reports (BENCH_*.json).
+
+Every wired bench emits one JSON object (bench/bench_util.h
+write_bench_json, schema "prepare-bench-v1"):
+
+  {"schema": "prepare-bench-v1", "bench": NAME,
+   "config": {<knob>: NUMBER, ...},
+   "vm_ticks": N, "elapsed_s": S, "rate_vm_ticks_per_sec": R,
+   "stages": [{"stage": NAME, "count": N,
+               "p50_s": ..., "p90_s": ..., "p99_s": ...}, ...]}
+
+Checked: required fields present with the right types, schema tag
+matches, vm_ticks > 0, elapsed_s > 0, the reported rate is consistent
+with vm_ticks / elapsed_s (within 5% — the two reads of the meter are
+moments apart), stage names are unique, stage counts are positive, and
+stage percentiles are ordered (0 <= p50 <= p90 <= p99; null means
+unavailable and is rejected here — a stage that recorded nothing should
+not be listed).
+
+Usage: check_bench_json.py FILE.json [FILE.json ...]
+                           [--require-stage STAGE]
+
+--require-stage NAME (repeatable) demands that a stage row named NAME is
+present in every file — CI uses it to prove the hot pipeline stages were
+actually profiled, not silently skipped.
+
+Exits 0 when every file is valid, 1 with one "FILE: message" per
+violation. Missing files are violations (loud-fail, same contract as
+tools/lint.sh): a bench that did not produce its report is a broken
+bench, not a skippable one.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+SCHEMA = "prepare-bench-v1"
+
+
+def _is_num(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def validate(path: Path, require_stages: list[str]) -> list[str]:
+    errors: list[str] = []
+
+    def err(message: str) -> None:
+        errors.append(f"{path}: {message}")
+
+    if not path.is_file():
+        return [f"{path}: missing bench report"]
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable: {exc}"]
+    if not isinstance(doc, dict):
+        return [f"{path}: top level is not a JSON object"]
+
+    if doc.get("schema") != SCHEMA:
+        err(f"schema is {doc.get('schema')!r}, want {SCHEMA!r}")
+    if not isinstance(doc.get("bench"), str) or not doc.get("bench"):
+        err("bench must be a non-empty string")
+
+    config = doc.get("config")
+    if not isinstance(config, dict):
+        err("config must be an object")
+    else:
+        for key, value in config.items():
+            if not _is_num(value):
+                err(f"config.{key} must be a number, got {value!r}")
+
+    vm_ticks = doc.get("vm_ticks")
+    elapsed = doc.get("elapsed_s")
+    rate = doc.get("rate_vm_ticks_per_sec")
+    if not isinstance(vm_ticks, int) or vm_ticks <= 0:
+        err(f"vm_ticks must be a positive integer, got {vm_ticks!r}")
+    if not _is_num(elapsed) or elapsed <= 0:
+        err(f"elapsed_s must be a positive number, got {elapsed!r}")
+    if not _is_num(rate) or rate <= 0:
+        err(f"rate_vm_ticks_per_sec must be a positive number, got {rate!r}")
+    if not errors:
+        implied = vm_ticks / elapsed
+        if abs(rate - implied) > 0.05 * implied:
+            err(f"rate {rate:.2f} inconsistent with vm_ticks/elapsed_s "
+                f"{implied:.2f}")
+
+    stages = doc.get("stages")
+    if not isinstance(stages, list):
+        err("stages must be a list")
+        stages = []
+    seen: set[str] = set()
+    for i, row in enumerate(stages):
+        where = f"stages[{i}]"
+        if not isinstance(row, dict):
+            err(f"{where} is not an object")
+            continue
+        name = row.get("stage")
+        if not isinstance(name, str) or not name:
+            err(f"{where}.stage must be a non-empty string")
+            name = f"<{i}>"
+        if name in seen:
+            err(f"{where}: duplicate stage {name!r}")
+        seen.add(name)
+        count = row.get("count")
+        if not isinstance(count, int) or count <= 0:
+            err(f"{where} ({name}): count must be a positive integer, "
+                f"got {count!r}")
+        quantiles = []
+        for key in ("p50_s", "p90_s", "p99_s"):
+            value = row.get(key)
+            if not _is_num(value) or value < 0:
+                err(f"{where} ({name}): {key} must be a non-negative "
+                    f"number, got {value!r}")
+                value = None
+            quantiles.append(value)
+        if None not in quantiles and not (
+                quantiles[0] <= quantiles[1] <= quantiles[2]):
+            err(f"{where} ({name}): percentiles out of order: "
+                f"p50={quantiles[0]} p90={quantiles[1]} p99={quantiles[2]}")
+    for required in require_stages:
+        if required not in seen:
+            err(f"required stage {required!r} not present "
+                f"(have: {sorted(seen)})")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    files: list[Path] = []
+    require_stages: list[str] = []
+    args = iter(argv[1:])
+    for arg in args:
+        if arg == "--require-stage":
+            value = next(args, None)
+            if value is None:
+                print("check_bench_json.py: --require-stage needs a value",
+                      file=sys.stderr)
+                return 2
+            require_stages.append(value)
+        elif arg.startswith("-"):
+            print(f"check_bench_json.py: unknown flag {arg}", file=sys.stderr)
+            print(__doc__, file=sys.stderr)
+            return 2
+        else:
+            files.append(Path(arg))
+    if not files:
+        print("usage: check_bench_json.py FILE.json [...] "
+              "[--require-stage STAGE]", file=sys.stderr)
+        return 2
+
+    errors: list[str] = []
+    for path in files:
+        errors.extend(validate(path, require_stages))
+    for message in errors:
+        print(message, file=sys.stderr)
+    if not errors:
+        print(f"check_bench_json: {len(files)} report(s) OK")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
