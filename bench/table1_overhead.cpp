@@ -21,6 +21,7 @@
 // which match the paper by construction.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <optional>
@@ -31,6 +32,7 @@
 #include "common/rng.h"
 #include "core/anomaly_predictor.h"
 #include "core/experiment.h"
+#include "obs/model_introspect.h"
 #include "obs/span_tracer.h"
 #include "obs/stage_profiler.h"
 #include "models/markov.h"
@@ -230,8 +232,11 @@ BENCHMARK(BM_LiveMigration512MB);
 /// Wall time of one full default scenario (System S, memory leak,
 /// PREPARE scheme). `registry` null = uninstrumented build path;
 /// `with_spans` additionally attaches a fresh SpanTracer (the full
-/// alert-lifecycle layer on top of the metrics instruments).
+/// alert-lifecycle layer on top of the metrics instruments);
+/// `with_introspect` additionally attaches a fresh ModelIntrospect
+/// (per-horizon calibration + model-state probes + drift detection).
 double timed_scenario_run(obs::MetricsRegistry* registry, bool with_spans,
+                          bool with_introspect,
                           bench::ThroughputMeter* meter) {
   ScenarioConfig config;
   config.seed = 11;
@@ -240,6 +245,11 @@ double timed_scenario_run(obs::MetricsRegistry* registry, bool with_spans,
   if (with_spans) {
     tracer.emplace(registry);
     config.tracer = &*tracer;
+  }
+  std::optional<obs::ModelIntrospect> introspect;
+  if (with_introspect) {
+    introspect.emplace(registry);
+    config.introspect = &*introspect;
   }
   const auto start = std::chrono::steady_clock::now();
   const auto result = run_scenario(config);
@@ -252,21 +262,31 @@ double timed_scenario_run(obs::MetricsRegistry* registry, bool with_spans,
 /// End-to-end stage profile (the runtime complement of the
 /// microbenchmarks above): runs the default scenario with the
 /// StageProfiler attached and prints per-stage p50/p90/p99 — plus the
-/// same scenario bare and with span tracing on top, to measure what
-/// each instrumentation layer costs. The acceptance bar is < 5%
-/// overhead for the full stack (metrics + spans) over bare.
+/// same scenario bare, with span tracing, and with the model
+/// introspection layer on top, to measure what each instrumentation
+/// layer costs. The acceptance bar is < 5% overhead for the full stack
+/// (metrics + spans + introspection) over bare.
 void report_pipeline_stage_profile() {
-  constexpr int kReps = 5;
+  constexpr int kReps = 15;
   obs::MetricsRegistry registry;
-  timed_scenario_run(nullptr, false, nullptr);  // warm-up
-  double bare = 0.0;
-  double with_metrics = 0.0;
-  double with_spans = 0.0;
+  timed_scenario_run(nullptr, false, false, nullptr);  // warm-up
+  // Min-of-reps: each variant's best observed wall time. The scenario
+  // is deterministic, so the minimum is the run least disturbed by the
+  // host (scheduler, frequency scaling) and the most comparable
+  // estimator across variants; sums would fold every noise spike in.
+  double bare = 1e9;
+  double with_metrics = 1e9;
+  double with_spans = 1e9;
+  double with_introspect = 1e9;
   bench::ThroughputMeter meter;
   for (int r = 0; r < kReps; ++r) {
-    bare += timed_scenario_run(nullptr, false, &meter);
-    with_metrics += timed_scenario_run(&registry, false, &meter);
-    with_spans += timed_scenario_run(&registry, true, &meter);
+    bare = std::min(bare, timed_scenario_run(nullptr, false, false, &meter));
+    with_metrics =
+        std::min(with_metrics, timed_scenario_run(&registry, false, false, &meter));
+    with_spans =
+        std::min(with_spans, timed_scenario_run(&registry, true, false, &meter));
+    with_introspect = std::min(
+        with_introspect, timed_scenario_run(&registry, true, true, &meter));
   }
   std::printf("\n-- controller pipeline stage profile (%d scenario runs) --\n",
               kReps);
@@ -277,14 +297,21 @@ void report_pipeline_stage_profile() {
     return bare <= 0.0 ? 0.0 : (instrumented - bare) / bare * 100.0;
   };
   std::printf(
-      "scenario wall time: %.3f s bare, %.3f s metrics (%+.2f%%), "
-      "%.3f s metrics+spans (%+.2f%%)\n",
-      bare / kReps, with_metrics / kReps, overhead(with_metrics),
-      with_spans / kReps, overhead(with_spans));
-  meter.report("table1");
+      "scenario wall time (min of %d): %.3f s bare, %.3f s metrics (%+.2f%%), "
+      "%.3f s metrics+spans (%+.2f%%), "
+      "%.3f s metrics+spans+introspect (%+.2f%%)\n",
+      kReps, bare, with_metrics, overhead(with_metrics), with_spans,
+      overhead(with_spans), with_introspect, overhead(with_introspect));
+  std::printf(
+      "introspection increment over metrics+spans: %+.2f%% "
+      "(acceptance bar: < 5%% over bare for the full stack)\n",
+      with_spans <= 0.0
+          ? 0.0
+          : (with_introspect - with_spans) / with_spans * 100.0);
+  meter.report("table1_overhead");
   const std::string json = bench::write_bench_json(
-      "table1", {{"scenario_runs", static_cast<double>(kReps * 3)}}, meter,
-      &registry);
+      "table1_overhead",
+      {{"scenario_runs", static_cast<double>(kReps * 4)}}, meter, &registry);
   std::printf("-> %s\n", json.c_str());
 }
 

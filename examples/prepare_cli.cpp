@@ -22,6 +22,7 @@
 #include "monitor/trace_io.h"
 #include "obs/metrics.h"
 #include "obs/metrics_http.h"
+#include "obs/model_introspect.h"
 #include "obs/span_tracer.h"
 #include "obs/stage_profiler.h"
 #include "obs/trace_export.h"
@@ -56,7 +57,8 @@ namespace {
       "trace:\n                                 run header, events, metric/"
       "histogram snapshots)\n"
       "  --obs-summary                 (print the per-stage overhead table, "
-      "Table 1 style)\n"
+      "alert-quality\n                                 gauges, and the model "
+      "calibration/drift summary)\n"
       "  --serve-metrics PORT          (serve GET /metrics + /healthz on "
       "127.0.0.1:PORT\n                                 during the run, "
       "Prometheus text format; 0 picks\n                                 a "
@@ -203,6 +205,7 @@ int main(int argc, char** argv) {
   std::vector<double> runs;
   ScenarioResult last;
   std::optional<obs::SpanTracer> tracer;
+  std::optional<obs::ModelIntrospect> introspect;
   std::uint64_t last_seed = config.seed;
   for (std::size_t r = 0; r < repeats; ++r) {
     ScenarioConfig c = config;
@@ -213,6 +216,8 @@ int main(int argc, char** argv) {
       c.metrics = &registry;
       tracer.emplace(&registry);  // episodes are per-run
       c.tracer = &*tracer;
+      introspect.emplace(&registry);  // calibration state is per-run
+      c.introspect = &*introspect;
     }
     last = run_scenario(c);
     runs.push_back(last.violation_time);
@@ -262,6 +267,7 @@ int main(int argc, char** argv) {
     obs::write_run_header(os, info);
     last.events.to_jsonl(os, run_id);
     if (tracer) tracer->write_spans_jsonl(os, run_id);
+    if (introspect) introspect->write_introspection_jsonl(os, run_id);
     obs::write_metrics_jsonl(os, registry, run_id, config.run_end);
     std::printf("structured trace written to %s (run_id %s)\n",
                 obs_out->c_str(), run_id.c_str());
@@ -279,6 +285,23 @@ int main(int argc, char** argv) {
     std::ostringstream table;
     obs::write_stage_report(registry, table);
     std::fputs(table.str().c_str(), stdout);
+
+    // Outcome-ledger quality gauges (published by the span tracer at
+    // finish); absent when the scheme raised no alerts.
+    const auto snapshot = registry.snapshot();
+    std::printf("\nalert quality (last run):\n");
+    for (const char* name : {"alert.precision", "alert.recall",
+                             "alert.prevention_effectiveness"}) {
+      const auto it = snapshot.gauges.find(name);
+      if (it != snapshot.gauges.end())
+        std::printf("  %-30s %.3f\n", name, it->second);
+    }
+
+    if (introspect) {
+      std::ostringstream cal;
+      introspect->write_summary(cal);
+      std::fputs(cal.str().c_str(), stdout);
+    }
   }
   if (serve_port) {
     if (serve_hold_s > 0.0 && g_interrupted == 0) {

@@ -1,6 +1,8 @@
 #include "core/anomaly_predictor.h"
 
 #include <algorithm>
+#include <cmath>
+
 #include "common/check.h"
 #include "models/markov.h"
 #include "models/markov2.h"
@@ -55,6 +57,21 @@ void AnomalyPredictor::train(const std::vector<std::vector<double>>& rows,
   for (std::size_t i = 0; i < n; ++i) {
     if (fit_columns[i].empty()) fit_columns[i] = columns[i];
     discretizers_[i].fit(fit_columns[i]);
+  }
+  if (introspect_ != nullptr) {
+    // Training-time bin occupancy is the drift detector's baseline; the
+    // discretizer-geometry gauges expose how much of each grid the
+    // training data actually used.
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::vector<double>& fit_counts = discretizers_[i].fit_counts();
+      introspect_->add_baseline_occupancy(i, fit_counts);
+      double occupied = 0.0;
+      for (double c : fit_counts)
+        if (c > 0.0) occupied += 1.0;
+      introspect_->record_discretizer(
+          i, discretizers_[i].bins(),
+          occupied / static_cast<double>(fit_counts.size()));
+    }
   }
 
   // Train the per-feature value predictors on the discretized sequences.
@@ -137,6 +154,26 @@ void AnomalyPredictor::set_profiler(obs::StageProfiler* profiler) {
       profiler == nullptr ? nullptr : profiler->stage(obs::kStageTanClassify);
 }
 
+void AnomalyPredictor::set_introspect(obs::ModelIntrospect* introspect) {
+  introspect_ = introspect;
+}
+
+void AnomalyPredictor::report_model_state() const {
+  if (introspect_ == nullptr || !trained_) return;
+  for (std::size_t i = 0; i < predictors_.size(); ++i) {
+    const ValuePredictor::RowStats stats = predictors_[i]->row_stats();
+    if (stats.rows == 0) continue;
+    const double occupied = static_cast<double>(stats.occupied_rows);
+    introspect_->probe_markov(
+        i,
+        stats.occupied_rows == 0 ? 0.0 : stats.entropy_sum / occupied,
+        stats.entropy_max,
+        occupied / static_cast<double>(stats.rows));
+  }
+  const Classifier::CptStats cpt = classifier_->cpt_stats();
+  introspect_->probe_classifier(cpt.support_min, cpt.log_odds_spread);
+}
+
 void AnomalyPredictor::observe(const std::vector<double>& row) {
   PREPARE_CHECK_MSG(trained_, "observe() before train()");
   PREPARE_CHECK(row.size() == names_.size());
@@ -145,6 +182,12 @@ void AnomalyPredictor::observe(const std::vector<double>& row) {
   for (std::size_t i = 0; i < row.size(); ++i) {
     last_row_[i] = discretizers_[i].discretize(row[i]);
     predictors_[i]->observe(BinIndex{last_row_[i]}, config_.online_learning);
+  }
+  if (introspect_ != nullptr) {
+    // observe() runs in the controller's serial per-VM loop (driver
+    // thread), so feeding the driver-confined introspector here is safe.
+    for (std::size_t i = 0; i < last_row_.size(); ++i)
+      introspect_->observe_symbol(i, last_row_[i]);
   }
   has_observation_ = true;
 }
@@ -157,8 +200,15 @@ bool AnomalyPredictor::ready() const {
 }
 
 AnomalyPredictor::Result AnomalyPredictor::predict(TickIndex steps) const {
+  return predict(steps, /*with_horizon=*/true);
+}
+
+AnomalyPredictor::Result AnomalyPredictor::predict(TickIndex steps,
+                                                   bool with_horizon) const {
   PREPARE_CHECK_MSG(ready(), "predict() before the model is ready");
   PREPARE_CHECK(steps.value() >= 1);
+  if (introspect_ != nullptr && with_horizon)
+    return predict_with_horizon(steps);
   auto& dists = scratch_dists_;
   dists.resize(predictors_.size());
   {
@@ -183,6 +233,65 @@ AnomalyPredictor::Result AnomalyPredictor::predict(TickIndex steps) const {
   for (std::size_t i = 0; i < dists.size(); ++i)
     out.predicted_values[i] =
         dists[i].expectation(discretizers_[i].bin_centers());
+  return out;
+}
+
+AnomalyPredictor::Result AnomalyPredictor::predict_with_horizon(
+    TickIndex steps) const {
+  auto& paths = scratch_paths_;
+  paths.resize(predictors_.size());
+  {
+    obs::ScopedTimer timer(stage_lookahead_);
+    for (std::size_t i = 0; i < predictors_.size(); ++i)
+      predictors_[i]->predict_path_into(steps, &paths[i]);
+  }
+
+  const std::size_t k = steps.value();
+  const std::size_t nf = paths.size();
+  Result out;
+  obs::ScopedTimer classify_timer(stage_classify_);
+  auto& row = scratch_row_;
+  row.resize(nf);
+  // One feature-major sweep extracts every per-step mode into a flat
+  // step-major table: each path's distributions are read sequentially
+  // (they were allocated together), instead of chasing all 13 paths
+  // once per step below.
+  auto& modes = scratch_modes_;
+  modes.resize(k * nf);
+  for (std::size_t i = 0; i < nf; ++i) {
+    const std::vector<Distribution>& path = paths[i];
+    for (std::size_t s = 0; s < k; ++s) modes[s * nf + i] = path[s].mode();
+  }
+  if (config_.classify_mode) {
+    for (std::size_t i = 0; i < nf; ++i) row[i] = modes[(k - 1) * nf + i];
+    out.classification = classifier_->classify(row);
+  } else {
+    auto& dists = scratch_dists_;
+    dists.resize(nf);
+    for (std::size_t i = 0; i < nf; ++i) dists[i] = paths[i][k - 1];
+    out.classification = classifier_->classify_expected(dists);
+  }
+  // Calibration probabilities: sigmoid of the mode-row log-odds score at
+  // every horizon step. Always mode-row scoring — even under
+  // classify_expected — so the per-horizon numbers compare one fixed
+  // scoring rule across backends and horizons.
+  out.horizon_probs.resize(k);
+  for (std::size_t s = 0; s < k; ++s) {
+    row.assign(modes.begin() + static_cast<std::ptrdiff_t>(s * nf),
+               modes.begin() + static_cast<std::ptrdiff_t>((s + 1) * nf));
+    const double score = classifier_->score(row).value();
+    const double p = 1.0 / (1.0 + std::exp(-score));
+    PREPARE_DCHECK(std::isfinite(p) && p >= 0.0 && p <= 1.0)
+        << "degenerate anomaly probability " << p << " at horizon step "
+        << s + 1;
+    out.horizon_probs[s] = p;
+  }
+  classify_timer.stop();
+  if (supervised_without_abnormal_) out.classification.abnormal = false;
+  out.predicted_values.resize(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i)
+    out.predicted_values[i] =
+        paths[i][k - 1].expectation(discretizers_[i].bin_centers());
   return out;
 }
 

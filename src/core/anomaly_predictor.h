@@ -17,6 +17,7 @@
 #include "models/classifier.h"
 #include "models/discretizer.h"
 #include "models/value_predictor.h"
+#include "obs/model_introspect.h"
 #include "obs/stage_profiler.h"
 
 namespace prepare {
@@ -96,10 +97,25 @@ class AnomalyPredictor {
     /// Expected feature values at the prediction horizon (bin-center
     /// expectations) — the "informative" part of the alert.
     std::vector<double> predicted_values;
+    /// Predicted anomaly probability per horizon step 1..steps
+    /// (sigmoid of the mode-row classifier score at each step). Only
+    /// filled when an introspector is attached — the controller folds
+    /// it into the calibration tracker from its serial section.
+    std::vector<double> horizon_probs;
   };
 
-  /// Classifies the state `steps` sampling intervals ahead.
+  /// Classifies the state `steps` sampling intervals ahead. With an
+  /// introspector attached this also fills Result::horizon_probs (the
+  /// scored per-step horizon path).
   Result predict(TickIndex steps) const;
+  /// predict() with the horizon-path decision made by the caller: the
+  /// controller resolves ModelIntrospect::calibration_due() once per
+  /// round on the driver thread and passes it here, so the (more
+  /// expensive) scored path runs only on sampled calibration rounds and
+  /// the worker-side predict never touches the driver-confined
+  /// introspector. `with_horizon` is ignored when no introspector is
+  /// attached.
+  Result predict(TickIndex steps, bool with_horizon) const;
 
   /// Classifies the most recently observed sample (used by the reactive
   /// path and for diagnosis once an anomaly has already manifested).
@@ -125,9 +141,30 @@ class AnomalyPredictor {
   /// predictor; nullptr detaches (the default: zero overhead).
   void set_profiler(obs::StageProfiler* profiler);
 
+  /// Attaches the model-introspection layer. With an introspector
+  /// attached, train() feeds the discretizer bin-occupancy baselines,
+  /// observe() feeds runtime symbols into the occupancy drift window,
+  /// and predict() fills Result::horizon_probs for the calibration
+  /// tracker. The introspector must outlive the predictor; nullptr
+  /// detaches. predict() itself never calls into the introspector — it
+  /// runs inside the parallel per-VM fan-out, and the introspector is
+  /// driver-thread-confined.
+  void set_introspect(obs::ModelIntrospect* introspect);
+
+  /// Sweeps every value predictor's transition rows and the
+  /// classifier's CPTs into the attached introspector's probe
+  /// accumulators. Driver thread only, between begin_probe() and
+  /// end_probe(); no-op when nothing is attached or not yet trained.
+  void report_model_state() const;
+
  private:
   std::unique_ptr<ValuePredictor> make_value_predictor(
       std::size_t alphabet) const;
+  /// predict() variant taken when an introspector is attached: one full
+  /// horizon path per feature instead of a single final distribution.
+  /// The final-step path elements are bit-identical to predict_into's
+  /// output, so the classification (and thus every alert) is unchanged.
+  Result predict_with_horizon(TickIndex steps) const;
 
   std::vector<std::string> names_;
   PredictorConfig config_;
@@ -147,6 +184,9 @@ class AnomalyPredictor {
   obs::Histogram* stage_lookahead_ = nullptr;
   obs::Histogram* stage_classify_ = nullptr;
 
+  // Model-introspection sink (null = uninstrumented).
+  obs::ModelIntrospect* introspect_ = nullptr;
+
   // Per-predict transient buffers, reused across ticks so the steady
   // state allocates nothing. Safe despite `mutable`: a predictor is
   // confined to its VM's worker thread (the parallel driver shards by
@@ -154,6 +194,14 @@ class AnomalyPredictor {
   // the Markov models themselves.
   mutable std::vector<Distribution> scratch_dists_;
   mutable std::vector<std::size_t> scratch_row_;
+  /// Step-major per-step marginal modes (scratch_modes_[s * nf + i] is
+  /// feature i's mode at horizon step s + 1), filled by one
+  /// feature-major sweep over scratch_paths_.
+  mutable std::vector<std::size_t> scratch_modes_;
+  /// Per-feature full horizon paths (scratch_paths_[i][s] is feature
+  /// i's distribution at step s+1); only used when an introspector is
+  /// attached.
+  mutable std::vector<std::vector<Distribution>> scratch_paths_;
 };
 
 }  // namespace prepare

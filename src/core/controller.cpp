@@ -98,10 +98,17 @@ PrepareController::PrepareController(ControllerContext ctx,
       pool_(ctx.num_threads > 1 ? std::make_unique<ThreadPool>(ctx.num_threads)
                                 : nullptr) {
   const auto names = attribute_feature_names();
+  if (ctx.introspect != nullptr) {
+    ctx.introspect->set_horizon(lookahead_steps_.value(),
+                                config_.sampling_interval_s);
+    ctx.introspect->set_attribute_names(names);
+  }
   for (const auto& vm : vm_names()) {
     auto [it, inserted] =
         predictors_.emplace(vm, AnomalyPredictor(names, config_.predictor));
     if (inserted && profiler_.enabled()) it->second.set_profiler(&profiler_);
+    if (inserted && ctx.introspect != nullptr)
+      it->second.set_introspect(ctx.introspect);
     filters_.emplace(vm, AlarmFilter(config_.filter_k, config_.filter_w));
   }
   stage_alarm_filter_ = profiler_.stage(obs::kStageAlarmFilter);
@@ -168,6 +175,13 @@ void PrepareController::on_sample(double now) {
     ctx_.tracer->tick(now);
   }
 
+  // Calibration round: resolve the pending horizon predictions whose
+  // target round is this one against the realized SLO state (the same
+  // outcome definition the Labeler uses for training labels), then open
+  // this round's slot for the probabilities recorded below.
+  if (ctx_.introspect != nullptr)
+    ctx_.introspect->begin_round(now, ctx_.slo->currently_violated());
+
   // 2. Per-VM prediction and false-alarm filtering. The models are
   //    independent per VM (paper Section III) and predict() only reads
   //    predictor state, so the Markov look-ahead + TAN classification
@@ -184,8 +198,14 @@ void PrepareController::on_sample(double now) {
     if (predictor.ready() && predictor.discriminative())
       active.emplace_back(&vm, &predictor);
   std::vector<AnomalyPredictor::Result> results(active.size());
+  // The calibration-stride decision is made here, on the driver, so the
+  // worker-side predict never reads the driver-confined introspector;
+  // unsampled rounds keep the bare (single final distribution)
+  // prediction cost.
+  const bool horizon_due =
+      ctx_.introspect != nullptr && ctx_.introspect->calibration_due();
   const auto predict_one = [&](std::size_t i) {
-    results[i] = active[i].second->predict(lookahead_steps_);
+    results[i] = active[i].second->predict(lookahead_steps_, horizon_due);
   };
   if (pool_ != nullptr) {
     pool_->parallel_for(active.size(), predict_one);
@@ -198,6 +218,11 @@ void PrepareController::on_sample(double now) {
   for (std::size_t i = 0; i < active.size(); ++i) {
     const std::string& vm = *active[i].first;
     const auto& result = results[i];
+    // Fold this VM's predicted probability path into the calibration
+    // tracker — serial section, map (VM) order, so the fold sequence is
+    // independent of the fan-out's thread count.
+    if (ctx_.introspect != nullptr && !result.horizon_probs.empty())
+      ctx_.introspect->record_horizon_probs(result.horizon_probs);
     const bool raw = result.classification.abnormal &&
                      top_impact(result.classification) >=
                          config_.alert_min_top_impact;
@@ -223,6 +248,17 @@ void PrepareController::on_sample(double now) {
                        "k-of-W confirmed");
       if (ctx_.tracer != nullptr) ctx_.tracer->confirmed(vm, now);
     }
+  }
+
+  // Model-state probes on the introspector's round cadence: sweep every
+  // trained predictor's transition rows and CPTs in map (VM) order —
+  // serial, driver thread, a handful of rounds apart so the sweep cost
+  // stays inside the overhead bar.
+  if (ctx_.introspect != nullptr && ctx_.introspect->probe_due()) {
+    ctx_.introspect->begin_probe(now);
+    for (const auto& [vm, predictor] : predictors_)
+      if (predictor.trained()) predictor.report_model_state();
+    ctx_.introspect->end_probe();
   }
 
   // 3. Reactive fallback: the SLO is already violated — diagnose from

@@ -28,6 +28,7 @@
 #include "monitor/labeler.h"
 #include "monitor/metric_store.h"
 #include "monitor/slo_log.h"
+#include "obs/model_introspect.h"
 #include "obs/span_tracer.h"
 #include "obs/stage_profiler.h"
 #include "sim/cluster.h"
@@ -54,6 +55,14 @@ struct ControllerContext {
   /// fan-out — so it needs no locking and a parallel run produces a
   /// bit-identical span set (DESIGN.md section 10).
   obs::SpanTracer* tracer = nullptr;
+  /// Optional model-introspection layer (must outlive the controller):
+  /// per-horizon prediction calibration, model-state probes, and drift
+  /// detection. Same confinement contract as the tracer — the per-VM
+  /// fan-out only fills Result::horizon_probs in its own result slot;
+  /// every introspector call happens in the serial sections, in
+  /// deterministic VM order. Only the PrepareController drives it (the
+  /// reactive baseline has no look-ahead to calibrate).
+  obs::ModelIntrospect* introspect = nullptr;
   /// Worker threads for the per-VM prediction fan-out (PREPARE keeps
   /// one independent model per VM, so the Markov look-ahead + TAN
   /// classification parallelize across VMs). 1 (default) runs fully

@@ -204,6 +204,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   ctx.log = &bed->events;
   ctx.metrics = config.metrics;
   ctx.tracer = config.tracer;
+  ctx.introspect = config.introspect;
   ctx.num_threads = config.num_threads;
 
   PrepareConfig pcfg = config.prepare;
@@ -265,6 +266,10 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   // Run over: an episode confirmed in the final round has no chance to
   // validate — close everything still open as expired.
   if (config.tracer != nullptr) config.tracer->finish(bed->clock.now());
+  // Likewise: pending horizon predictions past the run end never
+  // realize an outcome — final drift evaluation + per-horizon gauges.
+  if (config.introspect != nullptr)
+    config.introspect->finish(bed->clock.now());
 
   // Clamp: a second injection scheduled past the run end (e.g. the
   // quiet-trace configuration) leaves an empty measurement window.

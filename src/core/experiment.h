@@ -87,6 +87,12 @@ struct ScenarioConfig {
   /// episode (finish) when the simulation ends. Must outlive the run;
   /// pass a fresh tracer per repeat — episodes are per-run.
   obs::SpanTracer* tracer = nullptr;
+  /// Optional model-introspection layer (obs/model_introspect.h):
+  /// per-horizon prediction calibration, model-state probes, and drift
+  /// detection, driven by the prepare controller and finalized when the
+  /// simulation ends. Must outlive the run; pass a fresh introspector
+  /// per repeat — calibration state is per-run.
+  obs::ModelIntrospect* introspect = nullptr;
 };
 
 struct ScenarioResult {

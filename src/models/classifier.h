@@ -30,6 +30,17 @@ struct Classification {
 
 class Classifier {
  public:
+  /// Aggregate CPT statistics for model introspection
+  /// (obs/model_introspect.h): how much raw evidence backs the weakest
+  /// conditional-probability cell and how spread the precomputed
+  /// log-odds impact tables are. A support_min near zero flags a
+  /// classifier running on smoothing alone.
+  struct CptStats {
+    double support_min = 0.0;      ///< min raw count over CPT cells
+    double support_mean = 0.0;     ///< mean raw count over CPT cells
+    double log_odds_spread = 0.0;  ///< max - min over impact cells
+  };
+
   virtual ~Classifier() = default;
 
   virtual void train(const LabeledDataset& data) = 0;
@@ -45,6 +56,18 @@ class Classifier {
   /// anomaly predictor performs "classification over future data".
   virtual Classification classify_expected(
       const std::vector<Distribution>& dists) const = 0;
+
+  /// Log-odds score alone (Eq. 1), without the per-attribute impact
+  /// vector. The default forwards to classify(); the Bayesian
+  /// classifiers override it allocation-free so the per-horizon
+  /// calibration sweep can score every look-ahead step cheaply.
+  virtual LogOdds score(const std::vector<std::size_t>& row) const {
+    return classify(row).score;
+  }
+
+  /// CPT introspection snapshot. The default (classifiers without
+  /// conditional-probability tables) reports an empty statistic.
+  virtual CptStats cpt_stats() const { return CptStats(); }
 
   /// Attribute indices sorted by impact, most anomaly-relevant first.
   static std::vector<std::size_t> ranked_attributes(const Classification& c);

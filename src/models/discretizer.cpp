@@ -123,6 +123,12 @@ void Discretizer::fit(const std::vector<double>& values) {
         << "bin centers not strictly increasing at bin " << b;
 #endif
   fitted_ = true;
+
+  // Training-data occupancy per effective bin: the drift detector's
+  // baseline for the bin-occupancy shift comparison. Recorded after
+  // fitted_ flips so discretize() is usable.
+  fit_counts_.assign(bins(), 0.0);
+  for (double v : values) fit_counts_[discretize(v)] += 1.0;
 }
 
 std::size_t Discretizer::bins() const {

@@ -62,6 +62,10 @@ class Discretizer {
   DiscretizerKind kind() const { return kind_; }
   /// Interior cut points (ascending); bin i is (cut[i-1], cut[i]].
   const std::vector<double>& cuts() const { return cuts_; }
+  /// Per-bin occupancy of the training data (one count per effective
+  /// bin, recorded at the end of fit()). This is the bin-occupancy
+  /// baseline the drift detector compares runtime symbols against.
+  const std::vector<double>& fit_counts() const { return fit_counts_; }
 
  private:
   std::size_t requested_bins_;
@@ -72,6 +76,7 @@ class Discretizer {
   bool fitted_ = false;
   std::vector<double> cuts_;     ///< interior boundaries, ascending
   std::vector<double> centers_;  ///< representative value per bin
+  std::vector<double> fit_counts_;  ///< training-data occupancy per bin
 
   /// Equal-width fast path: when the cut grid is uniform, bin lookup is
   /// (value - grid_lo_) * grid_inv_width_ with a clamp + exact fix-up.

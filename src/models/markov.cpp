@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "models/markov_stats.h"
 
 namespace prepare {
 
@@ -81,6 +82,42 @@ void MarkovChain::predict_into(TickIndex steps, Distribution* out) const {
   out->normalize();
   PREPARE_DCHECK(out->is_normalized(1e-9))
       << "predict() output not a distribution";
+}
+
+void MarkovChain::predict_path_into(TickIndex steps,
+                                    std::vector<Distribution>* out) const {
+  PREPARE_CHECK_MSG(has_context_, "predict() before any observation");
+  PREPARE_CHECK(steps.value() >= 1);
+  PREPARE_CHECK(out != nullptr);
+  out->resize(steps.value());
+  auto& v = scratch_v_;
+  auto& next = scratch_next_;
+  v.assign(alphabet_, 0.0);
+  v[context_] = 1.0;
+  next.assign(alphabet_, 0.0);
+  for (std::size_t s = 0; s < steps.value(); ++s) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t i = 0; i < alphabet_; ++i) {
+      if (v[i] <= 0.0) continue;
+      const std::size_t base = i * alphabet_;
+      for (std::size_t j = 0; j < alphabet_; ++j)
+        next[j] += v[i] * probs_[base + j];
+    }
+    std::swap(v, next);
+    // Same marginalization predict_into() performs on its final state
+    // vector, evaluated after every step — element s is bit-identical
+    // to predict_into(s + 1).
+    Distribution& d = (*out)[s];
+    d.assign_zero(alphabet_);
+    for (std::size_t j = 0; j < alphabet_; ++j) d[j] = v[j];
+    d.normalize();
+    PREPARE_DCHECK(d.is_normalized(1e-9))
+        << "predict_path() output not a distribution at step " << s + 1;
+  }
+}
+
+ValuePredictor::RowStats MarkovChain::row_stats() const {
+  return markov_detail::row_stats_over(counts_, probs_, alphabet_, alphabet_);
 }
 
 }  // namespace prepare

@@ -23,6 +23,9 @@ class MarkovChain : public ValuePredictor {
   void observe(BinIndex symbol, bool learn) override;
   Distribution predict(TickIndex steps) const override;
   void predict_into(TickIndex steps, Distribution* out) const override;
+  void predict_path_into(TickIndex steps,
+                         std::vector<Distribution>* out) const override;
+  RowStats row_stats() const override;
   bool ready() const override { return has_context_; }
   std::size_t alphabet() const override { return alphabet_; }
 

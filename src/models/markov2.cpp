@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "models/markov_stats.h"
 
 namespace prepare {
 
@@ -103,6 +104,50 @@ void TwoDependentMarkov::predict_into(TickIndex steps,
   out->normalize();
   PREPARE_DCHECK(out->is_normalized(1e-9))
       << "predict() output not a distribution";
+}
+
+void TwoDependentMarkov::predict_path_into(
+    TickIndex steps, std::vector<Distribution>* out) const {
+  PREPARE_CHECK_MSG(ready(), "predict() needs at least two observations");
+  PREPARE_CHECK(steps.value() >= 1);
+  PREPARE_CHECK(out != nullptr);
+  out->resize(steps.value());
+  const std::size_t pairs = alphabet_ * alphabet_;
+  auto& v = scratch_v_;
+  auto& next = scratch_next_;
+  v.assign(pairs, 0.0);
+  v[pair_index(prev_, cur_)] = 1.0;
+  next.assign(pairs, 0.0);
+  for (std::size_t s = 0; s < steps.value(); ++s) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t a = 0; a < alphabet_; ++a) {
+      for (std::size_t b = 0; b < alphabet_; ++b) {
+        const double mass = v[pair_index(a, b)];
+        if (mass <= 0.0) continue;
+        const std::size_t src = pair_index(a, b) * alphabet_;
+        const std::size_t dst = pair_index(b, 0);
+        for (std::size_t c = 0; c < alphabet_; ++c)
+          next[dst + c] += mass * probs_[src + c];
+      }
+    }
+    std::swap(v, next);
+    // Same marginalization predict_into() performs on its final pair
+    // distribution, evaluated after every step — element s is
+    // bit-identical to predict_into(s + 1).
+    Distribution& d = (*out)[s];
+    d.assign_zero(alphabet_);
+    for (std::size_t a = 0; a < alphabet_; ++a)
+      for (std::size_t b = 0; b < alphabet_; ++b)
+        d[b] += v[pair_index(a, b)];
+    d.normalize();
+    PREPARE_DCHECK(d.is_normalized(1e-9))
+        << "predict_path() output not a distribution at step " << s + 1;
+  }
+}
+
+ValuePredictor::RowStats TwoDependentMarkov::row_stats() const {
+  return markov_detail::row_stats_over(counts_, probs_,
+                                       alphabet_ * alphabet_, alphabet_);
 }
 
 }  // namespace prepare

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "models/markov_stats.h"
 
 namespace prepare {
 
@@ -122,6 +123,44 @@ void NDependentMarkov::predict_into(TickIndex steps,
   out->normalize();
   PREPARE_DCHECK(out->is_normalized(1e-9))
       << "predict() output not a distribution";
+}
+
+void NDependentMarkov::predict_path_into(
+    TickIndex steps, std::vector<Distribution>* out) const {
+  PREPARE_CHECK_MSG(ready(), "predict() before enough observations");
+  PREPARE_CHECK(steps.value() >= 1);
+  PREPARE_CHECK(out != nullptr);
+  out->resize(steps.value());
+  auto& v = scratch_v_;
+  auto& next = scratch_next_;
+  v.assign(states_, 0.0);
+  v[context_index(context_)] = 1.0;
+  next.assign(states_, 0.0);
+  for (std::size_t s = 0; s < steps.value(); ++s) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t ctx = 0; ctx < states_; ++ctx) {
+      const double mass = v[ctx];
+      if (mass <= 0.0) continue;
+      const std::size_t base = ctx * alphabet_;
+      for (std::size_t j = 0; j < alphabet_; ++j)
+        next[shifted_index(ctx, j)] += mass * probs_[base + j];
+    }
+    std::swap(v, next);
+    // Same marginalization predict_into() performs on its final context
+    // distribution, evaluated after every step — element s is
+    // bit-identical to predict_into(s + 1).
+    Distribution& d = (*out)[s];
+    d.assign_zero(alphabet_);
+    for (std::size_t ctx = 0; ctx < states_; ++ctx)
+      d[ctx % alphabet_] += v[ctx];
+    d.normalize();
+    PREPARE_DCHECK(d.is_normalized(1e-9))
+        << "predict_path() output not a distribution at step " << s + 1;
+  }
+}
+
+ValuePredictor::RowStats NDependentMarkov::row_stats() const {
+  return markov_detail::row_stats_over(counts_, probs_, states_, alphabet_);
 }
 
 }  // namespace prepare

@@ -1,0 +1,47 @@
+// Shared transition-row statistics for the Markov-family predictors.
+//
+// All three Markov orders store their model in the same layout — a
+// row-major `counts` table of raw transition observations and a `probs`
+// mirror of Laplace-smoothed rows — so the introspection sweep
+// (ValuePredictor::row_stats) is one function over that layout.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "models/value_predictor.h"
+
+namespace prepare {
+namespace markov_detail {
+
+/// Row statistics over a `rows` x `alphabet` transition table. A row is
+/// occupied when it has at least one raw observation; entropy (nats) is
+/// evaluated on the smoothed row, whose cells are strictly positive by
+/// Laplace smoothing.
+inline ValuePredictor::RowStats row_stats_over(
+    const std::vector<double>& counts, const std::vector<double>& probs,
+    std::size_t rows, std::size_t alphabet) {
+  ValuePredictor::RowStats stats;
+  stats.rows = rows;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t base = r * alphabet;
+    double row_total = 0.0;
+    for (std::size_t j = 0; j < alphabet; ++j) row_total += counts[base + j];
+    stats.count_total += row_total;
+    if (row_total <= 0.0) continue;
+    ++stats.occupied_rows;
+    double entropy = 0.0;
+    for (std::size_t j = 0; j < alphabet; ++j) {
+      const double p = probs[base + j];
+      entropy -= p * std::log(p);
+    }
+    stats.entropy_sum += entropy;
+    stats.entropy_max = std::max(stats.entropy_max, entropy);
+  }
+  return stats;
+}
+
+}  // namespace markov_detail
+}  // namespace prepare

@@ -20,6 +20,8 @@ class NaiveBayesClassifier : public Classifier {
   Classification classify(const std::vector<std::size_t>& row) const override;
   Classification classify_expected(
       const std::vector<Distribution>& dists) const override;
+  LogOdds score(const std::vector<std::size_t>& row) const override;
+  CptStats cpt_stats() const override;
 
   /// Smoothed P(attribute i = v | class c).
   Probability likelihood(std::size_t attribute, BinIndex value,

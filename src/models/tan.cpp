@@ -236,6 +236,61 @@ Classification TanClassifier::classify(
   return out;
 }
 
+LogOdds TanClassifier::score(const std::vector<std::size_t>& row) const {
+  PREPARE_CHECK(trained_);
+  PREPARE_CHECK(row.size() == alphabet_.size());
+  // Same table walk as classify(), minus the impact vector — the score
+  // is bit-identical, with no allocation.
+  LogOdds score{log_prior_odds_};
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    PREPARE_DCHECK_LT(row[i], alphabet_[i]);
+    const std::size_t pv = parents_[i] == kNoParent ? 0 : row[parents_[i]];
+    score += log_impact(i, row[i], pv);
+  }
+  PREPARE_DCHECK(std::isfinite(score.value()))
+      << "non-finite classification score " << score.value();
+  return score;
+}
+
+Classifier::CptStats TanClassifier::cpt_stats() const {
+  PREPARE_CHECK(trained_);
+  CptStats stats;
+  double support_sum = 0.0;
+  std::size_t cells = 0;
+  bool first = true;
+  for (int c = 0; c < 2; ++c) {
+    for (const std::vector<double>& table : cpt_[c]) {
+      for (double count : table) {
+        if (first) {
+          stats.support_min = count;
+          first = false;
+        } else {
+          stats.support_min = std::min(stats.support_min, count);
+        }
+        support_sum += count;
+        ++cells;
+      }
+    }
+  }
+  if (cells > 0) stats.support_mean = support_sum / static_cast<double>(cells);
+  double lo = 0.0;
+  double hi = 0.0;
+  bool first_cell = true;
+  for (const std::vector<double>& table : impact_table_) {
+    for (double cell : table) {
+      if (first_cell) {
+        lo = hi = cell;
+        first_cell = false;
+      } else {
+        lo = std::min(lo, cell);
+        hi = std::max(hi, cell);
+      }
+    }
+  }
+  stats.log_odds_spread = hi - lo;
+  return stats;
+}
+
 Classification TanClassifier::classify_expected(
     const std::vector<Distribution>& dists) const {
   PREPARE_CHECK(trained_);

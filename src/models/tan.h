@@ -32,6 +32,8 @@ class TanClassifier : public Classifier {
   Classification classify(const std::vector<std::size_t>& row) const override;
   Classification classify_expected(
       const std::vector<Distribution>& dists) const override;
+  LogOdds score(const std::vector<std::size_t>& row) const override;
+  CptStats cpt_stats() const override;
 
   /// parent(i) = index of attribute i's attribute-parent, or kNoParent
   /// for the root (whose only parent is the class node).

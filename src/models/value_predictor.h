@@ -16,6 +16,20 @@ namespace prepare {
 
 class ValuePredictor {
  public:
+  /// Aggregate transition-row statistics for model introspection
+  /// (obs/model_introspect.h): how spread the learned rows are and how
+  /// much of the state space training actually visited. Entropy is in
+  /// nats over the *smoothed* rows, restricted to rows with at least one
+  /// observed transition (a never-visited row is uniform by smoothing
+  /// and would drown the signal).
+  struct RowStats {
+    std::size_t rows = 0;           ///< transition rows in the model
+    std::size_t occupied_rows = 0;  ///< rows with observed transitions
+    double entropy_sum = 0.0;       ///< over occupied rows
+    double entropy_max = 0.0;       ///< over occupied rows
+    double count_total = 0.0;       ///< raw transition observations
+  };
+
   virtual ~ValuePredictor() = default;
 
   /// Batch-trains on a symbol sequence (resets previous counts and sets
@@ -38,6 +52,24 @@ class ValuePredictor {
   virtual void predict_into(TickIndex steps, Distribution* out) const {
     *out = predict(steps);
   }
+
+  /// Fills (*out)[s-1] with the prediction for every horizon step
+  /// s = 1..steps (resizing `out` to `steps`). The default evaluates
+  /// predict_into() once per step; the Markov models override it with a
+  /// single state-vector push that marginalizes after every step — same
+  /// per-step arithmetic, so each element is bit-identical to the
+  /// corresponding predict_into(s) result, at one step-push total cost.
+  virtual void predict_path_into(TickIndex steps,
+                                 std::vector<Distribution>* out) const {
+    out->resize(steps.value());
+    for (std::size_t s = 1; s <= steps.value(); ++s) {
+      predict_into(TickIndex{s}, &(*out)[s - 1]);
+    }
+  }
+
+  /// Transition-row introspection snapshot. The default (models without
+  /// transition rows) reports an empty statistic.
+  virtual RowStats row_stats() const { return RowStats(); }
 
   /// Whether enough context has been seen to predict.
   virtual bool ready() const = 0;

@@ -28,8 +28,27 @@
 // escalated|expired (the last three terminal), and attributes are
 // flat string/number pairs (source, action, reason, outcome,
 // top_metric_N/impact_N, raw_alerts, re_alerts, lead_time_s, …).
-// v1 records are unchanged, so v1 consumers can ignore span records;
-// tools/check_obs_schema.py validates both versions.
+// v1 records are unchanged, so v1 consumers can ignore span records.
+//
+// Schema v3 adds the model-introspection records (see
+// obs/model_introspect.h; emitted between the span and metric
+// sections):
+//
+//   {"record":"calibration","run_id":ID,"t":T,"horizon_step":S,
+//    "horizon_s":H,"n":N,"hits":K,"p_mean":…,"brier":…,"logloss":…,
+//    "bin0_n":…,"bin0_hits":…,…,"bin<B-1>_n":…,"bin<B-1>_hits":…}
+//   {"record":"model_drift","run_id":ID,"t":T,"kind":"calibration"|
+//    "occupancy","triggered":0|1,["attribute":A,]<numeric values…>}
+//
+// One calibration record per look-ahead horizon step with resolved
+// predictions: n/hits are resolved-prediction and realized-abnormal
+// counts, brier/logloss the mean scores, and bin<b>_n/bin<b>_hits the
+// fixed-bin reliability histogram (predicted-probability bucket b
+// covers [b/B, (b+1)/B); the bin counts sum to n/hits). model_drift
+// records are one per drift evaluation and kind; `triggered` is a 0/1
+// number (the schema has no booleans) and `attribute` names the
+// top-drifting attribute for occupancy records. v1/v2 records are
+// unchanged; tools/check_obs_schema.py validates all three versions.
 #pragma once
 
 #include <ostream>
@@ -42,7 +61,7 @@
 namespace prepare {
 namespace obs {
 
-inline constexpr int kObsSchemaVersion = 2;
+inline constexpr int kObsSchemaVersion = 3;
 
 /// Run identity and context for the header record. `labels` are extra
 /// string fields merged into the header (app, fault, scheme, seed, …);

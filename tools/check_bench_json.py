@@ -20,10 +20,20 @@ not be listed).
 
 Usage: check_bench_json.py FILE.json [FILE.json ...]
                            [--require-stage STAGE]
+                           [--compare BASELINE_DIR]
+                           [--max-regress FRAC]
 
 --require-stage NAME (repeatable) demands that a stage row named NAME is
 present in every file — CI uses it to prove the hot pipeline stages were
 actually profiled, not silently skipped.
+
+--compare BASELINE_DIR compares each file's rate_vm_ticks_per_sec
+against the committed baseline report of the same file name in
+BASELINE_DIR (bench_results/ in the repo) and fails when the fresh rate
+regresses by more than --max-regress (default 0.30, i.e. >30% slower
+than the baseline). A missing baseline for a checked file is a
+violation — commit one with PREPARE_BENCH_OUT_DIR. Faster-than-baseline
+runs always pass; the gate only guards against slowdowns.
 
 Exits 0 when every file is valid, 1 with one "FILE: message" per
 violation. Missing files are violations (loud-fail, same contract as
@@ -127,9 +137,38 @@ def validate(path: Path, require_stages: list[str]) -> list[str]:
     return errors
 
 
+def compare_to_baseline(path: Path, baseline_dir: Path,
+                        max_regress: float) -> list[str]:
+    """Throughput-regression gate against a committed baseline report."""
+    baseline_path = baseline_dir / path.name
+    if not baseline_path.is_file():
+        return [f"{path}: no baseline {baseline_path} to compare against"]
+    try:
+        fresh = json.loads(path.read_text())
+        baseline = json.loads(baseline_path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable during compare: {exc}"]
+    fresh_rate = fresh.get("rate_vm_ticks_per_sec")
+    base_rate = baseline.get("rate_vm_ticks_per_sec")
+    if not _is_num(fresh_rate) or not _is_num(base_rate) or base_rate <= 0:
+        return [f"{path}: cannot compare rates "
+                f"(fresh {fresh_rate!r}, baseline {base_rate!r})"]
+    floor = base_rate * (1.0 - max_regress)
+    if fresh_rate < floor:
+        return [f"{path}: rate {fresh_rate:.0f} VM-ticks/s regressed "
+                f">{max_regress:.0%} below baseline {base_rate:.0f} "
+                f"(floor {floor:.0f})"]
+    print(f"check_bench_json: {path.name} rate {fresh_rate:.0f} vs "
+          f"baseline {base_rate:.0f} VM-ticks/s "
+          f"({fresh_rate / base_rate - 1.0:+.1%})")
+    return []
+
+
 def main(argv: list[str]) -> int:
     files: list[Path] = []
     require_stages: list[str] = []
+    baseline_dir: Path | None = None
+    max_regress = 0.30
     args = iter(argv[1:])
     for arg in args:
         if arg == "--require-stage":
@@ -139,6 +178,24 @@ def main(argv: list[str]) -> int:
                       file=sys.stderr)
                 return 2
             require_stages.append(value)
+        elif arg == "--compare":
+            value = next(args, None)
+            if value is None:
+                print("check_bench_json.py: --compare needs a directory",
+                      file=sys.stderr)
+                return 2
+            baseline_dir = Path(value)
+        elif arg == "--max-regress":
+            value = next(args, None)
+            if value is None:
+                print("check_bench_json.py: --max-regress needs a value",
+                      file=sys.stderr)
+                return 2
+            max_regress = float(value)
+            if not 0.0 < max_regress < 1.0:
+                print("check_bench_json.py: --max-regress must be in (0,1)",
+                      file=sys.stderr)
+                return 2
         elif arg.startswith("-"):
             print(f"check_bench_json.py: unknown flag {arg}", file=sys.stderr)
             print(__doc__, file=sys.stderr)
@@ -147,12 +204,16 @@ def main(argv: list[str]) -> int:
             files.append(Path(arg))
     if not files:
         print("usage: check_bench_json.py FILE.json [...] "
-              "[--require-stage STAGE]", file=sys.stderr)
+              "[--require-stage STAGE] [--compare BASELINE_DIR] "
+              "[--max-regress FRAC]", file=sys.stderr)
         return 2
 
     errors: list[str] = []
     for path in files:
         errors.extend(validate(path, require_stages))
+        if baseline_dir is not None:
+            errors.extend(compare_to_baseline(path, baseline_dir,
+                                              max_regress))
     for message in errors:
         print(message, file=sys.stderr)
     if not errors:

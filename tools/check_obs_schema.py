@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
-"""Validator for the observability JSONL trace (schema versions 1-2).
+"""Validator for the observability JSONL trace (schema versions 1-3).
 
 A trace file is one JSON object per line (see src/obs/trace_export.h):
 
-  line 1    {"record":"run","schema":1|2,"run_id":ID,"sim_time_end":T,...}
+  line 1    {"record":"run","schema":1|2|3,"run_id":ID,"sim_time_end":T,...}
   then      {"record":"event","run_id":ID,"t":T,"kind":K,"subject":S,
              "detail":D}
             {"record":"metric","run_id":ID,"t":T,"name":N,
@@ -16,6 +16,15 @@ Schema v2 adds alert-lifecycle span records (src/obs/span_tracer.h):
             {"record":"span","run_id":ID,"trace_id":TR,"span_id":SP,
              "parent_id":P,"vm":VM,"stage":STAGE,"t_start":T0,
              "t_end":T1,<flat attributes...>}
+
+Schema v3 adds model-introspection records (src/obs/model_introspect.h):
+
+            {"record":"calibration","run_id":ID,"t":T,"horizon_step":S,
+             "horizon_s":H,"n":N,"hits":K,"p_mean":...,"brier":...,
+             "logloss":...,"bin0_n":...,"bin0_hits":...,...}
+            {"record":"model_drift","run_id":ID,"t":T,
+             "kind":"calibration"|"occupancy","triggered":0|1,
+             ["attribute":A,]<numeric drift values...>}
 
 Checked per record: required fields present, field types correct, flat
 values only (no nested objects/arrays), run_id matches the header, and
@@ -30,6 +39,7 @@ terminal span — validated/escalated/expired — as its last span).
 
 Usage: check_obs_schema.py FILE.jsonl [--require-stages]
                                       [--require-outcomes]
+                                      [--require-calibration]
 
 --require-stages additionally demands one non-empty
 stage.<name>.seconds histogram per controller pipeline stage (the seven
@@ -39,6 +49,12 @@ stages of src/obs/stage_profiler.h).
 the outcome-ledger counters (alert.outcome.*), and cross-checks the
 prevented / false_alarm / escalated / expired counters against the
 outcomes derived from the terminal spans.
+
+--require-calibration (v3 traces) additionally demands at least one
+calibration record (with consistent reliability bins: per record, the
+bin<b>_n fields sum to n and the bin<b>_hits fields sum to hits), the
+model.calibration.samples_total counter, and the pooled reliability
+bin counters (model.calibration.reliability.bin<b>.n/.hits).
 
 Exits 0 when valid, 1 with one "FILE:line: message" per violation.
 """
@@ -59,7 +75,7 @@ PIPELINE_STAGES = [
     "prevention",
 ]
 
-SUPPORTED_SCHEMAS = (1, 2)
+SUPPORTED_SCHEMAS = (1, 2, 3)
 
 SPAN_STAGES = {
     "raw_alert",
@@ -93,7 +109,13 @@ REQUIRED = {
     "span": {"run_id": STR, "trace_id": STR, "span_id": STR,
              "parent_id": STR, "vm": STR, "stage": STR, "t_start": NUM,
              "t_end": NUM},
+    "calibration": {"run_id": STR, "t": NUM, "horizon_step": NUM,
+                    "horizon_s": NUM, "n": NUM, "hits": NUM,
+                    "p_mean": NUM, "brier": NUM, "logloss": NUM},
+    "model_drift": {"run_id": STR, "t": NUM, "kind": STR,
+                    "triggered": NUM},
 }
+DRIFT_KINDS = {"calibration", "occupancy"}
 NULLABLE = {"sum", "min", "max", "p50", "p90", "p99", "value"}
 
 
@@ -135,6 +157,26 @@ def check_record(obj: dict, lineno: int, errors: list[str],
                           f"{ordered}")
     if record == "span" and obj.get("stage") not in SPAN_STAGES:
         errors.append(f"{lineno}: unknown span stage {obj.get('stage')!r}")
+    if record == "calibration":
+        bin_n = sum(v for k, v in obj.items()
+                    if k.startswith("bin") and k.endswith("_n")
+                    and isinstance(v, NUM) and not isinstance(v, bool))
+        bin_hits = sum(v for k, v in obj.items()
+                       if k.startswith("bin") and k.endswith("_hits")
+                       and isinstance(v, NUM) and not isinstance(v, bool))
+        if isinstance(obj.get("n"), NUM) and bin_n != obj["n"]:
+            errors.append(f"{lineno}: calibration bin counts sum to "
+                          f"{bin_n}, but n is {obj['n']}")
+        if isinstance(obj.get("hits"), NUM) and bin_hits != obj["hits"]:
+            errors.append(f"{lineno}: calibration bin hits sum to "
+                          f"{bin_hits}, but hits is {obj['hits']}")
+    if record == "model_drift":
+        if obj.get("kind") not in DRIFT_KINDS:
+            errors.append(f"{lineno}: unknown drift kind "
+                          f"{obj.get('kind')!r}")
+        if obj.get("triggered") not in (0, 1):
+            errors.append(f"{lineno}: model_drift triggered must be 0 or "
+                          f"1, got {obj.get('triggered')!r}")
 
 
 def check_spans(spans: list[tuple[int, dict]], errors: list[str]) -> None:
@@ -230,14 +272,15 @@ def check_outcomes(spans: list[tuple[int, dict]],
             errors.append(f"--require-outcomes: missing {metric} counter")
 
 
-def validate(path: Path, require_stages: bool,
-             require_outcomes: bool) -> list[str]:
+def validate(path: Path, require_stages: bool, require_outcomes: bool,
+             require_calibration: bool = False) -> list[str]:
     errors: list[str] = []
     run_id: str | None = None
     schema: int | None = None
     stage_counts: dict[str, float] = {}
     counters: dict[str, float] = {}
     spans: list[tuple[int, dict]] = []
+    calibrations: list[tuple[int, dict]] = []
     lines = path.read_text().splitlines()
     if not lines:
         return ["1: empty trace (expected a run header)"]
@@ -266,6 +309,12 @@ def validate(path: Path, require_stages: bool,
             if schema == 1:
                 errors.append(f"{lineno}: span record in a schema-1 trace")
             spans.append((lineno, obj))
+        if obj.get("record") in ("calibration", "model_drift"):
+            if schema is not None and schema < 3:
+                errors.append(f"{lineno}: {obj['record']} record in a "
+                              f"schema-{schema} trace")
+            if obj.get("record") == "calibration":
+                calibrations.append((lineno, obj))
         if obj.get("record") == "histogram":
             name = obj.get("name")
             count = obj.get("count")
@@ -286,24 +335,41 @@ def validate(path: Path, require_stages: bool,
                 errors.append(f"{name} histogram is empty")
     if require_outcomes:
         check_outcomes(spans, counters, errors)
+    if require_calibration:
+        if not calibrations:
+            errors.append("--require-calibration: trace has no "
+                          "calibration records")
+        if "model.calibration.samples_total" not in counters:
+            errors.append("--require-calibration: missing "
+                          "model.calibration.samples_total counter")
+        bin_counters = [name for name in counters
+                        if name.startswith("model.calibration.reliability."
+                                           "bin")]
+        if not bin_counters:
+            errors.append("--require-calibration: missing "
+                          "model.calibration.reliability.bin<b>.* counters")
     return errors
 
 
 def main(argv: list[str]) -> int:
-    flags = {"--require-stages", "--require-outcomes"}
+    flags = {"--require-stages", "--require-outcomes",
+             "--require-calibration"}
     args = [a for a in argv[1:] if a not in flags]
     require_stages = "--require-stages" in argv[1:]
     require_outcomes = "--require-outcomes" in argv[1:]
+    require_calibration = "--require-calibration" in argv[1:]
     if len(args) != 1:
         print(__doc__.strip().splitlines()[0], file=sys.stderr)
         print(f"usage: {argv[0]} FILE.jsonl [--require-stages] "
-              "[--require-outcomes]", file=sys.stderr)
+              "[--require-outcomes] [--require-calibration]",
+              file=sys.stderr)
         return 2
     path = Path(args[0])
     if not path.is_file():
         print(f"{path}: no such file", file=sys.stderr)
         return 1
-    errors = validate(path, require_stages, require_outcomes)
+    errors = validate(path, require_stages, require_outcomes,
+                      require_calibration)
     for error in errors:
         print(f"{path}:{error}")
     if not errors:

@@ -44,9 +44,11 @@ curl -fsS "http://127.0.0.1:$port/healthz" | grep -qx "ok" \
 curl -fsS "http://127.0.0.1:$port/metrics" >"$workdir/metrics.txt"
 python3 "$repo_root/tools/check_prom_text.py" "$workdir/metrics.txt"
 
-# The scrape must carry the outcome ledger and pipeline counters.
+# The scrape must carry the outcome ledger, pipeline counters, and the
+# model-introspection calibration family.
 for family in prepare_alert_episodes_total prepare_alert_outcome_prevented_total \
-              prepare_alert_precision; do
+              prepare_alert_precision prepare_model_calibration_brier \
+              prepare_model_calibration_samples_total; do
   grep -q "^$family\b" "$workdir/metrics.txt" \
     || { echo "scrape is missing $family" >&2; exit 1; }
 done

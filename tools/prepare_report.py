@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Post-run model-quality report from an observability JSONL trace.
+
+Reads a schema-v3 trace (src/obs/trace_export.h) written by
+`prepare_cli --obs-out FILE.jsonl` and prints, for the humans running
+the experiment:
+
+  1. the per-horizon calibration table — for each look-ahead step
+     1..k: resolved predictions, realized-abnormal rate, mean predicted
+     probability, Brier score, and log-loss;
+  2. the pooled reliability diagram as text — per predicted-probability
+     bin, how often the prediction actually realized (a calibrated
+     model has hit_rate ~ bin midpoint);
+  3. the drift timeline — every model_drift evaluation in trace order
+     with its kind, trigger state, and headline values;
+  4. the top-drifting attributes — occupancy-shift records aggregated
+     per attribute, worst first.
+
+Usage: prepare_report.py FILE.jsonl
+
+Exits 0 on success, 1 when the trace is unreadable or carries no
+calibration records (an introspection run that produced nothing to
+report is a broken run, same loud-fail contract as the other tools).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+
+def _num(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def load_records(path: Path) -> list[dict]:
+    records = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            print(f"{path}:{lineno}: invalid JSON: {exc}", file=sys.stderr)
+            continue
+        if isinstance(obj, dict):
+            records.append(obj)
+    return records
+
+
+def bin_counts(record: dict) -> list[tuple[int, float, float]]:
+    """(bin index, n, hits) triples from a calibration record."""
+    out = []
+    b = 0
+    while f"bin{b}_n" in record:
+        n = record.get(f"bin{b}_n")
+        hits = record.get(f"bin{b}_hits")
+        out.append((b, n if _num(n) else 0.0, hits if _num(hits) else 0.0))
+        b += 1
+    return out
+
+
+def print_calibration(cals: list[dict]) -> None:
+    print("per-horizon calibration:")
+    print(f"  {'step':>4} {'horizon_s':>9} {'n':>7} {'hit_rate':>8} "
+          f"{'p_mean':>7} {'brier':>8} {'logloss':>8}")
+    for record in sorted(cals, key=lambda r: r.get("horizon_step", 0)):
+        n = record.get("n", 0)
+        hits = record.get("hits", 0)
+        rate = hits / n if n else 0.0
+        print(f"  {record.get('horizon_step', 0):>4} "
+              f"{record.get('horizon_s', 0.0):>9.1f} {n:>7} {rate:>8.4f} "
+              f"{record.get('p_mean', 0.0):>7.4f} "
+              f"{record.get('brier', 0.0):>8.5f} "
+              f"{record.get('logloss', 0.0):>8.5f}")
+
+
+def print_reliability(cals: list[dict]) -> None:
+    pooled: dict[int, list[float]] = {}
+    for record in cals:
+        for b, n, hits in bin_counts(record):
+            entry = pooled.setdefault(b, [0.0, 0.0])
+            entry[0] += n
+            entry[1] += hits
+    if not pooled:
+        print("reliability: no bin counts in the trace")
+        return
+    bins = max(pooled) + 1
+    print("reliability (pooled across horizons):")
+    print(f"  {'p bucket':>14} {'n':>7} {'hit_rate':>8} {'midpoint':>8}")
+    for b in range(bins):
+        n, hits = pooled.get(b, [0.0, 0.0])
+        rate = hits / n if n else 0.0
+        lo, hi = b / bins, (b + 1) / bins
+        print(f"  [{lo:>5.2f},{hi:>5.2f}) {int(n):>7} {rate:>8.4f} "
+              f"{(lo + hi) / 2:>8.2f}")
+
+
+def print_drift(drifts: list[dict]) -> None:
+    if not drifts:
+        print("drift timeline: no model_drift records")
+        return
+    print("drift timeline:")
+    for record in drifts:
+        kind = record.get("kind", "?")
+        mark = "TRIGGERED" if record.get("triggered") == 1 else "ok"
+        if kind == "calibration":
+            detail = (f"brier {record.get('brier_recent', 0.0):.5f} vs "
+                      f"baseline {record.get('brier_baseline', 0.0):.5f}")
+        else:
+            detail = (f"shift_max {record.get('shift_max', 0.0):.4f} "
+                      f"({record.get('attribute', '?')})")
+        print(f"  t={record.get('t', 0.0):>7.1f}  {kind:<12} {mark:<9} "
+              f"{detail}")
+    triggered = sum(1 for r in drifts if r.get("triggered") == 1)
+    print(f"  {len(drifts)} evaluation(s), {triggered} triggered")
+
+
+def print_top_attributes(drifts: list[dict]) -> None:
+    worst: dict[str, float] = {}
+    for record in drifts:
+        if record.get("kind") != "occupancy":
+            continue
+        attr = record.get("attribute")
+        shift = record.get("shift_max")
+        if isinstance(attr, str) and _num(shift):
+            worst[attr] = max(worst.get(attr, 0.0), shift)
+    if not worst:
+        return
+    print("top drifting attributes (max occupancy shift seen):")
+    ranked = sorted(worst.items(), key=lambda kv: -kv[1])[:5]
+    for attr, shift in ranked:
+        print(f"  {attr:<16} {shift:.4f}")
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print("usage: prepare_report.py FILE.jsonl", file=sys.stderr)
+        return 2
+    path = Path(argv[1])
+    if not path.is_file():
+        print(f"{path}: no such file", file=sys.stderr)
+        return 1
+    records = load_records(path)
+    header = records[0] if records else {}
+    if header.get("record") == "run":
+        print(f"model-quality report for run {header.get('run_id', '?')} "
+              f"(schema {header.get('schema', '?')})")
+    cals = [r for r in records if r.get("record") == "calibration"]
+    drifts = [r for r in records if r.get("record") == "model_drift"]
+    if not cals:
+        print(f"{path}: no calibration records — was the run driven with "
+              "introspection enabled (--obs-out on a prepare scheme)?",
+              file=sys.stderr)
+        return 1
+    print_calibration(cals)
+    print_reliability(cals)
+    print_drift(drifts)
+    print_top_attributes(drifts)
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main(sys.argv))
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not an error.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)
