@@ -154,6 +154,7 @@ std::vector<std::size_t> parse_apps_list(const std::string& arg) {
     if (k == 0) {
       std::fprintf(stderr, "ext_scale: bad --apps value '%s'\n",
                    token.c_str());
+      // NOLINTNEXTLINE(concurrency-mt-unsafe): arg parsing precedes threads
       std::exit(2);
     }
     out.push_back(static_cast<std::size_t>(k));

@@ -67,6 +67,7 @@ namespace {
       "runs finish;\n                                 SIGINT/SIGTERM ends the "
       "hold early)\n",
       argv0);
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): usage error precedes threads
   std::exit(2);
 }
 

@@ -14,16 +14,19 @@
 // prediction fan-out never reaches down here; workers only read const
 // predictor state and record into the thread-safe obs:: instruments
 // (see DESIGN.md "Concurrency model & locking discipline").
+// Machine-checked: the interface carries PREPARE_DRIVER_CONFINED and
+// tools/prepare_analyze.py proves no worker lambda reaches it.
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "common/analyze_annotations.h"
 #include "sim/vm.h"
 
 namespace prepare {
 
-class Application {
+class PREPARE_DRIVER_CONFINED Application {
  public:
   virtual ~Application() = default;
 

@@ -20,6 +20,7 @@ LogLevel parse_log_level(const char* name, LogLevel fallback) {
 }
 
 std::atomic<LogLevel> Logger::level_{
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): static init precedes threads
     parse_log_level(std::getenv("PREPARE_LOG_LEVEL"), LogLevel::kWarn)};
 
 Mutex Logger::sink_mu_;

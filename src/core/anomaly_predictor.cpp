@@ -142,6 +142,13 @@ void AnomalyPredictor::train(const std::vector<std::vector<double>>& rows,
   last_row_ = data.rows.back();
   has_observation_ = true;
   trained_ = true;
+
+  // Pre-size the per-predict scratch that only depends on the feature
+  // count, so the hot predict path never grows it (the analyzer proves
+  // predict_into allocation-free; see analyze_annotations.h).
+  scratch_dists_.resize(n);
+  scratch_row_.resize(n);
+  scratch_paths_.resize(n);
 }
 
 void AnomalyPredictor::set_profiler(obs::StageProfiler* profiler) {
@@ -205,41 +212,54 @@ AnomalyPredictor::Result AnomalyPredictor::predict(TickIndex steps) const {
 
 AnomalyPredictor::Result AnomalyPredictor::predict(TickIndex steps,
                                                    bool with_horizon) const {
+  // Cold wrapper: tests and one-shot callers get a fresh Result; the
+  // controller's per-round fan-out calls predict_into() with a reused
+  // slot instead.
+  Result out;
+  predict_into(steps, with_horizon, &out);
+  return out;
+}
+
+void AnomalyPredictor::predict_into(TickIndex steps, bool with_horizon,
+                                    Result* out) const {
   PREPARE_CHECK_MSG(ready(), "predict() before the model is ready");
   PREPARE_CHECK(steps.value() >= 1);
-  if (introspect_ != nullptr && with_horizon)
-    return predict_with_horizon(steps);
+  PREPARE_CHECK(out != nullptr);
+  if (introspect_ != nullptr && with_horizon) {
+    predict_with_horizon_into(steps, out);
+    return;
+  }
+  // A reused Result may carry probabilities from an earlier calibration
+  // round; this path does not fill them.
+  out->horizon_probs.clear();
+  // Scratch vectors are pre-sized by train() (feature count is fixed).
   auto& dists = scratch_dists_;
-  dists.resize(predictors_.size());
   {
     obs::ScopedTimer timer(stage_lookahead_);
     for (std::size_t i = 0; i < predictors_.size(); ++i)
       predictors_[i]->predict_into(steps, &dists[i]);
   }
 
-  Result out;
   obs::ScopedTimer classify_timer(stage_classify_);
   if (config_.classify_mode) {
     auto& row = scratch_row_;
-    row.resize(dists.size());
     for (std::size_t i = 0; i < dists.size(); ++i) row[i] = dists[i].mode();
-    out.classification = classifier_->classify(row);
+    classifier_->classify_into(row, &out->classification);
   } else {
-    out.classification = classifier_->classify_expected(dists);
+    classifier_->classify_expected_into(dists, &out->classification);
   }
   classify_timer.stop();
-  if (supervised_without_abnormal_) out.classification.abnormal = false;
-  out.predicted_values.resize(dists.size());
+  if (supervised_without_abnormal_) out->classification.abnormal = false;
+  // prepare-analyze: allow(hot-alloc): capacity-steady reused Result
+  out->predicted_values.resize(dists.size());
   for (std::size_t i = 0; i < dists.size(); ++i)
-    out.predicted_values[i] =
-        dists[i].expectation(discretizers_[i].bin_centers());
-  return out;
+    out->predicted_values[i] =
+        dists[i].expectation(discretizers_[i].centers());
 }
 
-AnomalyPredictor::Result AnomalyPredictor::predict_with_horizon(
-    TickIndex steps) const {
+void AnomalyPredictor::predict_with_horizon_into(TickIndex steps,
+                                                 Result* out) const {
   auto& paths = scratch_paths_;
-  paths.resize(predictors_.size());
   {
     obs::ScopedTimer timer(stage_lookahead_);
     for (std::size_t i = 0; i < predictors_.size(); ++i)
@@ -248,15 +268,14 @@ AnomalyPredictor::Result AnomalyPredictor::predict_with_horizon(
 
   const std::size_t k = steps.value();
   const std::size_t nf = paths.size();
-  Result out;
   obs::ScopedTimer classify_timer(stage_classify_);
   auto& row = scratch_row_;
-  row.resize(nf);
   // One feature-major sweep extracts every per-step mode into a flat
   // step-major table: each path's distributions are read sequentially
   // (they were allocated together), instead of chasing all 13 paths
   // once per step below.
   auto& modes = scratch_modes_;
+  // prepare-analyze: allow(hot-alloc): capacity-steady — horizon fixed
   modes.resize(k * nf);
   for (std::size_t i = 0; i < nf; ++i) {
     const std::vector<Distribution>& path = paths[i];
@@ -264,35 +283,36 @@ AnomalyPredictor::Result AnomalyPredictor::predict_with_horizon(
   }
   if (config_.classify_mode) {
     for (std::size_t i = 0; i < nf; ++i) row[i] = modes[(k - 1) * nf + i];
-    out.classification = classifier_->classify(row);
+    classifier_->classify_into(row, &out->classification);
   } else {
     auto& dists = scratch_dists_;
-    dists.resize(nf);
     for (std::size_t i = 0; i < nf; ++i) dists[i] = paths[i][k - 1];
-    out.classification = classifier_->classify_expected(dists);
+    classifier_->classify_expected_into(dists, &out->classification);
   }
   // Calibration probabilities: sigmoid of the mode-row log-odds score at
   // every horizon step. Always mode-row scoring — even under
   // classify_expected — so the per-horizon numbers compare one fixed
   // scoring rule across backends and horizons.
-  out.horizon_probs.resize(k);
+  // prepare-analyze: allow(hot-alloc): capacity-steady — horizon fixed
+  out->horizon_probs.resize(k);
   for (std::size_t s = 0; s < k; ++s) {
-    row.assign(modes.begin() + static_cast<std::ptrdiff_t>(s * nf),
-               modes.begin() + static_cast<std::ptrdiff_t>((s + 1) * nf));
+    std::copy(modes.begin() + static_cast<std::ptrdiff_t>(s * nf),
+              modes.begin() + static_cast<std::ptrdiff_t>((s + 1) * nf),
+              row.begin());
     const double score = classifier_->score(row).value();
     const double p = 1.0 / (1.0 + std::exp(-score));
     PREPARE_DCHECK(std::isfinite(p) && p >= 0.0 && p <= 1.0)
         << "degenerate anomaly probability " << p << " at horizon step "
         << s + 1;
-    out.horizon_probs[s] = p;
+    out->horizon_probs[s] = p;
   }
   classify_timer.stop();
-  if (supervised_without_abnormal_) out.classification.abnormal = false;
-  out.predicted_values.resize(paths.size());
+  if (supervised_without_abnormal_) out->classification.abnormal = false;
+  // prepare-analyze: allow(hot-alloc): capacity-steady reused Result
+  out->predicted_values.resize(paths.size());
   for (std::size_t i = 0; i < paths.size(); ++i)
-    out.predicted_values[i] =
-        paths[i][k - 1].expectation(discretizers_[i].bin_centers());
-  return out;
+    out->predicted_values[i] =
+        paths[i][k - 1].expectation(discretizers_[i].centers());
 }
 
 Classification AnomalyPredictor::classify_current() const {

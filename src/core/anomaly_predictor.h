@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/analyze_annotations.h"
 #include "models/classifier.h"
 #include "models/discretizer.h"
 #include "models/value_predictor.h"
@@ -116,6 +117,14 @@ class AnomalyPredictor {
   /// introspector. `with_horizon` is ignored when no introspector is
   /// attached.
   Result predict(TickIndex steps, bool with_horizon) const;
+  /// The steady-state prediction path: same result as predict(steps,
+  /// with_horizon), written into `out` (non-null) so the controller's
+  /// per-VM fan-out reuses one Result slot per VM instead of allocating
+  /// fresh vectors every round. PREPARE_HOT: the analyzer proves this
+  /// transitively allocation-, lock- and IO-free (the value-returning
+  /// predict() overloads above are thin cold wrappers).
+  PREPARE_HOT void predict_into(TickIndex steps, bool with_horizon,
+                                Result* out) const;
 
   /// Classifies the most recently observed sample (used by the reactive
   /// path and for diagnosis once an anomaly has already manifested).
@@ -160,11 +169,12 @@ class AnomalyPredictor {
  private:
   std::unique_ptr<ValuePredictor> make_value_predictor(
       std::size_t alphabet) const;
-  /// predict() variant taken when an introspector is attached: one full
-  /// horizon path per feature instead of a single final distribution.
-  /// The final-step path elements are bit-identical to predict_into's
-  /// output, so the classification (and thus every alert) is unchanged.
-  Result predict_with_horizon(TickIndex steps) const;
+  /// predict_into() variant taken when an introspector is attached: one
+  /// full horizon path per feature instead of a single final
+  /// distribution. The final-step path elements are bit-identical to
+  /// the plain variant's output, so the classification (and thus every
+  /// alert) is unchanged.
+  void predict_with_horizon_into(TickIndex steps, Result* out) const;
 
   std::vector<std::string> names_;
   PredictorConfig config_;

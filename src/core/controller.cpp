@@ -192,20 +192,29 @@ void PrepareController::on_sample(double now) {
   //    Alerts, filter pushes, and log records are then applied serially
   //    below in deterministic (map) VM order, so a parallel run is
   //    bit-identical to a sequential one.
-  std::vector<std::pair<const std::string*, const AnomalyPredictor*>> active;
+  auto& active = active_;
+  auto& results = results_;
+  active.clear();
   active.reserve(predictors_.size());
   for (const auto& [vm, predictor] : predictors_)
     if (predictor.ready() && predictor.discriminative())
       active.emplace_back(&vm, &predictor);
-  std::vector<AnomalyPredictor::Result> results(active.size());
+  // Reused across rounds; predict_into() overwrites every slot it is
+  // handed, so stale entries never leak into this round.
+  results.resize(active.size());
   // The calibration-stride decision is made here, on the driver, so the
   // worker-side predict never reads the driver-confined introspector;
   // unsampled rounds keep the bare (single final distribution)
   // prediction cost.
   const bool horizon_due =
       ctx_.introspect != nullptr && ctx_.introspect->calibration_due();
+  // The fan-out body: implicitly PREPARE_HOT (the analyzer roots its
+  // no-allocation proof at every parallel_for worker lambda) and the
+  // root of the confinement rule — nothing here may reach the
+  // driver-confined tracer/introspector/EventLog/Application.
   const auto predict_one = [&](std::size_t i) {
-    results[i] = active[i].second->predict(lookahead_steps_, horizon_due);
+    active[i].second->predict_into(lookahead_steps_, horizon_due,
+                                   &results[i]);
   };
   if (pool_ != nullptr) {
     pool_->parallel_for(active.size(), predict_one);

@@ -17,6 +17,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "apps/application.h"
@@ -155,6 +156,13 @@ class PrepareController : public AnomalyManager {
   obs::StageProfiler profiler_;
   /// Workers for the per-VM fan-out; null when num_threads <= 1.
   std::unique_ptr<ThreadPool> pool_;
+  /// Per-round fan-out state, kept across rounds so the steady state
+  /// allocates nothing: the ready-and-discriminative predictors of this
+  /// round and one reused Result slot per entry (predict_into refills
+  /// slots in place). Driver-owned; workers only touch disjoint slots.
+  std::vector<std::pair<const std::string*, const AnomalyPredictor*>>
+      active_;
+  std::vector<AnomalyPredictor::Result> results_;
 
   std::size_t raw_alerts_ = 0;
   std::size_t confirmed_alerts_ = 0;

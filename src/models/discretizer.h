@@ -18,6 +18,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/analyze_annotations.h"
 #include "common/units.h"
 
 namespace prepare {
@@ -47,13 +48,16 @@ class Discretizer {
   /// keeps the result exactly equal to the `lower_bound` answer even
   /// when `value` sits on a cut, so both paths are bit-identical;
   /// quantile and guard grids take the general search.
-  std::size_t discretize(double value) const;
+  PREPARE_HOT std::size_t discretize(double value) const;
   std::vector<std::size_t> discretize(const std::vector<double>& xs) const;
 
   /// Representative (center) value of a bin — used to turn predicted
   /// symbol distributions back into metric values for reporting.
   double bin_center(BinIndex bin) const;
   std::vector<double> bin_centers() const;
+  /// bin_centers() without the copy — the per-tick prediction path turns
+  /// predicted distributions into expected metric values through this.
+  const std::vector<double>& centers() const { return centers_; }
 
   /// Effective number of bins (== requested for equal-width; possibly
   /// fewer for quantile when the data is heavily tied).

@@ -29,7 +29,10 @@ class Distribution {
 
   /// Resets to `size` zero entries, reusing existing storage — the
   /// per-tick fast path for predictors filling a caller-owned buffer.
-  void assign_zero(std::size_t size) { p_.assign(size, 0.0); }
+  void assign_zero(std::size_t size) {
+    // prepare-analyze: allow(hot-alloc): capacity-steady — grows once
+    p_.assign(size, 0.0);
+  }
 
   /// Rescales to sum 1 (uniform if the sum is zero). Throws CheckFailure
   /// if any entry is negative or non-finite — a corrupted model state

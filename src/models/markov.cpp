@@ -11,7 +11,9 @@ MarkovChain::MarkovChain(std::size_t alphabet, double alpha)
     : alphabet_(alphabet),
       alpha_(alpha),
       counts_(alphabet * alphabet, 0.0),
-      probs_(alphabet * alphabet, 0.0) {
+      probs_(alphabet * alphabet, 0.0),
+      scratch_v_(alphabet, 0.0),
+      scratch_next_(alphabet, 0.0) {
   PREPARE_CHECK(alphabet >= 2);
   PREPARE_CHECK(alpha > 0.0);
   for (std::size_t i = 0; i < alphabet_; ++i) rebuild_row(i);
@@ -62,11 +64,11 @@ void MarkovChain::predict_into(TickIndex steps, Distribution* out) const {
   PREPARE_CHECK_MSG(has_context_, "predict() before any observation");
   PREPARE_CHECK(steps.value() >= 1);
   PREPARE_CHECK(out != nullptr);
+  // Constructor-sized scratch, refilled in place: no allocation per tick.
   auto& v = scratch_v_;
   auto& next = scratch_next_;
-  v.assign(alphabet_, 0.0);
+  std::fill(v.begin(), v.end(), 0.0);
   v[context_] = 1.0;
-  next.assign(alphabet_, 0.0);
   for (std::size_t s = 0; s < steps.value(); ++s) {
     std::fill(next.begin(), next.end(), 0.0);
     for (std::size_t i = 0; i < alphabet_; ++i) {
@@ -89,12 +91,12 @@ void MarkovChain::predict_path_into(TickIndex steps,
   PREPARE_CHECK_MSG(has_context_, "predict() before any observation");
   PREPARE_CHECK(steps.value() >= 1);
   PREPARE_CHECK(out != nullptr);
+  // prepare-analyze: allow(hot-alloc): capacity-steady — horizon fixed
   out->resize(steps.value());
   auto& v = scratch_v_;
   auto& next = scratch_next_;
-  v.assign(alphabet_, 0.0);
+  std::fill(v.begin(), v.end(), 0.0);
   v[context_] = 1.0;
-  next.assign(alphabet_, 0.0);
   for (std::size_t s = 0; s < steps.value(); ++s) {
     std::fill(next.begin(), next.end(), 0.0);
     for (std::size_t i = 0; i < alphabet_; ++i) {

@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/analyze_annotations.h"
 #include "models/value_predictor.h"
 
 namespace prepare {
@@ -22,9 +23,10 @@ class MarkovChain : public ValuePredictor {
   void train(const std::vector<std::size_t>& sequence) override;
   void observe(BinIndex symbol, bool learn) override;
   Distribution predict(TickIndex steps) const override;
-  void predict_into(TickIndex steps, Distribution* out) const override;
-  void predict_path_into(TickIndex steps,
-                         std::vector<Distribution>* out) const override;
+  PREPARE_HOT void predict_into(TickIndex steps,
+                                Distribution* out) const override;
+  PREPARE_HOT void predict_path_into(
+      TickIndex steps, std::vector<Distribution>* out) const override;
   RowStats row_stats() const override;
   bool ready() const override { return has_context_; }
   std::size_t alphabet() const override { return alphabet_; }
@@ -46,7 +48,9 @@ class MarkovChain : public ValuePredictor {
   std::vector<double> probs_;
   std::size_t context_ = 0;  // last symbol seen
   bool has_context_ = false;
-  /// Per-predict transient state distributions, reused across ticks.
+  /// Per-predict transient state distributions, sized once in the
+  /// constructor (the alphabet never changes) so the hot look-ahead is
+  /// provably allocation-free — bodies refill with std::fill.
   mutable std::vector<double> scratch_v_, scratch_next_;
 };
 

@@ -11,7 +11,9 @@ TwoDependentMarkov::TwoDependentMarkov(std::size_t alphabet, double alpha)
     : alphabet_(alphabet),
       alpha_(alpha),
       counts_(alphabet * alphabet * alphabet, 0.0),
-      probs_(alphabet * alphabet * alphabet, 0.0) {
+      probs_(alphabet * alphabet * alphabet, 0.0),
+      scratch_v_(alphabet * alphabet, 0.0),
+      scratch_next_(alphabet * alphabet, 0.0) {
   PREPARE_CHECK(alphabet >= 2);
   PREPARE_CHECK(alpha > 0.0);
   for (std::size_t p = 0; p < alphabet_ * alphabet_; ++p) rebuild_row(p);
@@ -67,12 +69,11 @@ void TwoDependentMarkov::predict_into(TickIndex steps,
   PREPARE_CHECK_MSG(ready(), "predict() needs at least two observations");
   PREPARE_CHECK(steps.value() >= 1);
   PREPARE_CHECK(out != nullptr);
-  const std::size_t pairs = alphabet_ * alphabet_;
+  // Constructor-sized scratch, refilled in place: no allocation per tick.
   auto& v = scratch_v_;
   auto& next = scratch_next_;
-  v.assign(pairs, 0.0);
+  std::fill(v.begin(), v.end(), 0.0);
   v[pair_index(prev_, cur_)] = 1.0;
-  next.assign(pairs, 0.0);
   for (std::size_t s = 0; s < steps.value(); ++s) {
     std::fill(next.begin(), next.end(), 0.0);
     for (std::size_t a = 0; a < alphabet_; ++a) {
@@ -111,13 +112,12 @@ void TwoDependentMarkov::predict_path_into(
   PREPARE_CHECK_MSG(ready(), "predict() needs at least two observations");
   PREPARE_CHECK(steps.value() >= 1);
   PREPARE_CHECK(out != nullptr);
+  // prepare-analyze: allow(hot-alloc): capacity-steady — horizon fixed
   out->resize(steps.value());
-  const std::size_t pairs = alphabet_ * alphabet_;
   auto& v = scratch_v_;
   auto& next = scratch_next_;
-  v.assign(pairs, 0.0);
+  std::fill(v.begin(), v.end(), 0.0);
   v[pair_index(prev_, cur_)] = 1.0;
-  next.assign(pairs, 0.0);
   for (std::size_t s = 0; s < steps.value(); ++s) {
     std::fill(next.begin(), next.end(), 0.0);
     for (std::size_t a = 0; a < alphabet_; ++a) {

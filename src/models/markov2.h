@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/analyze_annotations.h"
 #include "models/value_predictor.h"
 
 namespace prepare {
@@ -23,9 +24,10 @@ class TwoDependentMarkov : public ValuePredictor {
   void train(const std::vector<std::size_t>& sequence) override;
   void observe(BinIndex symbol, bool learn) override;
   Distribution predict(TickIndex steps) const override;
-  void predict_into(TickIndex steps, Distribution* out) const override;
-  void predict_path_into(TickIndex steps,
-                         std::vector<Distribution>* out) const override;
+  PREPARE_HOT void predict_into(TickIndex steps,
+                                Distribution* out) const override;
+  PREPARE_HOT void predict_path_into(
+      TickIndex steps, std::vector<Distribution>* out) const override;
   RowStats row_stats() const override;
   bool ready() const override { return seen_ >= 2; }
   std::size_t alphabet() const override { return alphabet_; }
@@ -50,7 +52,8 @@ class TwoDependentMarkov : public ValuePredictor {
   std::vector<double> probs_;
   std::size_t prev_ = 0, cur_ = 0;
   std::size_t seen_ = 0;  // number of symbols observed (saturates at 2)
-  /// Per-predict transient pair-state distributions, reused across ticks.
+  /// Per-predict transient pair-state distributions, sized once in the
+  /// constructor so the hot look-ahead is provably allocation-free.
   mutable std::vector<double> scratch_v_, scratch_next_;
 };
 

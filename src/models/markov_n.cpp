@@ -21,6 +21,8 @@ NDependentMarkov::NDependentMarkov(std::size_t order, std::size_t alphabet,
   }
   counts_.assign(states_ * alphabet_, 0.0);
   probs_.assign(states_ * alphabet_, 0.0);
+  scratch_v_.assign(states_, 0.0);
+  scratch_next_.assign(states_, 0.0);
   for (std::size_t ctx = 0; ctx < states_; ++ctx) rebuild_row(ctx);
 }
 
@@ -93,11 +95,11 @@ void NDependentMarkov::predict_into(TickIndex steps,
   PREPARE_CHECK_MSG(ready(), "predict() before enough observations");
   PREPARE_CHECK(steps.value() >= 1);
   PREPARE_CHECK(out != nullptr);
+  // Constructor-sized scratch, refilled in place: no allocation per tick.
   auto& v = scratch_v_;
   auto& next = scratch_next_;
-  v.assign(states_, 0.0);
+  std::fill(v.begin(), v.end(), 0.0);
   v[context_index(context_)] = 1.0;
-  next.assign(states_, 0.0);
   for (std::size_t s = 0; s < steps.value(); ++s) {
     std::fill(next.begin(), next.end(), 0.0);
     for (std::size_t ctx = 0; ctx < states_; ++ctx) {
@@ -130,12 +132,12 @@ void NDependentMarkov::predict_path_into(
   PREPARE_CHECK_MSG(ready(), "predict() before enough observations");
   PREPARE_CHECK(steps.value() >= 1);
   PREPARE_CHECK(out != nullptr);
+  // prepare-analyze: allow(hot-alloc): capacity-steady — horizon fixed
   out->resize(steps.value());
   auto& v = scratch_v_;
   auto& next = scratch_next_;
-  v.assign(states_, 0.0);
+  std::fill(v.begin(), v.end(), 0.0);
   v[context_index(context_)] = 1.0;
-  next.assign(states_, 0.0);
   for (std::size_t s = 0; s < steps.value(); ++s) {
     std::fill(next.begin(), next.end(), 0.0);
     for (std::size_t ctx = 0; ctx < states_; ++ctx) {

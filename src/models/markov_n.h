@@ -13,6 +13,7 @@
 #include <deque>
 #include <vector>
 
+#include "common/analyze_annotations.h"
 #include "models/value_predictor.h"
 
 namespace prepare {
@@ -26,9 +27,10 @@ class NDependentMarkov : public ValuePredictor {
   void train(const std::vector<std::size_t>& sequence) override;
   void observe(BinIndex symbol, bool learn) override;
   Distribution predict(TickIndex steps) const override;
-  void predict_into(TickIndex steps, Distribution* out) const override;
-  void predict_path_into(TickIndex steps,
-                         std::vector<Distribution>* out) const override;
+  PREPARE_HOT void predict_into(TickIndex steps,
+                                Distribution* out) const override;
+  PREPARE_HOT void predict_path_into(
+      TickIndex steps, std::vector<Distribution>* out) const override;
   RowStats row_stats() const override;
   bool ready() const override { return context_.size() == order_; }
   std::size_t alphabet() const override { return alphabet_; }
@@ -55,8 +57,8 @@ class NDependentMarkov : public ValuePredictor {
   /// is pure table lookups.
   std::vector<double> probs_;       ///< states_ x alphabet_
   std::deque<std::size_t> context_;
-  /// Per-predict transient context-state distributions, reused across
-  /// ticks.
+  /// Per-predict transient context-state distributions, sized once in
+  /// the constructor so the hot look-ahead is provably allocation-free.
   mutable std::vector<double> scratch_v_, scratch_next_;
 };
 

@@ -85,20 +85,27 @@ void NaiveBayesClassifier::build_impact_tables() {
 
 Classification NaiveBayesClassifier::classify(
     const std::vector<std::size_t>& row) const {
+  Classification out;
+  classify_into(row, &out);
+  return out;
+}
+
+void NaiveBayesClassifier::classify_into(const std::vector<std::size_t>& row,
+                                         Classification* out) const {
   PREPARE_CHECK(trained_);
   PREPARE_CHECK(row.size() == alphabet_.size());
-  Classification out;
-  out.impacts.resize(row.size());
-  out.score = LogOdds{log_prior_odds_};
+  PREPARE_CHECK(out != nullptr);
+  // prepare-analyze: allow(hot-alloc): capacity-steady impacts reuse
+  out->impacts.resize(row.size());
+  out->score = LogOdds{log_prior_odds_};
   for (std::size_t i = 0; i < row.size(); ++i) {
     PREPARE_DCHECK_LT(row[i], alphabet_[i]);
-    out.impacts[i] = log_impact(i, row[i]);
-    out.score += out.impacts[i];
+    out->impacts[i] = log_impact(i, row[i]);
+    out->score += out->impacts[i];
   }
-  PREPARE_DCHECK(std::isfinite(out.score.value()))
-      << "non-finite classification score " << out.score.value();
-  out.abnormal = out.score > 0.0;
-  return out;
+  PREPARE_DCHECK(std::isfinite(out->score.value()))
+      << "non-finite classification score " << out->score.value();
+  out->abnormal = out->score > 0.0;
 }
 
 LogOdds NaiveBayesClassifier::score(
@@ -158,21 +165,28 @@ Classifier::CptStats NaiveBayesClassifier::cpt_stats() const {
 
 Classification NaiveBayesClassifier::classify_expected(
     const std::vector<Distribution>& dists) const {
+  Classification out;
+  classify_expected_into(dists, &out);
+  return out;
+}
+
+void NaiveBayesClassifier::classify_expected_into(
+    const std::vector<Distribution>& dists, Classification* out) const {
   PREPARE_CHECK(trained_);
   PREPARE_CHECK(dists.size() == alphabet_.size());
-  Classification out;
-  out.impacts.resize(dists.size());
-  out.score = LogOdds{log_prior_odds_};
+  PREPARE_CHECK(out != nullptr);
+  // prepare-analyze: allow(hot-alloc): capacity-steady impacts reuse
+  out->impacts.resize(dists.size());
+  out->score = LogOdds{log_prior_odds_};
   for (std::size_t i = 0; i < dists.size(); ++i) {
     PREPARE_CHECK(dists[i].size() == alphabet_[i]);
     double e = 0.0;
     for (std::size_t v = 0; v < alphabet_[i]; ++v)
       if (dists[i][v] > 0.0) e += dists[i][v] * log_impact(i, v);
-    out.impacts[i] = e;
-    out.score += e;
+    out->impacts[i] = e;
+    out->score += e;
   }
-  out.abnormal = out.score > 0.0;
-  return out;
+  out->abnormal = out->score > 0.0;
 }
 
 }  // namespace prepare

@@ -156,28 +156,43 @@ double OutlierClassifier::surprisal(
 
 Classification OutlierClassifier::classify(
     const std::vector<std::size_t>& row) const {
+  Classification out;
+  classify_into(row, &out);
+  return out;
+}
+
+void OutlierClassifier::classify_into(const std::vector<std::size_t>& row,
+                                      Classification* out) const {
   PREPARE_CHECK(trained_);
   PREPARE_CHECK(row.size() == alphabet_.size());
-  Classification out;
-  out.impacts.resize(row.size());
+  PREPARE_CHECK(out != nullptr);
+  // prepare-analyze: allow(hot-alloc): capacity-steady impacts reuse
+  out->impacts.resize(row.size());
   double total = 0.0;
   for (std::size_t i = 0; i < row.size(); ++i) {
     const std::size_t pv = parents_[i] == kNoParent ? 0 : row[parents_[i]];
     const double s = local_surprisal(i, row[i], pv);
-    out.impacts[i] = s - baseline_[i];
+    out->impacts[i] = s - baseline_[i];
     total += s;
   }
-  out.score = LogOdds{total - threshold_};
-  out.abnormal = out.score > 0.0;
-  return out;
+  out->score = LogOdds{total - threshold_};
+  out->abnormal = out->score > 0.0;
 }
 
 Classification OutlierClassifier::classify_expected(
     const std::vector<Distribution>& dists) const {
+  Classification out;
+  classify_expected_into(dists, &out);
+  return out;
+}
+
+void OutlierClassifier::classify_expected_into(
+    const std::vector<Distribution>& dists, Classification* out) const {
   PREPARE_CHECK(trained_);
   PREPARE_CHECK(dists.size() == alphabet_.size());
-  Classification out;
-  out.impacts.resize(dists.size());
+  PREPARE_CHECK(out != nullptr);
+  // prepare-analyze: allow(hot-alloc): capacity-steady impacts reuse
+  out->impacts.resize(dists.size());
   double total = 0.0;
   for (std::size_t i = 0; i < dists.size(); ++i) {
     PREPARE_CHECK(dists[i].size() == alphabet_[i]);
@@ -187,12 +202,11 @@ Classification OutlierClassifier::classify_expected(
     for (std::size_t v = 0; v < alphabet_[i]; ++v)
       if (dists[i][v] > 0.0)
         expected += dists[i][v] * local_surprisal(i, v, pv);
-    out.impacts[i] = expected - baseline_[i];
+    out->impacts[i] = expected - baseline_[i];
     total += expected;
   }
-  out.score = LogOdds{total - threshold_};
-  out.abnormal = out.score > 0.0;
-  return out;
+  out->score = LogOdds{total - threshold_};
+  out->abnormal = out->score > 0.0;
 }
 
 }  // namespace prepare

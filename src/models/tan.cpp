@@ -218,22 +218,29 @@ void TanClassifier::build_impact_tables() {
 
 Classification TanClassifier::classify(
     const std::vector<std::size_t>& row) const {
+  Classification out;
+  classify_into(row, &out);
+  return out;
+}
+
+void TanClassifier::classify_into(const std::vector<std::size_t>& row,
+                                  Classification* out) const {
   PREPARE_CHECK(trained_);
   PREPARE_CHECK(row.size() == alphabet_.size());
-  Classification out;
-  out.impacts.resize(row.size());
-  out.score = LogOdds{log_prior_odds_};
+  PREPARE_CHECK(out != nullptr);
+  // prepare-analyze: allow(hot-alloc): capacity-steady impacts reuse
+  out->impacts.resize(row.size());
+  out->score = LogOdds{log_prior_odds_};
   for (std::size_t i = 0; i < row.size(); ++i) {
     PREPARE_DCHECK_LT(row[i], alphabet_[i]);
     const std::size_t pv =
         parents_[i] == kNoParent ? 0 : row[parents_[i]];
-    out.impacts[i] = log_impact(i, row[i], pv);
-    out.score += out.impacts[i];
+    out->impacts[i] = log_impact(i, row[i], pv);
+    out->score += out->impacts[i];
   }
-  PREPARE_DCHECK(std::isfinite(out.score.value()))
-      << "non-finite classification score " << out.score.value();
-  out.abnormal = out.score > 0.0;
-  return out;
+  PREPARE_DCHECK(std::isfinite(out->score.value()))
+      << "non-finite classification score " << out->score.value();
+  out->abnormal = out->score > 0.0;
 }
 
 LogOdds TanClassifier::score(const std::vector<std::size_t>& row) const {
@@ -293,11 +300,19 @@ Classifier::CptStats TanClassifier::cpt_stats() const {
 
 Classification TanClassifier::classify_expected(
     const std::vector<Distribution>& dists) const {
+  Classification out;
+  classify_expected_into(dists, &out);
+  return out;
+}
+
+void TanClassifier::classify_expected_into(
+    const std::vector<Distribution>& dists, Classification* out) const {
   PREPARE_CHECK(trained_);
   PREPARE_CHECK(dists.size() == alphabet_.size());
-  Classification out;
-  out.impacts.resize(dists.size());
-  out.score = LogOdds{log_prior_odds_};
+  PREPARE_CHECK(out != nullptr);
+  // prepare-analyze: allow(hot-alloc): capacity-steady impacts reuse
+  out->impacts.resize(dists.size());
+  out->score = LogOdds{log_prior_odds_};
   for (std::size_t i = 0; i < dists.size(); ++i) {
     PREPARE_CHECK_EQ(dists[i].size(), alphabet_[i])
         << "predicted distribution for attribute " << i
@@ -318,13 +333,12 @@ Classification TanClassifier::classify_expected(
       for (std::size_t v = 0; v < alphabet_[i]; ++v)
         if (dists[i][v] > 0.0) e += dists[i][v] * log_impact(i, v, pv);
     }
-    out.impacts[i] = e;
-    out.score += e;
+    out->impacts[i] = e;
+    out->score += e;
   }
-  PREPARE_DCHECK(std::isfinite(out.score.value()))
-      << "non-finite expected-classification score " << out.score.value();
-  out.abnormal = out.score > 0.0;
-  return out;
+  PREPARE_DCHECK(std::isfinite(out->score.value()))
+      << "non-finite expected-classification score " << out->score.value();
+  out->abnormal = out->score > 0.0;
 }
 
 }  // namespace prepare

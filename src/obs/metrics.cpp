@@ -60,7 +60,13 @@ double Histogram::bucket_upper(std::size_t index) const {
 void Histogram::record(double value) {
   PREPARE_DCHECK(std::isfinite(value)) << "histogram fed " << value;
   const std::size_t index = bucket_index(value);
+  // The instruments are the documented exception to the hot path's
+  // no-lock/no-alloc contract: a histogram record is a short uncontended
+  // critical section, and the bucket vector grows monotonically to the
+  // highest bucket ever hit (bounded by the bound table), then stays.
+  // prepare-analyze: allow(hot-lock): instrument-internal short lock
   MutexLock lock(&mu_);
+  // prepare-analyze: allow(hot-alloc): bucket growth bounded + one-time
   if (index >= buckets_.size()) buckets_.resize(index + 1, 0);
   ++buckets_[index];
   if (count_ == 0) {

@@ -22,6 +22,24 @@ namespace {
 constexpr int kPollIntervalMs = 100;
 constexpr std::size_t kMaxRequestBytes = 4096;
 
+/// Adapters for the two strerror_r contracts: XSI returns int (0 on
+/// success), GNU returns the message pointer (which may ignore `buf`).
+inline const char* strerror_adapt(int rc, const char* buf) {
+  return rc == 0 ? buf : "unknown error";
+}
+inline const char* strerror_adapt(const char* text, const char*) {
+  return text;
+}
+
+/// strerror() keeps process-global state (concurrency-mt-unsafe); the
+/// serve thread logs while the driver may be formatting its own errors,
+/// so route through the reentrant variant.
+std::string errno_text(int err) {
+  char buf[128];
+  buf[0] = '\0';
+  return strerror_adapt(::strerror_r(err, buf, sizeof(buf)), buf);
+}
+
 /// Writes the whole buffer, retrying short writes. MSG_NOSIGNAL so a
 /// peer that hung up yields EPIPE instead of killing the process.
 void send_all(int fd, const std::string& data) {
@@ -61,7 +79,7 @@ bool MetricsHttpServer::start(int port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     PREPARE_WARN("metrics_http") << "socket() failed: "
-                                 << std::strerror(errno);
+                                 << errno_text(errno);
     return false;
   }
   const int one = 1;
@@ -73,13 +91,13 @@ bool MetricsHttpServer::start(int port) {
   addr.sin_port = htons(static_cast<std::uint16_t>(port));
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
     PREPARE_WARN("metrics_http") << "bind(127.0.0.1:" << port
-                                 << ") failed: " << std::strerror(errno);
+                                 << ") failed: " << errno_text(errno);
     ::close(fd);
     return false;
   }
   if (::listen(fd, 16) < 0) {
     PREPARE_WARN("metrics_http") << "listen() failed: "
-                                 << std::strerror(errno);
+                                 << errno_text(errno);
     ::close(fd);
     return false;
   }
@@ -115,7 +133,7 @@ void MetricsHttpServer::serve_loop() {
     if (ready < 0) {
       if (errno == EINTR) continue;
       PREPARE_WARN("metrics_http") << "poll() failed: "
-                                   << std::strerror(errno);
+                                   << errno_text(errno);
       break;
     }
     if (ready == 0 || (pfd.revents & POLLIN) == 0) continue;

@@ -29,7 +29,9 @@
 // from the serial section, in deterministic VM order — so the
 // calibration state, drift records, and exported JSONL are bit-identical
 // for any --threads N. No wall clock enters: cadences are round
-// counters, timestamps are sim time.
+// counters, timestamps are sim time. Machine-checked: the class carries
+// PREPARE_DRIVER_CONFINED and tools/prepare_analyze.py proves no
+// parallel_for worker lambda can reach any of its methods.
 #pragma once
 
 #include <cstddef>
@@ -40,6 +42,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/analyze_annotations.h"
 #include "obs/metrics.h"
 
 namespace prepare {
@@ -91,7 +94,7 @@ struct IntrospectConfig {
   double logloss_epsilon = 1e-9;
 };
 
-class ModelIntrospect {
+class PREPARE_DRIVER_CONFINED ModelIntrospect {
  public:
   /// `metrics` (optional) receives the model.* instrument families; it
   /// must outlive the introspector.

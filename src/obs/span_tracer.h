@@ -27,7 +27,9 @@
 // everything in sim/ (see DESIGN.md section 10). The controller calls it
 // only from the serial sections of a management round — never from the
 // per-VM prediction fan-out — so a parallel run produces a bit-identical
-// span set. The metrics it publishes go through the thread-safe obs::
+// span set. Machine-checked: the class carries PREPARE_DRIVER_CONFINED
+// and tools/prepare_analyze.py proves no parallel_for worker lambda can
+// reach any of its methods. The metrics it publishes go through the thread-safe obs::
 // instruments and may be scraped live by the metrics HTTP endpoint.
 #pragma once
 
@@ -38,6 +40,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/analyze_annotations.h"
 #include "obs/metrics.h"
 
 namespace prepare {
@@ -125,7 +128,7 @@ struct SpanTracerConfig {
   std::size_t max_episodes = 8192;
 };
 
-class SpanTracer {
+class PREPARE_DRIVER_CONFINED SpanTracer {
  public:
   /// `metrics` (optional) receives the outcome ledger; it must outlive
   /// the tracer.

@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/analyze_annotations.h"
 #include "obs/metrics.h"
 
 namespace prepare {
@@ -99,7 +100,10 @@ class StageProfiler {
   }
 
   /// Stages in first-use order. Quiescent-only: callers must ensure no
-  /// concurrent stage() registration (reports run after workers join).
+  /// concurrent stage() registration (reports run after workers join) —
+  /// the driver-confined annotation makes the analyzer prove no worker
+  /// lambda ever reaches this serial section.
+  PREPARE_DRIVER_CONFINED
   const std::vector<std::pair<std::string, Histogram*>>& stages() const
       PREPARE_NO_THREAD_SAFETY_ANALYSIS {
     return stages_;

@@ -6,6 +6,11 @@
 // together under one mutex), so parallel pipeline stages may log
 // concurrently. The by-reference events() accessor is the quiescent
 // exception; the counting/serializing readers take the lock.
+//
+// Despite the internal lock, the log is PREPARE_DRIVER_CONFINED: record
+// ORDER is part of the deterministic run output (benches diff it across
+// --threads N), so the controller only records from serial sections —
+// and tools/prepare_analyze.py proves no worker lambda reaches it.
 #pragma once
 
 #include <cstddef>
@@ -13,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/analyze_annotations.h"
 #include "common/mutex.h"
 #include "obs/metrics.h"
 
@@ -39,7 +45,7 @@ struct Event {
   std::string detail;
 };
 
-class EventLog {
+class PREPARE_DRIVER_CONFINED EventLog {
  public:
   /// Capacity guard: long runs (ext_scale sweeps) must not grow the log
   /// without bound. Once `capacity` events are held, further records

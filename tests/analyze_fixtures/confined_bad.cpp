@@ -1,0 +1,37 @@
+// prepare-analyze-fixture: as=src/core/confined_bad.cpp
+// A worker lambda reaches a PREPARE_DRIVER_CONFINED method through a
+// helper: the analyzer flags the boundary call site.
+#include <cstddef>
+#include <vector>
+
+#include "common/analyze_annotations.h"
+#include "common/thread_pool.h"
+
+namespace prepare {
+
+class PREPARE_DRIVER_CONFINED FixtureEventSink {
+ public:
+  void record(std::size_t round) { last_round_ = round; }
+
+ private:
+  std::size_t last_round_ = 0;
+};
+
+namespace {
+
+void note_progress(FixtureEventSink& sink, std::size_t i) {
+  sink.record(i);  // boundary into confined code
+}
+
+}  // namespace
+
+void fixture_round(ThreadPool& pool, FixtureEventSink& sink,
+                   std::vector<double>& cells) {
+  const auto worker = [&](std::size_t i) {
+    cells[i] *= 2.0;
+    note_progress(sink, i);
+  };
+  pool.parallel_for(cells.size(), worker);
+}
+
+}  // namespace prepare

@@ -1,0 +1,28 @@
+// prepare-analyze-fixture: as=src/core/hot_alloc_bad.cpp
+// Allocation reached from PREPARE_HOT code, directly (operator new /
+// delete) and transitively (a helper that grows a vector).
+#include <cstddef>
+#include <vector>
+
+#include "common/analyze_annotations.h"
+
+namespace prepare {
+
+namespace {
+
+void fixture_append(std::vector<double>& out, double value) {
+  out.push_back(value);  // transitive allocation
+}
+
+}  // namespace
+
+PREPARE_HOT double fixture_tick(std::vector<double>& history, double sample) {
+  fixture_append(history, sample);
+  double* window = new double[4];  // direct allocation
+  window[0] = sample;
+  const double head = window[0];
+  delete[] window;  // direct deallocation
+  return head + sample;
+}
+
+}  // namespace prepare

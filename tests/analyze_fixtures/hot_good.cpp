@@ -1,0 +1,28 @@
+// prepare-analyze-fixture: as=src/core/hot_good.cpp
+// A PREPARE_HOT function that reads and writes preallocated storage:
+// allocation-, lock- and IO-free, transitively.
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/analyze_annotations.h"
+
+namespace prepare {
+
+double fixture_step(std::size_t i, double x);
+
+PREPARE_HOT double fixture_accumulate(const std::vector<double>& cells,
+                                      std::vector<double>& scratch) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    scratch[i] = fixture_step(i, cells[i]);
+    total += scratch[i];
+  }
+  return total;
+}
+
+double fixture_step(std::size_t i, double x) {
+  return std::fma(static_cast<double>(i), 0.5, std::abs(x));
+}
+
+}  // namespace prepare

@@ -1,0 +1,23 @@
+// prepare-analyze-fixture: as=src/core/hot_io_bad.cpp
+// stdio reached from PREPARE_HOT code, directly and through a helper.
+#include <cstdio>
+
+#include "common/analyze_annotations.h"
+
+namespace prepare {
+
+namespace {
+
+void fixture_flush_log() {
+  fflush(stdout);  // transitive IO
+}
+
+}  // namespace
+
+PREPARE_HOT double fixture_tick(double sample) {
+  if (sample > 1.0) printf("spike %f\n", sample);  // direct IO
+  fixture_flush_log();
+  return sample * 0.5;
+}
+
+}  // namespace prepare

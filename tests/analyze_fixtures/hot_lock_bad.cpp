@@ -1,0 +1,23 @@
+// prepare-analyze-fixture: as=src/core/hot_lock_bad.cpp
+// Lock acquisition on the hot path: taking prepare::MutexLock counts
+// at the call site even though the std::mutex lives inside the wrapper.
+#include <cstddef>
+
+#include "common/analyze_annotations.h"
+#include "common/mutex.h"
+
+namespace prepare {
+
+class FixtureCounter {
+ public:
+  PREPARE_HOT void bump() {
+    MutexLock lock(&mu_);  // lock acquisition
+    ++count_;
+  }
+
+ private:
+  Mutex mu_;
+  std::size_t count_ PREPARE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace prepare

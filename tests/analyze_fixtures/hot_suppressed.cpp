@@ -1,0 +1,25 @@
+// prepare-analyze-fixture: as=src/core/hot_suppressed.cpp
+// A justified allow() comment on the line above the primitive
+// suppresses the interprocedural finding (and counts as used).
+#include <cstddef>
+#include <vector>
+
+#include "common/analyze_annotations.h"
+
+namespace prepare {
+
+class FixtureScratch {
+ public:
+  PREPARE_HOT double tick(std::size_t n) {
+    // prepare-analyze: allow(hot-alloc): capacity-steady scratch reuse
+    scratch_.resize(n);
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) total += scratch_[i];
+    return total;
+  }
+
+ private:
+  std::vector<double> scratch_;
+};
+
+}  // namespace prepare

@@ -1,0 +1,13 @@
+// prepare-analyze-fixture: as=src/core/unused_suppression.cpp
+// An allow() comment that no longer suppresses anything is itself
+// flagged (fixture mode audits strictly, like CI).
+#include <cstddef>
+
+namespace prepare {
+
+double fixture_scale(double value) {
+  // prepare-analyze: allow(hot-alloc): leftover from a removed resize
+  return value * 0.5;
+}
+
+}  // namespace prepare

@@ -1,0 +1,301 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/prepare_callgraph.py (the libclang-free core).
+
+Runs everywhere — the facts are hand-written dicts, not extracted from
+C++ — so the interprocedural rule engine, the suppression machinery and
+the output encoders stay tested on machines without libclang. The
+libclang extraction layer on top is covered by the fixture goldens
+(prepare_analyze.py --fixtures), which CI runs with LLVM installed.
+"""
+
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, "tools"))
+import prepare_callgraph as pcg  # noqa: E402
+
+
+def fn(name, file="src/core/x.cpp", line=1, cls=None, hot=False,
+       confined=False, has_body=True, is_lambda=False, spelling=None):
+    return {"name": name, "spelling": spelling or name.split("::")[-1],
+            "file": file, "line": line, "cls": cls, "hot": hot,
+            "confined": confined, "has_body": has_body,
+            "is_lambda": is_lambda}
+
+
+def graph_of(facts):
+    g = pcg.CallGraph()
+    g.add_facts(facts)
+    g.finalize()
+    return g
+
+
+class ConfinementTest(unittest.TestCase):
+    def test_worker_reaching_confined_method_is_flagged_at_the_boundary(self):
+        facts = pcg.new_facts()
+        facts["functions"] = {
+            "w": fn("lambda(src/core/x.cpp:9)", line=9, is_lambda=True,
+                    spelling="operator()"),
+            "helper": fn("prepare::helper", line=20),
+            "rec": fn("prepare::Sink::record", file="src/obs/sink.h",
+                      line=5, cls="Sink", spelling="record"),
+        }
+        facts["classes"] = {"Sink": {"name": "prepare::Sink",
+                                     "confined": True, "bases": []}}
+        facts["calls"] = [["w", "helper", "src/core/x.cpp", 10],
+                          ["helper", "rec", "src/core/x.cpp", 21]]
+        facts["workers"] = ["w"]
+        findings = graph_of(facts).confinement_findings()
+        self.assertEqual(len(findings), 1)
+        self.assertEqual(findings[0]["rule"], "thread-confined")
+        # Anchored at the boundary call site, not at the method.
+        self.assertEqual((findings[0]["file"], findings[0]["line"]),
+                         ("src/core/x.cpp", 21))
+        self.assertIn("Sink::record", findings[0]["message"])
+        self.assertIn("helper", findings[0]["message"])
+
+    def test_confinement_is_inherited_from_base_classes(self):
+        facts = pcg.new_facts()
+        facts["functions"] = {
+            "w": fn("lambda(src/core/x.cpp:3)", line=3, is_lambda=True),
+            "m": fn("prepare::Derived::poke", cls="Derived",
+                    spelling="poke"),
+        }
+        facts["classes"] = {
+            "Base": {"name": "prepare::Base", "confined": True, "bases": []},
+            "Mid": {"name": "prepare::Mid", "confined": False,
+                    "bases": ["Base"]},
+            "Derived": {"name": "prepare::Derived", "confined": False,
+                        "bases": ["Mid"]},
+        }
+        facts["calls"] = [["w", "m", "src/core/x.cpp", 4]]
+        facts["workers"] = ["w"]
+        findings = graph_of(facts).confinement_findings()
+        self.assertEqual([f["line"] for f in findings], [4])
+
+    def test_driver_calls_to_confined_code_are_allowed(self):
+        facts = pcg.new_facts()
+        facts["functions"] = {
+            "drv": fn("prepare::driver"),
+            "rec": fn("prepare::Sink::record", cls="Sink"),
+        }
+        facts["classes"] = {"Sink": {"name": "prepare::Sink",
+                                     "confined": True, "bases": []}}
+        facts["calls"] = [["drv", "rec", "src/core/x.cpp", 7]]
+        self.assertEqual(graph_of(facts).confinement_findings(), [])
+
+    def test_workers_outside_src_are_not_enforced(self):
+        facts = pcg.new_facts()
+        facts["functions"] = {
+            "w": fn("lambda(tests/pool_test.cpp:9)",
+                    file="tests/pool_test.cpp", line=9, is_lambda=True),
+            "rec": fn("prepare::Sink::record", cls="Sink"),
+        }
+        facts["classes"] = {"Sink": {"name": "prepare::Sink",
+                                     "confined": True, "bases": []}}
+        facts["calls"] = [["w", "rec", "tests/pool_test.cpp", 10]]
+        facts["prims"] = [["w", "hot-alloc", "std::vector::push_back",
+                           "tests/pool_test.cpp", 11]]
+        facts["workers"] = ["w"]
+        g = graph_of(facts)
+        self.assertEqual(g.confinement_findings(), [])
+        self.assertEqual(g.hot_findings(), [])
+
+
+class VirtualDispatchTest(unittest.TestCase):
+    def facts(self):
+        facts = pcg.new_facts()
+        facts["functions"] = {
+            "hotfn": fn("prepare::predict", hot=True),
+            "B::m": fn("prepare::Base::step", cls="B", spelling="step"),
+            "D::m": fn("prepare::Derived::step", cls="D", spelling="step"),
+        }
+        facts["classes"] = {
+            "B": {"name": "prepare::Base", "confined": False, "bases": []},
+            "D": {"name": "prepare::Derived", "confined": False,
+                  "bases": ["B"]},
+        }
+        facts["vcalls"] = [["hotfn", "B::m", "B", "step",
+                            "src/core/x.cpp", 12]]
+        facts["prims"] = [["D::m", "hot-alloc", "operator new",
+                           "src/models/d.cpp", 30]]
+        return facts
+
+    def test_virtual_call_dispatches_to_overrides_in_the_subtree(self):
+        findings = graph_of(self.facts()).hot_findings()
+        self.assertEqual([(f["rule"], f["file"], f["line"])
+                          for f in findings],
+                         [("hot-alloc", "src/models/d.cpp", 30)])
+        self.assertIn("Derived::step", findings[0]["message"])
+
+    def test_unrelated_class_overrides_are_not_dispatch_targets(self):
+        facts = self.facts()
+        facts["functions"]["U::m"] = fn("prepare::Unrelated::step",
+                                        cls="U", spelling="step")
+        facts["classes"]["U"] = {"name": "prepare::Unrelated",
+                                 "confined": False, "bases": []}
+        facts["prims"].append(["U::m", "hot-io", "printf()",
+                               "src/obs/u.cpp", 40])
+        findings = graph_of(facts).hot_findings()
+        self.assertEqual([f["rule"] for f in findings], ["hot-alloc"])
+
+
+class HotPathTest(unittest.TestCase):
+    def test_direct_primitive_in_hot_function(self):
+        facts = pcg.new_facts()
+        facts["functions"] = {"h": fn("prepare::predict", hot=True)}
+        facts["prims"] = [["h", "hot-lock", "std::mutex::lock",
+                           "src/core/x.cpp", 5]]
+        findings = graph_of(facts).hot_findings()
+        self.assertEqual(len(findings), 1)
+        self.assertIn("in hot function 'predict'", findings[0]["message"])
+
+    def test_destructor_of_local_object_is_charged_to_the_user(self):
+        facts = pcg.new_facts()
+        facts["functions"] = {
+            "h": fn("prepare::predict", hot=True),
+            "dtor": fn("prepare::Timer::~Timer", cls="T", spelling="~Timer"),
+            "stop": fn("prepare::Timer::stop", cls="T", spelling="stop"),
+        }
+        facts["classes"] = {"T": {"name": "prepare::Timer",
+                                  "confined": False, "bases": []}}
+        facts["calls"] = [["dtor", "stop", "src/obs/t.h", 61]]
+        facts["uses"] = [["h", "T", "src/core/x.cpp", 9]]
+        facts["prims"] = [["stop", "hot-lock", "prepare::MutexLock",
+                           "src/obs/t.cpp", 80]]
+        findings = graph_of(facts).hot_findings()
+        self.assertEqual([(f["file"], f["line"]) for f in findings],
+                         [("src/obs/t.cpp", 80)])
+        self.assertIn("~Timer", findings[0]["message"])
+
+    def test_same_primitive_from_two_roots_reports_once(self):
+        facts = pcg.new_facts()
+        facts["functions"] = {
+            "h1": fn("prepare::a", hot=True),
+            "h2": fn("prepare::b", hot=True),
+            "leaf": fn("prepare::leaf"),
+        }
+        facts["calls"] = [["h1", "leaf", "src/core/x.cpp", 2],
+                          ["h2", "leaf", "src/core/x.cpp", 8]]
+        facts["prims"] = [["leaf", "hot-io", "fflush()",
+                           "src/core/x.cpp", 20]]
+        self.assertEqual(len(graph_of(facts).hot_findings()), 1)
+
+    def test_merging_facts_accumulates_annotations_across_tus(self):
+        decl = pcg.new_facts()
+        decl["functions"] = {"f": fn("prepare::predict", hot=True,
+                                     has_body=False, line=10,
+                                     file="src/core/x.h")}
+        body = pcg.new_facts()
+        body["functions"] = {"f": fn("prepare::predict", line=50)}
+        body["prims"] = [["f", "hot-alloc", "std::to_string()",
+                          "src/core/x.cpp", 55]]
+        g = pcg.CallGraph()
+        g.add_facts(decl)
+        g.add_facts(body)
+        g.finalize()
+        self.assertTrue(g.functions["f"]["hot"])
+        self.assertEqual(g.functions["f"]["file"], "src/core/x.cpp")
+        self.assertEqual(len(g.hot_findings()), 1)
+
+
+class SuppressionTest(unittest.TestCase):
+    def write(self, text):
+        tmp = tempfile.NamedTemporaryFile(
+            "w", suffix=".cpp", delete=False, encoding="utf-8")
+        self.addCleanup(os.unlink, tmp.name)
+        tmp.write(text)
+        tmp.close()
+        return tmp.name
+
+    def test_same_line_and_previous_line_comments_both_match(self):
+        lines = ["x.resize(n);  // prepare-analyze: allow(hot-alloc): ok\n",
+                 "// prepare-analyze: allow(hot-io): flush is cold\n",
+                 "fflush(stdout);\n",
+                 "int y = 0;\n",
+                 "y += 1;  // prepare-analyze: allow(hot-lock): wrong line\n",
+                 "take_lock();\n"]
+        self.assertEqual(pcg.find_suppression(lines, 1, "hot-alloc")[0], 1)
+        self.assertEqual(pcg.find_suppression(lines, 3, "hot-io")[0], 2)
+        # Line 5 is code, not a comment-only line: it does not govern 6.
+        self.assertIsNone(pcg.find_suppression(lines, 6, "hot-lock"))
+        # Rule mismatch never matches.
+        self.assertIsNone(pcg.find_suppression(lines, 1, "hot-io"))
+
+    def test_justified_suppression_is_consumed_and_counted(self):
+        path = self.write("// prepare-analyze: allow(hot-alloc): steady\n"
+                          "buf.resize(n);\n")
+        diags = pcg.Diagnostics()
+        diags.add("src/core/x.cpp", 2, "hot-alloc", "allocation",
+                  real_path=path)
+        self.assertEqual(diags.items, [])
+        self.assertEqual(diags.suppressed, {"hot-alloc": 1})
+        self.assertEqual(diags.unused_suppressions(
+            {"src/core/x.cpp": path}), [])
+
+    def test_reasonless_suppression_becomes_a_finding(self):
+        path = self.write("buf.resize(n);  // prepare-analyze: "
+                          "allow(hot-alloc)\n")
+        diags = pcg.Diagnostics()
+        diags.add("src/core/x.cpp", 1, "hot-alloc", "allocation",
+                  real_path=path)
+        self.assertEqual([i[2] for i in diags.items], ["suppression"])
+
+    def test_unmatched_suppressions_are_audited(self):
+        path = self.write("int x = 0;\n"
+                          "// prepare-analyze: allow(hot-io): stale\n"
+                          "int y = x;\n")
+        diags = pcg.Diagnostics()
+        unused = diags.unused_suppressions({"src/core/x.cpp": path})
+        self.assertEqual([(u[0], u[1], u[2]) for u in unused],
+                         [("src/core/x.cpp", 2, "unused-suppression")])
+
+    def test_duplicate_diagnostics_across_tus_count_once(self):
+        path = self.write("// prepare-analyze: allow(hot-alloc): steady\n"
+                          "buf.resize(n);\n")
+        diags = pcg.Diagnostics()
+        for _ in range(3):  # the header is seen from three TUs
+            diags.add("src/core/x.h", 2, "hot-alloc", "allocation",
+                      real_path=path)
+        self.assertEqual(diags.suppressed, {"hot-alloc": 1})
+
+
+class OutputTest(unittest.TestCase):
+    ITEMS = [("src/core/x.cpp", 9, "hot-alloc", "allocation on the hot path"),
+             ("src/core/a.cpp", 3, "thread-confined", "confined reachable")]
+
+    def test_json_shape(self):
+        doc = pcg.to_json(self.ITEMS, {"hot-alloc": 1, "thread-confined": 1},
+                          {"hot-alloc": 2})
+        self.assertEqual(doc["version"], 2)
+        self.assertEqual([f["file"] for f in doc["findings"]],
+                         ["src/core/a.cpp", "src/core/x.cpp"])
+        self.assertEqual(doc["summary"]["hot-alloc"],
+                         {"found": 1, "suppressed": 2})
+
+    def test_sarif_shape(self):
+        doc = pcg.to_sarif(self.ITEMS)
+        run = doc["runs"][0]
+        self.assertEqual(doc["version"], "2.1.0")
+        self.assertEqual([r["id"] for r in run["tool"]["driver"]["rules"]],
+                         ["hot-alloc", "thread-confined"])
+        result = run["results"][1]
+        self.assertEqual(result["ruleId"], "hot-alloc")
+        loc = result["locations"][0]["physicalLocation"]
+        self.assertEqual(loc["artifactLocation"]["uri"], "src/core/x.cpp")
+        self.assertEqual(loc["region"]["startLine"], 9)
+
+    def test_summary_table_lists_every_rule(self):
+        diags = pcg.Diagnostics()
+        diags.add("src/core/x.cpp", 1, "hot-io", "io",
+                  real_path=os.devnull)
+        rows = diags.summary_lines()
+        self.assertEqual(len(rows), 2)  # header + one rule
+        self.assertIn("hot-io", rows[1])
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -27,6 +27,7 @@ std::string http_request(int port, const std::string& request) {
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     ::close(fd);
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): single test thread formats here
     ADD_FAILURE() << "connect to 127.0.0.1:" << port << " failed: "
                   << std::strerror(errno);
     return "";

@@ -16,9 +16,16 @@
 #                  .cpp files under PATHS — the compile-time race detector
 #   clang-tidy     full clang-tidy with .clang-tidy config
 #   analyze        python3 tools/prepare_analyze.py — AST-grounded project
-#                  rules (layering DAG, determinism, strong-type
-#                  boundaries, mutex discipline); needs libclang + the
-#                  python clang bindings, skips with a notice otherwise
+#                  rules: per-TU (layering DAG, determinism, strong-type
+#                  boundaries, mutex discipline) plus the interprocedural
+#                  contracts (PREPARE_DRIVER_CONFINED thread confinement,
+#                  PREPARE_HOT allocation/lock/IO freedom) over the
+#                  whole-program call graph; needs libclang + the python
+#                  clang bindings, skips with a notice otherwise
+#
+# Every pass that runs is blocking: a finding fails the script. The
+# run ends with a per-pass PASS/FAIL/SKIP summary table (with the skip
+# reason), so a green exit can be audited for what actually ran.
 #
 # Environment:
 #   PREPARE_LINT_SKIP     comma/space list of passes to skip outright
@@ -34,6 +41,10 @@
 #   PREPARE_CLANG_TIDY    clang-tidy binary (default: clang-tidy).
 #   PREPARE_BUILD_DIR     build tree holding compile_commands.json
 #                         (default: build).
+#   PREPARE_ANALYZE_STRICT  non-empty (or CI set): unused allow()
+#                         suppressions are errors, not warnings.
+#   PREPARE_ANALYZE_SARIF   write the analyze pass findings to this path
+#                         as SARIF 2.1.0 (CI uploads it to code scanning).
 #
 # Exits non-zero if any pass that ran reported a finding, or if a
 # required pass could not run.
@@ -76,31 +87,52 @@ skip_pass() { has_word "${PREPARE_LINT_SKIP:-}" "$1"; }
 require_pass() { has_word "${PREPARE_LINT_REQUIRE:-}" "$1"; }
 
 status=0
+summary_names=()
+summary_results=()
+summary_notes=()
+
+# record PASS RESULT NOTE — one row of the final summary table.
+record() {
+  summary_names+=("$1")
+  summary_results+=("$2")
+  summary_notes+=("${3:-}")
+}
 
 # Pass could not run (tool/config missing): fatal when required,
-# a notice otherwise.
+# a SKIP row otherwise.
 unavailable() {  # unavailable PASS REASON
   if require_pass "$1"; then
     echo "lint.sh: required pass '$1' cannot run: $2" >&2
+    record "$1" FAIL "required but unavailable: $2"
     status=1
   else
     echo "== $1 skipped: $2"
+    record "$1" SKIP "$2"
   fi
 }
 
 if skip_pass invariants; then
   echo "== invariants skipped (PREPARE_LINT_SKIP)"
+  record invariants SKIP "PREPARE_LINT_SKIP"
 else
   echo "== check_invariants.py ${PATHS[*]}"
-  if ! python3 tools/check_invariants.py "${PATHS[@]}"; then
+  if python3 tools/check_invariants.py "${PATHS[@]}"; then
+    record invariants PASS ""
+  else
+    record invariants FAIL "findings (see above)"
     status=1
   fi
 fi
 
-mapfile -t cpp_files < <(find "${PATHS[@]}" -name '*.cpp' | sort)
+# analyze_fixtures hold deliberate rule violations for the analyzer's
+# self-test (and are not in the compile database): keep them out of the
+# generic sweeps — prepare_analyze.py --fixtures covers them.
+mapfile -t cpp_files < <(find "${PATHS[@]}" -name '*.cpp' \
+    -not -path '*/analyze_fixtures/*' | sort)
 
 if skip_pass thread-safety; then
   echo "== thread-safety skipped (PREPARE_LINT_SKIP)"
+  record thread-safety SKIP "PREPARE_LINT_SKIP"
 elif ! command -v "$CLANG_BIN" > /dev/null 2>&1; then
   unavailable thread-safety "$CLANG_BIN not installed"
 else
@@ -113,37 +145,68 @@ else
     fi
   done
   if [ $ts_status -ne 0 ]; then
+    record thread-safety FAIL "findings (see above)"
     status=1
+  else
+    record thread-safety PASS "${#cpp_files[@]} files"
   fi
 fi
 
 if skip_pass clang-tidy; then
   echo "== clang-tidy skipped (PREPARE_LINT_SKIP)"
+  record clang-tidy SKIP "PREPARE_LINT_SKIP"
 elif ! command -v "$CLANG_TIDY_BIN" > /dev/null 2>&1; then
   unavailable clang-tidy "$CLANG_TIDY_BIN not installed"
 elif [ ! -f "$build_dir/compile_commands.json" ]; then
   unavailable clang-tidy "no $build_dir/compile_commands.json (run: cmake -B $build_dir -S .)"
 else
   echo "== clang-tidy ($CLANG_TIDY_BIN, ${#cpp_files[@]} files, config .clang-tidy)"
-  if ! "$CLANG_TIDY_BIN" -p "$build_dir" --quiet --warnings-as-errors='*' \
+  if "$CLANG_TIDY_BIN" -p "$build_dir" --quiet --warnings-as-errors='*' \
       "${cpp_files[@]}"; then
+    record clang-tidy PASS "${#cpp_files[@]} files"
+  else
+    record clang-tidy FAIL "findings (see above)"
     status=1
   fi
 fi
 
 if skip_pass analyze; then
   echo "== analyze skipped (PREPARE_LINT_SKIP)"
+  record analyze SKIP "PREPARE_LINT_SKIP"
 elif [ ! -f "$build_dir/compile_commands.json" ]; then
   unavailable analyze "no $build_dir/compile_commands.json (run: cmake -B $build_dir -S .)"
 else
-  echo "== prepare_analyze.py ${PATHS[*]}"
-  python3 tools/prepare_analyze.py --build-dir "$build_dir" "${PATHS[@]}"
+  analyze_args=(--build-dir "$build_dir")
+  if [ -n "${PREPARE_ANALYZE_STRICT:-}" ] || [ -n "${CI:-}" ]; then
+    analyze_args+=(--strict-suppressions)
+  fi
+  if [ -n "${PREPARE_ANALYZE_SARIF:-}" ]; then
+    analyze_args+=(--sarif "$PREPARE_ANALYZE_SARIF")
+  fi
+  echo "== prepare_analyze.py ${analyze_args[*]} ${PATHS[*]}"
+  python3 tools/prepare_analyze.py "${analyze_args[@]}" "${PATHS[@]}"
   analyze_rc=$?
   if [ $analyze_rc -eq 77 ]; then
     unavailable analyze "clang python bindings / libclang not installed"
   elif [ $analyze_rc -ne 0 ]; then
+    record analyze FAIL "findings (see above)"
     status=1
+  else
+    record analyze PASS "per-TU + interprocedural rules"
   fi
+fi
+
+echo
+echo "== lint summary"
+for i in "${!summary_names[@]}"; do
+  note="${summary_notes[$i]}"
+  printf '   %-14s %-5s %s\n' "${summary_names[$i]}" \
+      "${summary_results[$i]}" "${note:+($note)}"
+done
+if [ $status -eq 0 ]; then
+  echo "   overall        PASS"
+else
+  echo "   overall        FAIL"
 fi
 
 exit $status

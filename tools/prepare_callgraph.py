@@ -1,0 +1,531 @@
+"""prepare_callgraph: the libclang-free core of prepare_analyze.
+
+Everything in this module is pure Python over plain dict/list "facts"
+extracted from translation units, so the interprocedural rules can be
+unit-tested (tests/callgraph_test.py) on machines without libclang —
+the extraction layer in prepare_analyze.py is the only code that needs
+Clang.
+
+Facts schema (one dict per TU, JSON-serializable so the per-TU cache in
+prepare_analyze.py can store it verbatim):
+
+    functions: {fid: {name, spelling, file, line, cls, hot, confined,
+                      has_body, is_lambda}}
+    calls:     [[caller_fid, callee_fid, file, line], ...]
+    vcalls:    [[caller_fid, decl_fid, class_id, spelling, file, line]]
+    prims:     [[caller_fid, rule, detail, file, line], ...]
+    classes:   {class_id: {name, confined, bases: [class_id, ...]}}
+    uses:      [[caller_fid, class_id, file, line], ...]   # local objects
+    workers:   [lambda_fid, ...]   # bodies handed to ThreadPool::parallel_for
+
+`fid` is the clang USR for named functions and "lambda@file:line:col"
+for lambdas. `cls` is the owning class id for methods (else None).
+`prims` are calls into non-repo code classified as hot-alloc /
+hot-lock / hot-io primitives; `vcalls` are virtual method calls kept
+unresolved until every TU's class hierarchy has been merged. `uses`
+records block-scope objects of repo class types so their (implicit)
+destructor calls become edges — that is how a hot function that holds
+a ScopedTimer is charged for ~ScopedTimer -> Histogram::record.
+
+The two interprocedural rules:
+
+    thread-confined  No function annotated (or member of a class
+                     annotated) PREPARE_DRIVER_CONFINED may be
+                     reachable from a parallel_for worker lambda.
+    hot-alloc/-lock/-io
+                     No allocation / lock-acquisition / stdio
+                     primitive may be reachable from a PREPARE_HOT
+                     function or a worker lambda.
+
+Findings anchor at the offending call site, so the line-comment
+suppressions (`// prepare-analyze: allow(RULE): reason`, on the line
+or on a comment line directly above it) work interprocedurally: one
+allow at the primitive covers every root that reaches it.
+"""
+
+import hashlib
+import json
+import os
+import re
+import sys
+
+FACTS_VERSION = 1
+
+SUPPRESS_RE = re.compile(
+    r"//\s*prepare-analyze:\s*allow\(([a-z-]+)\)\s*(?::\s*(\S.*))?")
+
+HOT_ANNOTATION = "prepare::hot"
+CONFINED_ANNOTATION = "prepare::driver_confined"
+
+HOT_RULES = {
+    "hot-alloc": "allocation",
+    "hot-lock": "lock acquisition",
+    "hot-io": "I/O",
+}
+
+
+def new_facts():
+    return {
+        "version": FACTS_VERSION,
+        "functions": {},
+        "calls": [],
+        "vcalls": [],
+        "prims": [],
+        "classes": {},
+        "uses": [],
+        "workers": [],
+    }
+
+
+def content_hash(data):
+    """Stable hex digest of bytes (or str, encoded utf-8)."""
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    return hashlib.sha256(data).hexdigest()
+
+
+def display(name):
+    """Human name: drop the project namespace prefix."""
+    if name.startswith("prepare::"):
+        return name[len("prepare::"):]
+    return name or "<anonymous>"
+
+
+def _chain(names, limit=5):
+    names = [display(n) for n in names]
+    if len(names) > limit:
+        names = names[:2] + ["..."] + names[-2:]
+    return " -> ".join(names)
+
+
+class CallGraph:
+    """Merged whole-program view over every TU's facts."""
+
+    def __init__(self):
+        self.functions = {}
+        self.classes = {}
+        self._calls = set()
+        self._vcalls = set()
+        self._prims = set()
+        self._uses = set()
+        self.workers = set()
+        self._finalized = False
+
+    # -- construction --
+
+    def add_facts(self, facts):
+        for fid, fn in facts.get("functions", {}).items():
+            cur = self.functions.get(fid)
+            if cur is None:
+                self.functions[fid] = dict(fn)
+            else:
+                # A definition wins over declarations for location; flags
+                # accumulate (an annotation on any redeclaration counts).
+                if fn.get("has_body") and not cur.get("has_body"):
+                    cur["file"], cur["line"] = fn["file"], fn["line"]
+                    cur["has_body"] = True
+                cur["hot"] = cur.get("hot") or fn.get("hot")
+                cur["confined"] = cur.get("confined") or fn.get("confined")
+                if cur.get("cls") is None:
+                    cur["cls"] = fn.get("cls")
+        for cid, cls in facts.get("classes", {}).items():
+            cur = self.classes.setdefault(
+                cid, {"name": cls["name"], "confined": False, "bases": set()})
+            cur["confined"] = cur["confined"] or cls.get("confined")
+            cur["bases"].update(cls.get("bases", ()))
+        self._calls.update(tuple(c) for c in facts.get("calls", ()))
+        self._vcalls.update(tuple(v) for v in facts.get("vcalls", ()))
+        self._prims.update(tuple(p) for p in facts.get("prims", ()))
+        self._uses.update(tuple(u) for u in facts.get("uses", ()))
+        self.workers.update(facts.get("workers", ()))
+        self._finalized = False
+
+    # -- resolution --
+
+    def finalize(self):
+        """Resolves virtual calls and destructor uses into plain edges."""
+        # Confinement closes over inheritance: deriving from a confined
+        # class cannot shed the contract.
+        changed = True
+        while changed:
+            changed = False
+            for cls in self.classes.values():
+                if cls["confined"]:
+                    continue
+                for base in cls["bases"]:
+                    if self.classes.get(base, {}).get("confined"):
+                        cls["confined"] = True
+                        changed = True
+                        break
+
+        derived = {}  # cid -> direct subclasses
+        for cid, cls in self.classes.items():
+            for base in cls["bases"]:
+                derived.setdefault(base, set()).add(cid)
+
+        def subtree(cid):
+            out, work = {cid}, [cid]
+            while work:
+                for child in derived.get(work.pop(), ()):
+                    if child not in out:
+                        out.add(child)
+                        work.append(child)
+            return out
+
+        methods = {}  # (cid, spelling) -> set(fid)
+        for fid, fn in self.functions.items():
+            if fn.get("cls"):
+                methods.setdefault((fn["cls"], fn.get("spelling")),
+                                   set()).add(fid)
+
+        edges = {}
+
+        def add_edge(caller, callee, file, line):
+            edges.setdefault(caller, set()).add((callee, file, line))
+
+        for caller, callee, file, line in self._calls:
+            add_edge(caller, callee, file, line)
+        # A virtual call through a base dispatches to any override in the
+        # static type's subtree (plus the base implementation itself).
+        for caller, decl_fid, class_id, spelling, file, line in self._vcalls:
+            add_edge(caller, decl_fid, file, line)
+            for cid in subtree(class_id):
+                for fid in methods.get((cid, spelling), ()):
+                    add_edge(caller, fid, file, line)
+        # A block-scope object's destructor runs in the enclosing
+        # function even though no call is written.
+        for caller, class_id, file, line in self._uses:
+            for (cid, spelling), fids in methods.items():
+                if cid == class_id and spelling and spelling.startswith("~"):
+                    for fid in fids:
+                        add_edge(caller, fid, file, line)
+
+        self.edges = {caller: sorted(targets)
+                      for caller, targets in edges.items()}
+        self.prims_by_fn = {}
+        for caller, rule, detail, file, line in self._prims:
+            self.prims_by_fn.setdefault(caller, []).append(
+                (rule, detail, file, line))
+        for plist in self.prims_by_fn.values():
+            plist.sort()
+        self._finalized = True
+
+    # -- queries --
+
+    def name_of(self, fid):
+        fn = self.functions.get(fid)
+        return fn["name"] if fn else fid
+
+    def is_confined(self, fid):
+        fn = self.functions.get(fid)
+        if fn is None:
+            return False
+        if fn.get("confined"):
+            return True
+        cls = fn.get("cls")
+        return bool(cls and self.classes.get(cls, {}).get("confined"))
+
+    def enforced_workers(self):
+        """Workers the contracts apply to: lambdas defined under src/.
+
+        Test and bench drivers also hand lambdas to parallel_for, and
+        those legitimately allocate or poke EventLog — the confinement
+        and hot-path proofs police production workers only. (Fixtures
+        opt in by scoping themselves `as=src/...`.)
+        """
+        return {fid for fid in self.workers
+                if self.functions.get(fid, {}).get("file", "")
+                .startswith("src/")}
+
+    def hot_roots(self):
+        roots = set(self.enforced_workers())
+        roots.update(fid for fid, fn in self.functions.items()
+                     if fn.get("hot"))
+        return roots
+
+    def _sorted_fids(self, fids):
+        return sorted(fids, key=lambda f: (self.name_of(f), f))
+
+    def _path(self, parents, fid):
+        path = [fid]
+        while parents.get(path[-1]) is not None:
+            path.append(parents[path[-1]])
+        return [self.name_of(f) for f in reversed(path)]
+
+    def confinement_findings(self):
+        """Calls into driver-confined code reachable from a worker."""
+        assert self._finalized
+        findings = []
+        seen_sites = set()
+        for root in self._sorted_fids(self.enforced_workers()):
+            parents = {root: None}
+            work = [root]
+            while work:
+                u = work.pop(0)
+                for v, file, line in self.edges.get(u, ()):
+                    if self.is_confined(v):
+                        site = (file, line, v)
+                        if site in seen_sites:
+                            continue
+                        seen_sites.add(site)
+                        findings.append({
+                            "rule": "thread-confined",
+                            "file": file,
+                            "line": line,
+                            "message":
+                                "'%s' is driver-confined but reachable "
+                                "from the parallel_for worker at %s: %s"
+                                % (display(self.name_of(v)),
+                                   display(self.name_of(root)),
+                                   _chain(self._path(parents, u)
+                                          + [self.name_of(v)])),
+                        })
+                        continue  # flag the boundary, don't walk inside
+                    if v not in parents:
+                        parents[v] = u
+                        work.append(v)
+        findings.sort(key=lambda f: (f["file"], f["line"], f["message"]))
+        return findings
+
+    def hot_findings(self):
+        """Alloc/lock/IO primitives reachable from hot roots."""
+        assert self._finalized
+        findings = []
+        seen_sites = set()
+        for root in self._sorted_fids(self.hot_roots()):
+            parents = {root: None}
+            work = [root]
+            while work:
+                u = work.pop(0)
+                for rule, detail, file, line in self.prims_by_fn.get(u, ()):
+                    site = (file, line, rule)
+                    if site in seen_sites:
+                        continue
+                    seen_sites.add(site)
+                    if u == root:
+                        chain = "in hot function '%s'" % display(
+                            self.name_of(u))
+                    else:
+                        chain = "reached from hot '%s': %s" % (
+                            display(self.name_of(root)),
+                            _chain(self._path(parents, u)))
+                    findings.append({
+                        "rule": rule,
+                        "file": file,
+                        "line": line,
+                        "message": "%s on the hot path: %s (%s)"
+                                   % (HOT_RULES.get(rule, rule), detail,
+                                      chain),
+                    })
+                for v, _file, _line in self.edges.get(u, ()):
+                    if v not in parents:
+                        parents[v] = u
+                        work.append(v)
+        findings.sort(key=lambda f: (f["file"], f["line"], f["message"]))
+        return findings
+
+
+# --- suppressions ------------------------------------------------------------
+
+
+def scan_suppressions(lines):
+    """All allow() comments in a file: [(lineno, rule, reason-or-None)]."""
+    out = []
+    for i, text in enumerate(lines, start=1):
+        m = SUPPRESS_RE.search(text)
+        if m:
+            out.append((i, m.group(1), m.group(2)))
+    return out
+
+
+def find_suppression(lines, lineno, rule):
+    """The allow(rule) governing `lineno`, as (comment_lineno, reason).
+
+    A suppression matches on the flagged line itself, or on a
+    comment-only line directly above it. Returns None if absent.
+    """
+    def match(n):
+        if not (0 < n <= len(lines)):
+            return None
+        m = SUPPRESS_RE.search(lines[n - 1])
+        if m and m.group(1) == rule:
+            return (n, m.group(2))
+        return None
+
+    hit = match(lineno)
+    if hit:
+        return hit
+    if lineno - 1 > 0 and lines[lineno - 2].lstrip().startswith("//"):
+        return match(lineno - 1)
+    return None
+
+
+class SourceCache:
+    def __init__(self):
+        self._lines = {}
+
+    def lines(self, path):
+        if path not in self._lines:
+            try:
+                with open(path, encoding="utf-8", errors="replace") as f:
+                    self._lines[path] = f.readlines()
+            except OSError:
+                self._lines[path] = []
+        return self._lines[path]
+
+
+class Diagnostics:
+    """Dedups across TUs, applies suppressions, tracks rule counts.
+
+    `used` records every (real_path, comment_line) suppression that
+    matched a diagnostic, so the unused-suppression audit can flag the
+    leftovers.
+    """
+
+    def __init__(self):
+        self._seen = set()
+        self.items = []  # (file, line, rule, message)
+        self.found = {}       # rule -> diagnostics kept
+        self.suppressed = {}  # rule -> diagnostics suppressed with reason
+        self.used = set()     # (real_path, line) of consumed allow comments
+        self.sources = SourceCache()
+
+    def add(self, path, line, rule, message, real_path=None):
+        key = (path, line, rule)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        real = os.path.abspath(real_path or path)
+        lines = self.sources.lines(real)
+        hit = find_suppression(lines, line, rule)
+        if hit:
+            comment_line, reason = hit
+            self.used.add((real, comment_line))
+            if reason:
+                self.suppressed[rule] = self.suppressed.get(rule, 0) + 1
+                return
+            message = ("allow(%s) needs a justification: "
+                       "`// prepare-analyze: allow(%s): reason`"
+                       % (rule, rule))
+            rule = "suppression"
+        self.found[rule] = self.found.get(rule, 0) + 1
+        self.items.append((path, line, rule, message))
+
+    def unused_suppressions(self, files):
+        """allow() comments in `files` that never matched a diagnostic.
+
+        `files` maps diagnostic (scoped) paths to real filesystem paths.
+        Returns (path, line, rule, message) tuples, sorted.
+        """
+        out = []
+        for scoped in sorted(files):
+            real = os.path.abspath(files[scoped])
+            for lineno, rule, _reason in scan_suppressions(
+                    self.sources.lines(real)):
+                if (real, lineno) in self.used:
+                    continue
+                out.append((scoped, lineno, "unused-suppression",
+                            "allow(%s) matches no %s diagnostic on this "
+                            "or the next line; delete it" % (rule, rule)))
+        return out
+
+    def report(self, out=sys.stdout):
+        for path, line, rule, message in sorted(self.items):
+            out.write("%s:%d: [%s] %s\n" % (path, line, rule, message))
+
+    def summary_lines(self):
+        """Per-rule `rule / kept / suppressed` table rows."""
+        rules = sorted(set(self.found) | set(self.suppressed))
+        if not rules:
+            return []
+        width = max(len(r) for r in rules)
+        rows = ["  %-*s  %5s  %10s" % (width, "rule", "found", "suppressed")]
+        for rule in rules:
+            rows.append("  %-*s  %5d  %10d"
+                        % (width, rule, self.found.get(rule, 0),
+                           self.suppressed.get(rule, 0)))
+        return rows
+
+
+# --- machine-readable output -------------------------------------------------
+
+RULE_HELP = {
+    "layering": "Includes must follow the src/ dependency DAG.",
+    "determinism": "No unordered iteration near diffed output; no "
+                   "wall-clock or libc randomness outside sim/clock.",
+    "strong-type": "Public API scalars with id/index/probability/duration "
+                   "roles must use the strong types from common/units.h.",
+    "mutex-type": "Only prepare::Mutex / prepare::MutexLock may lock.",
+    "suppression": "allow() comments must carry a justification.",
+    "unused-suppression": "allow() comments must match a diagnostic.",
+    "thread-confined": "PREPARE_DRIVER_CONFINED code must be unreachable "
+                       "from parallel_for worker lambdas.",
+    "hot-alloc": "PREPARE_HOT code must not allocate, transitively.",
+    "hot-lock": "PREPARE_HOT code must not take locks, transitively.",
+    "hot-io": "PREPARE_HOT code must not perform I/O, transitively.",
+}
+
+
+def to_json(items, summary_found, summary_suppressed):
+    return {
+        "version": 2,
+        "findings": [
+            {"rule": rule, "file": path, "line": line, "message": message}
+            for path, line, rule, message in sorted(items)
+        ],
+        "summary": {
+            rule: {"found": summary_found.get(rule, 0),
+                   "suppressed": summary_suppressed.get(rule, 0)}
+            for rule in sorted(set(summary_found) | set(summary_suppressed))
+        },
+    }
+
+
+def to_sarif(items):
+    """SARIF 2.1.0 for GitHub code scanning upload."""
+    rules_seen = sorted(set(rule for _, _, rule, _ in items))
+    results = []
+    for path, line, rule, message in sorted(items):
+        results.append({
+            "ruleId": rule,
+            "level": "error",
+            "message": {"text": message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": path.replace("\\", "/"),
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {"startLine": line},
+                },
+            }],
+        })
+    return {
+        "$schema": "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                   "master/Schemata/sarif-schema-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "prepare_analyze",
+                    "informationUri":
+                        "https://github.com/prepare/prepare"
+                        "/blob/main/tools/prepare_analyze.py",
+                    "rules": [
+                        {"id": rule,
+                         "shortDescription": {
+                             "text": RULE_HELP.get(rule, rule)}}
+                        for rule in rules_seen
+                    ],
+                },
+            },
+            "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+            "results": results,
+        }],
+    }
+
+
+def dump_json(obj, path):
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(obj, f, indent=2, sort_keys=True)
+        f.write("\n")
