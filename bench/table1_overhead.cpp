@@ -32,6 +32,7 @@
 #include "common/rng.h"
 #include "core/anomaly_predictor.h"
 #include "core/experiment.h"
+#include "obs/flight_recorder.h"
 #include "obs/model_introspect.h"
 #include "obs/span_tracer.h"
 #include "obs/stage_profiler.h"
@@ -234,9 +235,11 @@ BENCHMARK(BM_LiveMigration512MB);
 /// `with_spans` additionally attaches a fresh SpanTracer (the full
 /// alert-lifecycle layer on top of the metrics instruments);
 /// `with_introspect` additionally attaches a fresh ModelIntrospect
-/// (per-horizon calibration + model-state probes + drift detection).
+/// (per-horizon calibration + model-state probes + drift detection);
+/// `with_recorder` additionally attaches a fresh FlightRecorder (the
+/// per-VM decision-evidence ring + episode bundle capture).
 double timed_scenario_run(obs::MetricsRegistry* registry, bool with_spans,
-                          bool with_introspect,
+                          bool with_introspect, bool with_recorder,
                           bench::ThroughputMeter* meter) {
   ScenarioConfig config;
   config.seed = 11;
@@ -251,6 +254,11 @@ double timed_scenario_run(obs::MetricsRegistry* registry, bool with_spans,
     introspect.emplace(registry);
     config.introspect = &*introspect;
   }
+  std::optional<obs::FlightRecorder> recorder;
+  if (with_recorder) {
+    recorder.emplace(registry);
+    config.recorder = &*recorder;
+  }
   const auto start = std::chrono::steady_clock::now();
   const auto result = run_scenario(config);
   const auto end = std::chrono::steady_clock::now();
@@ -262,14 +270,15 @@ double timed_scenario_run(obs::MetricsRegistry* registry, bool with_spans,
 /// End-to-end stage profile (the runtime complement of the
 /// microbenchmarks above): runs the default scenario with the
 /// StageProfiler attached and prints per-stage p50/p90/p99 — plus the
-/// same scenario bare, with span tracing, and with the model
-/// introspection layer on top, to measure what each instrumentation
-/// layer costs. The acceptance bar is < 5% overhead for the full stack
-/// (metrics + spans + introspection) over bare.
+/// same scenario bare, with span tracing, with the model introspection
+/// layer, and with the episode flight recorder on top, to measure what
+/// each instrumentation layer costs. The acceptance bar is < 5%
+/// overhead for the full stack (metrics + spans + introspection +
+/// recorder) over bare.
 void report_pipeline_stage_profile() {
   constexpr int kReps = 15;
   obs::MetricsRegistry registry;
-  timed_scenario_run(nullptr, false, false, nullptr);  // warm-up
+  timed_scenario_run(nullptr, false, false, false, nullptr);  // warm-up
   // Min-of-reps: each variant's best observed wall time. The scenario
   // is deterministic, so the minimum is the run least disturbed by the
   // host (scheduler, frequency scaling) and the most comparable
@@ -278,15 +287,19 @@ void report_pipeline_stage_profile() {
   double with_metrics = 1e9;
   double with_spans = 1e9;
   double with_introspect = 1e9;
+  double with_recorder = 1e9;
   bench::ThroughputMeter meter;
   for (int r = 0; r < kReps; ++r) {
-    bare = std::min(bare, timed_scenario_run(nullptr, false, false, &meter));
-    with_metrics =
-        std::min(with_metrics, timed_scenario_run(&registry, false, false, &meter));
-    with_spans =
-        std::min(with_spans, timed_scenario_run(&registry, true, false, &meter));
+    bare = std::min(bare,
+                    timed_scenario_run(nullptr, false, false, false, &meter));
+    with_metrics = std::min(
+        with_metrics, timed_scenario_run(&registry, false, false, false, &meter));
+    with_spans = std::min(
+        with_spans, timed_scenario_run(&registry, true, false, false, &meter));
     with_introspect = std::min(
-        with_introspect, timed_scenario_run(&registry, true, true, &meter));
+        with_introspect, timed_scenario_run(&registry, true, true, false, &meter));
+    with_recorder = std::min(
+        with_recorder, timed_scenario_run(&registry, true, true, true, &meter));
   }
   std::printf("\n-- controller pipeline stage profile (%d scenario runs) --\n",
               kReps);
@@ -299,19 +312,21 @@ void report_pipeline_stage_profile() {
   std::printf(
       "scenario wall time (min of %d): %.3f s bare, %.3f s metrics (%+.2f%%), "
       "%.3f s metrics+spans (%+.2f%%), "
-      "%.3f s metrics+spans+introspect (%+.2f%%)\n",
+      "%.3f s metrics+spans+introspect (%+.2f%%), "
+      "%.3f s metrics+spans+introspect+recorder (%+.2f%%)\n",
       kReps, bare, with_metrics, overhead(with_metrics), with_spans,
-      overhead(with_spans), with_introspect, overhead(with_introspect));
+      overhead(with_spans), with_introspect, overhead(with_introspect),
+      with_recorder, overhead(with_recorder));
   std::printf(
-      "introspection increment over metrics+spans: %+.2f%% "
+      "flight-recorder increment over metrics+spans+introspect: %+.2f%% "
       "(acceptance bar: < 5%% over bare for the full stack)\n",
-      with_spans <= 0.0
+      with_introspect <= 0.0
           ? 0.0
-          : (with_introspect - with_spans) / with_spans * 100.0);
+          : (with_recorder - with_introspect) / with_introspect * 100.0);
   meter.report("table1_overhead");
   const std::string json = bench::write_bench_json(
       "table1_overhead",
-      {{"scenario_runs", static_cast<double>(kReps * 4)}}, meter, &registry);
+      {{"scenario_runs", static_cast<double>(kReps * 5)}}, meter, &registry);
   std::printf("-> %s\n", json.c_str());
 }
 

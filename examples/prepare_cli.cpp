@@ -20,6 +20,7 @@
 #include "core/experiment.h"
 #include "core/replay.h"
 #include "monitor/trace_io.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/metrics_http.h"
 #include "obs/model_introspect.h"
@@ -57,8 +58,24 @@ namespace {
       "trace:\n                                 run header, events, metric/"
       "histogram snapshots)\n"
       "  --obs-summary                 (print the per-stage overhead table, "
-      "alert-quality\n                                 gauges, and the model "
-      "calibration/drift summary)\n"
+      "alert-quality\n                                 gauges, the model "
+      "calibration/drift summary, and\n                                 the "
+      "flight-recorder bundle/ring statistics)\n"
+      "  --record-episodes             (attach the episode flight recorder: "
+      "capture\n                                 decision-evidence bundles "
+      "for the last run and\n                                 export them "
+      "with --obs-out as episode_evidence records)\n"
+      "  --verify-episodes             (replay every captured bundle offline "
+      "and check\n                                 each decision is "
+      "bit-identical to the live run;\n                                 "
+      "implies --record-episodes, exit 1 on mismatch)\n"
+      "  --explain-episode TRACE_ID    (print the decision timeline of one "
+      "captured\n                                 episode; implies "
+      "--record-episodes)\n"
+      "  --what-if policy=MODE         (scaling|migration|auto: re-derive "
+      "the prevention\n                                 decisions of the "
+      "captured episodes under MODE and\n                                 "
+      "report divergences; implies --record-episodes)\n"
       "  --serve-metrics PORT          (serve GET /metrics + /healthz on "
       "127.0.0.1:PORT\n                                 during the run, "
       "Prometheus text format; 0 picks\n                                 a "
@@ -98,6 +115,10 @@ int main(int argc, char** argv) {
   std::optional<std::string> report_path;
   std::optional<std::string> obs_out;
   bool obs_summary = false;
+  bool record_episodes = false;
+  bool verify_episodes = false;
+  std::optional<std::string> explain_episode;
+  std::optional<int> what_if;
   std::optional<int> serve_port;
   double serve_hold_s = 0.0;
 
@@ -148,6 +169,19 @@ int main(int argc, char** argv) {
       obs_out = value();
     } else if (arg == "--obs-summary") {
       obs_summary = true;
+    } else if (arg == "--record-episodes") {
+      record_episodes = true;
+    } else if (arg == "--verify-episodes") {
+      verify_episodes = true;
+    } else if (arg == "--explain-episode") {
+      explain_episode = value();
+    } else if (arg == "--what-if") {
+      std::string s = value();
+      if (s.rfind("policy=", 0) == 0) s = s.substr(7);
+      if (s == "scaling") what_if = 0;
+      else if (s == "migration") what_if = 1;
+      else if (s == "auto") what_if = 2;
+      else usage(argv[0]);
     } else if (arg == "--serve-metrics") {
       serve_port = std::stoi(value());
       if (*serve_port < 0 || *serve_port > 65535) usage(argv[0]);
@@ -185,9 +219,14 @@ int main(int argc, char** argv) {
               scheme_name(config.scheme),
               static_cast<unsigned long long>(config.seed), repeats);
 
+  // The forensic sub-commands all consume bundles, so each implies the
+  // recorder.
+  record_episodes = record_episodes || verify_episodes ||
+                    explain_episode.has_value() || what_if.has_value();
+
   obs::MetricsRegistry registry;
-  const bool observe =
-      obs_out.has_value() || obs_summary || serve_port.has_value();
+  const bool observe = obs_out.has_value() || obs_summary ||
+                       serve_port.has_value() || record_episodes;
 
   obs::MetricsHttpServer server(&registry);
   if (serve_port) {
@@ -207,6 +246,7 @@ int main(int argc, char** argv) {
   ScenarioResult last;
   std::optional<obs::SpanTracer> tracer;
   std::optional<obs::ModelIntrospect> introspect;
+  std::optional<obs::FlightRecorder> recorder;
   std::uint64_t last_seed = config.seed;
   for (std::size_t r = 0; r < repeats; ++r) {
     ScenarioConfig c = config;
@@ -219,6 +259,10 @@ int main(int argc, char** argv) {
       c.tracer = &*tracer;
       introspect.emplace(&registry);  // calibration state is per-run
       c.introspect = &*introspect;
+      if (record_episodes) {
+        recorder.emplace(&registry);  // bundles are per-run
+        c.recorder = &*recorder;
+      }
     }
     last = run_scenario(c);
     runs.push_back(last.violation_time);
@@ -228,6 +272,117 @@ int main(int argc, char** argv) {
   }
   std::printf("violation time: mean %.1f s, std %.1f s\n", mean_of(runs),
               stddev_of(runs));
+
+  int exit_code = 0;
+  if (recorder) {
+    const auto& bundles = recorder->bundles();
+    if (!obs_summary)
+      std::printf(
+          "episode bundles (last run): %zu captured, %zu dropped, "
+          "ring high water %zu\n",
+          recorder->bundles_emitted(), recorder->dropped_total(),
+          recorder->ring_high_water());
+    if (verify_episodes) {
+      std::size_t failed = 0;
+      for (const auto& bundle : bundles) {
+        const auto res = replay_episode(bundle);
+        if (!res.ok) {
+          ++failed;
+          std::printf("  REPLAY MISMATCH %s: %s\n", bundle.trace_id.c_str(),
+                      res.first_mismatch.c_str());
+        }
+      }
+      std::printf("replay verification: %zu/%zu bundles bit-identical\n",
+                  bundles.size() - failed, bundles.size());
+      if (failed != 0) exit_code = 1;
+    }
+    if (what_if) {
+      // Annotate before --obs-out runs so the counterfactual records are
+      // exported alongside the evidence they re-executed.
+      static const char* kModeNames[] = {"scaling", "migration", "auto"};
+      for (const auto& bundle : bundles) {
+        if (explain_episode && bundle.trace_id != *explain_episode) continue;
+        const auto wi = what_if_policy(bundle, *what_if);
+        obs::CounterfactualNote note;
+        note.policy = wi.policy;
+        note.compared = wi.compared;
+        note.diverged = wi.diverged;
+        note.detail = wi.detail;
+        recorder->annotate_counterfactual(bundle.trace_id, note);
+        std::printf("what-if policy=%s on %s: %zu/%zu decisions diverge",
+                    kModeNames[*what_if], bundle.trace_id.c_str(),
+                    wi.diverged, wi.compared);
+        if (!wi.detail.empty())
+          std::printf(" (first: %s)", wi.detail.c_str());
+        std::printf("\n");
+      }
+    }
+    if (explain_episode) {
+      const obs::EpisodeBundle* found = nullptr;
+      for (const auto& bundle : bundles)
+        if (bundle.trace_id == *explain_episode) {
+          found = &bundle;
+          break;
+        }
+      if (found == nullptr) {
+        std::fprintf(stderr, "no captured episode with trace id %s;",
+                     explain_episode->c_str());
+        std::fprintf(stderr, " captured:");
+        for (const auto& bundle : bundles)
+          std::fprintf(stderr, " %s", bundle.trace_id.c_str());
+        std::fprintf(stderr, "\n");
+        exit_code = 1;
+      } else {
+        const auto& b = *found;
+        std::printf(
+            "\nepisode %s (%s): open %.1f s, close %.1f s, outcome %s, "
+            "%zu ticks (%zu pre-context, %zu truncated)\n",
+            b.trace_id.c_str(), b.vm.c_str(), b.t_open, b.t_close,
+            b.outcome.c_str(), b.ticks.size(), b.pre_ticks,
+            b.truncated_ticks);
+        for (std::size_t s = 0; s < b.ticks.size(); ++s) {
+          const auto& tick = b.ticks[s];
+          std::size_t top = 0;
+          for (std::size_t i = 1; i < tick.impacts.size(); ++i)
+            if (tick.impacts[i] > tick.impacts[top]) top = i;
+          std::printf(
+              "  %-7s %7.1f s  score %+8.3f  %s%s%s top %s (L=%.2f)\n",
+              s < b.pre_ticks ? "pre" : "episode", tick.t, tick.score,
+              tick.abnormal ? "abnormal " : "normal   ",
+              tick.raw_alert ? "raw " : "    ",
+              tick.confirmed ? "confirmed " : "          ",
+              top < b.layout.attribute_names.size()
+                  ? b.layout.attribute_names[top].c_str()
+                  : "?",
+              tick.impacts.empty() ? 0.0 : tick.impacts[top]);
+        }
+        if (b.diagnosis.valid) {
+          std::printf("  diagnosis at %.1f s:", b.diagnosis.t);
+          for (std::size_t r = 0; r < b.diagnosis.ranked.size(); ++r)
+            std::printf(
+                " %s(%.2f)",
+                b.diagnosis.ranked[r] < b.layout.attribute_names.size()
+                    ? b.layout.attribute_names[b.diagnosis.ranked[r]].c_str()
+                    : "?",
+                b.diagnosis.impacts[r]);
+          std::printf("\n");
+        }
+        static const char* kPhases[] = {"initial", "companion", "fallback"};
+        static const char* kApplied[] = {"none", "scale", "migrate"};
+        for (const auto& p : b.preventions)
+          std::printf(
+              "  prevention %7.1f s  %-9s on %s: scale %s, migrate %s "
+              "-> %s\n",
+              p.t, kPhases[p.phase % 3],
+              p.attribute < b.layout.attribute_names.size()
+                  ? b.layout.attribute_names[p.attribute].c_str()
+                  : "?",
+              p.scale_possible ? "possible" : "blocked",
+              p.migrate_possible ? "possible" : "blocked",
+              kApplied[p.applied % 3]);
+      }
+    }
+  }
 
   if (report_path) {
     ReportInput report;
@@ -269,6 +424,7 @@ int main(int argc, char** argv) {
     last.events.to_jsonl(os, run_id);
     if (tracer) tracer->write_spans_jsonl(os, run_id);
     if (introspect) introspect->write_introspection_jsonl(os, run_id);
+    if (recorder) recorder->write_evidence_jsonl(os, run_id);
     obs::write_metrics_jsonl(os, registry, run_id, config.run_end);
     std::printf("structured trace written to %s (run_id %s)\n",
                 obs_out->c_str(), run_id.c_str());
@@ -303,6 +459,20 @@ int main(int argc, char** argv) {
       introspect->write_summary(cal);
       std::fputs(cal.str().c_str(), stdout);
     }
+
+    if (recorder) {
+      std::printf("\nepisode flight recorder (last run):\n");
+      std::printf("  %-30s %zu\n", "bundles emitted",
+                  recorder->bundles_emitted());
+      std::printf("  %-30s %zu\n", "bundles dropped (cap)",
+                  recorder->dropped_total());
+      std::printf("  %-30s %zu\n", "ticks recorded",
+                  recorder->ticks_recorded());
+      std::printf("  %-30s %zu\n", "ticks truncated",
+                  recorder->truncated_ticks_total());
+      std::printf("  %-30s %zu / %zu\n", "ring high water",
+                  recorder->ring_high_water(), recorder->config().ring_ticks);
+    }
   }
   if (serve_port) {
     if (serve_hold_s > 0.0 && g_interrupted == 0) {
@@ -317,5 +487,5 @@ int main(int argc, char** argv) {
     }
     server.stop();
   }
-  return 0;
+  return exit_code;
 }

@@ -149,6 +149,18 @@ void AnomalyPredictor::train(const std::vector<std::vector<double>>& rows,
   scratch_dists_.resize(n);
   scratch_row_.resize(n);
   scratch_paths_.resize(n);
+
+  // Flattened-evidence layout for the flight recorder: per-feature
+  // effective alphabets are only known after discretizer fitting.
+  evidence_offsets_.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i)
+    evidence_offsets_[i + 1] = evidence_offsets_[i] + discretizers_[i].bins();
+}
+
+std::size_t AnomalyPredictor::attribute_alphabet(std::size_t i) const {
+  PREPARE_CHECK(trained_);
+  PREPARE_CHECK(i < discretizers_.size());
+  return discretizers_[i].bins();
 }
 
 void AnomalyPredictor::set_profiler(obs::StageProfiler* profiler) {
@@ -186,6 +198,7 @@ void AnomalyPredictor::observe(const std::vector<double>& row) {
   PREPARE_CHECK(row.size() == names_.size());
   obs::ScopedTimer timer(stage_discretize_);
   last_row_.resize(row.size());
+  if (capture_evidence_) last_raw_row_ = row;
   for (std::size_t i = 0; i < row.size(); ++i) {
     last_row_[i] = discretizers_[i].discretize(row[i]);
     predictors_[i]->observe(BinIndex{last_row_[i]}, config_.online_learning);
@@ -255,6 +268,8 @@ void AnomalyPredictor::predict_into(TickIndex steps, bool with_horizon,
   for (std::size_t i = 0; i < dists.size(); ++i)
     out->predicted_values[i] =
         dists[i].expectation(discretizers_[i].centers());
+  out->evidence.valid = false;
+  if (capture_evidence_) capture_evidence_into(out);
 }
 
 void AnomalyPredictor::predict_with_horizon_into(TickIndex steps,
@@ -313,6 +328,46 @@ void AnomalyPredictor::predict_with_horizon_into(TickIndex steps,
   for (std::size_t i = 0; i < paths.size(); ++i)
     out->predicted_values[i] =
         paths[i][k - 1].expectation(discretizers_[i].centers());
+  out->evidence.valid = false;
+  if (capture_evidence_) {
+    // capture_evidence_into reads the final-step distributions from
+    // scratch_dists_; under classify_mode this path never copied them
+    // there, so mirror the expected-mode arm's copy (capacity-steady:
+    // per-feature alphabets are fixed after train()).
+    if (config_.classify_mode) {
+      auto& dists = scratch_dists_;
+      for (std::size_t i = 0; i < nf; ++i) dists[i] = paths[i][k - 1];
+    }
+    capture_evidence_into(out);
+  }
+}
+
+void AnomalyPredictor::capture_evidence_into(Result* out) const {
+  const std::size_t n = names_.size();
+  auto& ev = out->evidence;
+  ev.valid = true;
+  // prepare-analyze: allow(hot-alloc): capacity-steady reused Result
+  ev.raw.resize(n);
+  // prepare-analyze: allow(hot-alloc): capacity-steady reused Result
+  ev.observed_row.resize(n);
+  // prepare-analyze: allow(hot-alloc): capacity-steady reused Result
+  ev.mode_row.resize(n);
+  // prepare-analyze: allow(hot-alloc): capacity-steady reused Result
+  ev.dists.resize(evidence_offsets_.back());
+  PREPARE_DCHECK(last_raw_row_.size() == n)
+      << "evidence capture needs observe() after set_evidence_capture";
+  std::copy(last_raw_row_.begin(), last_raw_row_.end(), ev.raw.begin());
+  std::copy(last_row_.begin(), last_row_.end(), ev.observed_row.begin());
+  for (std::size_t i = 0; i < n; ++i) {
+    const Distribution& d = scratch_dists_[i];
+    PREPARE_DCHECK(d.size() == evidence_offsets_[i + 1] - evidence_offsets_[i]);
+    std::copy(d.probabilities().begin(), d.probabilities().end(),
+              ev.dists.begin() +
+                  static_cast<std::ptrdiff_t>(evidence_offsets_[i]));
+    ev.mode_row[i] = d.mode();
+  }
+  ev.prior_log_odds = classifier_->prior_log_odds().value();
+  ev.decomposable = classifier_->score_decomposable();
 }
 
 Classification AnomalyPredictor::classify_current() const {

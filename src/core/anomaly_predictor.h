@@ -103,6 +103,33 @@ class AnomalyPredictor {
     /// filled when an introspector is attached — the controller folds
     /// it into the calibration tracker from its serial section.
     std::vector<double> horizon_probs;
+
+    /// Decision evidence for the flight recorder
+    /// (obs/flight_recorder.h): everything the downstream
+    /// alert/diagnosis/prevention decisions were computed from, so a
+    /// closed episode can be re-executed bit-identically offline. Only
+    /// filled when evidence capture is enabled (set_evidence_capture);
+    /// the fill is a plain copy of predictor scratch, so enabling it
+    /// never changes a classification.
+    struct Evidence {
+      bool valid = false;
+      /// Raw (pre-discretization) values of the latest observe() row.
+      std::vector<double> raw;
+      /// Discretized current row (the Markov contexts' last symbols).
+      std::vector<std::size_t> observed_row;
+      /// Per-attribute mode of the final-step predicted distribution —
+      /// the row the mode-path classification scored.
+      std::vector<std::size_t> mode_row;
+      /// Final-step predicted distributions, flattened attribute-major:
+      /// attribute i occupies [offsets[i], offsets[i+1]) where the
+      /// offsets come from AnomalyPredictor::attribute_alphabet().
+      std::vector<double> dists;
+      /// Class-prior log-odds term the impact sum starts from; only
+      /// meaningful when `decomposable` (Bayesian backends).
+      double prior_log_odds = 0.0;
+      bool decomposable = false;
+    };
+    Evidence evidence;
   };
 
   /// Classifies the state `steps` sampling intervals ahead. With an
@@ -145,6 +172,18 @@ class AnomalyPredictor {
   const PredictorConfig& config() const { return config_; }
   const Classifier& classifier() const;
 
+  /// Effective alphabet (bin count) of feature `i` after training —
+  /// quantile discretization merges ties, so this can be smaller than
+  /// PredictorConfig::bins and differs per (VM, attribute). The flight
+  /// recorder sizes its evidence rings from these.
+  std::size_t attribute_alphabet(std::size_t i) const;
+
+  /// Enables decision-evidence capture: observe() keeps the raw row and
+  /// predict_into() fills Result::evidence (a scratch copy — the
+  /// classification itself is unchanged). Off by default: the evidence
+  /// copy is only paid when a flight recorder is attached.
+  void set_evidence_capture(bool capture) { capture_evidence_ = capture; }
+
   /// Attaches per-stage wall-time instrumentation (discretize, Markov
   /// look-ahead, TAN classify). The profiler must outlive the
   /// predictor; nullptr detaches (the default: zero overhead).
@@ -175,6 +214,11 @@ class AnomalyPredictor {
   /// the plain variant's output, so the classification (and thus every
   /// alert) is unchanged.
   void predict_with_horizon_into(TickIndex steps, Result* out) const;
+  /// Copies the decision evidence of the prediction just computed
+  /// (scratch_dists_ must hold the final-step distributions) into
+  /// out->evidence. Hot like its callers: pure copies into
+  /// capacity-steady storage.
+  void capture_evidence_into(Result* out) const;
 
   std::vector<std::string> names_;
   PredictorConfig config_;
@@ -184,6 +228,14 @@ class AnomalyPredictor {
   std::vector<std::unique_ptr<ValuePredictor>> predictors_;
   std::unique_ptr<Classifier> classifier_;
   std::vector<std::size_t> last_row_;
+  /// Raw values of the latest observe() row; only maintained when
+  /// evidence capture is on (the discretized row suffices otherwise).
+  std::vector<double> last_raw_row_;
+  bool capture_evidence_ = false;
+  /// Flattened-evidence layout: offsets_[i] is where feature i's
+  /// final-step distribution starts in Result::Evidence::dists
+  /// (offsets_[n] = total length). Built by train().
+  std::vector<std::size_t> evidence_offsets_;
   bool has_observation_ = false;
   bool discriminative_ = true;
   bool supervised_without_abnormal_ = false;

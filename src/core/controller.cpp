@@ -93,7 +93,7 @@ PrepareController::PrepareController(ControllerContext ctx,
           std::round(config.lookahead_s / config.sampling_interval_s)))}),
       inference_(vm_names(), config.inference),
       actuator_(ctx.hypervisor, ctx.cluster, ctx.store, ctx.log,
-                config.prevention, ctx.metrics, ctx.tracer),
+                config.prevention, ctx.metrics, ctx.tracer, ctx.recorder),
       profiler_(ctx.metrics),
       pool_(ctx.num_threads > 1 ? std::make_unique<ThreadPool>(ctx.num_threads)
                                 : nullptr) {
@@ -102,6 +102,20 @@ PrepareController::PrepareController(ControllerContext ctx,
     ctx.introspect->set_horizon(lookahead_steps_.value(),
                                 config_.sampling_interval_s);
     ctx.introspect->set_attribute_names(names);
+  }
+  if (ctx.recorder != nullptr) {
+    obs::DecisionConfig decision;
+    decision.filter_k = config_.filter_k;
+    decision.filter_w = config_.filter_w;
+    decision.alert_min_top_impact = config_.alert_min_top_impact;
+    decision.prevention_mode = static_cast<int>(config_.prevention.mode);
+    decision.companion_scaling = config_.prevention.companion_scaling;
+    decision.lookahead_s = config_.lookahead_s;
+    decision.sampling_interval_s = config_.sampling_interval_s;
+    ctx.recorder->set_decision_config(decision);
+    // The tracer owns the episode lifecycle; captures open and close
+    // through its hooks.
+    if (ctx.tracer != nullptr) ctx.tracer->set_recorder(ctx.recorder);
   }
   for (const auto& vm : vm_names()) {
     auto [it, inserted] =
@@ -130,6 +144,24 @@ void PrepareController::train(double t0, double t1) {
     if (rows.empty()) continue;
     predictor.train(rows, abnormal);
     ++trained_models;
+    // Register the VM's evidence geometry with the flight recorder: the
+    // flattened-distribution layout depends on the trained discretizer
+    // alphabets (quantile binning merges ties), so this must happen
+    // after train(). Capture is predictor-side: each fan-out worker
+    // fills only its own Result::evidence slot.
+    if (ctx_.recorder != nullptr &&
+        recorder_slots_.count(vm) == 0) {
+      obs::EvidenceLayout layout;
+      layout.attributes = predictor.feature_names().size();
+      layout.offsets.assign(layout.attributes + 1, 0);
+      for (std::size_t a = 0; a < layout.attributes; ++a)
+        layout.offsets[a + 1] =
+            layout.offsets[a] + predictor.attribute_alphabet(a);
+      layout.attribute_names = predictor.feature_names();
+      layout.horizon_steps = lookahead_steps_.value();
+      recorder_slots_.emplace(vm, ctx_.recorder->register_vm(vm, layout));
+      predictor.set_evidence_capture(true);
+    }
     if (predictor.discriminative()) {
       ++discriminative_models;
     } else {
@@ -257,6 +289,34 @@ void PrepareController::on_sample(double now) {
                        "k-of-W confirmed");
       if (ctx_.tracer != nullptr) ctx_.tracer->confirmed(vm, now);
     }
+    // Feed the flight recorder after the filter verdict so the frame
+    // carries raw + confirmed. The tracer's raw_alert above already
+    // opened any new episode, so an opening tick lands in the capture,
+    // not just the ring. Serial section, map (VM) order: bundles are
+    // byte-identical across --threads.
+    if (ctx_.recorder != nullptr && result.evidence.valid) {
+      const auto slot = recorder_slots_.find(vm);
+      if (slot != recorder_slots_.end()) {
+        obs::EvidenceFrame frame;
+        frame.t = now;
+        frame.abnormal = result.classification.abnormal;
+        frame.raw_alert = raw;
+        frame.confirmed = vm_confirmed;
+        frame.score = result.classification.score;
+        frame.prior_log_odds = result.evidence.prior_log_odds;
+        frame.decomposable = result.evidence.decomposable;
+        frame.raw = result.evidence.raw.data();
+        frame.observed_row = result.evidence.observed_row.data();
+        frame.mode_row = result.evidence.mode_row.data();
+        frame.impacts = result.classification.impacts.data();
+        frame.dists = result.evidence.dists.data();
+        frame.horizon_probs = result.horizon_probs.empty()
+                                  ? nullptr
+                                  : result.horizon_probs.data();
+        frame.horizon_len = result.horizon_probs.size();
+        ctx_.recorder->record_tick(slot->second, frame);
+      }
+    }
   }
 
   // Model-state probes on the introspector's round cadence: sweep every
@@ -344,9 +404,20 @@ void PrepareController::on_sample(double now) {
       for (const auto& faulty : diagnosis.faulty)
         ctx_.tracer->workload_change_suppressed(faulty.vm, now);
     } else {
-      for (const auto& faulty : diagnosis.faulty)
+      for (const auto& faulty : diagnosis.faulty) {
         ctx_.tracer->cause_inferred(faulty.vm, now,
                                     top_metric_attrs(faulty));
+        // Full attribution ranking into the open capture (cold path:
+        // at most one diagnosis per episode is kept).
+        if (ctx_.recorder != nullptr) {
+          std::vector<std::size_t> ranked(faulty.ranked.size());
+          for (std::size_t r = 0; r < ranked.size(); ++r)
+            ranked[r] = static_cast<std::size_t>(faulty.ranked[r]);
+          ctx_.recorder->record_diagnosis(faulty.vm, now, ranked.data(),
+                                          faulty.impacts.data(),
+                                          ranked.size());
+        }
+      }
     }
   }
   {

@@ -29,6 +29,7 @@
 #include "monitor/labeler.h"
 #include "monitor/metric_store.h"
 #include "monitor/slo_log.h"
+#include "obs/flight_recorder.h"
 #include "obs/model_introspect.h"
 #include "obs/span_tracer.h"
 #include "obs/stage_profiler.h"
@@ -64,6 +65,16 @@ struct ControllerContext {
   /// deterministic VM order. Only the PrepareController drives it (the
   /// reactive baseline has no look-ahead to calibrate).
   obs::ModelIntrospect* introspect = nullptr;
+  /// Optional episode flight recorder (must outlive the controller).
+  /// Same confinement contract again: the controller registers every
+  /// trained VM, feeds one EvidenceFrame per (VM, round) from the
+  /// serial results loop in map (VM) order, and forwards the diagnosis
+  /// ranking; the actuator (which the controller hands the recorder to)
+  /// adds one PreventionEvidence per action attempt. Episode captures
+  /// open/close via the SpanTracer's lifecycle hooks, so the recorder
+  /// is inert unless `tracer` is also set. Only the PrepareController
+  /// drives it (the reactive baseline has no prediction evidence).
+  obs::FlightRecorder* recorder = nullptr;
   /// Worker threads for the per-VM prediction fan-out (PREPARE keeps
   /// one independent model per VM, so the Markov look-ahead + TAN
   /// classification parallelize across VMs). 1 (default) runs fully
@@ -151,6 +162,10 @@ class PrepareController : public AnomalyManager {
 
   std::map<std::string, AnomalyPredictor> predictors_;
   std::map<std::string, AlarmFilter> filters_;
+  /// Flight-recorder slot per registered VM (filled in train() when
+  /// ctx.recorder is set; the per-VM evidence layout depends on the
+  /// trained discretizer alphabets).
+  std::map<std::string, std::size_t> recorder_slots_;
   CauseInference inference_;
   PreventionActuator actuator_;
   obs::StageProfiler profiler_;

@@ -205,6 +205,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   ctx.metrics = config.metrics;
   ctx.tracer = config.tracer;
   ctx.introspect = config.introspect;
+  ctx.recorder = config.recorder;
   ctx.num_threads = config.num_threads;
 
   PrepareConfig pcfg = config.prepare;
@@ -270,6 +271,9 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   // realize an outcome — final drift evaluation + per-horizon gauges.
   if (config.introspect != nullptr)
     config.introspect->finish(bed->clock.now());
+  // The tracer's finish() above closed every open episode, flushing any
+  // open captures into bundles; now publish the recorder.* metrics.
+  if (config.recorder != nullptr) config.recorder->finish();
 
   // Clamp: a second injection scheduled past the run end (e.g. the
   // quiet-trace configuration) leaves an empty measurement window.

@@ -93,6 +93,13 @@ struct ScenarioConfig {
   /// simulation ends. Must outlive the run; pass a fresh introspector
   /// per repeat — calibration state is per-run.
   obs::ModelIntrospect* introspect = nullptr;
+  /// Optional episode flight recorder (obs/flight_recorder.h): per-VM
+  /// decision-evidence rings flushed into forensic episode bundles on
+  /// episode close, driven by the prepare controller (through the
+  /// tracer's lifecycle hooks — set `tracer` too or the recorder stays
+  /// inert) and finalized when the simulation ends. Must outlive the
+  /// run; pass a fresh recorder per repeat — bundles are per-run.
+  obs::FlightRecorder* recorder = nullptr;
 };
 
 struct ScenarioResult {

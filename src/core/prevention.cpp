@@ -15,13 +15,15 @@ PreventionActuator::PreventionActuator(Hypervisor* hypervisor,
                                        EventLog* log,
                                        PreventionConfig config,
                                        obs::MetricsRegistry* metrics,
-                                       obs::SpanTracer* tracer)
+                                       obs::SpanTracer* tracer,
+                                       obs::FlightRecorder* recorder)
     : hypervisor_(hypervisor),
       cluster_(cluster),
       store_(store),
       log_(log),
       config_(config),
       tracer_(tracer),
+      recorder_(recorder),
       actions_counter_(obs::counter(metrics, "prevention.actions_total")),
       validations_failed_counter_(
           obs::counter(metrics, "prevention.validations_failed_total")),
@@ -117,24 +119,106 @@ bool PreventionActuator::try_migrate(Vm* vm, MetricKind kind, double now) {
   return true;
 }
 
-bool PreventionActuator::apply_action(Vm* vm, Attribute a, double now) {
-  const MetricKind kind = kind_of(a);
-  switch (config_.mode) {
-    case PreventionMode::kScalingOnly:
-      if (kind == MetricKind::kOther) return false;
-      return try_scale(vm, kind, now);
-    case PreventionMode::kMigrationOnly:
-      if (try_migrate(vm, kind, now)) return true;
-      // Migration unavailable (cooldown, no target host): scaling on the
-      // current host is the only remaining remedy.
-      if (kind != MetricKind::kOther) return try_scale(vm, kind, now);
-      return false;
-    case PreventionMode::kScalingThenMigration:
-      if (kind != MetricKind::kOther && try_scale(vm, kind, now))
-        return true;
-      return try_migrate(vm, kind, now);
+bool PreventionActuator::probe_can_scale(const Vm& vm, MetricKind kind) const {
+  const Host* host = cluster_->host_of(vm);
+  if (host == nullptr) return false;
+  if (kind == MetricKind::kCpu) {
+    const double desired = vm.cpu_alloc() * config_.cpu_scale_factor;
+    const double target =
+        std::min(desired, vm.cpu_alloc() + host->cpu_headroom());
+    const double delta = target - vm.cpu_alloc();
+    if (delta < config_.min_cpu_step) return false;
+    return host->can_grow(vm, delta, 0.0);
+  }
+  if (kind == MetricKind::kMemory) {
+    const double desired = vm.mem_alloc() * config_.mem_scale_factor;
+    const double target =
+        std::min(desired, vm.mem_alloc() + host->mem_headroom());
+    const double delta = target - vm.mem_alloc();
+    if (delta < config_.min_mem_step_mb) return false;
+    return host->can_grow(vm, 0.0, delta);
   }
   return false;
+}
+
+bool PreventionActuator::probe_can_migrate(const Vm& vm, double now) const {
+  if (vm.migrating()) return false;
+  const auto last = last_migration_time_.find(vm.name());
+  if (last != last_migration_time_.end() &&
+      now - last->second < config_.migration_cooldown_s)
+    return false;
+  const double cpu_after = vm.cpu_alloc() * config_.migration_cpu_factor;
+  const double mem_after = vm.mem_alloc() * config_.migration_mem_factor;
+  const Host* current = cluster_->host_of(vm);
+  return cluster_->find_best_target_host(cpu_after, mem_after, current) !=
+         nullptr;
+}
+
+void PreventionActuator::record_attempt(const Vm& vm, Attribute a,
+                                        MetricKind kind, double now,
+                                        int phase, bool scale_known,
+                                        bool scale_ok, bool migrate_known,
+                                        bool migrate_ok, int applied) {
+  if (recorder_ == nullptr) return;
+  obs::PreventionEvidence ev;
+  ev.t = now;
+  ev.phase = phase;
+  ev.attribute = static_cast<std::size_t>(a);
+  ev.metric_kind = static_cast<int>(kind);
+  ev.scale_possible = scale_known ? scale_ok : probe_can_scale(vm, kind);
+  ev.migrate_possible =
+      migrate_known ? migrate_ok : probe_can_migrate(vm, now);
+  ev.applied = applied;
+  recorder_->record_prevention(vm.name(), ev);
+}
+
+bool PreventionActuator::apply_action(Vm* vm, Attribute a, double now,
+                                      int phase) {
+  const MetricKind kind = kind_of(a);
+  // Track which feasibility checks the mode actually consulted and how
+  // they came out; the recorder evidence reuses the genuine outcomes so
+  // offline replay re-derives the exact same decision.
+  int applied = 0;
+  bool scale_ok = false, migrate_ok = false;
+  bool scale_known = false, migrate_known = false;
+  switch (config_.mode) {
+    case PreventionMode::kScalingOnly:
+      if (kind != MetricKind::kOther) {
+        scale_ok = try_scale(vm, kind, now);
+        scale_known = true;
+        if (scale_ok) applied = 1;
+      }
+      break;
+    case PreventionMode::kMigrationOnly:
+      migrate_ok = try_migrate(vm, kind, now);
+      migrate_known = true;
+      if (migrate_ok) {
+        applied = 2;
+      } else if (kind != MetricKind::kOther) {
+        // Migration unavailable (cooldown, no target host): scaling on
+        // the current host is the only remaining remedy.
+        scale_ok = try_scale(vm, kind, now);
+        scale_known = true;
+        if (scale_ok) applied = 1;
+      }
+      break;
+    case PreventionMode::kScalingThenMigration:
+      if (kind != MetricKind::kOther) {
+        scale_ok = try_scale(vm, kind, now);
+        scale_known = true;
+      }
+      if (scale_ok) {
+        applied = 1;
+      } else {
+        migrate_ok = try_migrate(vm, kind, now);
+        migrate_known = true;
+        if (migrate_ok) applied = 2;
+      }
+      break;
+  }
+  record_attempt(*vm, a, kind, now, phase, scale_known, scale_ok,
+                 migrate_known, migrate_ok, applied);
+  return applied != 0;
 }
 
 bool PreventionActuator::actuate(const Diagnosis::FaultyVm& faulty,
@@ -172,7 +256,12 @@ bool PreventionActuator::actuate(const Diagnosis::FaultyVm& faulty,
       for (std::size_t j = i + 1; j < faulty.ranked.size(); ++j) {
         const MetricKind other = kind_of(faulty.ranked[j]);
         if (other == MetricKind::kOther || other == primary) continue;
-        if (try_scale(vm, other, now)) {
+        const bool companion_ok = try_scale(vm, other, now);
+        record_attempt(*vm, faulty.ranked[j], other, now, /*phase=*/1,
+                       /*scale_known=*/true, companion_ok,
+                       /*migrate_known=*/false, false,
+                       companion_ok ? 1 : 0);
+        if (companion_ok) {
           ++actions_fired_;
           obs::inc(actions_counter_);
           log_->record(now, EventKind::kPrevention, faulty.vm,
@@ -248,7 +337,7 @@ void PreventionActuator::on_sample(double now,
     while (pv.next_index < pv.ranked.size()) {
       const Attribute next = pv.ranked[pv.next_index++];
       if (vm != nullptr && !vm->migrating() &&
-          apply_action(vm, next, now)) {
+          apply_action(vm, next, now, /*phase=*/2)) {
         ++actions_fired_;
         obs::inc(actions_counter_);
         log_->record(now, EventKind::kPrevention, vm_name,

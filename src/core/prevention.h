@@ -28,6 +28,7 @@
 #include "core/cause_inference.h"
 #include "monitor/attributes.h"
 #include "monitor/metric_store.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/span_tracer.h"
 #include "sim/event_log.h"
@@ -89,13 +90,16 @@ class PreventionActuator {
  public:
   /// `metrics` (optional) receives prevention.* counters; `tracer`
   /// (optional) receives the prevention-side episode transitions
-  /// (prevention_issued / validated / escalated). Both must outlive the
-  /// actuator.
+  /// (prevention_issued / validated / escalated); `recorder` (optional)
+  /// receives one PreventionEvidence per action attempt (including
+  /// failed ones) so episode bundles carry every prevention decision
+  /// input. All must outlive the actuator.
   PreventionActuator(Hypervisor* hypervisor, Cluster* cluster,
                      const MetricStore* store, EventLog* log,
                      PreventionConfig config = PreventionConfig(),
                      obs::MetricsRegistry* metrics = nullptr,
-                     obs::SpanTracer* tracer = nullptr);
+                     obs::SpanTracer* tracer = nullptr,
+                     obs::FlightRecorder* recorder = nullptr);
 
   /// Triggers a prevention for one diagnosed faulty VM. Returns true if
   /// an action was fired. No-op while a validation for that VM is open.
@@ -133,10 +137,24 @@ class PreventionActuator {
   static MetricKind kind_of(Attribute a);
 
   /// Executes one action for `vm` keyed on attribute `a`; returns false
-  /// if no action could be applied.
-  bool apply_action(Vm* vm, Attribute a, double now);
+  /// if no action could be applied. `phase` tags the attempt for the
+  /// flight recorder (0 initial ranked walk, 2 validation fallback).
+  bool apply_action(Vm* vm, Attribute a, double now, int phase = 0);
   bool try_scale(Vm* vm, MetricKind kind, double now);
   bool try_migrate(Vm* vm, MetricKind kind, double now);
+  /// Side-effect-free feasibility probes, mirroring try_scale /
+  /// try_migrate. Used only to fill recorder evidence fields the live
+  /// mode did not consult (what-if replay needs both flags; the flags
+  /// the mode *did* consult come from the actual attempt outcomes).
+  bool probe_can_scale(const Vm& vm, MetricKind kind) const;
+  bool probe_can_migrate(const Vm& vm, double now) const;
+  /// Records one prevention attempt into the flight recorder (no-op
+  /// when detached). Consulted outcomes are authoritative; unconsulted
+  /// flags fall back to the probes.
+  void record_attempt(const Vm& vm, Attribute a, MetricKind kind,
+                      double now, int phase, bool scale_known,
+                      bool scale_ok, bool migrate_known, bool migrate_ok,
+                      int applied);
   double lookback_mean(const std::string& vm, Attribute a, double now) const;
   void maybe_reclaim(double now, const std::set<std::string>& unhealthy);
 
@@ -145,7 +163,8 @@ class PreventionActuator {
   const MetricStore* store_;
   EventLog* log_;
   PreventionConfig config_;
-  obs::SpanTracer* tracer_;  ///< not owned; may be null
+  obs::SpanTracer* tracer_;        ///< not owned; may be null
+  obs::FlightRecorder* recorder_;  ///< not owned; may be null
 
   std::map<std::string, PendingValidation> pending_;
   /// Baseline allocations (cpu cores, mem MB) snapshotted at construction.

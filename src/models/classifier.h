@@ -90,6 +90,18 @@ class Classifier {
   /// conditional-probability tables) reports an empty statistic.
   virtual CptStats cpt_stats() const { return CptStats(); }
 
+  /// Whether the score decomposes exactly as prior_log_odds() plus the
+  /// per-attribute impacts, accumulated left to right in attribute
+  /// order. The Bayesian backends (Eq. 1) satisfy this bit-for-bit —
+  /// the flight-recorder replay (core/replay.h) relies on it to prove a
+  /// captured episode bundle is complete. The outlier backend scores
+  /// against a learned threshold instead and reports false.
+  virtual bool score_decomposable() const { return false; }
+
+  /// The class-prior log-odds term of Eq. (1) — the value the impact
+  /// sum starts from. Only meaningful when score_decomposable().
+  virtual LogOdds prior_log_odds() const { return LogOdds{0.0}; }
+
   /// Attribute indices sorted by impact, most anomaly-relevant first.
   static std::vector<std::size_t> ranked_attributes(const Classification& c);
 };

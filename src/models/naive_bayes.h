@@ -27,6 +27,8 @@ class NaiveBayesClassifier : public Classifier {
                                           Classification* out) const override;
   PREPARE_HOT LogOdds score(const std::vector<std::size_t>& row) const override;
   CptStats cpt_stats() const override;
+  bool score_decomposable() const override { return true; }
+  LogOdds prior_log_odds() const override { return LogOdds{log_prior_odds_}; }
 
   /// Smoothed P(attribute i = v | class c).
   Probability likelihood(std::size_t attribute, BinIndex value,

@@ -39,6 +39,8 @@ class TanClassifier : public Classifier {
                                           Classification* out) const override;
   PREPARE_HOT LogOdds score(const std::vector<std::size_t>& row) const override;
   CptStats cpt_stats() const override;
+  bool score_decomposable() const override { return true; }
+  LogOdds prior_log_odds() const override { return LogOdds{log_prior_odds_}; }
 
   /// parent(i) = index of attribute i's attribute-parent, or kNoParent
   /// for the root (whose only parent is the class node).

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "obs/flight_recorder.h"
 #include "obs/json.h"
 
 namespace prepare {
@@ -108,6 +109,8 @@ SpanTracer::OpenState* SpanTracer::open_episode(const std::string& vm,
   set_num_attr(&episodes_.back().spans.back(), "raw_alerts", 1.0);
   auto [it, inserted] = open_.insert_or_assign(vm, state);
   PREPARE_DCHECK(inserted);
+  if (recorder_ != nullptr)
+    recorder_->episode_opened(vm, episodes_.back().trace_id, now);
   return &it->second;
 }
 
@@ -233,6 +236,7 @@ void SpanTracer::workload_change_suppressed(const std::string& vm,
   open_.erase(it);
   ++ledger_.suppressed;
   inc(suppressed_counter_);
+  if (recorder_ != nullptr) recorder_->episode_suppressed(vm);
 }
 
 void SpanTracer::observe_slo(double now, bool violated) {
@@ -325,6 +329,8 @@ void SpanTracer::close_episode(const std::string& vm, OpenState* state,
   open_.erase(vm);
   fold_outcome(outcome);
   update_gauges();
+  if (recorder_ != nullptr)
+    recorder_->episode_closed(vm, now, episode_outcome_name(outcome));
 }
 
 void SpanTracer::fold_outcome(EpisodeOutcome outcome) {

@@ -46,6 +46,8 @@
 namespace prepare {
 namespace obs {
 
+class FlightRecorder;
+
 /// Pipeline transitions of an alert episode. The last three are
 /// terminal: an episode holds exactly one terminal span, as its final
 /// span.
@@ -134,6 +136,13 @@ class PREPARE_DRIVER_CONFINED SpanTracer {
   /// the tracer.
   explicit SpanTracer(MetricsRegistry* metrics = nullptr,
                       SpanTracerConfig config = SpanTracerConfig());
+
+  /// Attaches the episode flight recorder (obs/flight_recorder.h): the
+  /// tracer owns the episode lifecycle, so it is the single place that
+  /// tells the recorder when to start a capture (episode open), flush
+  /// it into a bundle (episode close), or discard it (workload-change
+  /// suppression). Must outlive the tracer; nullptr detaches.
+  void set_recorder(FlightRecorder* recorder) { recorder_ = recorder; }
 
   // ---- lifecycle events (driver thread only) ----
 
@@ -233,6 +242,7 @@ class PREPARE_DRIVER_CONFINED SpanTracer {
   void update_gauges();
 
   SpanTracerConfig config_;
+  FlightRecorder* recorder_ = nullptr;  ///< not owned; may be null
   std::vector<Episode> episodes_;
   std::map<std::string, OpenState> open_;       ///< by VM
   std::map<std::string, std::size_t> next_seq_; ///< per-VM trace sequence

@@ -49,6 +49,41 @@
 // number (the schema has no booleans) and `attribute` names the
 // top-drifting attribute for occupancy records. v1/v2 records are
 // unchanged; tools/check_obs_schema.py validates all three versions.
+//
+// Schema v4 adds the flight-recorder `episode_evidence` records (see
+// obs/flight_recorder.h; emitted between the introspection and metric
+// sections). One episode bundle expands to a `kind` family sharing the
+// owning span episode's trace_id:
+//
+//   {"record":"episode_evidence","kind":"bundle","run_id":ID,
+//    "trace_id":TR,"vm":VM,"t_open":T0,"t_close":T1,"outcome":O,
+//    "ticks":N,"pre_ticks":P,"truncated_ticks":X,"attributes":13,
+//    "filter_k":k,"filter_w":W,"alert_min_top_impact":L,
+//    "prevention_mode":M,"companion_scaling":0|1,"lookahead_s":…,
+//    "sampling_interval_s":…,"decomposable":0|1,"attr0":NAME,…}
+//   {"record":"episode_evidence","kind":"tick","run_id":ID,
+//    "trace_id":TR,"vm":VM,"seq":S,"t":T,"phase":"pre"|"episode",
+//    "abnormal":0|1,"raw_alert":0|1,"confirmed":0|1,"score":…,
+//    "prior":…,"decomposable":0|1,"raw<i>":…,"bin<i>":…,"mode<i>":…,
+//    "impact<i>":…,"modep<i>":…,"horizon_len":H,["hp1":…,…]}
+//   {"record":"episode_evidence","kind":"diagnosis", … ,"t":T,
+//    "count":C,"rank1_attr":NAME,"rank1_impact":…,…}
+//   {"record":"episode_evidence","kind":"prevention", … ,"t":T,
+//    "phase":"initial"|"companion"|"fallback","attribute":NAME,
+//    "metric_kind":"cpu"|"memory"|"other","scale_possible":0|1,
+//    "migrate_possible":0|1,"mode":M,"applied":"none"|"scale"|
+//    "migrate"}
+//   {"record":"episode_evidence","kind":"counterfactual", … ,
+//    "policy":M,"compared":C,"diverged":D,"detail":TEXT}
+//
+// `tick` records carry exactly one raw/bin/mode/impact/modep field per
+// attribute (i = 0..attributes-1); `phase:"pre"` ticks precede the
+// owning span episode's root t_start (ring context), `phase:"episode"`
+// ticks lie inside the episode's lifetime. The full per-attribute
+// predicted distributions stay in the in-memory bundle (core/replay.h
+// re-executes from there); the JSONL keeps the classified mode's
+// probability per attribute. v1-v3 records are unchanged;
+// tools/check_obs_schema.py validates all four versions.
 #pragma once
 
 #include <ostream>
@@ -61,7 +96,7 @@
 namespace prepare {
 namespace obs {
 
-inline constexpr int kObsSchemaVersion = 3;
+inline constexpr int kObsSchemaVersion = 4;
 
 /// Run identity and context for the header record. `labels` are extra
 /// string fields merged into the header (app, fault, scheme, seed, …);

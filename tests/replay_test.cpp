@@ -1,9 +1,14 @@
 #include "core/replay.h"
 
+#include <sstream>
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "common/check.h"
 #include "core/experiment.h"
+#include "obs/flight_recorder.h"
+#include "obs/span_tracer.h"
 
 namespace prepare {
 namespace {
@@ -102,6 +107,109 @@ TEST(Replay, EmptyStoreThrows) {
   MetricStore store;
   SloLog slo;
   EXPECT_THROW(replay_trace(store, slo, ReplayConfig{}), CheckFailure);
+}
+
+// ------------------------------------------------ episode bundle replay
+
+// Runs one faulted PREPARE scenario with a flight recorder attached and
+// hands back the recorder's evidence. Serialized to JSONL for the
+// determinism comparison; the bundles themselves for replay.
+struct RecordedRun {
+  obs::SpanTracer tracer;
+  obs::FlightRecorder recorder;
+  std::string evidence_jsonl;
+};
+
+void record_run(std::size_t num_threads, std::size_t seed,
+                RecordedRun* out) {
+  ScenarioConfig config;
+  config.app = AppKind::kSystemS;
+  config.fault = FaultKind::kMemoryLeak;
+  config.scheme = Scheme::kPrepare;
+  config.seed = seed;
+  config.num_threads = num_threads;
+  config.tracer = &out->tracer;
+  config.recorder = &out->recorder;
+  run_scenario(config);
+  std::ostringstream os;
+  out->recorder.write_evidence_jsonl(os, "replay-test");
+  out->evidence_jsonl = os.str();
+}
+
+TEST(EpisodeReplay, EveryLiveBundleReplaysBitIdentically) {
+  RecordedRun run;
+  record_run(/*num_threads=*/1, /*seed=*/7, &run);
+  ASSERT_GT(run.recorder.bundles_emitted(), 0u)
+      << "the faulted run must capture at least one episode";
+  for (const auto& bundle : run.recorder.bundles()) {
+    const auto result = replay_episode(bundle);
+    EXPECT_TRUE(result.ok)
+        << bundle.trace_id << ": " << result.first_mismatch;
+    EXPECT_GT(result.ticks_checked, 0u) << bundle.trace_id;
+    EXPECT_EQ(result.score_mismatches, 0u) << bundle.trace_id;
+    EXPECT_EQ(result.filter_mismatches, 0u) << bundle.trace_id;
+    EXPECT_EQ(result.prevention_mismatches, 0u) << bundle.trace_id;
+  }
+}
+
+TEST(EpisodeReplay, WhatIfUnderTheLivePolicyNeverDiverges) {
+  RecordedRun run;
+  record_run(/*num_threads=*/1, /*seed=*/7, &run);
+  ASSERT_GT(run.recorder.bundles_emitted(), 0u);
+  for (const auto& bundle : run.recorder.bundles()) {
+    const auto same =
+        what_if_policy(bundle, bundle.decision.prevention_mode);
+    EXPECT_EQ(same.diverged, 0u)
+        << bundle.trace_id << ": " << same.detail;
+    EXPECT_EQ(same.compared, same.decisions.size());
+  }
+}
+
+TEST(EpisodeReplay, WhatIfReportsConsistentDivergenceCounts) {
+  RecordedRun run;
+  record_run(/*num_threads=*/1, /*seed=*/7, &run);
+  ASSERT_GT(run.recorder.bundles_emitted(), 0u);
+  for (const auto& bundle : run.recorder.bundles()) {
+    for (int policy = 0; policy <= 2; ++policy) {
+      const auto result = what_if_policy(bundle, policy);
+      EXPECT_EQ(result.policy, policy);
+      std::size_t diverged = 0;
+      for (const auto& [live, cf] : result.decisions)
+        if (live != cf) ++diverged;
+      EXPECT_EQ(result.diverged, diverged) << bundle.trace_id;
+      EXPECT_EQ(result.diverged == 0, result.detail.empty())
+          << bundle.trace_id << ": " << result.detail;
+    }
+  }
+}
+
+TEST(EpisodeReplay, BundlesAreByteIdenticalAcrossThreadCounts) {
+  RecordedRun serial, fanned;
+  record_run(/*num_threads=*/1, /*seed=*/7, &serial);
+  record_run(/*num_threads=*/4, /*seed=*/7, &fanned);
+  ASSERT_GT(serial.recorder.bundles_emitted(), 0u);
+  EXPECT_EQ(serial.recorder.bundles_emitted(),
+            fanned.recorder.bundles_emitted());
+  EXPECT_EQ(serial.recorder.ticks_recorded(),
+            fanned.recorder.ticks_recorded());
+  EXPECT_EQ(serial.evidence_jsonl, fanned.evidence_jsonl);
+}
+
+TEST(EpisodeReplay, TamperedEvidenceIsCaughtNotRubberStamped) {
+  RecordedRun run;
+  record_run(/*num_threads=*/1, /*seed=*/7, &run);
+  ASSERT_GT(run.recorder.bundles_emitted(), 0u);
+  auto bundle = run.recorder.bundles()[0];
+  ASSERT_FALSE(bundle.ticks.empty());
+  // Flip one captured per-attribute contribution: the re-summed score
+  // no longer matches the captured score bit-for-bit.
+  ASSERT_TRUE(bundle.ticks[0].decomposable);
+  ASSERT_FALSE(bundle.ticks[0].impacts.empty());
+  bundle.ticks[0].impacts[0] += 0.125;
+  const auto result = replay_episode(bundle);
+  EXPECT_FALSE(result.ok);
+  EXPECT_GT(result.score_mismatches, 0u);
+  EXPECT_FALSE(result.first_mismatch.empty());
 }
 
 }  // namespace

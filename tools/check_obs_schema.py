@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validator for the observability JSONL trace (schema versions 1-3).
+"""Validator for the observability JSONL trace (schema versions 1-4).
 
 A trace file is one JSON object per line (see src/obs/trace_export.h):
 
@@ -37,9 +37,32 @@ root per trace), monotone timestamps (t_end >= t_start, child t_start >=
 parent t_start), and terminal state (each trace closes with exactly one
 terminal span — validated/escalated/expired — as its last span).
 
+Schema v4 adds episode flight-recorder records (src/obs/flight_recorder.h),
+a `kind` family sharing the owning span episode's trace_id:
+
+            {"record":"episode_evidence","kind":"bundle","run_id":ID,
+             "trace_id":TR,"vm":VM,"t_open":T0,"t_close":T1,
+             "outcome":O,"ticks":N,"pre_ticks":P,"truncated_ticks":X,
+             "attributes":13,"filter_k":k,...,"attr0":NAME,...}
+            {"record":"episode_evidence","kind":"tick",...,"seq":S,
+             "t":T,"phase":"pre"|"episode","abnormal":0|1,...,
+             "raw<i>":...,"bin<i>":...,"mode<i>":...,"impact<i>":...,
+             "modep<i>":...,"horizon_len":H}
+            {"record":"episode_evidence","kind":"diagnosis"|"prevention"
+             |"counterfactual",...}
+
+Checked per evidence group (v4): every bundle's trace_id resolves to a
+span episode of the same VM; tick seq values are 0..ticks-1 in order
+with exactly one raw/bin/mode/impact/modep field per attribute (and
+attributes matching the 13-attribute monitoring vector); "pre"-phase
+ticks precede the owning episode root's t_start and "episode"-phase
+ticks lie inside the episode's span lifetime; diagnosis carries one
+rank<r>_attr/_impact pair per count.
+
 Usage: check_obs_schema.py FILE.jsonl [--require-stages]
                                       [--require-outcomes]
                                       [--require-calibration]
+                                      [--require-evidence]
 
 --require-stages additionally demands one non-empty
 stage.<name>.seconds histogram per controller pipeline stage (the seven
@@ -55,6 +78,10 @@ calibration record (with consistent reliability bins: per record, the
 bin<b>_n fields sum to n and the bin<b>_hits fields sum to hits), the
 model.calibration.samples_total counter, and the pooled reliability
 bin counters (model.calibration.reliability.bin<b>.n/.hits).
+
+--require-evidence (v4 traces) additionally demands at least one
+episode_evidence bundle and the recorder.bundles_total /
+recorder.dropped_total counters.
 
 Exits 0 when valid, 1 with one "FILE:line: message" per violation.
 """
@@ -75,7 +102,7 @@ PIPELINE_STAGES = [
     "prevention",
 ]
 
-SUPPORTED_SCHEMAS = (1, 2, 3)
+SUPPORTED_SCHEMAS = (1, 2, 3, 4)
 
 SPAN_STAGES = {
     "raw_alert",
@@ -114,9 +141,42 @@ REQUIRED = {
                     "p_mean": NUM, "brier": NUM, "logloss": NUM},
     "model_drift": {"run_id": STR, "t": NUM, "kind": STR,
                     "triggered": NUM},
+    "episode_evidence": {"run_id": STR, "trace_id": STR, "vm": STR,
+                         "kind": STR},
 }
 DRIFT_KINDS = {"calibration", "occupancy"}
 NULLABLE = {"sum", "min", "max", "p50", "p90", "p99", "value"}
+
+# Per-kind required fields of episode_evidence records (on top of the
+# shared run_id/trace_id/vm/kind base).
+EVIDENCE_KIND_REQUIRED = {
+    "bundle": {"t_open": NUM, "t_close": NUM, "outcome": STR,
+               "ticks": NUM, "pre_ticks": NUM, "truncated_ticks": NUM,
+               "attributes": NUM, "filter_k": NUM, "filter_w": NUM,
+               "alert_min_top_impact": NUM, "prevention_mode": NUM,
+               "companion_scaling": NUM, "lookahead_s": NUM,
+               "sampling_interval_s": NUM, "decomposable": NUM},
+    "tick": {"seq": NUM, "t": NUM, "phase": STR, "abnormal": NUM,
+             "raw_alert": NUM, "confirmed": NUM, "score": NUM,
+             "prior": NUM, "decomposable": NUM, "horizon_len": NUM},
+    "diagnosis": {"t": NUM, "count": NUM},
+    "prevention": {"t": NUM, "phase": STR, "attribute": STR,
+                   "metric_kind": STR, "scale_possible": NUM,
+                   "migrate_possible": NUM, "mode": NUM, "applied": STR},
+    "counterfactual": {"policy": NUM, "compared": NUM, "diverged": NUM,
+                       "detail": STR},
+}
+EVIDENCE_FLAG_FIELDS = {
+    "tick": ("abnormal", "raw_alert", "confirmed", "decomposable"),
+    "bundle": ("companion_scaling", "decomposable"),
+    "prevention": ("scale_possible", "migrate_possible"),
+}
+EVIDENCE_TICK_PHASES = {"pre", "episode"}
+EVIDENCE_PREVENTION_PHASES = {"initial", "companion", "fallback"}
+EVIDENCE_APPLIED = {"none", "scale", "migrate"}
+EVIDENCE_METRIC_KINDS = {"cpu", "memory", "other"}
+# The monitoring vector is fixed (monitor/attributes.h).
+ATTRIBUTE_COUNT = 13
 
 
 def check_record(obj: dict, lineno: int, errors: list[str],
@@ -177,6 +237,39 @@ def check_record(obj: dict, lineno: int, errors: list[str],
         if obj.get("triggered") not in (0, 1):
             errors.append(f"{lineno}: model_drift triggered must be 0 or "
                           f"1, got {obj.get('triggered')!r}")
+    if record == "episode_evidence":
+        kind = obj.get("kind")
+        if kind not in EVIDENCE_KIND_REQUIRED:
+            errors.append(f"{lineno}: unknown evidence kind {kind!r}")
+            return
+        for field, types in EVIDENCE_KIND_REQUIRED[kind].items():
+            value = obj.get(field)
+            if field not in obj:
+                errors.append(f"{lineno}: evidence {kind} record missing "
+                              f"{field!r}")
+            elif isinstance(value, bool) or not isinstance(value, types):
+                errors.append(
+                    f"{lineno}: field {field!r} has type "
+                    f"{type(value).__name__}, expected "
+                    f"{'/'.join(t.__name__ for t in types)}")
+        for field in EVIDENCE_FLAG_FIELDS.get(kind, ()):
+            if obj.get(field) not in (0, 1):
+                errors.append(f"{lineno}: evidence {kind} field "
+                              f"{field!r} must be 0 or 1, got "
+                              f"{obj.get(field)!r}")
+        if kind == "tick" and obj.get("phase") not in EVIDENCE_TICK_PHASES:
+            errors.append(f"{lineno}: unknown tick phase "
+                          f"{obj.get('phase')!r}")
+        if kind == "prevention":
+            if obj.get("phase") not in EVIDENCE_PREVENTION_PHASES:
+                errors.append(f"{lineno}: unknown prevention phase "
+                              f"{obj.get('phase')!r}")
+            if obj.get("metric_kind") not in EVIDENCE_METRIC_KINDS:
+                errors.append(f"{lineno}: unknown prevention metric_kind "
+                              f"{obj.get('metric_kind')!r}")
+            if obj.get("applied") not in EVIDENCE_APPLIED:
+                errors.append(f"{lineno}: unknown prevention applied "
+                              f"{obj.get('applied')!r}")
 
 
 def check_spans(spans: list[tuple[int, dict]], errors: list[str]) -> None:
@@ -245,6 +338,115 @@ def check_spans(spans: list[tuple[int, dict]], errors: list[str]) -> None:
                           f"{last_lineno})")
 
 
+def check_evidence(evidence: list[tuple[int, dict]],
+                   spans: list[tuple[int, dict]],
+                   errors: list[str]) -> None:
+    """Group-level flight-recorder checks: bundle <-> span linkage,
+    tick sequencing, per-attribute field families, tick-in-lifetime."""
+    # Span episode extents: root t_start and latest t_end per trace_id.
+    episodes: dict[str, dict] = {}
+    for _, span in spans:
+        trace_id = span.get("trace_id")
+        if not isinstance(trace_id, str):
+            continue
+        info = episodes.setdefault(
+            trace_id, {"vm": span.get("vm"), "root_start": None,
+                       "end": None})
+        if span.get("parent_id") == "" and isinstance(
+                span.get("t_start"), NUM):
+            info["root_start"] = span["t_start"]
+        t_end = span.get("t_end")
+        if isinstance(t_end, NUM):
+            info["end"] = (t_end if info["end"] is None
+                           else max(info["end"], t_end))
+
+    groups: dict[str, list[tuple[int, dict]]] = {}
+    for lineno, obj in evidence:
+        trace_id = obj.get("trace_id")
+        if isinstance(trace_id, str):
+            groups.setdefault(trace_id, []).append((lineno, obj))
+
+    for trace_id, members in groups.items():
+        bundles = [(l, o) for l, o in members if o.get("kind") == "bundle"]
+        if len(bundles) != 1:
+            errors.append(f"evidence group {trace_id!r} has "
+                          f"{len(bundles)} bundle records, expected "
+                          "exactly 1")
+            continue
+        blineno, bundle = bundles[0]
+        episode = episodes.get(trace_id)
+        if episode is None:
+            errors.append(f"{blineno}: evidence bundle {trace_id!r} has "
+                          "no matching span episode")
+        elif episode["vm"] != bundle.get("vm"):
+            errors.append(f"{blineno}: bundle vm {bundle.get('vm')!r} != "
+                          f"span episode vm {episode['vm']!r}")
+        attrs = bundle.get("attributes")
+        if attrs != ATTRIBUTE_COUNT:
+            errors.append(f"{blineno}: bundle attributes {attrs!r}, "
+                          f"expected {ATTRIBUTE_COUNT} "
+                          "(the monitoring vector)")
+        if isinstance(attrs, int):
+            for i in range(attrs):
+                if not isinstance(bundle.get(f"attr{i}"), str):
+                    errors.append(f"{blineno}: bundle missing attribute "
+                                  f"name attr{i}")
+
+        ticks = [(l, o) for l, o in members if o.get("kind") == "tick"]
+        expected = bundle.get("ticks")
+        if isinstance(expected, int) and len(ticks) != expected:
+            errors.append(f"{blineno}: bundle declares {expected} ticks, "
+                          f"trace has {len(ticks)}")
+        pre_ticks = bundle.get("pre_ticks")
+        for idx, (lineno, tick) in enumerate(ticks):
+            if tick.get("seq") != idx:
+                errors.append(f"{lineno}: tick seq {tick.get('seq')!r}, "
+                              f"expected {idx}")
+            if isinstance(attrs, int):
+                for family in ("raw", "bin", "mode", "impact", "modep"):
+                    count = sum(1 for key in tick
+                                if key.startswith(family)
+                                and key[len(family):].isdigit())
+                    if count != attrs:
+                        errors.append(f"{lineno}: tick has {count} "
+                                      f"{family}<i> fields, expected "
+                                      f"{attrs}")
+            phase = tick.get("phase")
+            if isinstance(pre_ticks, int) and phase in EVIDENCE_TICK_PHASES:
+                if (idx < pre_ticks) != (phase == "pre"):
+                    errors.append(f"{lineno}: tick {idx} phase {phase!r} "
+                                  f"inconsistent with pre_ticks "
+                                  f"{pre_ticks}")
+            t = tick.get("t")
+            if episode is None or not isinstance(t, NUM):
+                continue
+            root, end = episode["root_start"], episode["end"]
+            # Reactive-opened episodes open *after* the driver records
+            # the current tick, so the opening tick legitimately lands
+            # in the pre-context with t == root start.
+            if phase == "pre" and isinstance(root, NUM) and t > root:
+                errors.append(f"{lineno}: pre tick at t={t} after the "
+                              f"episode root start {root}")
+            if (phase == "episode" and isinstance(root, NUM)
+                    and isinstance(end, NUM) and not root <= t <= end):
+                errors.append(f"{lineno}: episode tick at t={t} outside "
+                              f"the span lifetime [{root}, {end}]")
+
+        for lineno, diag in members:
+            if diag.get("kind") != "diagnosis":
+                continue
+            count = diag.get("count")
+            if not isinstance(count, int):
+                continue
+            for r in range(1, count + 1):
+                if (not isinstance(diag.get(f"rank{r}_attr"), str)
+                        or not isinstance(diag.get(f"rank{r}_impact"),
+                                          NUM)):
+                    errors.append(f"{lineno}: diagnosis missing "
+                                  f"rank{r}_attr/_impact pair")
+                    break
+
+
 def check_outcomes(spans: list[tuple[int, dict]],
                    counters: dict[str, float],
                    errors: list[str]) -> None:
@@ -273,7 +475,8 @@ def check_outcomes(spans: list[tuple[int, dict]],
 
 
 def validate(path: Path, require_stages: bool, require_outcomes: bool,
-             require_calibration: bool = False) -> list[str]:
+             require_calibration: bool = False,
+             require_evidence: bool = False) -> list[str]:
     errors: list[str] = []
     run_id: str | None = None
     schema: int | None = None
@@ -281,6 +484,7 @@ def validate(path: Path, require_stages: bool, require_outcomes: bool,
     counters: dict[str, float] = {}
     spans: list[tuple[int, dict]] = []
     calibrations: list[tuple[int, dict]] = []
+    evidence: list[tuple[int, dict]] = []
     lines = path.read_text().splitlines()
     if not lines:
         return ["1: empty trace (expected a run header)"]
@@ -315,6 +519,11 @@ def validate(path: Path, require_stages: bool, require_outcomes: bool,
                               f"schema-{schema} trace")
             if obj.get("record") == "calibration":
                 calibrations.append((lineno, obj))
+        if obj.get("record") == "episode_evidence":
+            if schema is not None and schema < 4:
+                errors.append(f"{lineno}: episode_evidence record in a "
+                              f"schema-{schema} trace")
+            evidence.append((lineno, obj))
         if obj.get("record") == "histogram":
             name = obj.get("name")
             count = obj.get("count")
@@ -326,6 +535,7 @@ def validate(path: Path, require_stages: bool, require_outcomes: bool,
             if isinstance(name, str) and isinstance(value, NUM):
                 counters[name] = value
     check_spans(spans, errors)
+    check_evidence(evidence, spans, errors)
     if require_stages:
         for stage in PIPELINE_STAGES:
             name = f"stage.{stage}.seconds"
@@ -348,20 +558,30 @@ def validate(path: Path, require_stages: bool, require_outcomes: bool,
         if not bin_counters:
             errors.append("--require-calibration: missing "
                           "model.calibration.reliability.bin<b>.* counters")
+    if require_evidence:
+        if not any(o.get("kind") == "bundle" for _, o in evidence):
+            errors.append("--require-evidence: trace has no "
+                          "episode_evidence bundle records")
+        for metric in ("recorder.bundles_total", "recorder.dropped_total"):
+            if metric not in counters:
+                errors.append(f"--require-evidence: missing {metric} "
+                              "counter")
     return errors
 
 
 def main(argv: list[str]) -> int:
     flags = {"--require-stages", "--require-outcomes",
-             "--require-calibration"}
+             "--require-calibration", "--require-evidence"}
     args = [a for a in argv[1:] if a not in flags]
     require_stages = "--require-stages" in argv[1:]
     require_outcomes = "--require-outcomes" in argv[1:]
     require_calibration = "--require-calibration" in argv[1:]
+    require_evidence = "--require-evidence" in argv[1:]
     if len(args) != 1:
         print(__doc__.strip().splitlines()[0], file=sys.stderr)
         print(f"usage: {argv[0]} FILE.jsonl [--require-stages] "
-              "[--require-outcomes] [--require-calibration]",
+              "[--require-outcomes] [--require-calibration] "
+              "[--require-evidence]",
               file=sys.stderr)
         return 2
     path = Path(args[0])
@@ -369,7 +589,7 @@ def main(argv: list[str]) -> int:
         print(f"{path}: no such file", file=sys.stderr)
         return 1
     errors = validate(path, require_stages, require_outcomes,
-                      require_calibration)
+                      require_calibration, require_evidence)
     for error in errors:
         print(f"{path}:{error}")
     if not errors:

@@ -1,0 +1,214 @@
+#!/usr/bin/env python3
+"""Render "why PREPARE acted" timelines from flight-recorder evidence.
+
+Reads a schema-v4 trace (src/obs/trace_export.h) written by
+`prepare_cli --record-episodes --obs-out FILE.jsonl` and, for every
+episode bundle the flight recorder flushed (src/obs/flight_recorder.h),
+prints a human-readable forensic timeline:
+
+  1. the bundle header — VM, open/close times, outcome, decision
+     config (k-of-W, alert threshold, prevention policy);
+  2. the tick-by-tick evidence — pre-context then episode ticks, each
+     with the classifier score, abnormal / raw-alert / confirmed flags,
+     and the top contributing attribute with its log-odds impact L_i
+     (Eq. 1 decomposition), so the alert's build-up is visible;
+  3. the diagnosis — the full RCA attribution ranking captured when
+     cause inference fired;
+  4. the prevention attempts — phase (initial / companion / fallback),
+     target attribute, feasibility flags, and the applied action;
+  5. any counterfactual annotations recorded by `--what-if`.
+
+Usage: prepare_explain.py FILE.jsonl [--trace-id ID] [--max-ticks N]
+
+--trace-id limits output to one episode; --max-ticks elides the middle
+of long tick timelines (default 40, 0 = no limit). Exits 0 on success,
+1 when the trace is unreadable or has no episode bundles (a forensics
+run that captured nothing is a broken run — same loud-fail contract as
+the other tools).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+
+def _num(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def load_evidence(path: Path) -> list[dict]:
+    records = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            print(f"{path}:{lineno}: invalid JSON: {exc}", file=sys.stderr)
+            continue
+        if isinstance(obj, dict) and obj.get("record") == "episode_evidence":
+            records.append(obj)
+    return records
+
+
+def attr_names(bundle: dict) -> list[str]:
+    names = []
+    i = 0
+    while f"attr{i}" in bundle:
+        names.append(str(bundle[f"attr{i}"]))
+        i += 1
+    return names
+
+
+def top_impact(tick: dict, names: list[str]) -> tuple[str, float]:
+    """(attribute name, L_i) of the largest per-attribute impact."""
+    best_attr, best = "-", float("-inf")
+    for i, name in enumerate(names):
+        v = tick.get(f"impact{i}")
+        if _num(v) and v > best:
+            best_attr, best = name, float(v)
+    if best == float("-inf"):
+        return "-", 0.0
+    return best_attr, best
+
+
+def flag(tick: dict, field: str, mark: str) -> str:
+    return mark if tick.get(field) == 1 else "."
+
+
+def policy_name(mode: object) -> str:
+    return {0: "scaling", 1: "migration", 2: "auto"}.get(mode, str(mode))
+
+
+def print_tick(tick: dict, names: list[str]) -> None:
+    attr, impact = top_impact(tick, names)
+    score = tick.get("score")
+    flags = (flag(tick, "abnormal", "A") + flag(tick, "raw_alert", "R")
+             + flag(tick, "confirmed", "C"))
+    print(f"    {tick.get('phase', '?'):>7}  t={tick.get('t'):>8} "
+          f" score={score:+9.3f}  [{flags}]  top={attr} "
+          f"(L={impact:+.3f})" if _num(score) else
+          f"    {tick.get('phase', '?'):>7}  t={tick.get('t'):>8}  [??]")
+
+
+def print_diagnosis(diag: dict) -> None:
+    count = diag.get("count", 0)
+    parts = []
+    for r in range(1, (count if isinstance(count, int) else 0) + 1):
+        name = diag.get(f"rank{r}_attr", "?")
+        impact = diag.get(f"rank{r}_impact")
+        parts.append(f"{name}({impact:+.3f})" if _num(impact) else str(name))
+    print(f"  diagnosis at t={diag.get('t')}: {' > '.join(parts) or '(none)'}")
+
+
+def print_prevention(p: dict) -> None:
+    feas = (f"scale={'y' if p.get('scale_possible') == 1 else 'n'} "
+            f"migrate={'y' if p.get('migrate_possible') == 1 else 'n'}")
+    print(f"  prevention at t={p.get('t')}: {p.get('phase')} "
+          f"on {p.get('attribute')} ({p.get('metric_kind')}; {feas}; "
+          f"policy={policy_name(p.get('mode'))}) -> {p.get('applied')}")
+
+
+def print_counterfactual(c: dict) -> None:
+    line = (f"  what-if policy={policy_name(c.get('policy'))}: "
+            f"{c.get('diverged')}/{c.get('compared')} decisions diverge")
+    detail = c.get("detail")
+    if detail:
+        line += f" (first: {detail})"
+    print(line)
+
+
+def print_bundle(bundle: dict, members: list[dict], max_ticks: int) -> None:
+    names = attr_names(bundle)
+    print(f"episode {bundle.get('trace_id')} on {bundle.get('vm')}: "
+          f"t=[{bundle.get('t_open')}, {bundle.get('t_close')}] "
+          f"outcome={bundle.get('outcome')}")
+    print(f"  config: {bundle.get('filter_k')}-of-{bundle.get('filter_w')} "
+          f"filter, alert threshold {bundle.get('alert_min_top_impact')}, "
+          f"policy={policy_name(bundle.get('prevention_mode'))}, "
+          f"lookahead {bundle.get('lookahead_s')}s")
+    truncated = bundle.get("truncated_ticks", 0)
+    header = (f"  evidence: {bundle.get('pre_ticks')} pre-context + "
+              f"{bundle.get('ticks', 0) - (bundle.get('pre_ticks') or 0)} "
+              f"episode ticks")
+    if _num(truncated) and truncated > 0:
+        header += f" ({truncated} older episode ticks truncated)"
+    print(header)
+
+    ticks = sorted((m for m in members if m.get("kind") == "tick"),
+                   key=lambda m: m.get("seq", 0))
+    if max_ticks > 0 and len(ticks) > max_ticks:
+        head, tail = ticks[:max_ticks // 2], ticks[-(max_ticks // 2):]
+        for t in head:
+            print_tick(t, names)
+        print(f"    ... {len(ticks) - len(head) - len(tail)} "
+              "ticks elided ...")
+        for t in tail:
+            print_tick(t, names)
+    else:
+        for t in ticks:
+            print_tick(t, names)
+
+    for diag in (m for m in members if m.get("kind") == "diagnosis"):
+        print_diagnosis(diag)
+    for p in (m for m in members if m.get("kind") == "prevention"):
+        print_prevention(p)
+    for c in (m for m in members if m.get("kind") == "counterfactual"):
+        print_counterfactual(c)
+
+
+def main(argv: list[str]) -> int:
+    args, trace_id, max_ticks = [], None, 40
+    it = iter(argv[1:])
+    for a in it:
+        if a == "--trace-id":
+            trace_id = next(it, None)
+        elif a == "--max-ticks":
+            raw = next(it, None)
+            try:
+                max_ticks = int(raw)
+            except (TypeError, ValueError):
+                print(f"--max-ticks: not an integer: {raw!r}",
+                      file=sys.stderr)
+                return 2
+        else:
+            args.append(a)
+    if len(args) != 1:
+        print(f"usage: {argv[0]} FILE.jsonl [--trace-id ID] "
+              "[--max-ticks N]", file=sys.stderr)
+        return 2
+    path = Path(args[0])
+    if not path.is_file():
+        print(f"{path}: no such file", file=sys.stderr)
+        return 1
+
+    evidence = load_evidence(path)
+    bundles = [r for r in evidence if r.get("kind") == "bundle"]
+    if trace_id is not None:
+        bundles = [b for b in bundles if b.get("trace_id") == trace_id]
+    if not bundles:
+        ids = sorted({str(r.get("trace_id")) for r in evidence
+                      if r.get("kind") == "bundle"})
+        if trace_id is not None and ids:
+            print(f"{path}: no bundle with trace_id {trace_id!r} "
+                  f"(available: {', '.join(ids)})", file=sys.stderr)
+        else:
+            print(f"{path}: no episode_evidence bundles (run prepare_cli "
+                  "with --record-episodes --obs-out)", file=sys.stderr)
+        return 1
+
+    for i, bundle in enumerate(bundles):
+        if i > 0:
+            print()
+        members = [r for r in evidence
+                   if r.get("trace_id") == bundle.get("trace_id")
+                   and r.get("kind") != "bundle"]
+        print_bundle(bundle, members, max_ticks)
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main(sys.argv))
+    except BrokenPipeError:
+        sys.exit(0)  # output piped into head; not an error

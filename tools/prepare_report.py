@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Post-run model-quality report from an observability JSONL trace.
 
-Reads a schema-v3 trace (src/obs/trace_export.h) written by
+Reads a schema-v3/v4 trace (src/obs/trace_export.h) written by
 `prepare_cli --obs-out FILE.jsonl` and prints, for the humans running
 the experiment:
 
@@ -14,7 +14,11 @@ the experiment:
   3. the drift timeline — every model_drift evaluation in trace order
      with its kind, trigger state, and headline values;
   4. the top-drifting attributes — occupancy-shift records aggregated
-     per attribute, worst first.
+     per attribute, worst first;
+  5. the episodes section (schema v4, `--record-episodes` runs) —
+     flight-recorder bundle count by outcome, the rank-weighted top
+     contributing attributes across all captured diagnoses, and a
+     summary of any `--what-if` counterfactual divergences.
 
 Usage: prepare_report.py FILE.jsonl
 
@@ -133,6 +137,49 @@ def print_top_attributes(drifts: list[dict]) -> None:
         print(f"  {attr:<16} {shift:.4f}")
 
 
+def print_episodes(evidence: list[dict]) -> None:
+    bundles = [r for r in evidence if r.get("kind") == "bundle"]
+    if not bundles:
+        return
+    outcomes: dict[str, int] = {}
+    for b in bundles:
+        outcome = str(b.get("outcome", "?"))
+        outcomes[outcome] = outcomes.get(outcome, 0) + 1
+    outcome_str = ", ".join(f"{n} {o}" for o, n in sorted(outcomes.items()))
+    print(f"episodes: {len(bundles)} bundle(s) captured ({outcome_str})")
+
+    # Top contributing attributes: the diagnosis rankings, pooled — each
+    # bundle's rank-r attribute scores count - r + 1 so leading causes
+    # dominate but companions still register.
+    votes: dict[str, float] = {}
+    for diag in (r for r in evidence if r.get("kind") == "diagnosis"):
+        count = diag.get("count")
+        if not isinstance(count, int):
+            continue
+        for r in range(1, count + 1):
+            attr = diag.get(f"rank{r}_attr")
+            if isinstance(attr, str):
+                votes[attr] = votes.get(attr, 0.0) + (count - r + 1)
+    if votes:
+        ranked = sorted(votes.items(), key=lambda kv: -kv[1])[:5]
+        names = ", ".join(f"{a} ({v:.0f})" for a, v in ranked)
+        print(f"  top contributing attributes (rank-weighted): {names}")
+
+    cfs = [r for r in evidence if r.get("kind") == "counterfactual"]
+    if cfs:
+        diverged = sum(c.get("diverged", 0) for c in cfs
+                       if _num(c.get("diverged")))
+        compared = sum(c.get("compared", 0) for c in cfs
+                       if _num(c.get("compared")))
+        print(f"  counterfactuals: {len(cfs)} what-if note(s), "
+              f"{diverged}/{compared} decisions diverge")
+        for c in cfs:
+            detail = c.get("detail")
+            if detail:
+                print(f"    {c.get('trace_id', '?')} policy="
+                      f"{c.get('policy', '?')}: {detail}")
+
+
 def main(argv: list[str]) -> int:
     if len(argv) != 2:
         print("usage: prepare_report.py FILE.jsonl", file=sys.stderr)
@@ -157,6 +204,8 @@ def main(argv: list[str]) -> int:
     print_reliability(cals)
     print_drift(drifts)
     print_top_attributes(drifts)
+    evidence = [r for r in records if r.get("record") == "episode_evidence"]
+    print_episodes(evidence)
     return 0
 
 
